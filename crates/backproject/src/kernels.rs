@@ -1,0 +1,366 @@
+//! The three equivalent back-projection kernels.
+
+use rayon::prelude::*;
+use scalefbp_geom::{ProjectionMatrix, ProjectionStack, Volume};
+
+use crate::{KernelStats, TextureWindow};
+
+/// `[x, y] = Projection(M_φ, [i, j, K])` in single precision — exactly the
+/// three `float4` dot products and two divides of Listing 1, lines 12–14.
+#[inline(always)]
+fn project_f32(rows: &[[f32; 4]; 3], i: f32, j: f32, k: f32) -> (f32, f32, f32) {
+    let dot = |r: &[f32; 4]| r[0] * i + r[1] * j + r[2] * k + r[3];
+    let z = dot(&rows[2]);
+    let x = dot(&rows[0]) / z;
+    let y = dot(&rows[1]) / z;
+    (x, y, z)
+}
+
+fn check_args(stack_np: usize, mats: &[ProjectionMatrix]) {
+    assert_eq!(
+        stack_np,
+        mats.len(),
+        "one projection matrix per held projection is required"
+    );
+}
+
+/// Algorithm 1 verbatim: serial voxel-driven back-projection.
+///
+/// `stack` may be a partial window (its `v_offset`/`s_offset` are honoured);
+/// `mats[s]` must be the matrix of the stack's local projection `s`;
+/// `vol` may be a slab (its `z_offset` is the `offset_volume_z` of
+/// Listing 1). Accumulates `1/z² · SubPixel(P[s], x, y)` into every voxel —
+/// the FDK `Δφ·D_so²` normalisation is the caller's responsibility, as in
+/// the paper's kernel.
+pub fn backproject_reference(
+    stack: &ProjectionStack,
+    mats: &[ProjectionMatrix],
+    vol: &mut Volume,
+) -> KernelStats {
+    check_args(stack.np(), mats);
+    let (nx, ny, nz) = (vol.nx(), vol.ny(), vol.nz());
+    let z_offset = vol.z_offset();
+    let v_offset = stack.v_offset();
+    for (s, mat) in mats.iter().enumerate() {
+        for k in 0..nz {
+            let kk = (k + z_offset) as f32;
+            for j in 0..ny {
+                for i in 0..nx {
+                    let (x, y, z) = project_f32(&mat.rows_f32, i as f32, j as f32, kk);
+                    if z <= 0.0 {
+                        continue;
+                    }
+                    let sample = stack.sub_pixel(s, x, y - v_offset as f32);
+                    *vol.get_mut(i, j, k) += 1.0 / (z * z) * sample;
+                }
+            }
+        }
+    }
+    KernelStats::for_launch((nx * ny * nz) as u64, mats.len() as u64, stack.len() as u64)
+}
+
+/// The register-accumulating data-parallel kernel (Section 4.3.1): each
+/// voxel sums its `N_p` contributions in a register and writes the volume
+/// once; Z slices are distributed over the rayon pool (the CUDA grid's
+/// role). Bit-identical to [`backproject_reference`].
+pub fn backproject_parallel(
+    stack: &ProjectionStack,
+    mats: &[ProjectionMatrix],
+    vol: &mut Volume,
+) -> KernelStats {
+    check_args(stack.np(), mats);
+    let (nx, ny, nz) = (vol.nx(), vol.ny(), vol.nz());
+    let z_offset = vol.z_offset();
+    let v_offset = stack.v_offset() as f32;
+    let slice_len = nx * ny;
+    vol.data_mut()
+        .par_chunks_mut(slice_len)
+        .enumerate()
+        .for_each(|(k, slice)| {
+            let kk = (k + z_offset) as f32;
+            for j in 0..ny {
+                for i in 0..nx {
+                    let mut sum = 0.0f32;
+                    for (s, mat) in mats.iter().enumerate() {
+                        let (x, y, z) = project_f32(&mat.rows_f32, i as f32, j as f32, kk);
+                        if z <= 0.0 {
+                            continue;
+                        }
+                        sum += 1.0 / (z * z) * stack.sub_pixel(s, x, y - v_offset);
+                    }
+                    slice[j * nx + i] += sum;
+                }
+            }
+        });
+    KernelStats::for_launch((nx * ny * nz) as u64, mats.len() as u64, stack.len() as u64)
+}
+
+/// Listing 1 proper: the streaming kernel sampling through the
+/// [`TextureWindow`] ring buffer, enabling out-of-core reconstruction.
+/// `vol.z_offset()` plays `offset_volume_z`; the window's modular row lookup
+/// plays `offset_proj_y` + `Z % dimZ`. Bit-identical to the other kernels
+/// whenever the window covers the rows the slab samples (guaranteed by
+/// `compute_ab`).
+pub fn backproject_window(
+    window: &TextureWindow,
+    mats: &[ProjectionMatrix],
+    vol: &mut Volume,
+) -> KernelStats {
+    check_args(window.np(), mats);
+    let (nx, ny, nz) = (vol.nx(), vol.ny(), vol.nz());
+    let z_offset = vol.z_offset();
+    let slice_len = nx * ny;
+    vol.data_mut()
+        .par_chunks_mut(slice_len)
+        .enumerate()
+        .for_each(|(k, slice)| {
+            let kk = (k + z_offset) as f32;
+            for j in 0..ny {
+                for i in 0..nx {
+                    let mut sum = 0.0f32;
+                    for (s, mat) in mats.iter().enumerate() {
+                        let (x, y, z) = project_f32(&mat.rows_f32, i as f32, j as f32, kk);
+                        if z <= 0.0 {
+                            continue;
+                        }
+                        sum += 1.0 / (z * z) * window.sub_pixel(s, x, y);
+                    }
+                    slice[j * nx + i] += sum;
+                }
+            }
+        });
+    KernelStats::for_launch(
+        (nx * ny * nz) as u64,
+        mats.len() as u64,
+        (window.height() * window.np() * window.nu()) as u64,
+    )
+}
+
+/// Strength-reduced variant of [`backproject_parallel`]: the homogeneous
+/// coordinates are affine in the voxel index, so the inner `i` loop
+/// advances them by constant increments (`x_h += m₀₀` etc.) instead of
+/// re-evaluating three dot products — the classic back-projection
+/// optimisation on CPUs (and the layout GPU compilers reduce to).
+///
+/// The reassociated f32 arithmetic drifts from the reference by a few ULP
+/// per row (bounded by the tests), in exchange for substantially less work
+/// per update; see `bench_backproject` for the measured gap.
+pub fn backproject_incremental(
+    stack: &ProjectionStack,
+    mats: &[ProjectionMatrix],
+    vol: &mut Volume,
+) -> KernelStats {
+    check_args(stack.np(), mats);
+    let (nx, ny, nz) = (vol.nx(), vol.ny(), vol.nz());
+    let z_offset = vol.z_offset();
+    let v_offset = stack.v_offset() as f32;
+    let slice_len = nx * ny;
+    vol.data_mut()
+        .par_chunks_mut(slice_len)
+        .enumerate()
+        .for_each(|(k, slice)| {
+            let kk = (k + z_offset) as f32;
+            for (s, mat) in mats.iter().enumerate() {
+                let r = &mat.rows_f32;
+                for j in 0..ny {
+                    let jj = j as f32;
+                    // Homogeneous coords at i = 0, then per-i increments.
+                    let mut xh = r[0][1] * jj + r[0][2] * kk + r[0][3];
+                    let mut yh = r[1][1] * jj + r[1][2] * kk + r[1][3];
+                    let mut zh = r[2][1] * jj + r[2][2] * kk + r[2][3];
+                    let row = &mut slice[j * nx..(j + 1) * nx];
+                    for px in row.iter_mut() {
+                        if zh > 0.0 {
+                            let x = xh / zh;
+                            let y = yh / zh;
+                            *px += 1.0 / (zh * zh) * stack.sub_pixel(s, x, y - v_offset);
+                        }
+                        xh += r[0][0];
+                        yh += r[1][0];
+                        zh += r[2][0];
+                    }
+                }
+            }
+        });
+    KernelStats::for_launch((nx * ny * nz) as u64, mats.len() as u64, stack.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalefbp_geom::{compute_ab, CbctGeometry, VolumeDecomposition};
+
+    fn geom() -> CbctGeometry {
+        CbctGeometry::ideal(24, 16, 40, 36)
+    }
+
+    fn random_stack(g: &CbctGeometry) -> ProjectionStack {
+        let mut p = ProjectionStack::zeros(g.nv, g.np, g.nu);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for px in p.data_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *px = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+        }
+        p
+    }
+
+    #[test]
+    fn parallel_matches_reference_bitwise() {
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut a = Volume::zeros(g.nx, g.ny, g.nz);
+        let mut b = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_reference(&stack, &mats, &mut a);
+        backproject_parallel(&stack, &mats, &mut b);
+        assert_eq!(a.data(), b.data(), "kernels must agree bit-for-bit");
+    }
+
+    #[test]
+    fn window_kernel_matches_reference_bitwise_per_slab() {
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let decomp = VolumeDecomposition::full(&g, 6);
+        let h = decomp.max_rows();
+
+        let mut full = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_reference(&stack, &mats, &mut full);
+
+        let mut window = TextureWindow::new(h, g.np, g.nu, 0);
+        let mut assembled = Volume::zeros(g.nx, g.ny, g.nz);
+        for task in decomp.tasks() {
+            let r = task.new_rows;
+            if !r.is_empty() {
+                window.write_rows(stack.rows_block(r.begin, r.end), r.begin, r.end);
+            }
+            let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
+            backproject_window(&window, &mats, &mut slab);
+            assembled.paste_slab(&slab);
+        }
+        assert_eq!(
+            full.data(),
+            assembled.data(),
+            "streaming out-of-core kernel must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn partial_projection_stacks_sum_to_full() {
+        // Splitting N_p across "ranks" and accumulating the partial volumes
+        // must equal the full back-projection (float order: we compare with
+        // a tolerance since addition is regrouped).
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut full = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_reference(&stack, &mats, &mut full);
+
+        let mut sum = Volume::zeros(g.nx, g.ny, g.nz);
+        let nr = 4;
+        for r in 0..nr {
+            let s0 = r * g.np / nr;
+            let s1 = (r + 1) * g.np / nr;
+            let part = stack.extract_window(0, g.nv, s0, s1);
+            let mut partial = Volume::zeros(g.nx, g.ny, g.nz);
+            backproject_parallel(&part, &mats[s0..s1], &mut partial);
+            sum.accumulate(&partial);
+        }
+        let err = full.max_abs_diff(&sum);
+        assert!(err < 2e-4, "partial sums differ by {err}");
+    }
+
+    #[test]
+    fn row_window_stack_matches_full_stack_for_a_slab() {
+        // Restricting the stack to compute_ab's rows must not change the
+        // slab (validates ComputeAB against the real kernel).
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let (z0, z1) = (8, 14);
+        let rows = compute_ab(&g, z0, z1);
+
+        let mut whole = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_reference(&stack, &mats, &mut whole);
+
+        let part = stack.extract_window(rows.begin, rows.end, 0, g.np);
+        let mut slab = Volume::zeros_slab(g.nx, g.ny, z1 - z0, z0);
+        backproject_reference(&part, &mats, &mut slab);
+
+        for k in 0..(z1 - z0) {
+            assert_eq!(slab.slice(k), whole.slice(z0 + k), "slice {}", z0 + k);
+        }
+    }
+
+    #[test]
+    fn incremental_kernel_matches_reference_within_ulps() {
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut exact = Volume::zeros(g.nx, g.ny, g.nz);
+        let mut incr = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_reference(&stack, &mats, &mut exact);
+        backproject_incremental(&stack, &mats, &mut incr);
+        // Reassociation drift only: tiny relative to the accumulated
+        // magnitudes (paper's acceptance threshold is 1e-5 RMSE).
+        let rmse = exact.rmse(&incr);
+        assert!(rmse < 1e-6, "incremental kernel drifted: RMSE {rmse}");
+        let max = exact.max_abs_diff(&incr);
+        assert!(max < 1e-4, "max drift {max}");
+    }
+
+    #[test]
+    fn zero_projections_give_zero_volume() {
+        let g = geom();
+        let stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut v = Volume::zeros(g.nx, g.ny, g.nz);
+        let stats = backproject_parallel(&stack, &mats, &mut v);
+        assert!(v.data().iter().all(|&x| x == 0.0));
+        assert_eq!(
+            stats.updates,
+            (g.nx * g.ny * g.nz * g.np) as u64
+        );
+    }
+
+    #[test]
+    fn uniform_projections_give_positive_centre() {
+        let g = geom();
+        let mut stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+        stack.data_mut().fill(1.0);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut v = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_parallel(&stack, &mats, &mut v);
+        let c = v.get(g.nx / 2, g.ny / 2, g.nz / 2);
+        assert!(c > 0.0);
+        // Every in-footprint voxel accumulated N_p positive weights around
+        // 1/Dso²·N_p.
+        let expect = g.np as f32 / (g.dso * g.dso) as f32;
+        assert!((c - expect).abs() / expect < 0.2, "centre {c} vs {expect}");
+    }
+
+    #[test]
+    fn kernels_accumulate_into_existing_volume() {
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut once = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_parallel(&stack, &mats, &mut once);
+        let mut twice = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_parallel(&stack, &mats, &mut twice);
+        backproject_parallel(&stack, &mats, &mut twice);
+        for (a, b) in once.data().iter().zip(twice.data()) {
+            assert!((2.0 * a - b).abs() <= 2.0 * a.abs() * 1e-6 + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one projection matrix per held projection")]
+    fn mismatched_matrices_panic() {
+        let g = geom();
+        let stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut v = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_reference(&stack, &mats[..g.np - 1], &mut v);
+    }
+}

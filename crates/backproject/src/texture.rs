@@ -1,0 +1,287 @@
+//! The modular ring buffer over detector rows — the CPU analogue of the
+//! 3-D texture of Listing 1 (`devPixel`'s `Z = z % dimZ`).
+
+/// A device-resident window of `h` detector rows across `np` projections,
+/// addressed by **global** detector row modulo `h`.
+///
+/// Rows stream in monotonically (Algorithm 3): the first write establishes
+/// `[v_begin, v_end)`; each later write must start where the previous ended
+/// and overwrites the oldest rows in place (`cudaMemcpy3D` into
+/// `devMem(s % H …)` in the paper). Samples outside the currently valid
+/// window return zero.
+#[derive(Clone, Debug)]
+pub struct TextureWindow {
+    h: usize,
+    np: usize,
+    nu: usize,
+    s_offset: usize,
+    /// `[h][np][nu]`, global row `v` lives at `v % h`.
+    data: Vec<f32>,
+    /// Valid global row range (rows below `v_lo` have been overwritten).
+    v_lo: usize,
+    v_hi: usize,
+    /// Total rows ever written (for transfer accounting).
+    rows_written: usize,
+}
+
+impl TextureWindow {
+    /// Allocates an empty window of height `h` for `np` projections of width
+    /// `nu`; `s_offset` records which global projection local index 0 is.
+    pub fn new(h: usize, np: usize, nu: usize, s_offset: usize) -> Self {
+        assert!(h > 0 && np > 0 && nu > 0, "window dimensions must be positive");
+        TextureWindow {
+            h,
+            np,
+            nu,
+            s_offset,
+            data: vec![0.0; h * np * nu],
+            v_lo: 0,
+            v_hi: 0,
+            rows_written: 0,
+        }
+    }
+
+    /// Ring height `H`.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.h
+    }
+    /// Projections held.
+    #[inline]
+    pub fn np(&self) -> usize {
+        self.np
+    }
+    /// Row width.
+    #[inline]
+    pub fn nu(&self) -> usize {
+        self.nu
+    }
+    /// Global projection index of local projection 0.
+    #[inline]
+    pub fn s_offset(&self) -> usize {
+        self.s_offset
+    }
+    /// Currently valid global row range `[lo, hi)`.
+    #[inline]
+    pub fn valid_rows(&self) -> (usize, usize) {
+        (self.v_lo, self.v_hi)
+    }
+    /// Total rows streamed through the window so far.
+    #[inline]
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+    /// Device bytes held by the window.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Streams the contiguous row block for global rows `[v_begin, v_end)`
+    /// into the ring. `rows` is laid out `[v][s][u]` like
+    /// `ProjectionStack::rows_block`.
+    ///
+    /// The stream may advance **upward** (`v_begin == v_hi`) or **downward**
+    /// (`v_end == v_lo`) in detector rows — the paper's decomposition walks
+    /// downward because increasing world Z maps to decreasing detector `v`
+    /// — and each write evicts the oldest rows at the far end of the window
+    /// (`cudaMemcpy3D` into `devMem(s % H …)` in Algorithm 3).
+    ///
+    /// # Panics
+    /// * if the block length mismatches,
+    /// * if the block is taller than the ring,
+    /// * if the write is not contiguous with the current window on either
+    ///   side (after the first write).
+    pub fn write_rows(&mut self, rows: &[f32], v_begin: usize, v_end: usize) {
+        assert!(v_begin <= v_end, "bad row range");
+        let n = v_end - v_begin;
+        let stride = self.np * self.nu;
+        assert_eq!(rows.len(), n * stride, "row block length mismatch");
+        assert!(n <= self.h, "block of {n} rows exceeds ring height {}", self.h);
+        let first_write = self.v_lo == self.v_hi;
+        if first_write {
+            self.v_lo = v_begin;
+            self.v_hi = v_end;
+        } else if v_begin == self.v_hi {
+            // Upward: evict from the bottom once the ring is full.
+            self.v_hi = v_end;
+            self.v_lo = self.v_lo.max(self.v_hi.saturating_sub(self.h));
+        } else if v_end == self.v_lo {
+            // Downward: evict from the top.
+            self.v_lo = v_begin;
+            self.v_hi = self.v_hi.min(self.v_lo + self.h);
+        } else {
+            panic!(
+                "streaming writes must be contiguous with the window [{}, {}); got [{v_begin}, {v_end})",
+                self.v_lo, self.v_hi
+            );
+        }
+        for (idx, v) in (v_begin..v_end).enumerate() {
+            let slot = v % self.h;
+            self.data[slot * stride..(slot + 1) * stride]
+                .copy_from_slice(&rows[idx * stride..(idx + 1) * stride]);
+        }
+        self.rows_written += n;
+    }
+
+    /// Single-pixel fetch at **global** detector row `v` (the `devPixel` of
+    /// Listing 1, with the modular `Z` lookup). Out-of-window rows and
+    /// out-of-range columns return zero.
+    #[inline]
+    pub fn pixel(&self, s_local: usize, u: isize, v: isize) -> f32 {
+        if u < 0 || u as usize >= self.nu {
+            return 0.0;
+        }
+        if v < self.v_lo as isize || v >= self.v_hi as isize {
+            return 0.0;
+        }
+        let slot = (v as usize) % self.h;
+        self.data[(slot * self.np + s_local) * self.nu + u as usize]
+    }
+
+    /// Bilinear fetch at sub-pixel `(x, y)` with `y` a **global** detector
+    /// row coordinate — the `devSubPixel` of Listing 1 (which subtracts
+    /// `offset_proj_y` before the modular lookup; here the modular lookup
+    /// absorbs the offset directly).
+    #[inline]
+    pub fn sub_pixel(&self, s_local: usize, x: f32, y: f32) -> f32 {
+        let iu = x.floor() as isize;
+        let iv = y.floor() as isize;
+        let eu = x - iu as f32;
+        let ev = y - iv as f32;
+        let v0 = self.pixel(s_local, iu, iv);
+        let v1 = self.pixel(s_local, iu + 1, iv);
+        let v2 = self.pixel(s_local, iu, iv + 1);
+        let v3 = self.pixel(s_local, iu + 1, iv + 1);
+        let t1 = v0 * (1.0 - eu) + v1 * eu;
+        let t2 = v2 * (1.0 - eu) + v3 * eu;
+        t1 * (1.0 - ev) + t2 * ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalefbp_geom::ProjectionStack;
+
+    fn stack(nv: usize, np: usize, nu: usize) -> ProjectionStack {
+        let mut p = ProjectionStack::zeros(nv, np, nu);
+        for v in 0..nv {
+            for s in 0..np {
+                for u in 0..nu {
+                    *p.get_mut(v, s, u) = (v * 1000 + s * 10 + u) as f32;
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn first_write_establishes_window() {
+        let p = stack(8, 2, 3);
+        let mut w = TextureWindow::new(4, 2, 3, 0);
+        w.write_rows(p.rows_block(2, 5), 2, 5);
+        assert_eq!(w.valid_rows(), (2, 5));
+        assert_eq!(w.pixel(1, 0, 3), p.get(3, 1, 0));
+        assert_eq!(w.pixel(0, 2, 4), p.get(4, 0, 2));
+        // Outside window: zero.
+        assert_eq!(w.pixel(0, 0, 1), 0.0);
+        assert_eq!(w.pixel(0, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn streaming_overwrites_oldest_rows() {
+        let p = stack(10, 2, 3);
+        let mut w = TextureWindow::new(4, 2, 3, 0);
+        w.write_rows(p.rows_block(0, 4), 0, 4);
+        assert_eq!(w.valid_rows(), (0, 4));
+        w.write_rows(p.rows_block(4, 6), 4, 6);
+        // Rows 0..2 were overwritten by 4..6 (same slots mod 4).
+        assert_eq!(w.valid_rows(), (2, 6));
+        assert_eq!(w.pixel(0, 0, 4), p.get(4, 0, 0));
+        assert_eq!(w.pixel(0, 0, 2), p.get(2, 0, 0));
+        assert_eq!(w.pixel(0, 0, 0), 0.0);
+        assert_eq!(w.rows_written(), 6);
+    }
+
+    #[test]
+    fn wrapping_write_larger_than_remaining_slots() {
+        // A write that wraps the ring end (the two-Memcpy3D case of
+        // Algorithm 3, lines 13-15).
+        let p = stack(12, 1, 2);
+        let mut w = TextureWindow::new(5, 1, 2, 0);
+        w.write_rows(p.rows_block(0, 5), 0, 5);
+        w.write_rows(p.rows_block(5, 9), 5, 9); // wraps slots 0..4
+        assert_eq!(w.valid_rows(), (4, 9));
+        for v in 4..9 {
+            assert_eq!(w.pixel(0, 0, v as isize), p.get(v, 0, 0), "v={v}");
+        }
+    }
+
+    #[test]
+    fn descending_stream_evicts_from_the_top() {
+        // The paper's decomposition walks downward in v (increasing world Z
+        // maps to decreasing detector row).
+        let p = stack(12, 2, 3);
+        let mut w = TextureWindow::new(4, 2, 3, 0);
+        w.write_rows(p.rows_block(8, 12), 8, 12);
+        assert_eq!(w.valid_rows(), (8, 12));
+        w.write_rows(p.rows_block(6, 8), 6, 8);
+        assert_eq!(w.valid_rows(), (6, 10));
+        assert_eq!(w.pixel(1, 2, 6), p.get(6, 1, 2));
+        assert_eq!(w.pixel(1, 2, 9), p.get(9, 1, 2));
+        assert_eq!(w.pixel(1, 2, 10), 0.0);
+        assert_eq!(w.pixel(1, 2, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_write_panics() {
+        let p = stack(10, 1, 2);
+        let mut w = TextureWindow::new(4, 1, 2, 0);
+        w.write_rows(p.rows_block(0, 2), 0, 2);
+        w.write_rows(p.rows_block(3, 4), 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ring height")]
+    fn oversized_block_panics() {
+        let p = stack(10, 1, 2);
+        let mut w = TextureWindow::new(4, 1, 2, 0);
+        w.write_rows(p.rows_block(0, 5), 0, 5);
+    }
+
+    #[test]
+    fn sub_pixel_matches_stack_inside_window() {
+        let p = stack(8, 2, 5);
+        let mut w = TextureWindow::new(8, 2, 5, 0);
+        w.write_rows(p.rows_block(0, 8), 0, 8);
+        for (x, y) in [(1.5f32, 2.5f32), (0.0, 0.0), (3.25, 6.75), (4.0, 7.0)] {
+            for s in 0..2 {
+                assert!(
+                    (w.sub_pixel(s, x, y) - p.sub_pixel(s, x, y)).abs() < 1e-6,
+                    "s={s} x={x} y={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sub_pixel_zero_pads_window_edges() {
+        let p = stack(8, 1, 4);
+        let mut w = TextureWindow::new(3, 1, 4, 0);
+        w.write_rows(p.rows_block(2, 5), 2, 5);
+        // Sampling at y=1.5 interpolates row 1 (invalid → 0) and row 2.
+        let got = w.sub_pixel(0, 1.0, 1.5);
+        let expect = 0.5 * p.get(2, 0, 1);
+        assert!((got - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bytes_and_offsets() {
+        let w = TextureWindow::new(4, 3, 5, 7);
+        assert_eq!(w.bytes(), 4 * 3 * 5 * 4);
+        assert_eq!(w.s_offset(), 7);
+        assert_eq!(w.height(), 4);
+    }
+}

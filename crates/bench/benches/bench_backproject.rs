@@ -1,0 +1,74 @@
+//! Criterion: back-projection kernel throughput — the reference serial
+//! kernel (Algorithm 1), the register-accumulating parallel kernel, and
+//! the streaming Listing-1 kernel through the texture window. Reports
+//! elements/s so the GUPS comparison of Table 5 (ours vs RTK) can be read
+//! directly off the criterion output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scalefbp_backproject::{
+    backproject_incremental, backproject_parallel, backproject_reference, backproject_window,
+    TextureWindow,
+};
+use scalefbp_geom::{CbctGeometry, ProjectionMatrix, ProjectionStack, Volume};
+
+fn workload(n: usize) -> (CbctGeometry, ProjectionStack, Vec<ProjectionMatrix>) {
+    let g = CbctGeometry::ideal(n, 32, 48, 44);
+    let mut stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for px in stack.data_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *px = ((state >> 40) as f32 / (1u64 << 23) as f32) - 0.5;
+    }
+    let mats = ProjectionMatrix::full_scan(&g);
+    (g, stack, mats)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backproject");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for n in [16usize, 24, 32] {
+        let (g, stack, mats) = workload(n);
+        let updates = g.voxel_updates() as u64;
+        group.throughput(Throughput::Elements(updates));
+
+        group.bench_with_input(BenchmarkId::new("reference_alg1", n), &n, |b, _| {
+            b.iter(|| {
+                let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+                backproject_reference(&stack, &mats, &mut vol);
+                vol
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("parallel_rtk_style", n), &n, |b, _| {
+            b.iter(|| {
+                let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+                backproject_parallel(&stack, &mats, &mut vol);
+                vol
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+                backproject_incremental(&stack, &mats, &mut vol);
+                vol
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("streaming_listing1", n), &n, |b, _| {
+            b.iter(|| {
+                let mut window = TextureWindow::new(g.nv, g.np, g.nu, 0);
+                window.write_rows(stack.rows_block(0, g.nv), 0, g.nv);
+                let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+                backproject_window(&window, &mats, &mut vol);
+                vol
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

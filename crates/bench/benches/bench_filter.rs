@@ -1,0 +1,66 @@
+//! Criterion: the filtering stage (Equation 2) — FFT-based windowed ramp
+//! vs the direct O(n²) convolution it replaces, and the whole-stack
+//! parallel path (ablation #6 of DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scalefbp_fft::{convolve, convolve_direct};
+use scalefbp_filter::{FilterPipeline, FilterWindow};
+use scalefbp_geom::{CbctGeometry, ProjectionStack};
+
+/// Spatial taps of the Kak-Slaney ramp, for the direct path.
+fn ramp_taps(nu: usize) -> Vec<f64> {
+    let mut t = vec![0.0; 2 * nu - 1];
+    t[nu - 1] = 0.25;
+    for k in (1..nu).step_by(2) {
+        let v = -1.0 / (std::f64::consts::PI * k as f64).powi(2);
+        t[nu - 1 + k] = v;
+        t[nu - 1 - k] = v;
+    }
+    t
+}
+
+fn bench_row_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_row");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    for nu in [256usize, 1024, 4096] {
+        let row: Vec<f64> = (0..nu).map(|u| (u as f64 * 0.1).sin()).collect();
+        let taps = ramp_taps(nu);
+        group.throughput(Throughput::Elements(nu as u64));
+        group.bench_with_input(BenchmarkId::new("fft", nu), &nu, |b, _| {
+            b.iter(|| convolve(&row, &taps))
+        });
+        if nu <= 1024 {
+            group.bench_with_input(BenchmarkId::new("direct", nu), &nu, |b, _| {
+                b.iter(|| convolve_direct(&row, &taps))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_stack_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_stack");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    let g = CbctGeometry::ideal(32, 48, 256, 64);
+    let pipeline = FilterPipeline::new(&g, FilterWindow::SheppLogan);
+    let mut stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+    for (i, px) in stack.data_mut().iter_mut().enumerate() {
+        *px = ((i * 7919) % 1000) as f32 * 1e-3;
+    }
+    group.throughput(Throughput::Elements(stack.len() as u64));
+    group.bench_function("rows_parallel", |b| {
+        b.iter(|| {
+            let mut s = stack.clone();
+            pipeline.filter_stack(&mut s);
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_filtering, bench_stack_filtering);
+criterion_main!(benches);

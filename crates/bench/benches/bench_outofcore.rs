@@ -1,0 +1,68 @@
+//! Criterion: out-of-core streaming (ablation #4 of DESIGN.md) —
+//! differential row updates vs Lu-style full reloading of the projection
+//! set per sub-volume, on the real reconstruction path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scalefbp::{fdk_reconstruct, DeviceSpec, FdkConfig, OutOfCoreReconstructor};
+use scalefbp_backproject::{backproject_window, TextureWindow};
+use scalefbp_filter::{FilterPipeline, FilterWindow};
+use scalefbp_geom::{CbctGeometry, ProjectionMatrix, Volume, VolumeDecomposition};
+use scalefbp_phantom::{forward_project, uniform_ball};
+
+fn bench_outofcore(c: &mut Criterion) {
+    let g = CbctGeometry::ideal(32, 32, 48, 44);
+    let projections = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+    let budget = (g.projection_bytes() + g.volume_bytes()) as u64 / 3;
+
+    let mut group = c.benchmark_group("outofcore");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.voxel_updates() as u64));
+
+    group.bench_function("ours_differential_streaming", |b| {
+        b.iter(|| {
+            let rec = OutOfCoreReconstructor::new(
+                FdkConfig::new(g.clone()).with_device(DeviceSpec::tiny(budget)),
+            )
+            .unwrap();
+            rec.reconstruct(&projections).unwrap().0
+        })
+    });
+
+    group.bench_function("lu_style_full_reload", |b| {
+        // Per slab: rebuild the window from scratch with the slab's full
+        // row range (no differential reuse) — the baseline's traffic
+        // pattern, compute included.
+        let filter = FilterPipeline::new(&g, FilterWindow::RamLak);
+        let mut filtered = projections.clone();
+        filter.filter_stack(&mut filtered);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let decomp = VolumeDecomposition::full(&g, g.nz.div_ceil(8));
+        b.iter(|| {
+            let mut out = Volume::zeros(g.nx, g.ny, g.nz);
+            for task in decomp.tasks() {
+                let mut window =
+                    TextureWindow::new(task.rows.len().max(1), g.np, g.nu, 0);
+                window.write_rows(
+                    filtered.rows_block(task.rows.begin, task.rows.end),
+                    task.rows.begin,
+                    task.rows.end,
+                );
+                let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
+                backproject_window(&window, &mats, &mut slab);
+                out.paste_slab(&slab);
+            }
+            out
+        })
+    });
+
+    group.bench_function("incore_reference", |b| {
+        b.iter(|| fdk_reconstruct(&g, &projections).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_outofcore);
+criterion_main!(benches);

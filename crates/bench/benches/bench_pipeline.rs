@@ -1,0 +1,58 @@
+//! Criterion: end-to-end overlap (ablation #5 of DESIGN.md) — the
+//! threaded Figure-9 pipeline vs the sequential out-of-core path on the
+//! same plan, plus the distributed 4-rank run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scalefbp::{
+    distributed_reconstruct, DeviceSpec, FdkConfig, OutOfCoreReconstructor,
+    PipelinedReconstructor, RankLayout,
+};
+use scalefbp_geom::CbctGeometry;
+use scalefbp_phantom::{forward_project, uniform_ball};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let g = CbctGeometry::ideal(32, 32, 48, 44);
+    let projections = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+    let budget = (g.projection_bytes() + g.volume_bytes()) as u64 / 3;
+    let cfg = FdkConfig::new(g.clone()).with_device(DeviceSpec::tiny(budget));
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.voxel_updates() as u64));
+
+    group.bench_function("sequential_outofcore", |b| {
+        b.iter(|| {
+            OutOfCoreReconstructor::new(cfg.clone())
+                .unwrap()
+                .reconstruct(&projections)
+                .unwrap()
+                .0
+        })
+    });
+
+    group.bench_function("threaded_figure9_pipeline", |b| {
+        b.iter(|| {
+            PipelinedReconstructor::new(cfg.clone())
+                .unwrap()
+                .reconstruct(&projections)
+                .unwrap()
+                .0
+        })
+    });
+
+    group.bench_function("distributed_4_ranks", |b| {
+        let dcfg = FdkConfig::new(g.clone()).with_nc(4);
+        b.iter(|| {
+            distributed_reconstruct(&dcfg, RankLayout::new(2, 2, 4), &projections, 2)
+                .unwrap()
+                .volume
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion: the segmented reduction (ablations #2 and #3 of DESIGN.md)
+//! — flat binomial vs hierarchical node-leader reduce on real rank
+//! threads, and segmented-group vs world-wide reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scalefbp_mpisim::{hierarchical_reduce_sum, World};
+
+fn bench_flat_vs_hierarchical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_8_ranks");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for len in [1usize << 12, 1 << 16] {
+        group.throughput(Throughput::Bytes((len * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("flat_binomial", len), &len, |b, &len| {
+            b.iter(|| {
+                World::run(8, move |mut comm| {
+                    let mut buf = vec![comm.rank() as f32; len];
+                    comm.reduce_sum_f32(0, &mut buf);
+                    buf[0]
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical_4pn", len), &len, |b, &len| {
+            b.iter(|| {
+                World::run(8, move |mut comm| {
+                    let mut buf = vec![comm.rank() as f32; len];
+                    hierarchical_reduce_sum(&mut comm, 0, &mut buf, 4);
+                    buf[0]
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_segmented_vs_global(c: &mut Criterion) {
+    // The paper's key collective change: four groups of 2 ranks reducing
+    // independently vs all 8 ranks reducing together.
+    let mut group = c.benchmark_group("segmentation");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    let len = 1usize << 14;
+    group.throughput(Throughput::Bytes((len * 4) as u64));
+    group.bench_function("segmented_4x2", |b| {
+        b.iter(|| {
+            World::run(8, move |mut comm| {
+                let color = (comm.rank() / 2) as u64;
+                let mut sub = comm.split(color, comm.rank() as i64);
+                let mut buf = vec![1.0f32; len];
+                sub.reduce_sum_f32(0, &mut buf);
+                buf[0]
+            })
+        })
+    });
+    group.bench_function("global_8", |b| {
+        b.iter(|| {
+            World::run(8, move |mut comm| {
+                let mut buf = vec![1.0f32; len];
+                comm.reduce_sum_f32(0, &mut buf);
+                buf[0]
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_vs_hierarchical, bench_segmented_vs_global);
+criterion_main!(benches);

@@ -1,0 +1,226 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Grammar: `scalefbp <command> [--flag] [--key value]…`. Flags and keyed
+//! options may appear in any order; unknown options are errors (so typos
+//! fail loudly rather than being ignored).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Parsed arguments of one invocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand word.
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
+    consumed: BTreeSet<String>,
+}
+
+/// Parse/usage errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// `--key` given without a value.
+    MissingValue(String),
+    /// A value could not be parsed as the expected type.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A required option is absent.
+    MissingOption(String),
+    /// Options nobody asked for.
+    UnknownOptions(Vec<String>),
+    /// A bare (non `--`) token where none was expected.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `scalefbp help`)"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::BadValue { key, value, expected } => {
+                write!(f, "option --{key}: `{value}` is not a valid {expected}")
+            }
+            ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
+            ArgError::UnknownOptions(ks) => {
+                write!(f, "unknown option(s): {}", ks.join(", "))
+            }
+            ArgError::UnexpectedPositional(t) => write!(f, "unexpected argument `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw tokens (without the program name). Every token starting
+    /// with `--` is an option; if the next token exists and is not an
+    /// option it becomes the value, otherwise the option is a flag.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut it = tokens.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let takes_value = it.peek().map(|n| !n.starts_with("--")).unwrap_or(false);
+                if takes_value {
+                    args.options.insert(key.to_string(), it.next().unwrap());
+                } else {
+                    args.flags.insert(key.to_string());
+                }
+            } else {
+                return Err(ArgError::UnexpectedPositional(tok));
+            }
+        }
+        Ok(args)
+    }
+
+    /// True if `--name` was given as a bare flag.
+    pub fn flag(&mut self, name: &str) -> bool {
+        self.consumed.insert(name.to_string());
+        self.flags.contains(name)
+    }
+
+    /// The raw value of `--name`, if present.
+    pub fn opt(&mut self, name: &str) -> Option<String> {
+        self.consumed.insert(name.to_string());
+        self.options.get(name).cloned()
+    }
+
+    /// A required string option.
+    pub fn require(&mut self, name: &str) -> Result<String, ArgError> {
+        self.opt(name)
+            .ok_or_else(|| ArgError::MissingOption(name.to_string()))
+    }
+
+    /// An optional typed option with a default.
+    pub fn typed_or<T: std::str::FromStr>(
+        &mut self,
+        name: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: name.to_string(),
+                value: v,
+                expected,
+            }),
+        }
+    }
+
+    /// A required typed option.
+    pub fn typed<T: std::str::FromStr>(
+        &mut self,
+        name: &str,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        let v = self.require(name)?;
+        v.parse().map_err(|_| ArgError::BadValue {
+            key: name.to_string(),
+            value: v,
+            expected,
+        })
+    }
+
+    /// Call after consuming everything: rejects options the command never
+    /// looked at.
+    pub fn finish(&self) -> Result<(), ArgError> {
+        let unknown: Vec<String> = self
+            .options
+            .keys()
+            .chain(self.flags.iter())
+            .filter(|k| !self.consumed.contains(*k))
+            .map(|k| format!("--{k}"))
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgError::UnknownOptions(unknown))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let mut a = parse(&["simulate", "--preset", "tomo_00030", "--noise", "--scale", "3"])
+            .unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.opt("preset").as_deref(), Some("tomo_00030"));
+        assert!(a.flag("noise"));
+        assert_eq!(a.typed_or::<u32>("scale", 0, "integer").unwrap(), 3);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_command_is_error() {
+        assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
+        assert_eq!(parse(&["--oops"]), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn typed_errors_name_the_option() {
+        let mut a = parse(&["x", "--scale", "banana"]).unwrap();
+        match a.typed::<u32>("scale", "integer") {
+            Err(ArgError::BadValue { key, value, .. }) => {
+                assert_eq!(key, "scale");
+                assert_eq!(value, "banana");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn required_option_missing() {
+        let mut a = parse(&["x"]).unwrap();
+        assert_eq!(a.require("out"), Err(ArgError::MissingOption("out".into())));
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_at_finish() {
+        let mut a = parse(&["x", "--known", "1", "--typo", "2"]).unwrap();
+        let _ = a.opt("known");
+        match a.finish() {
+            Err(ArgError::UnknownOptions(ks)) => assert_eq!(ks, vec!["--typo".to_string()]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn positional_tokens_rejected() {
+        assert!(matches!(
+            parse(&["x", "stray"]),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let mut a = parse(&["x", "--fast", "--out", "file.bin"]).unwrap();
+        assert!(a.flag("fast"));
+        assert_eq!(a.opt("out").as_deref(), Some("file.bin"));
+        a.finish().unwrap();
+    }
+}

@@ -1,0 +1,319 @@
+//! The CLI subcommands.
+
+use std::path::{Path, PathBuf};
+
+use rand::SeedableRng;
+use scalefbp::{
+    fdk_reconstruct_slab, fdk_reconstruct_with, DeviceSpec, FdkConfig, FilterWindow,
+    OutOfCoreReconstructor, PipelinedReconstructor, RankLayout,
+};
+use scalefbp_geom::{CbctGeometry, DatasetPreset};
+use scalefbp_iosim::format::{
+    decode_projections, decode_volume, encode_projections, encode_volume, geometry_from_text,
+    geometry_to_text, mip_to_pgm, slice_to_pgm,
+};
+use scalefbp_perfmodel::{MachineParams, PerfModel, RunShape};
+use scalefbp_phantom::{
+    bead_pile, bumblebee_like, coffee_bean_like, forward_project, uniform_ball, Phantom,
+    PhotonScan,
+};
+
+use crate::{Args, CliError};
+
+fn geometry_path(scan: &Path) -> PathBuf {
+    let mut p = scan.as_os_str().to_owned();
+    p.push(".geom");
+    PathBuf::from(p)
+}
+
+fn parse_window(name: &str) -> Result<FilterWindow, CliError> {
+    Ok(match name {
+        "ramlak" => FilterWindow::RamLak,
+        "shepplogan" => FilterWindow::SheppLogan,
+        "cosine" => FilterWindow::Cosine,
+        "hamming" => FilterWindow::Hamming,
+        "hann" => FilterWindow::Hann,
+        other => return Err(CliError::Message(format!("unknown window `{other}`"))),
+    })
+}
+
+fn parse_device(spec: &str) -> Result<DeviceSpec, CliError> {
+    if spec == "v100" {
+        return Ok(DeviceSpec::v100_16gb());
+    }
+    if spec == "a100" {
+        return Ok(DeviceSpec::a100_40gb());
+    }
+    if let Some(bytes) = spec.strip_prefix("tiny:") {
+        let b: u64 = bytes
+            .parse()
+            .map_err(|_| CliError::Message(format!("bad device size `{bytes}`")))?;
+        return Ok(DeviceSpec::tiny(b));
+    }
+    Err(CliError::Message(format!(
+        "unknown device `{spec}` (v100 | a100 | tiny:BYTES)"
+    )))
+}
+
+fn build_phantom(name: &str, geom: &CbctGeometry) -> Result<Phantom, CliError> {
+    Ok(match name {
+        "ball" => uniform_ball(geom, 0.55, 1.0),
+        "shepp" => Phantom::shepp_logan(geom.footprint_radius() * 0.9),
+        "coffee" => coffee_bean_like(geom),
+        "bee" => bumblebee_like(geom),
+        "beads" => bead_pile(geom, 24, 2021),
+        other => return Err(CliError::Message(format!("unknown phantom `{other}`"))),
+    })
+}
+
+/// `scalefbp presets`.
+pub fn presets() -> Result<String, CliError> {
+    let mut out = String::from(
+        "name          detector        N_p   output   mag    σ_u     σ_v    σ_cor\n",
+    );
+    for p in DatasetPreset::all() {
+        let g = &p.geometry;
+        out.push_str(&format!(
+            "{:<13} {:>5}×{:<8} {:>5} {:>6}³ {:>5.2} {:>6} {:>7} {:>8}\n",
+            p.name, g.nu, g.nv, g.np, g.nx, g.magnification(), g.sigma_u, g.sigma_v, g.sigma_cor
+        ));
+    }
+    out.push_str("\nuse --preset NAME --scale LOG2 to shrink for local runs\n");
+    Ok(out)
+}
+
+/// `scalefbp simulate`.
+pub fn simulate(args: &mut Args) -> Result<String, CliError> {
+    let out_path = PathBuf::from(args.require("out")?);
+    let scale: u32 = args.typed_or("scale", 0, "integer")?;
+    let geom = if let Some(preset) = args.opt("preset") {
+        DatasetPreset::by_name(&preset)
+            .ok_or_else(|| CliError::Message(format!("unknown preset `{preset}`")))?
+            .scaled(scale)
+            .geometry
+    } else {
+        let n: usize = args.typed_or("ideal", 32, "integer")?;
+        CbctGeometry::ideal(n, n * 3 / 2, n * 3 / 2, n * 3 / 2)
+    };
+    geom.validate()
+        .map_err(|e| CliError::Message(format!("invalid geometry: {e}")))?;
+
+    let phantom_name = args.opt("phantom").unwrap_or_else(|| "ball".into());
+    let phantom = build_phantom(&phantom_name, &geom)?;
+    let mut projections = forward_project(&geom, &phantom);
+
+    let mut noise_note = String::new();
+    if args.flag("noise") {
+        let dark: f32 = args.typed_or("dark", 100.0, "number")?;
+        let blank: f32 = args.typed_or("blank", 60_000.0, "number")?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let scan = PhotonScan::from_projections(&projections, dark, blank, Some(&mut rng));
+        projections = scan.normalise();
+        noise_note = format!(" with photon noise (dark={dark}, blank={blank})");
+    }
+
+    std::fs::write(&out_path, encode_projections(&projections))?;
+    std::fs::write(geometry_path(&out_path), geometry_to_text(&geom))?;
+    Ok(format!(
+        "simulated `{phantom_name}` scan{noise_note}: {}×{}×{} projections → {}\n\
+         geometry sidecar: {}\n",
+        geom.nv,
+        geom.np,
+        geom.nu,
+        out_path.display(),
+        geometry_path(&out_path).display()
+    ))
+}
+
+/// `scalefbp info`.
+pub fn info(args: &mut Args) -> Result<String, CliError> {
+    let path = PathBuf::from(args.require("file")?);
+    let data = std::fs::read(&path)?;
+    if let Ok(p) = decode_projections(&data) {
+        return Ok(format!(
+            "{}: projection stack {}×{}×{} (v×s×u), v_offset={}, s_offset={}, {:.1} MB\n",
+            path.display(),
+            p.nv(),
+            p.np(),
+            p.nu(),
+            p.v_offset(),
+            p.s_offset(),
+            data.len() as f64 / 1e6
+        ));
+    }
+    if let Ok(v) = decode_volume(&data) {
+        return Ok(format!(
+            "{}: volume {}×{}×{} (x×y×z), z_offset={}, {:.1} MB\n",
+            path.display(),
+            v.nx(),
+            v.ny(),
+            v.nz(),
+            v.z_offset(),
+            data.len() as f64 / 1e6
+        ));
+    }
+    Err(CliError::Message(format!(
+        "{} is not a scalefbp container",
+        path.display()
+    )))
+}
+
+/// `scalefbp reconstruct`.
+pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
+    let scan_path = PathBuf::from(args.require("scan")?);
+    let geom_path = args
+        .opt("geom")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| geometry_path(&scan_path));
+    let out_path = PathBuf::from(args.require("out")?);
+    let window = parse_window(&args.opt("window").unwrap_or_else(|| "ramlak".into()))?;
+    let mode = args.opt("mode").unwrap_or_else(|| "incore".into());
+    let device = parse_device(&args.opt("device").unwrap_or_else(|| "v100".into()))?;
+
+    let geom = geometry_from_text(&std::fs::read_to_string(&geom_path)?)
+        .map_err(|e| CliError::Message(format!("{}: {e}", geom_path.display())))?;
+    let projections = decode_projections(&std::fs::read(&scan_path)?)
+        .map_err(|e| CliError::Message(format!("{}: {e}", scan_path.display())))?;
+
+    let t0 = std::time::Instant::now();
+    let (volume, detail) = if let Some(slab) = args.opt("slab") {
+        let (z0, z1) = slab
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .ok_or_else(|| CliError::Message(format!("bad --slab `{slab}` (want Z0:Z1)")))?;
+        let v = fdk_reconstruct_slab(&geom, &projections, z0, z1, window)
+            .map_err(|e| CliError::Message(e.to_string()))?;
+        (v, format!("ROI slab [{z0}, {z1})"))
+    } else {
+        match mode.as_str() {
+            "incore" => {
+                let v = fdk_reconstruct_with(&geom, &projections, window)
+                    .map_err(|e| CliError::Message(e.to_string()))?;
+                (v, "in-core".to_string())
+            }
+            "outofcore" => {
+                let cfg = FdkConfig::new(geom.clone())
+                    .with_window(window)
+                    .with_device(device);
+                let rec = OutOfCoreReconstructor::new(cfg)
+                    .map_err(|e| CliError::Message(e.to_string()))?;
+                let (v, report) = rec
+                    .reconstruct(&projections)
+                    .map_err(|e| CliError::Message(e.to_string()))?;
+                (
+                    v,
+                    format!(
+                        "out-of-core: N_b={} over {} batches, H2D {:.1} MB",
+                        report.nb,
+                        report.batches.len(),
+                        report.device.h2d_bytes as f64 / 1e6
+                    ),
+                )
+            }
+            "pipeline" => {
+                let cfg = FdkConfig::new(geom.clone())
+                    .with_window(window)
+                    .with_device(device);
+                let rec = PipelinedReconstructor::new(cfg)
+                    .map_err(|e| CliError::Message(e.to_string()))?;
+                let (v, report) = rec
+                    .reconstruct(&projections)
+                    .map_err(|e| CliError::Message(e.to_string()))?;
+                (
+                    v,
+                    format!(
+                        "threaded pipeline: overlap efficiency {:.0}%",
+                        report.overlap_efficiency * 100.0
+                    ),
+                )
+            }
+            other => {
+                return Err(CliError::Message(format!(
+                    "unknown mode `{other}` (incore | outofcore | pipeline)"
+                )))
+            }
+        }
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    std::fs::write(&out_path, encode_volume(&volume))?;
+    Ok(format!(
+        "reconstructed {}×{}×{} ({detail}) in {secs:.2} s → {}\n",
+        volume.nx(),
+        volume.ny(),
+        volume.nz(),
+        out_path.display()
+    ))
+}
+
+/// `scalefbp slice`.
+pub fn slice(args: &mut Args) -> Result<String, CliError> {
+    let vol_path = PathBuf::from(args.require("volume")?);
+    let out_path = PathBuf::from(args.require("out")?);
+    let volume = decode_volume(&std::fs::read(&vol_path)?)
+        .map_err(|e| CliError::Message(format!("{}: {e}", vol_path.display())))?;
+    if let Some(axis_name) = args.opt("mip") {
+        let axis = match axis_name.as_str() {
+            "x" => 0,
+            "y" => 1,
+            "z" => 2,
+            other => return Err(CliError::Message(format!("bad --mip axis `{other}`"))),
+        };
+        std::fs::write(&out_path, mip_to_pgm(&volume, axis))?;
+        return Ok(format!(
+            "wrote {axis_name}-axis maximum-intensity projection → {}\n",
+            out_path.display()
+        ));
+    }
+    let k: usize = args.typed_or("k", volume.nz() / 2, "integer")?;
+    if k >= volume.nz() {
+        return Err(CliError::Message(format!(
+            "slice {k} out of range (volume has {} slices)",
+            volume.nz()
+        )));
+    }
+    std::fs::write(&out_path, slice_to_pgm(&volume, k))?;
+    Ok(format!(
+        "wrote slice {k} ({}×{}) → {}\n",
+        volume.nx(),
+        volume.ny(),
+        out_path.display()
+    ))
+}
+
+/// `scalefbp model`.
+pub fn model(args: &mut Args) -> Result<String, CliError> {
+    let preset = args.require("preset")?;
+    let gpus: usize = args.typed("gpus", "integer")?;
+    let nr: usize = args.typed("nr", "integer")?;
+    let nc: usize = args.typed_or("nc", 8, "integer")?;
+    let machine = match args.opt("machine").as_deref().unwrap_or("v100") {
+        "v100" => MachineParams::abci_v100(),
+        "a100" => MachineParams::abci_a100(),
+        other => return Err(CliError::Message(format!("unknown machine `{other}`"))),
+    };
+    if gpus == 0 || nr == 0 || gpus % nr != 0 {
+        return Err(CliError::Message(format!(
+            "--gpus {gpus} must be a positive multiple of --nr {nr}"
+        )));
+    }
+    let geom = DatasetPreset::by_name(&preset)
+        .ok_or_else(|| CliError::Message(format!("unknown preset `{preset}`")))?
+        .geometry;
+    let shape = RunShape {
+        geom: geom.clone(),
+        layout: RankLayout::new(nr, gpus / nr, nc),
+    };
+    let model = PerfModel::new(machine);
+    let projected = model.runtime(&shape);
+    let sim = scalefbp::timing::simulate_distributed(&geom, shape.layout, &machine);
+    Ok(format!(
+        "{preset} → {}³ on {gpus} GPUs (N_r={nr}, N_g={}, N_c={nc}):\n\
+         projected (Eq 17): {projected:.1} s\n\
+         simulated (DES):   {:.1} s\n\
+         aggregate:         {:.0} GUPS\n",
+        geom.nx,
+        gpus / nr,
+        sim.measured_secs,
+        sim.gups
+    ))
+}

@@ -1,0 +1,131 @@
+//! Library backing the `scalefbp` command-line tool.
+//!
+//! Everything is testable without a process boundary: [`run`] takes the
+//! raw argument vector and returns the text that `main` prints.
+
+mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+
+/// Top-level CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/usage error.
+    Args(ArgError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// An I/O failure.
+    Io(std::io::Error),
+    /// Anything a command wants to report.
+    Message(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command `{c}` (try `scalefbp help`)")
+            }
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The usage text of `scalefbp help`.
+pub const USAGE: &str = "\
+scalefbp — scalable FBP decomposition for cone-beam CT (SC'21 reproduction)
+
+USAGE: scalefbp <command> [options]
+
+COMMANDS:
+  presets                       list the built-in dataset geometries
+  simulate    --out scan.sfbp   simulate a cone-beam scan of a phantom
+              [--preset NAME | --ideal N] [--scale LOG2]
+              [--phantom ball|shepp|coffee|bee|beads] [--noise]
+              [--dark F --blank F]
+  info        --file x.sfbp     describe a container file
+  reconstruct --scan scan.sfbp --geom scan.geom --out vol.sfbp
+              [--window ramlak|shepplogan|cosine|hamming|hann]
+              [--mode incore|outofcore|pipeline] [--device v100|a100|tiny:BYTES]
+              [--slab Z0:Z1]
+  slice       --volume vol.sfbp --out img.pgm [--k K | --mip x|y|z]
+  model       --preset NAME --gpus N --nr N [--nc 8] [--machine v100|a100]
+              project the paper-scale runtime (Eq 17 + DES)
+  help                          this text
+";
+
+/// Runs one CLI invocation (tokens exclude the program name) and returns
+/// the text to print.
+pub fn run<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, CliError> {
+    let mut args = Args::parse(tokens)?;
+    let out = match args.command.as_str() {
+        "help" | "--help" => USAGE.to_string(),
+        "presets" => commands::presets()?,
+        "simulate" => commands::simulate(&mut args)?,
+        "info" => commands::info(&mut args)?,
+        "reconstruct" => commands::reconstruct(&mut args)?,
+        "slice" => commands::slice(&mut args)?,
+        "model" => commands::model(&mut args)?,
+        other => return Err(CliError::UnknownCommand(other.to_string())),
+    };
+    args.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(["help".to_string()]).unwrap();
+        assert!(out.contains("reconstruct"));
+        assert!(out.contains("simulate"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(matches!(
+            run(["frobnicate".to_string()]),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn presets_lists_all_six() {
+        let out = run(["presets".to_string()]).unwrap();
+        for name in [
+            "coffee_bean",
+            "bumblebee",
+            "tomo_00027",
+            "tomo_00028",
+            "tomo_00029",
+            "tomo_00030",
+        ] {
+            assert!(out.contains(name), "{name} missing from:\n{out}");
+        }
+    }
+
+    #[test]
+    fn unknown_option_is_reported() {
+        let r = run(["presets".to_string(), "--wat".to_string()]);
+        assert!(matches!(r, Err(CliError::Args(ArgError::UnknownOptions(_)))));
+    }
+}

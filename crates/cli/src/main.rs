@@ -1,0 +1,13 @@
+//! The `scalefbp` command-line entry point. All logic lives in the
+//! library (`scalefbp_cli::run`) so it is unit-testable.
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match scalefbp_cli::run(tokens) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("scalefbp: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! End-to-end CLI tests: simulate → info → reconstruct → slice → model,
+//! all through the library entry point with real files.
+
+use std::path::PathBuf;
+
+use scalefbp_cli::{run, CliError};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("scalefbp-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn call(tokens: &[&str]) -> Result<String, CliError> {
+    run(tokens.iter().map(|s| s.to_string()))
+}
+
+#[test]
+fn simulate_info_reconstruct_slice_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let scan = dir.join("scan.sfbp");
+    let vol = dir.join("vol.sfbp");
+    let pgm = dir.join("slice.pgm");
+
+    let out = call(&[
+        "simulate",
+        "--preset",
+        "tomo_00030",
+        "--scale",
+        "4",
+        "--phantom",
+        "ball",
+        "--out",
+        scan.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("simulated `ball` scan"));
+    assert!(scan.exists());
+
+    let out = call(&["info", "--file", scan.to_str().unwrap()]).unwrap();
+    assert!(out.contains("projection stack"), "{out}");
+
+    let out = call(&[
+        "reconstruct",
+        "--scan",
+        scan.to_str().unwrap(),
+        "--out",
+        vol.to_str().unwrap(),
+        "--window",
+        "hann",
+    ])
+    .unwrap();
+    assert!(out.contains("in-core"), "{out}");
+
+    let out = call(&["info", "--file", vol.to_str().unwrap()]).unwrap();
+    assert!(out.contains("volume"), "{out}");
+
+    let out = call(&[
+        "slice",
+        "--volume",
+        vol.to_str().unwrap(),
+        "--out",
+        pgm.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("wrote slice"), "{out}");
+    let pgm_bytes = std::fs::read(&pgm).unwrap();
+    assert!(pgm_bytes.starts_with(b"P5\n"));
+}
+
+#[test]
+fn outofcore_and_pipeline_modes_match_incore() {
+    let dir = tmpdir("modes");
+    let scan = dir.join("scan.sfbp");
+    call(&[
+        "simulate",
+        "--ideal",
+        "24",
+        "--out",
+        scan.to_str().unwrap(),
+    ])
+    .unwrap();
+
+    let mut volumes = Vec::new();
+    for (mode, tag) in [("incore", "a"), ("outofcore", "b"), ("pipeline", "c")] {
+        let vol = dir.join(format!("vol_{tag}.sfbp"));
+        let out = call(&[
+            "reconstruct",
+            "--scan",
+            scan.to_str().unwrap(),
+            "--out",
+            vol.to_str().unwrap(),
+            "--mode",
+            mode,
+            "--device",
+            "tiny:2000000",
+        ])
+        .unwrap();
+        assert!(out.contains("reconstructed"), "{mode}: {out}");
+        volumes.push(std::fs::read(&vol).unwrap());
+    }
+    assert_eq!(volumes[0], volumes[1], "out-of-core differs from in-core");
+    assert_eq!(volumes[0], volumes[2], "pipeline differs from in-core");
+}
+
+#[test]
+fn slab_roi_reconstruction() {
+    let dir = tmpdir("slab");
+    let scan = dir.join("scan.sfbp");
+    call(&["simulate", "--ideal", "24", "--out", scan.to_str().unwrap()]).unwrap();
+    let vol = dir.join("roi.sfbp");
+    let out = call(&[
+        "reconstruct",
+        "--scan",
+        scan.to_str().unwrap(),
+        "--out",
+        vol.to_str().unwrap(),
+        "--slab",
+        "4:10",
+    ])
+    .unwrap();
+    assert!(out.contains("ROI slab [4, 10)"), "{out}");
+    let info = call(&["info", "--file", vol.to_str().unwrap()]).unwrap();
+    assert!(info.contains("z_offset=4"), "{info}");
+}
+
+#[test]
+fn mip_export() {
+    let dir = tmpdir("mip");
+    let scan = dir.join("scan.sfbp");
+    let vol = dir.join("vol.sfbp");
+    call(&["simulate", "--ideal", "16", "--out", scan.to_str().unwrap()]).unwrap();
+    call(&[
+        "reconstruct",
+        "--scan",
+        scan.to_str().unwrap(),
+        "--out",
+        vol.to_str().unwrap(),
+    ])
+    .unwrap();
+    let pgm = dir.join("mip.pgm");
+    let out = call(&[
+        "slice",
+        "--volume",
+        vol.to_str().unwrap(),
+        "--mip",
+        "z",
+        "--out",
+        pgm.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("maximum-intensity"), "{out}");
+    assert!(std::fs::read(&pgm).unwrap().starts_with(b"P5\n"));
+    // Bad axis is rejected.
+    assert!(call(&[
+        "slice",
+        "--volume",
+        vol.to_str().unwrap(),
+        "--mip",
+        "w",
+        "--out",
+        pgm.to_str().unwrap(),
+    ])
+    .is_err());
+}
+
+#[test]
+fn simulate_with_noise_flag() {
+    let dir = tmpdir("noise");
+    let scan = dir.join("scan.sfbp");
+    let out = call(&[
+        "simulate",
+        "--ideal",
+        "16",
+        "--noise",
+        "--dark",
+        "50",
+        "--blank",
+        "40000",
+        "--out",
+        scan.to_str().unwrap(),
+    ])
+    .unwrap();
+    assert!(out.contains("photon noise"), "{out}");
+}
+
+#[test]
+fn model_command_projects_runtimes() {
+    let out = call(&[
+        "model",
+        "--preset",
+        "bumblebee",
+        "--gpus",
+        "128",
+        "--nr",
+        "8",
+    ])
+    .unwrap();
+    assert!(out.contains("projected (Eq 17)"), "{out}");
+    assert!(out.contains("GUPS"), "{out}");
+}
+
+#[test]
+fn helpful_errors() {
+    assert!(call(&["reconstruct"]).is_err()); // missing --scan
+    assert!(call(&["model", "--preset", "nope", "--gpus", "8", "--nr", "8"]).is_err());
+    assert!(call(&[
+        "model", "--preset", "bumblebee", "--gpus", "10", "--nr", "4"
+    ])
+    .is_err()); // not divisible
+    let dir = tmpdir("errors");
+    let bogus = dir.join("bogus.sfbp");
+    std::fs::write(&bogus, b"not a container").unwrap();
+    assert!(call(&["info", "--file", bogus.to_str().unwrap()]).is_err());
+}

@@ -1,0 +1,140 @@
+//! Top-level configuration and errors.
+
+use scalefbp_filter::FilterWindow;
+use scalefbp_geom::{CbctGeometry, GeometryError};
+use scalefbp_gpusim::{DeviceError, DeviceSpec};
+
+/// Errors from the reconstruction drivers.
+#[derive(Debug)]
+pub enum ReconstructionError {
+    /// Invalid acquisition geometry.
+    Geometry(GeometryError),
+    /// The device cannot hold even a single-slice working set.
+    DeviceTooSmall {
+        /// Bytes needed for the minimal working set.
+        needed: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// A device operation failed.
+    Device(DeviceError),
+    /// Projection data does not match the geometry.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for ReconstructionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconstructionError::Geometry(e) => write!(f, "geometry error: {e}"),
+            ReconstructionError::DeviceTooSmall { needed, capacity } => write!(
+                f,
+                "device too small: minimal working set {needed} B exceeds capacity {capacity} B"
+            ),
+            ReconstructionError::Device(e) => write!(f, "device error: {e}"),
+            ReconstructionError::ShapeMismatch(what) => write!(f, "shape mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconstructionError {}
+
+impl From<GeometryError> for ReconstructionError {
+    fn from(e: GeometryError) -> Self {
+        ReconstructionError::Geometry(e)
+    }
+}
+
+impl From<DeviceError> for ReconstructionError {
+    fn from(e: DeviceError) -> Self {
+        ReconstructionError::Device(e)
+    }
+}
+
+/// Configuration of a reconstruction run.
+#[derive(Clone, Debug)]
+pub struct FdkConfig {
+    /// Acquisition/reconstruction geometry (Table 1).
+    pub geometry: CbctGeometry,
+    /// Ramp-filter apodisation window.
+    pub window: FilterWindow,
+    /// Batch count `N_c` per group/device (the paper fixes 8).
+    pub nc: usize,
+    /// Simulated device executing the back-projection.
+    pub device: DeviceSpec,
+}
+
+impl FdkConfig {
+    /// A config with the paper's defaults (`N_c = 8`, Ram-Lak window,
+    /// V100-16GB device).
+    pub fn new(geometry: CbctGeometry) -> Self {
+        FdkConfig {
+            geometry,
+            window: FilterWindow::RamLak,
+            nc: 8,
+            device: DeviceSpec::v100_16gb(),
+        }
+    }
+
+    /// Builder: apodisation window.
+    pub fn with_window(mut self, window: FilterWindow) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Builder: batch count.
+    pub fn with_nc(mut self, nc: usize) -> Self {
+        assert!(nc > 0, "batch count must be positive");
+        self.nc = nc;
+        self
+    }
+
+    /// Builder: device spec.
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ReconstructionError> {
+        self.geometry.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = FdkConfig::new(CbctGeometry::ideal(32, 16, 48, 48));
+        assert_eq!(c.nc, 8);
+        assert_eq!(c.window, FilterWindow::RamLak);
+        assert_eq!(c.device.name, "V100-16GB");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = FdkConfig::new(CbctGeometry::ideal(32, 16, 48, 48))
+            .with_window(FilterWindow::Hann)
+            .with_nc(4)
+            .with_device(DeviceSpec::a100_40gb());
+        assert_eq!(c.window, FilterWindow::Hann);
+        assert_eq!(c.nc, 4);
+        assert_eq!(c.device.name, "A100-40GB");
+    }
+
+    #[test]
+    fn invalid_geometry_fails_validation() {
+        let mut g = CbctGeometry::ideal(32, 16, 48, 48);
+        g.np = 0;
+        assert!(FdkConfig::new(g).validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch count must be positive")]
+    fn zero_nc_rejected() {
+        let _ = FdkConfig::new(CbctGeometry::ideal(32, 16, 48, 48)).with_nc(0);
+    }
+}

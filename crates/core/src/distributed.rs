@@ -1,0 +1,240 @@
+//! The distributed framework (Section 4.4) on the in-process MPI
+//! substrate: rank groups, per-group sub-volume batches, and the
+//! hierarchical segmented reduction.
+
+use scalefbp_backproject::{backproject_parallel, KernelStats};
+use scalefbp_filter::FilterPipeline;
+use scalefbp_geom::{
+    ProjectionMatrix, ProjectionStack, RankLayout, Volume, VolumeDecomposition,
+};
+use scalefbp_mpisim::{hierarchical_reduce_sum, NetworkStats, World};
+
+use crate::{FdkConfig, ReconstructionError};
+
+/// Result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistributedOutcome {
+    /// The assembled volume (gathered at world rank 0).
+    pub volume: Volume,
+    /// Network traffic observed (all ranks).
+    pub network: NetworkStats,
+    /// Kernel work per rank (rank order).
+    pub per_rank_kernel: Vec<KernelStats>,
+}
+
+/// Tag base for leader→root slab shipping.
+const SLAB_TAG: u64 = 7_000;
+
+/// Runs the paper's distributed reconstruction end to end on
+/// `layout.num_ranks()` simulated ranks (threads):
+///
+/// 1. Every rank takes its `N_p/N_r` projection share and the detector-row
+///    ranges of its group's sub-volume batches (the 2-D input split of
+///    Figure 3a).
+/// 2. Per batch, it filters and back-projects a *partial* sub-volume.
+/// 3. The group performs the hierarchical segmented `MPI_Reduce`
+///    (Section 4.4.2) to its leader — the only collective in the pipeline.
+/// 4. Leaders normalise and ship finished slabs to world rank 0 (the
+///    stand-in for the parallel file system), which assembles the volume.
+///
+/// `ranks_per_node` mirrors the ABCI topology (4 GPUs/node).
+pub fn distributed_reconstruct(
+    config: &FdkConfig,
+    layout: RankLayout,
+    projections: &ProjectionStack,
+    ranks_per_node: usize,
+) -> Result<DistributedOutcome, ReconstructionError> {
+    config.validate()?;
+    let g = &config.geometry;
+    if projections.nv() != g.nv || projections.np() != g.np || projections.nu() != g.nu {
+        return Err(ReconstructionError::ShapeMismatch(format!(
+            "projections {}×{}×{} vs geometry {}×{}×{}",
+            projections.nv(),
+            projections.np(),
+            projections.nu(),
+            g.nv,
+            g.np,
+            g.nu
+        )));
+    }
+    assert!(
+        g.nz >= layout.ng,
+        "more groups ({}) than volume slices ({})",
+        layout.ng,
+        g.nz
+    );
+
+    let window = config.window;
+    let results = World::run(layout.num_ranks(), |mut comm| {
+        let assign = layout.assignment(g, comm.rank());
+        let filter = FilterPipeline::new(g, window);
+        let scale = filter.backprojection_scale() as f32;
+        let mats = ProjectionMatrix::full_scan(g);
+        let my_mats = &mats[assign.s_begin..assign.s_end];
+
+        // The group communicator: the segmented collective's scope.
+        let mut group_comm = comm.split(assign.group as u64, assign.rank_in_group as i64);
+
+        let decomp = VolumeDecomposition::new(g, assign.z_begin, assign.z_end, assign.nb);
+        let mut kernel = KernelStats::default();
+        let mut finished: Vec<Volume> = Vec::new();
+
+        for task in decomp.tasks() {
+            // 2-D input split: this rank's projections, this batch's rows.
+            let mut part = projections.extract_window(
+                task.rows.begin,
+                task.rows.end,
+                assign.s_begin,
+                assign.s_end,
+            );
+            filter.filter_stack(&mut part);
+
+            let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
+            let stats = backproject_parallel(&part, my_mats, &mut slab);
+            kernel.merge(&stats);
+
+            // Segmented reduction to the group leader.
+            hierarchical_reduce_sum(&mut group_comm, 0, slab.data_mut(), ranks_per_node);
+            if assign.is_group_leader {
+                for v in slab.data_mut() {
+                    *v *= scale;
+                }
+                finished.push(slab);
+            }
+        }
+
+        // Leaders ship finished slabs to world rank 0.
+        if assign.is_group_leader && comm.rank() != 0 {
+            for slab in &finished {
+                comm.send_f32(0, SLAB_TAG + slab.z_offset() as u64, slab.data());
+            }
+        }
+        let volume = if comm.rank() == 0 {
+            let mut out = Volume::zeros(g.nx, g.ny, g.nz);
+            for slab in &finished {
+                out.paste_slab(slab);
+            }
+            for group in 1..layout.ng {
+                let leader = group * layout.nr;
+                let (z0, z1) = layout.group_slices(g, group);
+                let sub = VolumeDecomposition::new(g, z0, z1, layout.assignment(g, leader).nb);
+                for task in sub.tasks() {
+                    let data = comm.recv_f32(leader, SLAB_TAG + task.z_begin as u64);
+                    let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
+                    slab.data_mut().copy_from_slice(&data);
+                    out.paste_slab(&slab);
+                }
+            }
+            Some(out)
+        } else {
+            None
+        };
+        (volume, kernel, comm.network_stats())
+    });
+
+    let network = results.last().map(|r| r.2).unwrap_or_default();
+    let per_rank_kernel = results.iter().map(|r| r.1).collect();
+    let volume = results
+        .into_iter()
+        .next()
+        .and_then(|r| r.0)
+        .expect("rank 0 must produce the assembled volume");
+
+    Ok(DistributedOutcome {
+        volume,
+        network,
+        per_rank_kernel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fdk_reconstruct;
+    use scalefbp_geom::CbctGeometry;
+    use scalefbp_phantom::{forward_project, uniform_ball};
+
+    fn geom() -> CbctGeometry {
+        CbctGeometry::ideal(24, 32, 48, 40)
+    }
+
+    fn projections(g: &CbctGeometry) -> ProjectionStack {
+        forward_project(g, &uniform_ball(g, 0.5, 1.0))
+    }
+
+    fn run(layout: RankLayout, rpn: usize) -> (Volume, DistributedOutcome) {
+        let g = geom();
+        let p = projections(&g);
+        let reference = fdk_reconstruct(&g, &p).unwrap();
+        let out =
+            distributed_reconstruct(&FdkConfig::new(g).with_nc(2), layout, &p, rpn).unwrap();
+        (reference, out)
+    }
+
+    #[test]
+    fn single_rank_matches_reference_bitwise() {
+        let (reference, out) = run(RankLayout::new(1, 1, 2), 1);
+        assert_eq!(out.volume.data(), reference.data());
+    }
+
+    #[test]
+    fn groups_only_split_matches_bitwise() {
+        // ng > 1, nr = 1: no reduction, different slabs on different ranks;
+        // float order unchanged → bit-identical.
+        let (reference, out) = run(RankLayout::new(1, 4, 2), 1);
+        assert_eq!(out.volume.data(), reference.data());
+    }
+
+    #[test]
+    fn projection_split_matches_within_fp_tolerance() {
+        // nr > 1 regroups the f32 summation (partial volumes reduced by
+        // tree) — equal within accumulation tolerance.
+        let (reference, out) = run(RankLayout::new(4, 1, 2), 2);
+        let err = reference.max_abs_diff(&out.volume);
+        assert!(err < 2e-4, "max diff {err}");
+        // Scaled comparison: RMSE far below any voxel feature.
+        assert!(reference.rmse(&out.volume) < 2e-5);
+    }
+
+    #[test]
+    fn full_grid_of_groups_and_ranks() {
+        for (nr, ng, rpn) in [(2, 2, 2), (2, 3, 1), (4, 2, 4), (3, 2, 2)] {
+            let (reference, out) = run(RankLayout::new(nr, ng, 2), rpn);
+            let err = reference.max_abs_diff(&out.volume);
+            assert!(err < 2e-4, "nr={nr} ng={ng}: max diff {err}");
+        }
+    }
+
+    #[test]
+    fn kernel_work_is_split_across_ranks() {
+        let (_, out) = run(RankLayout::new(2, 2, 2), 2);
+        let total: u64 = out.per_rank_kernel.iter().map(|k| k.updates).sum();
+        let g = geom();
+        assert_eq!(total, g.voxel_updates() as u64);
+        // Each rank did roughly a quarter.
+        for k in &out.per_rank_kernel {
+            let share = k.updates as f64 / total as f64;
+            assert!((share - 0.25).abs() < 0.1, "share {share}");
+        }
+    }
+
+    #[test]
+    fn network_carries_reduction_traffic() {
+        let (_, out) = run(RankLayout::new(4, 1, 2), 2);
+        let g = geom();
+        // At least one full volume of reduce traffic (plus leader→root
+        // shipping, which rank 0 skips because it is the leader here).
+        assert!(out.network.bytes as usize >= g.volume_bytes());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = geom();
+        let bad = ProjectionStack::zeros(g.nv, g.np, g.nu + 2);
+        let cfg = FdkConfig::new(g);
+        assert!(matches!(
+            distributed_reconstruct(&cfg, RankLayout::new(1, 1, 2), &bad, 1),
+            Err(ReconstructionError::ShapeMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,340 @@
+//! Algorithm 3: out-of-core streaming reconstruction on one device.
+
+use scalefbp_backproject::{backproject_window, KernelStats, TextureWindow};
+use scalefbp_filter::FilterPipeline;
+use scalefbp_geom::{ProjectionMatrix, ProjectionStack, Volume, VolumeDecomposition};
+use scalefbp_gpusim::{Device, DeviceCounters};
+
+use crate::{FdkConfig, ReconstructionError};
+
+/// Per-batch record of one out-of-core run (a row of Table 5, per batch).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OocBatch {
+    /// Batch (sub-volume) index.
+    pub index: usize,
+    /// Detector rows newly moved host→device for this batch
+    /// (`a₀b₀` for batch 0, the differential `b_{i-1}b_i` afterwards).
+    pub rows_loaded: usize,
+    /// Simulated H2D seconds.
+    pub h2d_secs: f64,
+    /// Simulated kernel seconds.
+    pub bp_secs: f64,
+    /// Simulated D2H seconds.
+    pub d2h_secs: f64,
+    /// Wall-clock seconds actually spent computing the batch.
+    pub wall_secs: f64,
+}
+
+/// Outcome statistics of an out-of-core run.
+#[derive(Clone, Debug)]
+pub struct OutOfCoreReport {
+    /// Slab thickness `N_b` chosen for the device.
+    pub nb: usize,
+    /// Ring-buffer height `H` (detector rows resident).
+    pub window_rows: usize,
+    /// Per-batch records.
+    pub batches: Vec<OocBatch>,
+    /// Device traffic counters.
+    pub device: DeviceCounters,
+    /// Aggregated kernel work counters.
+    pub kernel: KernelStats,
+    /// Total wall-clock seconds of the reconstruction.
+    pub wall_secs: f64,
+}
+
+impl OutOfCoreReport {
+    /// Back-projection throughput in GUPS over wall time — the paper's
+    /// kernel metric (Table 5's Perf. column).
+    pub fn wall_gups(&self) -> f64 {
+        self.kernel.updates as f64 / self.wall_secs.max(1e-12) / 1e9
+    }
+
+    /// Total simulated device seconds (`T_H2D + T_bp + T_D2H`).
+    pub fn simulated_gpu_secs(&self) -> f64 {
+        self.batches
+            .iter()
+            .map(|b| b.h2d_secs + b.bp_secs + b.d2h_secs)
+            .sum()
+    }
+}
+
+/// The streaming out-of-core reconstructor of Algorithm 3.
+///
+/// Chooses the largest slab thickness `N_b` whose working set — the
+/// detector-row ring buffer `H·N_p·N_u`, one sub-volume slab
+/// `N_x·N_y·N_b`, and the projection-matrix table — fits the simulated
+/// device, then reconstructs slab by slab, moving each detector row to the
+/// device **once** (the differential update of Eq 6–7). Output volumes may
+/// exceed device memory by orders of magnitude (the paper builds 256 GB
+/// volumes on a 16 GB V100).
+pub struct OutOfCoreReconstructor {
+    config: FdkConfig,
+    device: Device,
+    nb: usize,
+    window_rows: usize,
+}
+
+impl OutOfCoreReconstructor {
+    /// Plans a reconstructor for `config`. Fails with
+    /// [`ReconstructionError::DeviceTooSmall`] if even a one-slice slab
+    /// exceeds device memory.
+    pub fn new(config: FdkConfig) -> Result<Self, ReconstructionError> {
+        config.validate()?;
+        let g = &config.geometry;
+        let capacity = config.device.memory_bytes;
+        let mats_bytes = (g.np * 12 * 4) as u64;
+
+        // Start from the paper's N_b = N_z / N_c and shrink until the
+        // working set fits.
+        let mut nb = g.nz.div_ceil(config.nc).max(1);
+        loop {
+            let decomp = VolumeDecomposition::full(g, nb);
+            let window_rows = decomp.max_rows().min(g.nv);
+            let window_bytes = (window_rows * g.np * g.nu * 4) as u64;
+            let slab_bytes = (g.nx * g.ny * nb * 4) as u64;
+            let needed = window_bytes + slab_bytes + mats_bytes;
+            if needed <= capacity {
+                return Ok(OutOfCoreReconstructor {
+                    device: Device::new(config.device.clone()),
+                    config,
+                    nb,
+                    window_rows,
+                });
+            }
+            if nb == 1 {
+                return Err(ReconstructionError::DeviceTooSmall { needed, capacity });
+            }
+            nb = (nb / 2).max(1);
+        }
+    }
+
+    /// The chosen slab thickness `N_b`.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// The ring-buffer height `H`.
+    pub fn window_rows(&self) -> usize {
+        self.window_rows
+    }
+
+    /// The device (for inspecting counters mid-run).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The sub-volume plan.
+    pub fn plan(&self) -> VolumeDecomposition {
+        VolumeDecomposition::full(&self.config.geometry, self.nb)
+    }
+
+    /// Runs the full reconstruction: filter on the "CPU", stream row
+    /// windows to the device, back-project each slab, normalise, assemble.
+    ///
+    /// Bit-identical to [`crate::fdk_reconstruct_with`] on the same inputs
+    /// (asserted by the integration tests) — the paper's criterion for the
+    /// streaming kernel.
+    pub fn reconstruct(
+        &self,
+        projections: &ProjectionStack,
+    ) -> Result<(Volume, OutOfCoreReport), ReconstructionError> {
+        let g = &self.config.geometry;
+        if projections.nv() != g.nv || projections.np() != g.np || projections.nu() != g.nu {
+            return Err(ReconstructionError::ShapeMismatch(format!(
+                "projections {}×{}×{} vs geometry {}×{}×{}",
+                projections.nv(),
+                projections.np(),
+                projections.nu(),
+                g.nv,
+                g.np,
+                g.nu
+            )));
+        }
+        let run_start = std::time::Instant::now();
+
+        // Filter stage (the paper's CPU-side thread).
+        let pipeline = FilterPipeline::new(g, self.config.window);
+        let mut filtered = projections.clone();
+        pipeline.filter_stack(&mut filtered);
+        let scale = pipeline.backprojection_scale() as f32;
+
+        let mats = ProjectionMatrix::full_scan(g);
+        let decomp = self.plan();
+
+        // Device-resident working set.
+        let _mat_buf = self.device.alloc((g.np * 12 * 4) as u64)?;
+        let window_bytes = (self.window_rows * g.np * g.nu * 4) as u64;
+        let _window_buf = self.device.alloc(window_bytes)?;
+        let mut window = TextureWindow::new(self.window_rows, g.np, g.nu, 0);
+
+        let mut out = Volume::zeros(g.nx, g.ny, g.nz);
+        let mut batches = Vec::with_capacity(decomp.num_subvolumes());
+        let mut kernel = KernelStats::default();
+
+        for task in decomp.tasks() {
+            let batch_start = std::time::Instant::now();
+            let r = task.new_rows;
+            let mut h2d_secs = 0.0;
+            if !r.is_empty() {
+                h2d_secs = self.device.h2d((r.len() * g.np * g.nu * 4) as u64);
+                window.write_rows(filtered.rows_block(r.begin, r.end), r.begin, r.end);
+            }
+
+            let slab_bytes = (g.nx * g.ny * task.nz() * 4) as u64;
+            let _slab_buf = self.device.alloc(slab_bytes)?;
+            let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
+            let stats = backproject_window(&window, &mats, &mut slab);
+            kernel.merge(&stats);
+            let bp_secs = self.device.launch_backprojection(stats.updates);
+            let d2h_secs = self.device.d2h(slab_bytes);
+
+            for v in slab.data_mut() {
+                *v *= scale;
+            }
+            out.paste_slab(&slab);
+
+            batches.push(OocBatch {
+                index: task.index,
+                rows_loaded: r.len(),
+                h2d_secs,
+                bp_secs,
+                d2h_secs,
+                wall_secs: batch_start.elapsed().as_secs_f64(),
+            });
+        }
+
+        let report = OutOfCoreReport {
+            nb: self.nb,
+            window_rows: self.window_rows,
+            batches,
+            device: self.device.counters(),
+            kernel,
+            wall_secs: run_start.elapsed().as_secs_f64(),
+        };
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fdk_reconstruct;
+    use scalefbp_geom::CbctGeometry;
+    use scalefbp_gpusim::DeviceSpec;
+    use scalefbp_phantom::{forward_project, uniform_ball};
+
+    fn geom() -> CbctGeometry {
+        CbctGeometry::ideal(32, 48, 64, 56)
+    }
+
+    fn projections(g: &CbctGeometry) -> ProjectionStack {
+        forward_project(g, &uniform_ball(g, 0.55, 1.0))
+    }
+
+    fn tiny_device_config(g: &CbctGeometry, budget: u64) -> FdkConfig {
+        FdkConfig::new(g.clone()).with_device(DeviceSpec::tiny(budget))
+    }
+
+    #[test]
+    fn matches_in_core_reconstruction_bitwise() {
+        let g = geom();
+        let p = projections(&g);
+        let reference = fdk_reconstruct(&g, &p).unwrap();
+        // A device that can hold only a fraction of the projections.
+        let full_bytes = (g.projection_bytes() + g.volume_bytes()) as u64;
+        let cfg = tiny_device_config(&g, full_bytes / 3);
+        let rec = OutOfCoreReconstructor::new(cfg).unwrap();
+        assert!(rec.nb() < g.nz, "expected an actual out-of-core plan");
+        let (vol, report) = rec.reconstruct(&p).unwrap();
+        assert_eq!(vol.data(), reference.data(), "out-of-core must be bit-identical");
+        assert!(report.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn each_detector_row_moves_to_device_once() {
+        let g = geom();
+        let p = projections(&g);
+        let cfg = tiny_device_config(&g, (g.projection_bytes() + g.volume_bytes()) as u64 / 2);
+        let rec = OutOfCoreReconstructor::new(cfg).unwrap();
+        let (_, report) = rec.reconstruct(&p).unwrap();
+        let rows_total: usize = report.batches.iter().map(|b| b.rows_loaded).sum();
+        // Differential loading: bounded by the detector height plus the
+        // per-slab guard rows.
+        assert!(
+            rows_total <= g.nv + 2 * report.batches.len(),
+            "rows loaded {rows_total} vs nv {}",
+            g.nv
+        );
+        // H2D bytes match rows exactly.
+        assert_eq!(
+            report.device.h2d_bytes,
+            (rows_total * g.np * g.nu * 4) as u64
+        );
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let g = geom();
+        let p = projections(&g);
+        let cfg = tiny_device_config(&g, (g.projection_bytes() + g.volume_bytes()) as u64 / 2);
+        let rec = OutOfCoreReconstructor::new(cfg).unwrap();
+        let (_, report) = rec.reconstruct(&p).unwrap();
+        // Kernel updates = voxels × projections.
+        assert_eq!(report.kernel.updates, g.voxel_updates() as u64);
+        // D2H carried every slab once.
+        assert_eq!(report.device.d2h_bytes, g.volume_bytes() as u64);
+        assert!(report.wall_gups() > 0.0);
+        assert!(report.simulated_gpu_secs() > 0.0);
+        assert_eq!(report.batches.len(), rec.plan().num_subvolumes());
+    }
+
+    #[test]
+    fn device_too_small_is_reported() {
+        let g = geom();
+        // Too small for even one slice + one row window.
+        let cfg = tiny_device_config(&g, 10_000);
+        match OutOfCoreReconstructor::new(cfg) {
+            Err(ReconstructionError::DeviceTooSmall { needed, capacity }) => {
+                assert!(needed > capacity);
+            }
+            Ok(_) => panic!("expected DeviceTooSmall"),
+            Err(e) => panic!("expected DeviceTooSmall, got {e}"),
+        }
+    }
+
+    #[test]
+    fn large_device_uses_paper_batch_count() {
+        let g = geom();
+        let cfg = FdkConfig::new(g.clone()).with_nc(8);
+        let rec = OutOfCoreReconstructor::new(cfg).unwrap();
+        assert_eq!(rec.nb(), g.nz.div_ceil(8));
+        assert_eq!(rec.plan().num_subvolumes(), 8);
+    }
+
+    #[test]
+    fn out_of_core_volume_bigger_than_device_memory() {
+        // The headline capability: output volume > device capacity
+        // (the paper's 256 GB volume on a 16 GB V100, scaled down).
+        let g = CbctGeometry::ideal(64, 32, 48, 40);
+        let p = projections(&g);
+        let vol_bytes = g.volume_bytes() as u64;
+        let budget = g.projection_bytes() as u64 + vol_bytes / 4;
+        assert!(budget < vol_bytes, "test setup: device must be smaller than the output");
+        let rec = OutOfCoreReconstructor::new(tiny_device_config(&g, budget)).unwrap();
+        let (vol, report) = rec.reconstruct(&p).unwrap();
+        assert_eq!(vol.len() * 4, vol_bytes as usize);
+        assert!(report.device.peak_allocated <= budget);
+        assert!(report.device.peak_allocated < vol_bytes);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = geom();
+        let bad = ProjectionStack::zeros(g.nv - 1, g.np, g.nu);
+        let rec = OutOfCoreReconstructor::new(FdkConfig::new(g)).unwrap();
+        assert!(matches!(
+            rec.reconstruct(&bad),
+            Err(ReconstructionError::ShapeMismatch(_))
+        ));
+    }
+}

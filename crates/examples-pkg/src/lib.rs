@@ -1,0 +1,2 @@
+//! Host package for the runnable examples in the repository-root `examples/`
+//! directory. See each example's module docs for usage.

@@ -1,0 +1,209 @@
+//! Real-input FFT via the length-halving packing trick.
+
+use crate::{Complex, Direction, FftPlan};
+
+/// Real-to-complex FFT plan of even length `n`.
+///
+/// Packs the real signal into a complex signal of length `n/2`, runs the
+/// half-length complex FFT, then untangles the even/odd spectra. Returns the
+/// non-redundant half-spectrum `X[0..=n/2]` (length `n/2 + 1`); the remaining
+/// bins are the conjugate mirror. This is the transform shape the filtering
+/// stage uses for every detector row.
+#[derive(Clone, Debug)]
+pub struct RealFftPlan {
+    n: usize,
+    half_plan: FftPlan,
+    /// `e^{-πik/ (n/2)}` untangling twiddles for k in 0..n/2.
+    twiddles: Vec<Complex>,
+}
+
+impl RealFftPlan {
+    /// Builds a plan for real transform length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "real FFT length must be a power of two >= 2, got {n}"
+        );
+        let half = n / 2;
+        let twiddles = (0..half)
+            .map(|k| Complex::cis(-std::f64::consts::PI * k as f64 / half as f64))
+            .collect();
+        RealFftPlan {
+            n,
+            half_plan: FftPlan::new(half),
+            twiddles,
+        }
+    }
+
+    /// The real transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of spectrum bins produced by [`forward`](Self::forward):
+    /// `n/2 + 1`.
+    #[inline]
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward real FFT. `input.len()` must equal `len()`; returns the
+    /// half-spectrum of length `spectrum_len()`.
+    pub fn forward(&self, input: &[f64]) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n, "input length mismatch");
+        let half = self.n / 2;
+
+        // Pack: z[k] = x[2k] + i·x[2k+1].
+        let mut z: Vec<Complex> = (0..half)
+            .map(|k| Complex::new(input[2 * k], input[2 * k + 1]))
+            .collect();
+        self.half_plan.forward(&mut z);
+
+        // Untangle even/odd spectra:
+        //   E[k] = (Z[k] + conj(Z[half-k]))/2
+        //   O[k] = (Z[k] - conj(Z[half-k]))/(2i)
+        //   X[k] = E[k] + e^{-2πik/n}·O[k]
+        let mut out = vec![Complex::ZERO; half + 1];
+        for k in 0..half {
+            let zk = z[k];
+            let zmk = z[(half - k) % half].conj();
+            let e = (zk + zmk).scale(0.5);
+            let o = (zk - zmk) * Complex::new(0.0, -0.5);
+            out[k] = e + self.twiddles[k] * o;
+        }
+        // X[half] = E[0] - O[0]  (the Nyquist bin).
+        let z0 = z[0];
+        out[half] = Complex::from_real(z0.re - z0.im);
+        out
+    }
+
+    /// Inverse real FFT from a half-spectrum of length `spectrum_len()` back
+    /// to `len()` real samples. Includes the `1/n` normalisation, so
+    /// `inverse(forward(x)) == x` up to rounding.
+    pub fn inverse(&self, spectrum: &[Complex]) -> Vec<f64> {
+        assert_eq!(spectrum.len(), self.spectrum_len(), "spectrum length mismatch");
+        let half = self.n / 2;
+
+        // Re-tangle into the half-length complex spectrum:
+        //   Z[k] = E[k] + i·O[k],
+        //   E[k] = (X[k] + conj(X[half-k]))/2,
+        //   O[k] = e^{+2πik/n}·(X[k] - conj(X[half-k]))/2.
+        let mut z = vec![Complex::ZERO; half];
+        for (k, zk) in z.iter_mut().enumerate() {
+            let xk = spectrum[k];
+            let xmk = spectrum[half - k].conj();
+            let e = (xk + xmk).scale(0.5);
+            let o = self.twiddles[k].conj() * (xk - xmk).scale(0.5);
+            *zk = e + Complex::I * o;
+        }
+        self.half_plan.process(&mut z, Direction::Inverse);
+
+        let mut out = vec![0.0f64; self.n];
+        for k in 0..half {
+            out[2 * k] = z[k].re;
+            out[2 * k + 1] = z[k].im;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::dft_reference;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.173).sin() + 0.3 * (i as f64 * 0.041).cos() - 0.1)
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_complex_dft() {
+        for bits in 1..=9 {
+            let n = 1usize << bits;
+            let plan = RealFftPlan::new(n);
+            let x = signal(n);
+            let spec = plan.forward(&x);
+            let as_complex: Vec<Complex> = x.iter().map(|&v| Complex::from_real(v)).collect();
+            let full = dft_reference(&as_complex, Direction::Forward);
+            for k in 0..=n / 2 {
+                assert!(
+                    (spec[k] - full[k]).abs() < 1e-8 * n as f64,
+                    "n={n} k={k} got {:?} want {:?}",
+                    spec[k],
+                    full[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        for bits in 1..=12 {
+            let n = 1usize << bits;
+            let plan = RealFftPlan::new(n);
+            let x = signal(n);
+            let back = plan.inverse(&plan.forward(&x));
+            let err = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_bins_are_real() {
+        let n = 128;
+        let plan = RealFftPlan::new(n);
+        let spec = plan.forward(&signal(n));
+        assert!(spec[0].im.abs() < 1e-10);
+        assert!(spec[n / 2].im.abs() < 1e-10);
+    }
+
+    #[test]
+    fn dc_bin_is_sum_of_samples() {
+        let n = 64;
+        let plan = RealFftPlan::new(n);
+        let x = signal(n);
+        let spec = plan.forward(&x);
+        let sum: f64 = x.iter().sum();
+        assert!((spec[0].re - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_cosine_concentrates_in_one_bin() {
+        let n = 256;
+        let bin = 17;
+        let plan = RealFftPlan::new(n);
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = plan.forward(&x);
+        for (k, z) in spec.iter().enumerate() {
+            if k == bin {
+                assert!((z.re - n as f64 / 2.0).abs() < 1e-8);
+            } else {
+                assert!(z.abs() < 1e-8, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_length() {
+        let _ = RealFftPlan::new(6);
+    }
+}

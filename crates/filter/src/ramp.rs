@@ -1,0 +1,242 @@
+//! The discrete band-limited ramp filter and its apodisation windows.
+
+use scalefbp_fft::{next_pow2, Complex, FftPlan};
+
+/// Apodisation window applied to the ramp's frequency response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FilterWindow {
+    /// Pure band-limited ramp (no apodisation).
+    #[default]
+    RamLak,
+    /// `sinc` window — the classic Shepp-Logan filter.
+    SheppLogan,
+    /// Half-cosine window.
+    Cosine,
+    /// Hamming window (`0.54 + 0.46·cos`).
+    Hamming,
+    /// Hann window (`0.5 + 0.5·cos`).
+    Hann,
+}
+
+impl FilterWindow {
+    /// Window gain at normalised frequency `f ∈ [0, 1]` (1 = Nyquist).
+    pub fn gain(&self, f: f64) -> f64 {
+        debug_assert!((0.0..=1.0 + 1e-12).contains(&f));
+        let x = std::f64::consts::PI * f;
+        match self {
+            FilterWindow::RamLak => 1.0,
+            FilterWindow::SheppLogan => {
+                if f == 0.0 {
+                    1.0
+                } else {
+                    (x / 2.0).sin() / (x / 2.0)
+                }
+            }
+            FilterWindow::Cosine => (x / 2.0).cos(),
+            FilterWindow::Hamming => 0.54 + 0.46 * x.cos(),
+            FilterWindow::Hann => 0.5 + 0.5 * x.cos(),
+        }
+    }
+}
+
+/// The discrete ramp kernel of Kak & Slaney for detector sample spacing
+/// `tau` (mm), together with its zero-padded frequency response.
+///
+/// Spatial taps: `h(0) = 1/(4τ²)`, `h(n) = −1/(πnτ)²` for odd `n`, `0` for
+/// even `n`. The frequency response is obtained by transforming the
+/// wrap-around-ordered taps, which avoids the DC bias of sampling `|f|`
+/// directly.
+#[derive(Clone, Debug)]
+pub struct RampKernel {
+    tau: f64,
+    padded_len: usize,
+    /// Real frequency response (windowed), one value per rfft bin
+    /// `0..=padded_len/2`.
+    response: Vec<f64>,
+}
+
+impl RampKernel {
+    /// Builds the kernel for rows of `row_len` samples at spacing `tau`,
+    /// padded to `next_pow2(2·row_len)` to make the circular convolution
+    /// linear.
+    pub fn new(row_len: usize, tau: f64, window: FilterWindow) -> Self {
+        assert!(row_len > 0, "row length must be positive");
+        assert!(tau > 0.0, "sample spacing must be positive");
+        let padded_len = next_pow2(2 * row_len);
+        let half = padded_len / 2;
+
+        // Spatial taps in wrap-around order.
+        let mut taps = vec![Complex::ZERO; padded_len];
+        taps[0] = Complex::from_real(1.0 / (4.0 * tau * tau));
+        for n in (1..=half).step_by(2) {
+            let v = -1.0 / (std::f64::consts::PI * n as f64 * tau).powi(2);
+            taps[n] = Complex::from_real(v);
+            taps[padded_len - n] = Complex::from_real(v);
+        }
+
+        let plan = FftPlan::new(padded_len);
+        plan.forward(&mut taps);
+
+        let response = (0..=half)
+            .map(|k| {
+                let f = k as f64 / half as f64;
+                taps[k].re * window.gain(f)
+            })
+            .collect();
+
+        RampKernel {
+            tau,
+            padded_len,
+            response,
+        }
+    }
+
+    /// Detector sample spacing the kernel was built for.
+    #[inline]
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// FFT length used for row filtering.
+    #[inline]
+    pub fn padded_len(&self) -> usize {
+        self.padded_len
+    }
+
+    /// The windowed real frequency response (rfft bins).
+    #[inline]
+    pub fn response(&self) -> &[f64] {
+        &self.response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalefbp_fft::RealFftPlan;
+
+    #[test]
+    fn padded_length_is_linear_convolution_safe() {
+        let k = RampKernel::new(100, 1.0, FilterWindow::RamLak);
+        assert_eq!(k.padded_len(), 256);
+        assert_eq!(k.response().len(), 129);
+    }
+
+    #[test]
+    fn response_approximates_abs_frequency() {
+        // The band-limited ramp's response is ≈ |f|/(2τ²·N) scaling-wise;
+        // check proportionality against the continuous ramp at mid-band.
+        let n = 256;
+        let tau = 0.5;
+        let k = RampKernel::new(n, tau, FilterWindow::RamLak);
+        let half = k.padded_len() / 2;
+        // Nyquist frequency in cycles/mm is 1/(2τ); bin b maps to
+        // f = b/(half)·1/(2τ). The DFT of the sampled kernel carries the
+        // usual 1/τ relative to the continuous transform |f| (compensated by
+        // the τ step in the convolution), so response[b] ≈ |f|/τ.
+        for b in [half / 8, half / 4, half / 2] {
+            let f = b as f64 / half as f64 / (2.0 * tau);
+            let got = k.response()[b];
+            let expect = f / tau;
+            assert!(
+                (got - expect).abs() / expect < 0.05,
+                "bin {b}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn dc_response_is_near_zero() {
+        let k = RampKernel::new(128, 1.0, FilterWindow::RamLak);
+        // The discrete ramp has a small positive DC term (it is not exactly
+        // zero — that's the point of transforming the taps), bounded by the
+        // first bin's magnitude.
+        assert!(k.response()[0] >= 0.0);
+        assert!(k.response()[0] < k.response()[1]);
+    }
+
+    #[test]
+    fn windows_attenuate_high_frequencies_only() {
+        let n = 128;
+        let ram = RampKernel::new(n, 1.0, FilterWindow::RamLak);
+        for w in [
+            FilterWindow::SheppLogan,
+            FilterWindow::Cosine,
+            FilterWindow::Hamming,
+            FilterWindow::Hann,
+        ] {
+            let k = RampKernel::new(n, 1.0, w);
+            let half = k.padded_len() / 2;
+            // Near DC the window gain ≈ 1.
+            assert!((k.response()[1] - ram.response()[1]).abs() / ram.response()[1] < 0.01);
+            // At Nyquist the window attenuates (strictly, except Shepp-Logan
+            // which keeps 2/π).
+            assert!(k.response()[half] < ram.response()[half]);
+        }
+    }
+
+    #[test]
+    fn window_gains_at_band_edges() {
+        assert_eq!(FilterWindow::RamLak.gain(1.0), 1.0);
+        assert!((FilterWindow::Hann.gain(1.0) - 0.0).abs() < 1e-12);
+        assert!((FilterWindow::Hamming.gain(1.0) - 0.08).abs() < 1e-12);
+        assert!((FilterWindow::SheppLogan.gain(1.0) - 2.0 / std::f64::consts::PI).abs() < 1e-12);
+        for w in [
+            FilterWindow::RamLak,
+            FilterWindow::SheppLogan,
+            FilterWindow::Cosine,
+            FilterWindow::Hamming,
+            FilterWindow::Hann,
+        ] {
+            assert!((w.gain(0.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filtering_a_constant_row_yields_near_zero() {
+        // The ramp kills DC: a flat row must filter to (almost) zero.
+        let n = 64;
+        let k = RampKernel::new(n, 1.0, FilterWindow::RamLak);
+        let m = k.padded_len();
+        let plan = RealFftPlan::new(m);
+        let mut row = vec![1.0f64; n];
+        row.resize(m, 0.0);
+        let mut spec = plan.forward(&row);
+        for (z, &h) in spec.iter_mut().zip(k.response()) {
+            *z = z.scale(h);
+        }
+        let out = plan.inverse(&spec);
+        // Relative to the DC-free content the residual is tiny; the absolute
+        // level is bounded by response[0].
+        let mid = out[n / 2].abs();
+        assert!(mid < 0.02, "mid-row residual {mid}");
+    }
+
+    #[test]
+    fn ramp_sharpens_an_impulse() {
+        // Filtering an impulse must give the kernel back: positive centre,
+        // negative side lobes.
+        let n = 32;
+        let k = RampKernel::new(n, 1.0, FilterWindow::RamLak);
+        let m = k.padded_len();
+        let plan = RealFftPlan::new(m);
+        let mut row = vec![0.0f64; m];
+        row[n / 2] = 1.0;
+        let mut spec = plan.forward(&row);
+        for (z, &h) in spec.iter_mut().zip(k.response()) {
+            *z = z.scale(h);
+        }
+        let out = plan.inverse(&spec);
+        assert!((out[n / 2] - 0.25).abs() < 0.01, "centre {}", out[n / 2]);
+        assert!(out[n / 2 + 1] < 0.0);
+        assert!(out[n / 2 - 1] < 0.0);
+        // Even offsets nearly zero.
+        assert!(out[n / 2 + 2].abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_spacing_rejected() {
+        let _ = RampKernel::new(8, 0.0, FilterWindow::RamLak);
+    }
+}

@@ -1,0 +1,84 @@
+//! The FDK cosine pre-weight of Equation 2.
+
+use scalefbp_geom::CbctGeometry;
+
+/// The pre-weight `D_sd / √(D(u,v)² + D_sd²)` with
+/// `D(u,v)² = (Δ_u(u − c_u))² + (Δ_v(v − c_v))²`.
+///
+/// The paper's Equation 2 centres on `N_u/2`; we centre on the calibrated
+/// principal point `c_u = (N_u−1)/2 + σ_u` (and likewise for `v`) so the
+/// weight stays consistent with the corrected projection matrix — for the
+/// uncorrected case the two agree to within half a pixel.
+pub fn cosine_weight(geom: &CbctGeometry, u: f64, v: f64) -> f64 {
+    let cu = 0.5 * (geom.nu as f64 - 1.0) + geom.sigma_u;
+    let cv = 0.5 * (geom.nv as f64 - 1.0) + geom.sigma_v;
+    let dx = geom.du * (u - cu);
+    let dy = geom.dv * (v - cv);
+    let d2 = dx * dx + dy * dy;
+    geom.dsd / (d2 + geom.dsd * geom.dsd).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CbctGeometry {
+        CbctGeometry::ideal(32, 16, 64, 48)
+    }
+
+    #[test]
+    fn weight_is_one_at_principal_point() {
+        let g = geom();
+        let cu = 0.5 * (g.nu as f64 - 1.0);
+        let cv = 0.5 * (g.nv as f64 - 1.0);
+        assert!((cosine_weight(&g, cu, cv) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_decreases_towards_edges_and_stays_in_unit_interval() {
+        let g = geom();
+        let cv = 0.5 * (g.nv as f64 - 1.0);
+        let mut prev = f64::INFINITY;
+        for u in (0..=31).map(|i| 31.5 + i as f64) {
+            let w = cosine_weight(&g, u, cv);
+            assert!(w > 0.0 && w <= 1.0);
+            assert!(w < prev + 1e-15);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn weight_is_cos_of_ray_angle() {
+        let g = geom();
+        let cv = 0.5 * (g.nv as f64 - 1.0);
+        let u = 0.5 * (g.nu as f64 - 1.0) + 10.0;
+        let lateral = 10.0 * g.du;
+        let expected = g.dsd / (lateral * lateral + g.dsd * g.dsd).sqrt();
+        assert!((cosine_weight(&g, u, cv) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_follows_calibrated_centre() {
+        let mut g = geom();
+        g.sigma_u = 4.0;
+        let cu = 0.5 * (g.nu as f64 - 1.0) + 4.0;
+        let cv = 0.5 * (g.nv as f64 - 1.0);
+        assert!((cosine_weight(&g, cu, cv) - 1.0).abs() < 1e-12);
+        assert!(cosine_weight(&g, cu - 8.0, cv) < 1.0);
+    }
+
+    #[test]
+    fn weight_is_symmetric_about_centre() {
+        let g = geom();
+        let cu = 0.5 * (g.nu as f64 - 1.0);
+        let cv = 0.5 * (g.nv as f64 - 1.0);
+        for d in [1.0, 5.5, 20.0] {
+            assert!(
+                (cosine_weight(&g, cu + d, cv) - cosine_weight(&g, cu - d, cv)).abs() < 1e-12
+            );
+            assert!(
+                (cosine_weight(&g, cu, cv + d) - cosine_weight(&g, cu, cv - d)).abs() < 1e-12
+            );
+        }
+    }
+}

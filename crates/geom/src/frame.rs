@@ -1,0 +1,170 @@
+//! World-space source/detector pose — the forward-model side of the
+//! projection matrix.
+
+use crate::{projection_angle, CbctGeometry};
+
+/// World-space pose of the X-ray source point and flat-panel detector at
+/// one scan angle — the exact inverse of [`crate::ProjectionMatrix`]
+/// (rotating the *object* by `+φ` is implemented by rotating the
+/// source/detector assembly by `−φ` around the object).
+///
+/// Used by everything that casts rays *forward*: the phantom projector
+/// and the ray-driven iterative-reconstruction operators.
+#[derive(Clone, Copy, Debug)]
+pub struct SourceDetectorFrame {
+    cu: f64,
+    cv: f64,
+    du: f64,
+    dv: f64,
+    sin: f64,
+    cos: f64,
+    sigma_cor: f64,
+    dso: f64,
+    dsd: f64,
+    /// Source position (mm, world).
+    pub source: [f64; 3],
+}
+
+impl SourceDetectorFrame {
+    /// Builds the frame for geometry `geom` at angle `phi` (radians).
+    pub fn new(geom: &CbctGeometry, phi: f64) -> Self {
+        let (sin, cos) = phi.sin_cos();
+        let cu = 0.5 * (geom.nu as f64 - 1.0) + geom.sigma_u;
+        let cv = 0.5 * (geom.nv as f64 - 1.0) + geom.sigma_v;
+        // Camera-to-world: [x; y] = [[c, -s], [s, c]]·[camx − σcor; camz − Dso],
+        // z = −camy. The source is the camera origin.
+        let source = [
+            cos * (-geom.sigma_cor) - sin * (-geom.dso),
+            sin * (-geom.sigma_cor) + cos * (-geom.dso),
+            0.0,
+        ];
+        SourceDetectorFrame {
+            cu,
+            cv,
+            du: geom.du,
+            dv: geom.dv,
+            sin,
+            cos,
+            sigma_cor: geom.sigma_cor,
+            dso: geom.dso,
+            dsd: geom.dsd,
+            source,
+        }
+    }
+
+    /// Builds the frame for full-scan projection index `s`.
+    pub fn for_index(geom: &CbctGeometry, s: usize) -> Self {
+        Self::new(geom, projection_angle(s, geom.np))
+    }
+
+    /// World position (mm) of detector pixel `(u, v)` (sub-pixel allowed).
+    pub fn pixel_position(&self, u: f64, v: f64) -> [f64; 3] {
+        let cam_x = (u - self.cu) * self.du;
+        let cam_y = (v - self.cv) * self.dv;
+        let cam_z = self.dsd;
+        [
+            self.cos * (cam_x - self.sigma_cor) - self.sin * (cam_z - self.dso),
+            self.sin * (cam_x - self.sigma_cor) + self.cos * (cam_z - self.dso),
+            -cam_y,
+        ]
+    }
+
+    /// Unit direction from the source through detector pixel `(u, v)`, and
+    /// the source→pixel distance (mm).
+    pub fn pixel_direction(&self, u: f64, v: f64) -> ([f64; 3], f64) {
+        let p = self.pixel_position(u, v);
+        let d = [
+            p[0] - self.source[0],
+            p[1] - self.source[1],
+            p[2] - self.source[2],
+        ];
+        let len = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        ([d[0] / len, d[1] / len, d[2] / len], len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProjectionMatrix;
+
+    fn geom() -> CbctGeometry {
+        let mut g = CbctGeometry::ideal(33, 24, 48, 40);
+        g.sigma_u = 2.0;
+        g.sigma_v = -1.5;
+        g.sigma_cor = 0.3;
+        g
+    }
+
+    #[test]
+    fn frame_is_inverse_of_projection_matrix() {
+        // A voxel projected to (u, v) by the 3×4 matrix must lie on the
+        // ray through detector pixel (u, v).
+        let g = geom();
+        for s in [0, 3, 7, 13, 23] {
+            let m = ProjectionMatrix::for_index(&g, s);
+            let frame = SourceDetectorFrame::for_index(&g, s);
+            for (i, j, k) in [(4.0, 8.0, 2.0), (16.0, 16.0, 16.0), (30.0, 5.0, 28.0)] {
+                let (u, v, depth) = m.project(i, j, k);
+                let (dir, _) = frame.pixel_direction(u, v);
+                let w = [
+                    g.voxel_x(i as usize),
+                    g.voxel_y(j as usize),
+                    g.voxel_z(k as usize),
+                ];
+                let d = [
+                    w[0] - frame.source[0],
+                    w[1] - frame.source[1],
+                    w[2] - frame.source[2],
+                ];
+                let t = d[0] * dir[0] + d[1] * dir[1] + d[2] * dir[2];
+                let dist = ((d[0] - t * dir[0]).powi(2)
+                    + (d[1] - t * dir[1]).powi(2)
+                    + (d[2] - t * dir[2]).powi(2))
+                .sqrt();
+                assert!(dist < 1e-9, "s={s} voxel=({i},{j},{k}) off-ray by {dist}");
+                assert!(depth > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn source_is_at_dso_from_axis() {
+        let g = geom();
+        for s in 0..g.np {
+            let f = SourceDetectorFrame::for_index(&g, s);
+            let r = (f.source[0] * f.source[0] + f.source[1] * f.source[1]).sqrt();
+            // σ_cor shifts the source slightly off the Dso circle.
+            let expect = (g.dso * g.dso + g.sigma_cor * g.sigma_cor).sqrt();
+            assert!((r - expect).abs() < 1e-9);
+            assert_eq!(f.source[2], 0.0);
+        }
+    }
+
+    #[test]
+    fn detector_centre_is_dsd_from_source() {
+        let g = geom();
+        let f = SourceDetectorFrame::new(&g, 0.7);
+        let cu = 0.5 * (g.nu as f64 - 1.0) + g.sigma_u;
+        let cv = 0.5 * (g.nv as f64 - 1.0) + g.sigma_v;
+        let c = f.pixel_position(cu, cv);
+        let d = ((c[0] - f.source[0]).powi(2)
+            + (c[1] - f.source[1]).powi(2)
+            + (c[2] - f.source[2]).powi(2))
+        .sqrt();
+        assert!((d - g.dsd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pixel_direction_is_unit_and_points_at_pixel() {
+        let g = geom();
+        let f = SourceDetectorFrame::new(&g, 1.2);
+        let (dir, len) = f.pixel_direction(10.0, 20.0);
+        let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+        let p = f.pixel_position(10.0, 20.0);
+        for a in 0..3 {
+            assert!((f.source[a] + len * dir[a] - p[a]).abs() < 1e-9);
+        }
+    }
+}

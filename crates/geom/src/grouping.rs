@@ -1,0 +1,235 @@
+//! MPI rank grouping of Section 4.4.1 (Eq 9–12).
+//!
+//! `N_ranks = N_r · N_g` ranks are divided into `N_g` groups of `N_r` ranks
+//! (one rank per GPU, Eq 11). Each group reconstructs a contiguous slab of
+//! `N_s = N_z / N_g` slices (Eq 10) in `N_c = N_s / N_b` batches (Eq 12);
+//! the `N_r` ranks of a group split the `N_p` projection dimension and merge
+//! their partial sub-volumes with one segmented reduce per batch.
+
+use crate::CbctGeometry;
+
+/// The static rank layout of a distributed reconstruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankLayout {
+    /// Ranks per group (`N_r`) — the split factor of the projection axis.
+    pub nr: usize,
+    /// Number of groups (`N_g`) — the split factor of the volume Z axis.
+    pub ng: usize,
+    /// Batch count per group (`N_c`), fixed to 8 in the paper's evaluation.
+    pub nc: usize,
+}
+
+/// What one rank is responsible for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankAssignment {
+    /// World rank id.
+    pub rank: usize,
+    /// Group index `g = rank / N_r`.
+    pub group: usize,
+    /// Position within the group `r = rank % N_r`.
+    pub rank_in_group: usize,
+    /// True for the group leader (receives the reduced sub-volumes and
+    /// stores them).
+    pub is_group_leader: bool,
+    /// Global volume slices the group produces: `[z_begin, z_end)`.
+    pub z_begin: usize,
+    /// End of the group's slice range.
+    pub z_end: usize,
+    /// Global projections this rank back-projects: `[s_begin, s_end)`.
+    pub s_begin: usize,
+    /// End of the rank's projection range.
+    pub s_end: usize,
+    /// Slab thickness `N_b = N_s / N_c` used for this group's batches.
+    pub nb: usize,
+}
+
+impl RankAssignment {
+    /// Slices produced by the group (`N_s`).
+    #[inline]
+    pub fn ns(&self) -> usize {
+        self.z_end - self.z_begin
+    }
+
+    /// Projections processed by this rank.
+    #[inline]
+    pub fn np_local(&self) -> usize {
+        self.s_end - self.s_begin
+    }
+}
+
+/// Splits `total` items into `parts` contiguous chunks as evenly as possible
+/// (the first `total % parts` chunks get one extra item). Returns the
+/// half-open range of chunk `idx`.
+pub(crate) fn even_split(total: usize, parts: usize, idx: usize) -> (usize, usize) {
+    assert!(parts > 0 && idx < parts);
+    let base = total / parts;
+    let rem = total % parts;
+    let begin = idx * base + idx.min(rem);
+    let len = base + usize::from(idx < rem);
+    (begin, begin + len)
+}
+
+impl RankLayout {
+    /// Creates a layout; `nc` batches per group (the paper fixes `N_c = 8`).
+    pub fn new(nr: usize, ng: usize, nc: usize) -> Self {
+        assert!(nr > 0 && ng > 0 && nc > 0, "layout factors must be positive");
+        RankLayout { nr, ng, nc }
+    }
+
+    /// Total ranks = total GPUs (Eq 9 and Eq 11).
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.nr * self.ng
+    }
+
+    /// Slices per group for a given volume (Eq 10), for group `g`.
+    pub fn group_slices(&self, geom: &CbctGeometry, g: usize) -> (usize, usize) {
+        even_split(geom.nz, self.ng, g)
+    }
+
+    /// The assignment of world rank `rank` for geometry `geom`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= num_ranks()`.
+    pub fn assignment(&self, geom: &CbctGeometry, rank: usize) -> RankAssignment {
+        assert!(rank < self.num_ranks(), "rank {rank} out of {}", self.num_ranks());
+        let group = rank / self.nr;
+        let rank_in_group = rank % self.nr;
+        let (z_begin, z_end) = self.group_slices(geom, group);
+        let (s_begin, s_end) = even_split(geom.np, self.nr, rank_in_group);
+        let ns = z_end - z_begin;
+        // N_b = N_s / N_c, rounded up so nc batches always cover the slab.
+        let nb = ns.div_ceil(self.nc).max(1);
+        RankAssignment {
+            rank,
+            group,
+            rank_in_group,
+            is_group_leader: rank_in_group == 0,
+            z_begin,
+            z_end,
+            s_begin,
+            s_end,
+            nb,
+        }
+    }
+
+    /// All assignments, rank order.
+    pub fn assignments(&self, geom: &CbctGeometry) -> Vec<RankAssignment> {
+        (0..self.num_ranks())
+            .map(|r| self.assignment(geom, r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CbctGeometry {
+        CbctGeometry::ideal(64, 96, 96, 96)
+    }
+
+    #[test]
+    fn even_split_covers_and_balances() {
+        for total in [0usize, 1, 7, 64, 97] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut expect = 0;
+                for idx in 0..parts {
+                    let (b, e) = even_split(total, parts, idx);
+                    assert_eq!(b, expect);
+                    expect = e;
+                    assert!(e - b <= total / parts + 1);
+                }
+                assert_eq!(expect, total);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_equal_gpus_eq9_eq11() {
+        let l = RankLayout::new(4, 8, 8);
+        assert_eq!(l.num_ranks(), 32);
+    }
+
+    #[test]
+    fn groups_partition_volume_slices() {
+        let g = geom();
+        let l = RankLayout::new(2, 4, 8);
+        let mut covered = 0;
+        for grp in 0..l.ng {
+            let (b, e) = l.group_slices(&g, grp);
+            assert_eq!(b, covered);
+            covered = e;
+        }
+        assert_eq!(covered, g.nz);
+    }
+
+    #[test]
+    fn ranks_in_group_partition_projections() {
+        let g = geom();
+        let l = RankLayout::new(3, 2, 4);
+        for grp in 0..l.ng {
+            let mut covered = 0;
+            for r in 0..l.nr {
+                let a = l.assignment(&g, grp * l.nr + r);
+                assert_eq!(a.group, grp);
+                assert_eq!(a.rank_in_group, r);
+                assert_eq!(a.s_begin, covered);
+                covered = a.s_end;
+            }
+            assert_eq!(covered, g.np);
+        }
+    }
+
+    #[test]
+    fn group_leader_is_rank_zero_of_group() {
+        let g = geom();
+        let l = RankLayout::new(4, 2, 8);
+        for a in l.assignments(&g) {
+            assert_eq!(a.is_group_leader, a.rank_in_group == 0);
+        }
+    }
+
+    #[test]
+    fn all_ranks_in_group_share_slice_range() {
+        let g = geom();
+        let l = RankLayout::new(4, 4, 8);
+        let assigns = l.assignments(&g);
+        for grp in 0..l.ng {
+            let first = &assigns[grp * l.nr];
+            for r in 1..l.nr {
+                let a = &assigns[grp * l.nr + r];
+                assert_eq!((a.z_begin, a.z_end), (first.z_begin, first.z_end));
+                assert_eq!(a.nb, first.nb);
+            }
+        }
+    }
+
+    #[test]
+    fn eq12_batches_cover_slab() {
+        let g = geom();
+        let l = RankLayout::new(2, 4, 8);
+        let a = l.assignment(&g, 0);
+        // nc batches of nb slices cover ns slices.
+        assert!(a.nb * l.nc >= a.ns());
+        assert!(a.nb * (l.nc - 1) < a.ns());
+    }
+
+    #[test]
+    fn single_rank_layout_degenerates_gracefully() {
+        let g = geom();
+        let l = RankLayout::new(1, 1, 8);
+        let a = l.assignment(&g, 0);
+        assert_eq!((a.z_begin, a.z_end), (0, g.nz));
+        assert_eq!((a.s_begin, a.s_end), (0, g.np));
+        assert!(a.is_group_leader);
+        assert_eq!(a.nb, g.nz / 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_rank_panics() {
+        let g = geom();
+        let _ = RankLayout::new(2, 2, 8).assignment(&g, 4);
+    }
+}

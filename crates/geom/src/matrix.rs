@@ -1,0 +1,372 @@
+//! The general 3×4 projection matrix of Section 4.1.
+//!
+//! The CBCT geometry is described as a pinhole model: a 3×4 matrix
+//! `M_φ = K · E_φ · V` projects a homogeneous voxel index `[i, j, k, 1]` to
+//! detector coordinates,
+//!
+//! ```text
+//! z = ⟨M[2], [i,j,k,1]⟩          (perspective depth, mm from the source
+//! x = ⟨M[0], [i,j,k,1]⟩ / z       plane; also the 1/z² weight source)
+//! y = ⟨M[1], [i,j,k,1]⟩ / z      (detector pixel coordinates, sub-pixel)
+//! ```
+//!
+//! * `V` (4×4) maps voxel indices to world mm, centring the grid on the
+//!   rotation axis: `x = Δx·(i − (N_x−1)/2)` etc.
+//! * `E_φ` (4×4) rotates the object by `φ` about the Z axis (implemented as
+//!   rotating world points by `−φ`), applies the rotation-centre offset
+//!   `σ_cor`, translates the source to distance `D_so`, and maps world Z onto
+//!   the (downward) detector V axis.
+//! * `K` (3×4) applies the pinhole intrinsics: focal lengths `D_sd/Δu`,
+//!   `D_sd/Δv` and the detector centre `( (N_u−1)/2 + σ_u, (N_v−1)/2 + σ_v )`.
+//!
+//! The rotation sense is chosen so that the corner voxel `(0, 0)` makes its
+//! nearest/farthest approach to the source at `φ = 315°` / `φ = 135°`, which
+//! is the convention Algorithm 2 (`ComputeAB`) relies on (Figure 5).
+
+use crate::{projection_angle, CbctGeometry};
+
+/// A homogeneous 4-vector.
+pub type Vec4 = [f64; 4];
+
+/// Row-major 3×4 matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat3x4(pub [Vec4; 3]);
+
+/// Row-major 4×4 matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat4x4(pub [Vec4; 4]);
+
+#[inline]
+fn dot4(a: &Vec4, b: &Vec4) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2] + a[3] * b[3]
+}
+
+impl Mat4x4 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat4x4 = Mat4x4([
+        [1.0, 0.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0, 0.0],
+        [0.0, 0.0, 1.0, 0.0],
+        [0.0, 0.0, 0.0, 1.0],
+    ]);
+
+    /// Column `c` as a [`Vec4`].
+    #[inline]
+    pub fn col(&self, c: usize) -> Vec4 {
+        [self.0[0][c], self.0[1][c], self.0[2][c], self.0[3][c]]
+    }
+
+    /// 4×4 · 4×4 product.
+    pub fn mul(&self, rhs: &Mat4x4) -> Mat4x4 {
+        let mut out = [[0.0; 4]; 4];
+        for (r, row) in self.0.iter().enumerate() {
+            for c in 0..4 {
+                out[r][c] = dot4(row, &rhs.col(c));
+            }
+        }
+        Mat4x4(out)
+    }
+
+    /// Matrix-vector product.
+    pub fn apply(&self, v: &Vec4) -> Vec4 {
+        [
+            dot4(&self.0[0], v),
+            dot4(&self.0[1], v),
+            dot4(&self.0[2], v),
+            dot4(&self.0[3], v),
+        ]
+    }
+}
+
+impl Mat3x4 {
+    /// 3×4 · 4×4 product.
+    pub fn mul4(&self, rhs: &Mat4x4) -> Mat3x4 {
+        let mut out = [[0.0; 4]; 3];
+        for (r, row) in self.0.iter().enumerate() {
+            for c in 0..4 {
+                out[r][c] = dot4(row, &rhs.col(c));
+            }
+        }
+        Mat3x4(out)
+    }
+
+    /// Matrix-vector product with a homogeneous 4-vector, yielding the
+    /// un-normalised `[xh, yh, z]`.
+    #[inline]
+    pub fn apply(&self, v: &Vec4) -> [f64; 3] {
+        [dot4(&self.0[0], v), dot4(&self.0[1], v), dot4(&self.0[2], v)]
+    }
+}
+
+/// The projection matrix `M_φ` at one scan angle, with cached f32 rows for
+/// the back-projection kernel (the CUDA kernel reads `float4` rows).
+#[derive(Clone, Debug)]
+pub struct ProjectionMatrix {
+    /// Scan angle `φ` in radians.
+    pub phi: f64,
+    /// Double-precision rows (used when constructing decompositions, where
+    /// a conservative row range must not suffer from f32 rounding).
+    pub m: Mat3x4,
+    /// Single-precision rows, the exact operands the kernel dots against
+    /// `[i, j, k, 1]` — matching the paper's all-f32 GPU pipeline.
+    pub rows_f32: [[f32; 4]; 3],
+}
+
+impl ProjectionMatrix {
+    /// Builds `M_φ = K · E_φ · V` for geometry `geom` at angle `phi` (radians).
+    pub fn new(geom: &CbctGeometry, phi: f64) -> Self {
+        let (s, c) = phi.sin_cos();
+
+        // Voxel index -> world mm.
+        let v = Mat4x4([
+            [geom.dx, 0.0, 0.0, -0.5 * (geom.nx as f64 - 1.0) * geom.dx],
+            [0.0, geom.dy, 0.0, -0.5 * (geom.ny as f64 - 1.0) * geom.dy],
+            [0.0, 0.0, geom.dz, -0.5 * (geom.nz as f64 - 1.0) * geom.dz],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+
+        // World mm -> camera frame: rotate object by +phi (world by -phi),
+        // offset the rotation centre, translate the source to Dso, map world
+        // Z to the detector's downward V axis.
+        let e = Mat4x4([
+            [c, s, 0.0, geom.sigma_cor],
+            [0.0, 0.0, -1.0, 0.0],
+            [-s, c, 0.0, geom.dso],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+
+        // Camera frame -> detector pixels.
+        let k = Mat3x4([
+            [
+                geom.dsd / geom.du,
+                0.0,
+                0.5 * (geom.nu as f64 - 1.0) + geom.sigma_u,
+                0.0,
+            ],
+            [
+                0.0,
+                geom.dsd / geom.dv,
+                0.5 * (geom.nv as f64 - 1.0) + geom.sigma_v,
+                0.0,
+            ],
+            [0.0, 0.0, 1.0, 0.0],
+        ]);
+
+        let m = k.mul4(&e.mul(&v));
+        let mut rows_f32 = [[0.0f32; 4]; 3];
+        for (r, row) in m.0.iter().enumerate() {
+            for (cidx, &val) in row.iter().enumerate() {
+                rows_f32[r][cidx] = val as f32;
+            }
+        }
+        ProjectionMatrix { phi, m, rows_f32 }
+    }
+
+    /// Builds the matrix for projection index `s` of a full scan
+    /// (`φ = 2π·s/N_p`, the `Mat[s] = M_φ` rule of Algorithm 1).
+    pub fn for_index(geom: &CbctGeometry, s: usize) -> Self {
+        Self::new(geom, projection_angle(s, geom.np))
+    }
+
+    /// Builds the full-scan table of `N_p` matrices.
+    pub fn full_scan(geom: &CbctGeometry) -> Vec<ProjectionMatrix> {
+        (0..geom.np).map(|s| Self::for_index(geom, s)).collect()
+    }
+
+    /// Projects voxel index `(i, j, k)` (Equation 8): returns detector pixel
+    /// coordinates `(u, v)` at sub-pixel precision and the depth `z`.
+    #[inline]
+    pub fn project(&self, i: f64, j: f64, k: f64) -> (f64, f64, f64) {
+        let h = self.m.apply(&[i, j, k, 1.0]);
+        let z = h[2];
+        (h[0] / z, h[1] / z, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CbctGeometry {
+        CbctGeometry::ideal(65, 90, 129, 129)
+    }
+
+    /// Centre voxel index of an odd grid.
+    fn centre(g: &CbctGeometry) -> (f64, f64, f64) {
+        (
+            (g.nx as f64 - 1.0) / 2.0,
+            (g.ny as f64 - 1.0) / 2.0,
+            (g.nz as f64 - 1.0) / 2.0,
+        )
+    }
+
+    #[test]
+    fn centre_voxel_projects_to_detector_centre_at_all_angles() {
+        let g = geom();
+        let (ci, cj, ck) = centre(&g);
+        for s in 0..g.np {
+            let m = ProjectionMatrix::for_index(&g, s);
+            let (u, v, z) = m.project(ci, cj, ck);
+            assert!((u - (g.nu as f64 - 1.0) / 2.0).abs() < 1e-9, "s={s} u={u}");
+            assert!((v - (g.nv as f64 - 1.0) / 2.0).abs() < 1e-9, "s={s} v={v}");
+            assert!((z - g.dso).abs() < 1e-9, "s={s} z={z}");
+        }
+    }
+
+    #[test]
+    fn magnification_matches_dsd_over_dso() {
+        let g = geom();
+        let (ci, cj, ck) = centre(&g);
+        let m = ProjectionMatrix::new(&g, 0.0);
+        // A voxel one step along +x at φ=0 is lateral to the optical axis.
+        let (u, _, z) = m.project(ci + 1.0, cj, ck);
+        let lateral_mm = g.dx; // world displacement
+        let detector_mm = (u - (g.nu as f64 - 1.0) / 2.0) * g.du;
+        assert!((z - g.dso).abs() < 1e-9);
+        assert!(
+            (detector_mm - lateral_mm * g.magnification()).abs() < 1e-9,
+            "detector {detector_mm} vs {}",
+            lateral_mm * g.magnification()
+        );
+    }
+
+    #[test]
+    fn depth_changes_along_optical_axis() {
+        let g = geom();
+        let (ci, cj, ck) = centre(&g);
+        let m = ProjectionMatrix::new(&g, 0.0);
+        // At φ=0 the optical axis is world +y with rotation by -φ identity:
+        // moving along +j changes depth by ±dy.
+        let (_, _, z0) = m.project(ci, cj, ck);
+        let (_, _, z1) = m.project(ci, cj + 1.0, ck);
+        assert!(((z1 - z0).abs() - g.dy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn z_axis_maps_to_detector_v() {
+        let g = geom();
+        let (ci, cj, ck) = centre(&g);
+        let m = ProjectionMatrix::new(&g, 0.3);
+        let (_, v0, _) = m.project(ci, cj, ck);
+        let (_, v1, _) = m.project(ci, cj, ck + 1.0);
+        // World +z maps to decreasing v (downward detector axis), scaled by
+        // the magnification and pitch ratio.
+        let expected = g.dz * g.magnification() / g.dv;
+        assert!((v0 - v1 - expected).abs() < 1e-9, "v0={v0} v1={v1}");
+    }
+
+    #[test]
+    fn detector_offsets_shift_projection() {
+        let mut g = geom();
+        let (ci, cj, ck) = centre(&g);
+        g.sigma_u = 3.5;
+        g.sigma_v = -2.25;
+        let m = ProjectionMatrix::new(&g, 1.1);
+        let (u, v, _) = m.project(ci, cj, ck);
+        assert!((u - ((g.nu as f64 - 1.0) / 2.0 + 3.5)).abs() < 1e-9);
+        assert!((v - ((g.nv as f64 - 1.0) / 2.0 - 2.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_centre_offset_shifts_u_only() {
+        let mut g = geom();
+        let (ci, cj, ck) = centre(&g);
+        g.sigma_cor = 0.7;
+        let m = ProjectionMatrix::new(&g, 0.0);
+        let (u, v, z) = m.project(ci, cj, ck);
+        let expected_u = (g.nu as f64 - 1.0) / 2.0 + 0.7 * g.magnification() / g.du;
+        assert!((u - expected_u).abs() < 1e-9);
+        assert!((v - (g.nv as f64 - 1.0) / 2.0).abs() < 1e-9);
+        assert!((z - g.dso).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_rotation_returns_to_start() {
+        let g = geom();
+        let m0 = ProjectionMatrix::new(&g, 0.0);
+        let m1 = ProjectionMatrix::new(&g, 2.0 * std::f64::consts::PI);
+        for (a, b) in m0.m.0.iter().flatten().zip(m1.m.0.iter().flatten()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn corner_voxel_nearest_approach_at_315_degrees() {
+        // The convention Algorithm 2 depends on (Figure 5): voxel (0,0,·)
+        // is nearest to the source at φ=315° and farthest at φ=135°.
+        let g = geom();
+        let k = (g.nz as f64 - 1.0) / 2.0;
+        let depth_at = |deg: f64| {
+            let m = ProjectionMatrix::new(&g, deg.to_radians());
+            m.project(0.0, 0.0, k).2
+        };
+        let mut min_phi = 0.0;
+        let mut max_phi = 0.0;
+        let (mut zmin, mut zmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for step in 0..3600 {
+            let deg = step as f64 * 0.1;
+            let z = depth_at(deg);
+            if z < zmin {
+                zmin = z;
+                min_phi = deg;
+            }
+            if z > zmax {
+                zmax = z;
+                max_phi = deg;
+            }
+        }
+        assert!((min_phi - 315.0).abs() < 0.2, "nearest at {min_phi}°");
+        assert!((max_phi - 135.0).abs() < 0.2, "farthest at {max_phi}°");
+        assert!((zmin - (g.dso - g.footprint_radius())).abs() < 1e-6);
+        assert!((zmax - (g.dso + g.footprint_radius())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f32_rows_agree_with_f64_projection() {
+        let g = geom();
+        let m = ProjectionMatrix::new(&g, 0.77);
+        let ijk = [12.0f32, 40.0, 7.0, 1.0];
+        let dot = |row: &[f32; 4]| -> f32 {
+            row[0] * ijk[0] + row[1] * ijk[1] + row[2] * ijk[2] + row[3] * ijk[3]
+        };
+        let z32 = dot(&m.rows_f32[2]);
+        let u32 = dot(&m.rows_f32[0]) / z32;
+        let v32 = dot(&m.rows_f32[1]) / z32;
+        let (u, v, z) = m.project(12.0, 40.0, 7.0);
+        assert!((u - u32 as f64).abs() < 1e-3);
+        assert!((v - v32 as f64).abs() < 1e-3);
+        assert!((z - z32 as f64).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mat4_identity_is_neutral() {
+        let g = geom();
+        let m = ProjectionMatrix::new(&g, 0.4).m;
+        let prod = m.mul4(&Mat4x4::IDENTITY);
+        for (a, b) in m.0.iter().flatten().zip(prod.0.iter().flatten()) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn mat4_mul_associates_with_apply() {
+        let a = Mat4x4([
+            [1.0, 2.0, 0.0, -1.0],
+            [0.5, -1.0, 3.0, 0.0],
+            [2.0, 0.0, 1.0, 1.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+        let b = Mat4x4([
+            [0.0, 1.0, 0.0, 2.0],
+            [1.0, 0.0, -1.0, 0.0],
+            [0.0, 2.0, 1.0, -3.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+        let v = [1.0, -2.0, 3.0, 1.0];
+        let lhs = a.mul(&b).apply(&v);
+        let rhs = a.apply(&b.apply(&v));
+        for (x, y) in lhs.iter().zip(&rhs) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

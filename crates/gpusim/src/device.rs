@@ -1,0 +1,290 @@
+//! The simulated device: capacity enforcement and traffic counters.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::DeviceSpec;
+
+/// Errors from device operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation would exceed the device memory capacity — the failure
+    /// mode of the non-out-of-core baselines in Table 5 (RTK cannot build
+    /// volumes beyond 8 GB on a 16 GB V100).
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free.
+        free: u64,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::OutOfMemory { requested, free } => {
+                write!(f, "device out of memory: requested {requested} B, free {free} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Cumulative traffic/work counters of one device.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DeviceCounters {
+    /// Host→device bytes transferred.
+    pub h2d_bytes: u64,
+    /// Device→host bytes transferred.
+    pub d2h_bytes: u64,
+    /// Number of H2D transfer calls.
+    pub h2d_calls: u64,
+    /// Number of D2H transfer calls.
+    pub d2h_calls: u64,
+    /// Voxel updates executed by kernels.
+    pub kernel_updates: u64,
+    /// Kernel launches.
+    pub kernel_launches: u64,
+    /// Simulated seconds accumulated by transfers.
+    pub transfer_secs: f64,
+    /// Simulated seconds accumulated by kernels.
+    pub kernel_secs: f64,
+    /// High-water mark of allocated bytes.
+    pub peak_allocated: u64,
+}
+
+struct Inner {
+    spec: DeviceSpec,
+    allocated: u64,
+    counters: DeviceCounters,
+}
+
+/// A simulated accelerator with enforced memory capacity and counted,
+/// time-modelled transfers and kernel launches. Cheap to clone (shared
+/// state).
+#[derive(Clone)]
+pub struct Device {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// An RAII device-memory allocation; freed (and returned to the device's
+/// budget) on drop.
+pub struct DeviceBuffer {
+    device: Arc<Mutex<Inner>>,
+    bytes: u64,
+}
+
+impl DeviceBuffer {
+    /// Allocation size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl std::fmt::Debug for DeviceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceBuffer").field("bytes", &self.bytes).finish()
+    }
+}
+
+impl Drop for DeviceBuffer {
+    fn drop(&mut self) {
+        let mut inner = self.device.lock();
+        inner.allocated -= self.bytes;
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Device")
+            .field("spec", &inner.spec.name)
+            .field("allocated", &inner.allocated)
+            .finish()
+    }
+}
+
+impl Device {
+    /// Creates a device of the given spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Device {
+            inner: Arc::new(Mutex::new(Inner {
+                spec,
+                allocated: 0,
+                counters: DeviceCounters::default(),
+            })),
+        }
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> DeviceSpec {
+        self.inner.lock().spec.clone()
+    }
+
+    /// Currently allocated bytes.
+    pub fn allocated(&self) -> u64 {
+        self.inner.lock().allocated
+    }
+
+    /// Free bytes.
+    pub fn free(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.spec.memory_bytes - inner.allocated
+    }
+
+    /// Allocates `bytes` of device memory, enforcing the capacity.
+    pub fn alloc(&self, bytes: u64) -> Result<DeviceBuffer, DeviceError> {
+        let mut inner = self.inner.lock();
+        let free = inner.spec.memory_bytes - inner.allocated;
+        if bytes > free {
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                free,
+            });
+        }
+        inner.allocated += bytes;
+        inner.counters.peak_allocated = inner.counters.peak_allocated.max(inner.allocated);
+        Ok(DeviceBuffer {
+            device: Arc::clone(&self.inner),
+            bytes,
+        })
+    }
+
+    /// Records a host→device copy; returns the simulated duration (s).
+    pub fn h2d(&self, bytes: u64) -> f64 {
+        let mut inner = self.inner.lock();
+        let secs = inner.spec.transfer_secs(bytes);
+        inner.counters.h2d_bytes += bytes;
+        inner.counters.h2d_calls += 1;
+        inner.counters.transfer_secs += secs;
+        secs
+    }
+
+    /// Records a device→host copy; returns the simulated duration (s).
+    pub fn d2h(&self, bytes: u64) -> f64 {
+        let mut inner = self.inner.lock();
+        let secs = inner.spec.transfer_secs(bytes);
+        inner.counters.d2h_bytes += bytes;
+        inner.counters.d2h_calls += 1;
+        inner.counters.transfer_secs += secs;
+        secs
+    }
+
+    /// Records a back-projection launch of `updates` voxel updates; returns
+    /// the simulated duration (s).
+    pub fn launch_backprojection(&self, updates: u64) -> f64 {
+        let mut inner = self.inner.lock();
+        let secs = inner.spec.backprojection_secs(updates);
+        inner.counters.kernel_updates += updates;
+        inner.counters.kernel_launches += 1;
+        inner.counters.kernel_secs += secs;
+        secs
+    }
+
+    /// Snapshot of the counters.
+    pub fn counters(&self) -> DeviceCounters {
+        self.inner.lock().counters
+    }
+
+    /// Resets the counters (not the allocations).
+    pub fn reset_counters(&self) {
+        self.inner.lock().counters = DeviceCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_enforces_capacity() {
+        let d = Device::new(DeviceSpec::tiny(1000));
+        let a = d.alloc(600).unwrap();
+        assert_eq!(d.allocated(), 600);
+        let err = d.alloc(500).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::OutOfMemory {
+                requested: 500,
+                free: 400
+            }
+        );
+        drop(a);
+        assert_eq!(d.allocated(), 0);
+        d.alloc(1000).unwrap();
+    }
+
+    #[test]
+    fn rtk_style_full_volume_fails_on_v100() {
+        // Table 5: a 2048³ volume (32 GB) cannot be allocated on a 16 GB
+        // V100 — the reason RTK's column shows ✗.
+        let d = Device::new(DeviceSpec::v100_16gb());
+        let vol_2048 = 2048u64 * 2048 * 2048 * 4;
+        assert!(d.alloc(vol_2048).is_err());
+        // A 1024³ volume (4 GB) fits.
+        assert!(d.alloc(1024u64 * 1024 * 1024 * 4).is_ok());
+    }
+
+    #[test]
+    fn counters_track_traffic_and_time() {
+        let d = Device::new(DeviceSpec::tiny(1 << 20));
+        let t1 = d.h2d(2_000_000);
+        let t2 = d.d2h(4_000_000);
+        let t3 = d.launch_backprojection(50_000_000);
+        let c = d.counters();
+        assert_eq!(c.h2d_bytes, 2_000_000);
+        assert_eq!(c.d2h_bytes, 4_000_000);
+        assert_eq!(c.h2d_calls, 1);
+        assert_eq!(c.d2h_calls, 1);
+        assert_eq!(c.kernel_updates, 50_000_000);
+        assert_eq!(c.kernel_launches, 1);
+        assert!((c.transfer_secs - (t1 + t2)).abs() < 1e-12);
+        assert!((c.kernel_secs - t3).abs() < 1e-12);
+        assert!(t2 > t1);
+        d.reset_counters();
+        assert_eq!(d.counters(), DeviceCounters::default());
+    }
+
+    #[test]
+    fn peak_allocation_watermark() {
+        let d = Device::new(DeviceSpec::tiny(1000));
+        {
+            let _a = d.alloc(700).unwrap();
+        }
+        let _b = d.alloc(300).unwrap();
+        assert_eq!(d.counters().peak_allocated, 700);
+    }
+
+    #[test]
+    fn device_clones_share_state() {
+        let d = Device::new(DeviceSpec::tiny(1000));
+        let d2 = d.clone();
+        let _buf = d.alloc(400).unwrap();
+        assert_eq!(d2.allocated(), 400);
+        d2.h2d(100);
+        assert_eq!(d.counters().h2d_bytes, 100);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_safe() {
+        let d = Device::new(DeviceSpec::tiny(100_000));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let d = d.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        if let Ok(buf) = d.alloc(1000) {
+                            d.h2d(1000);
+                            drop(buf);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(d.allocated(), 0);
+        assert_eq!(d.counters().h2d_bytes, d.counters().h2d_calls * 1000);
+    }
+}

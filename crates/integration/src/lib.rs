@@ -1,0 +1,2 @@
+//! Host package for the cross-crate integration tests in the repository-root
+//! `tests/` directory.

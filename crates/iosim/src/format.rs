@@ -1,0 +1,368 @@
+//! On-disk formats: raw f32 containers and PGM slice export.
+
+use bytes::{Buf, BufMut};
+use scalefbp_geom::{ProjectionStack, Volume};
+
+/// Magic bytes of the raw container.
+const MAGIC: &[u8; 4] = b"SFBP";
+/// Container kind tags.
+const KIND_VOLUME: u8 = 1;
+const KIND_PROJECTIONS: u8 = 2;
+
+/// Errors while decoding a container.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FormatError {
+    /// Missing/incorrect magic or kind byte.
+    BadHeader(&'static str),
+    /// Header dims disagree with the payload length.
+    LengthMismatch {
+        /// Elements promised by the header.
+        expected: usize,
+        /// Elements present.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::BadHeader(what) => write!(f, "bad container header: {what}"),
+            FormatError::LengthMismatch { expected, got } => {
+                write!(f, "container length mismatch: expected {expected} elements, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn put_f32s(out: &mut Vec<u8>, data: &[f32]) {
+    out.reserve(data.len() * 4);
+    for &v in data {
+        out.put_f32_le(v);
+    }
+}
+
+fn take_f32s(mut buf: &[u8], n: usize) -> Result<Vec<f32>, FormatError> {
+    if buf.len() != n * 4 {
+        return Err(FormatError::LengthMismatch {
+            expected: n,
+            got: buf.len() / 4,
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_f32_le());
+    }
+    Ok(out)
+}
+
+/// Encodes a volume (with its slab offset) into the raw container.
+pub fn encode_volume(vol: &Volume) -> Vec<u8> {
+    let mut out = Vec::with_capacity(21 + vol.len() * 4);
+    out.extend_from_slice(MAGIC);
+    out.push(KIND_VOLUME);
+    out.put_u32_le(vol.nx() as u32);
+    out.put_u32_le(vol.ny() as u32);
+    out.put_u32_le(vol.nz() as u32);
+    out.put_u32_le(vol.z_offset() as u32);
+    put_f32s(&mut out, vol.data());
+    out
+}
+
+/// Decodes a volume container.
+pub fn decode_volume(data: &[u8]) -> Result<Volume, FormatError> {
+    if data.len() < 21 || &data[0..4] != MAGIC {
+        return Err(FormatError::BadHeader("magic"));
+    }
+    if data[4] != KIND_VOLUME {
+        return Err(FormatError::BadHeader("kind is not volume"));
+    }
+    let mut hdr = &data[5..21];
+    let nx = hdr.get_u32_le() as usize;
+    let ny = hdr.get_u32_le() as usize;
+    let nz = hdr.get_u32_le() as usize;
+    let z_offset = hdr.get_u32_le() as usize;
+    let payload = take_f32s(&data[21..], nx * ny * nz)?;
+    let mut v = Volume::zeros_slab(nx, ny, nz, z_offset);
+    v.data_mut().copy_from_slice(&payload);
+    Ok(v)
+}
+
+/// Encodes a projection stack (with its window offsets).
+pub fn encode_projections(stack: &ProjectionStack) -> Vec<u8> {
+    let mut out = Vec::with_capacity(25 + stack.len() * 4);
+    out.extend_from_slice(MAGIC);
+    out.push(KIND_PROJECTIONS);
+    out.put_u32_le(stack.nv() as u32);
+    out.put_u32_le(stack.np() as u32);
+    out.put_u32_le(stack.nu() as u32);
+    out.put_u32_le(stack.v_offset() as u32);
+    out.put_u32_le(stack.s_offset() as u32);
+    put_f32s(&mut out, stack.data());
+    out
+}
+
+/// Decodes a projection-stack container.
+pub fn decode_projections(data: &[u8]) -> Result<ProjectionStack, FormatError> {
+    if data.len() < 25 || &data[0..4] != MAGIC {
+        return Err(FormatError::BadHeader("magic"));
+    }
+    if data[4] != KIND_PROJECTIONS {
+        return Err(FormatError::BadHeader("kind is not projections"));
+    }
+    let mut hdr = &data[5..25];
+    let nv = hdr.get_u32_le() as usize;
+    let np = hdr.get_u32_le() as usize;
+    let nu = hdr.get_u32_le() as usize;
+    let v_offset = hdr.get_u32_le() as usize;
+    let s_offset = hdr.get_u32_le() as usize;
+    let payload = take_f32s(&data[25..], nv * np * nu)?;
+    let mut p = ProjectionStack::zeros_window(nv, np, nu, v_offset, s_offset);
+    p.data_mut().copy_from_slice(&payload);
+    Ok(p)
+}
+
+/// Serialises a geometry as a stable `key = value` text block (one
+/// parameter of Table 1 per line) — the sidecar format the CLI writes next
+/// to `.sfbp` containers so scans are self-describing without a JSON
+/// dependency.
+pub fn geometry_to_text(g: &scalefbp_geom::CbctGeometry) -> String {
+    format!(
+        "# scalefbp geometry v1\n\
+         dso = {}\ndsd = {}\nnp = {}\nnu = {}\nnv = {}\ndu = {}\ndv = {}\n\
+         nx = {}\nny = {}\nnz = {}\ndx = {}\ndy = {}\ndz = {}\n\
+         sigma_u = {}\nsigma_v = {}\nsigma_cor = {}\n",
+        g.dso,
+        g.dsd,
+        g.np,
+        g.nu,
+        g.nv,
+        g.du,
+        g.dv,
+        g.nx,
+        g.ny,
+        g.nz,
+        g.dx,
+        g.dy,
+        g.dz,
+        g.sigma_u,
+        g.sigma_v,
+        g.sigma_cor
+    )
+}
+
+/// Parses the text block of [`geometry_to_text`]. Unknown keys are
+/// rejected; missing keys are reported by name.
+pub fn geometry_from_text(text: &str) -> Result<scalefbp_geom::CbctGeometry, FormatError> {
+    use std::collections::HashMap;
+    let mut kv: HashMap<&str, &str> = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(FormatError::BadHeader("geometry line without `=`"));
+        };
+        kv.insert(k.trim(), v.trim());
+    }
+    fn f(kv: &std::collections::HashMap<&str, &str>, key: &'static str) -> Result<f64, FormatError> {
+        kv.get(key)
+            .ok_or(FormatError::BadHeader("missing geometry key"))?
+            .parse()
+            .map_err(|_| FormatError::BadHeader("unparsable geometry value"))
+    }
+    fn u(kv: &std::collections::HashMap<&str, &str>, key: &'static str) -> Result<usize, FormatError> {
+        kv.get(key)
+            .ok_or(FormatError::BadHeader("missing geometry key"))?
+            .parse()
+            .map_err(|_| FormatError::BadHeader("unparsable geometry value"))
+    }
+    Ok(scalefbp_geom::CbctGeometry {
+        dso: f(&kv, "dso")?,
+        dsd: f(&kv, "dsd")?,
+        np: u(&kv, "np")?,
+        nu: u(&kv, "nu")?,
+        nv: u(&kv, "nv")?,
+        du: f(&kv, "du")?,
+        dv: f(&kv, "dv")?,
+        nx: u(&kv, "nx")?,
+        ny: u(&kv, "ny")?,
+        nz: u(&kv, "nz")?,
+        dx: f(&kv, "dx")?,
+        dy: f(&kv, "dy")?,
+        dz: f(&kv, "dz")?,
+        sigma_u: f(&kv, "sigma_u")?,
+        sigma_v: f(&kv, "sigma_v")?,
+        sigma_cor: f(&kv, "sigma_cor")?,
+    })
+}
+
+/// Renders a row-major float image as a binary 8-bit PGM (P5) with
+/// min-max windowing.
+pub fn image_to_pgm(width: usize, height: usize, pixels: &[f32]) -> Vec<u8> {
+    assert_eq!(pixels.len(), width * height, "image shape mismatch");
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &v in pixels {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = if hi > lo { hi - lo } else { 1.0 };
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.extend(pixels.iter().map(|&v| {
+        let t = ((v - lo) / range * 255.0).clamp(0.0, 255.0);
+        t as u8
+    }));
+    out
+}
+
+/// Renders one Z slice of a volume as a binary 8-bit PGM (P5) image with
+/// min-max windowing — the visual-inspection deliverable of Figures 8/11.
+pub fn slice_to_pgm(vol: &Volume, k: usize) -> Vec<u8> {
+    image_to_pgm(vol.nx(), vol.ny(), vol.slice(k))
+}
+
+/// Renders a maximum-intensity projection of a volume along `axis`
+/// (0 = X, 1 = Y, 2 = Z) as a PGM — the Figure 11 style whole-object view.
+pub fn mip_to_pgm(vol: &Volume, axis: usize) -> Vec<u8> {
+    let (w, h, img) = vol.max_intensity_projection(axis);
+    image_to_pgm(w, h, &img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_roundtrip_preserves_everything() {
+        let mut v = Volume::zeros_slab(3, 4, 2, 9);
+        for (i, x) in v.data_mut().iter_mut().enumerate() {
+            *x = i as f32 * 0.5 - 3.0;
+        }
+        let decoded = decode_volume(&encode_volume(&v)).unwrap();
+        assert_eq!(decoded, v);
+        assert_eq!(decoded.z_offset(), 9);
+    }
+
+    #[test]
+    fn projections_roundtrip_preserves_offsets() {
+        let mut p = ProjectionStack::zeros_window(2, 3, 4, 5, 6);
+        for (i, x) in p.data_mut().iter_mut().enumerate() {
+            *x = (i * i) as f32;
+        }
+        let decoded = decode_projections(&encode_projections(&p)).unwrap();
+        assert_eq!(decoded, p);
+        assert_eq!((decoded.v_offset(), decoded.s_offset()), (5, 6));
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut data = encode_volume(&Volume::zeros(1, 1, 1));
+        data[0] = b'X';
+        assert_eq!(decode_volume(&data), Err(FormatError::BadHeader("magic")));
+    }
+
+    #[test]
+    fn kind_confusion_rejected() {
+        let v = encode_volume(&Volume::zeros(2, 2, 2));
+        assert!(matches!(
+            decode_projections(&v),
+            Err(FormatError::BadHeader(_))
+        ));
+        let p = encode_projections(&ProjectionStack::zeros(2, 2, 2));
+        assert!(matches!(decode_volume(&p), Err(FormatError::BadHeader(_))));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut data = encode_volume(&Volume::zeros(2, 2, 2));
+        data.truncate(data.len() - 4);
+        assert!(matches!(
+            decode_volume(&data),
+            Err(FormatError::LengthMismatch { expected: 8, got: 7 })
+        ));
+    }
+
+    #[test]
+    fn pgm_has_correct_header_and_size() {
+        let mut v = Volume::zeros(4, 3, 2);
+        for (i, x) in v.data_mut().iter_mut().enumerate() {
+            *x = i as f32;
+        }
+        let pgm = slice_to_pgm(&v, 1);
+        let header_end = pgm.iter().filter(|&&b| b == b'\n').count();
+        assert!(header_end >= 3);
+        assert!(pgm.starts_with(b"P5\n4 3\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n4 3\n255\n".len() + 12);
+        // Min-max windowing: darkest pixel 0, brightest 255.
+        let body = &pgm[b"P5\n4 3\n255\n".len()..];
+        assert_eq!(*body.first().unwrap(), 0);
+        assert_eq!(*body.last().unwrap(), 255);
+    }
+
+    #[test]
+    fn mip_pgm_has_expected_shape() {
+        let mut v = Volume::zeros(3, 4, 5);
+        *v.get_mut(2, 1, 4) = 10.0;
+        let pgm = mip_to_pgm(&v, 2);
+        assert!(pgm.starts_with(b"P5\n3 4\n255\n"));
+        let body = &pgm[b"P5\n3 4\n255\n".len()..];
+        assert_eq!(body.len(), 12);
+        assert_eq!(body[3 + 2], 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "image shape mismatch")]
+    fn image_pgm_rejects_bad_shape() {
+        let _ = image_to_pgm(2, 2, &[0.0; 3]);
+    }
+
+    #[test]
+    fn geometry_text_roundtrip() {
+        let g = scalefbp_geom::CbctGeometry {
+            dso: 100.5,
+            dsd: 250.25,
+            np: 720,
+            nu: 668,
+            nv: 445,
+            du: 0.075,
+            dv: 0.075,
+            nx: 512,
+            ny: 512,
+            nz: 512,
+            dx: 0.031,
+            dy: 0.031,
+            dz: 0.031,
+            sigma_u: -10.0,
+            sigma_v: 0.2,
+            sigma_cor: -0.0021,
+        };
+        let text = geometry_to_text(&g);
+        let back = geometry_from_text(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn geometry_text_rejects_garbage() {
+        assert!(geometry_from_text("dso 100").is_err());
+        assert!(geometry_from_text("dso = abc\n").is_err());
+        assert!(geometry_from_text("dso = 1.0\n").is_err()); // missing keys
+    }
+
+    #[test]
+    fn geometry_text_tolerates_comments_and_blanks() {
+        let g = scalefbp_geom::CbctGeometry::ideal(16, 20, 24, 24);
+        let mut text = String::from("# hello\n\n");
+        text.push_str(&geometry_to_text(&g));
+        assert_eq!(geometry_from_text(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn constant_slice_does_not_divide_by_zero() {
+        let mut v = Volume::zeros(2, 2, 1);
+        v.data_mut().fill(7.0);
+        let pgm = slice_to_pgm(&v, 0);
+        assert_eq!(pgm[pgm.len() - 1], 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Bandwidth-modelled storage endpoints.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Traffic counters for one endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StorageCounters {
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub written_bytes: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// Simulated seconds spent (model time, not wall time).
+    pub secs: f64,
+}
+
+struct Inner {
+    name: &'static str,
+    read_bw: f64,
+    write_bw: f64,
+    root: Option<PathBuf>,
+    counters: Mutex<StorageCounters>,
+}
+
+/// A storage target (PFS or node-local disk) with a bandwidth cost model,
+/// traffic accounting and optional real file backing. Cheap to clone.
+#[derive(Clone)]
+pub struct StorageEndpoint {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for StorageEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageEndpoint")
+            .field("name", &self.inner.name)
+            .field("read_bw", &self.inner.read_bw)
+            .field("write_bw", &self.inner.write_bw)
+            .finish()
+    }
+}
+
+impl StorageEndpoint {
+    /// A custom endpoint. `root = None` makes file operations panic
+    /// (counter-only mode for paper-scale simulations).
+    pub fn new(
+        name: &'static str,
+        read_bw: f64,
+        write_bw: f64,
+        root: Option<PathBuf>,
+    ) -> Self {
+        assert!(read_bw > 0.0 && write_bw > 0.0, "bandwidths must be positive");
+        StorageEndpoint {
+            inner: Arc::new(Inner {
+                name,
+                read_bw,
+                write_bw,
+                root,
+                counters: Mutex::new(StorageCounters::default()),
+            }),
+        }
+    }
+
+    /// The ABCI Lustre parallel file system: ~28.5 GB/s aggregate store
+    /// bandwidth (`BW_store` of Section 6.3 — a single 4096³ volume takes
+    /// ~9 s, the weak-scaling floor of Figure 14).
+    pub fn lustre_pfs(root: Option<PathBuf>) -> Self {
+        Self::new("lustre-pfs", 28.5e9, 28.5e9, root)
+    }
+
+    /// Node-local NVMe SSD: `BW_load` consistent with Table 5
+    /// (17.9 GB loaded in ~9.5 s ⇒ ≈ 1.9 GB/s).
+    pub fn local_nvme(root: Option<PathBuf>) -> Self {
+        Self::new("local-nvme", 1.9e9, 1.2e9, root)
+    }
+
+    /// Endpoint name.
+    pub fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> StorageCounters {
+        *self.inner.counters.lock()
+    }
+
+    /// Resets the counters.
+    pub fn reset_counters(&self) {
+        *self.inner.counters.lock() = StorageCounters::default();
+    }
+
+    /// Records a modelled read of `bytes`; returns simulated seconds.
+    pub fn record_read(&self, bytes: u64) -> f64 {
+        let secs = bytes as f64 / self.inner.read_bw;
+        let mut c = self.inner.counters.lock();
+        c.read_bytes += bytes;
+        c.reads += 1;
+        c.secs += secs;
+        secs
+    }
+
+    /// Records a modelled write of `bytes`; returns simulated seconds.
+    pub fn record_write(&self, bytes: u64) -> f64 {
+        let secs = bytes as f64 / self.inner.write_bw;
+        let mut c = self.inner.counters.lock();
+        c.written_bytes += bytes;
+        c.writes += 1;
+        c.secs += secs;
+        secs
+    }
+
+    /// Resolves a relative path under the endpoint's root.
+    ///
+    /// # Panics
+    /// Panics in counter-only mode (no root configured).
+    pub fn resolve(&self, rel: &Path) -> PathBuf {
+        let root = self
+            .inner
+            .root
+            .as_ref()
+            .expect("storage endpoint has no backing directory (counter-only mode)");
+        root.join(rel)
+    }
+
+    /// Writes raw bytes to a file under the root (creating parent
+    /// directories) and records the modelled cost; returns simulated
+    /// seconds.
+    pub fn write_file(&self, rel: &Path, data: &[u8]) -> std::io::Result<f64> {
+        let path = self.resolve(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(data)?;
+        Ok(self.record_write(data.len() as u64))
+    }
+
+    /// Reads a whole file under the root, recording the modelled cost.
+    pub fn read_file(&self, rel: &Path) -> std::io::Result<Vec<u8>> {
+        let path = self.resolve(rel);
+        let mut f = std::fs::File::open(path)?;
+        let mut data = Vec::new();
+        f.read_to_end(&mut data)?;
+        self.record_read(data.len() as u64);
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "scalefbp-iosim-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn modelled_times_follow_bandwidth() {
+        let s = StorageEndpoint::new("t", 100.0, 50.0, None);
+        assert!((s.record_read(200) - 2.0).abs() < 1e-12);
+        assert!((s.record_write(200) - 4.0).abs() < 1e-12);
+        let c = s.counters();
+        assert_eq!(c.read_bytes, 200);
+        assert_eq!(c.written_bytes, 200);
+        assert_eq!((c.reads, c.writes), (1, 1));
+        assert!((c.secs - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pfs_preset_stores_4096_cubed_in_about_nine_seconds() {
+        // The Figure 14 floor: one 4096³ f32 volume over 28.5 GB/s ≈ 9.6 s.
+        let pfs = StorageEndpoint::lustre_pfs(None);
+        let bytes = 4096u64 * 4096 * 4096 * 4;
+        let t = pfs.record_write(bytes);
+        assert!((t - 9.6).abs() < 0.5, "modelled {t} s");
+    }
+
+    #[test]
+    fn nvme_preset_loads_tomo29_in_about_table5_time() {
+        // Table 5: 17.9 GB loaded with T_load ≈ 9.5 s.
+        let nvme = StorageEndpoint::local_nvme(None);
+        let t = nvme.record_read(17_900_000_000);
+        assert!((t - 9.4).abs() < 0.5, "modelled {t} s");
+    }
+
+    #[test]
+    fn file_roundtrip_counts_traffic() {
+        let s = StorageEndpoint::new("t", 1e9, 1e9, Some(tmpdir("roundtrip")));
+        let rel = Path::new("sub/dir/data.bin");
+        let payload: Vec<u8> = (0..=255).collect();
+        s.write_file(rel, &payload).unwrap();
+        let back = s.read_file(rel).unwrap();
+        assert_eq!(back, payload);
+        let c = s.counters();
+        assert_eq!(c.written_bytes, 256);
+        assert_eq!(c.read_bytes, 256);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let s = StorageEndpoint::new("t", 1e9, 1e9, Some(tmpdir("missing")));
+        assert!(s.read_file(Path::new("nope.bin")).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "counter-only mode")]
+    fn counter_only_mode_rejects_file_ops() {
+        let s = StorageEndpoint::lustre_pfs(None);
+        let _ = s.resolve(Path::new("x"));
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = StorageEndpoint::new("t", 1e9, 1e9, None);
+        let s2 = s.clone();
+        s.record_read(100);
+        s2.record_write(50);
+        assert_eq!(s.counters().written_bytes, 50);
+        assert_eq!(s2.counters().read_bytes, 100);
+        s.reset_counters();
+        assert_eq!(s2.counters(), StorageCounters::default());
+    }
+}

@@ -1,0 +1,521 @@
+//! Communicators: tagged point-to-point plus the collectives the paper uses.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// A message in flight.
+#[derive(Debug)]
+struct Envelope {
+    context: u64,
+    from: usize,
+    tag: u64,
+    payload: Vec<u8>,
+}
+
+/// Cumulative network counters (shared by all communicators of a world).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Total messages sent.
+    pub messages: u64,
+}
+
+pub(crate) struct Network {
+    senders: Vec<Sender<Envelope>>,
+    pub(crate) stats: Mutex<NetworkStats>,
+}
+
+/// Reserved tag namespace for collective internals.
+const COLLECTIVE_TAG: u64 = u64::MAX - 1024;
+
+/// An MPI-style communicator handle owned by one rank thread.
+///
+/// A communicator formed by [`split`](Self::split) maps its local ranks onto
+/// a subset of the world's mailboxes and stamps every message with a context
+/// id, so concurrent collectives in different groups never interfere — the
+/// property that makes the paper's *segmented* reduce correct.
+pub struct Communicator {
+    network: Arc<Network>,
+    /// Local rank → world rank.
+    group: Arc<Vec<usize>>,
+    /// This thread's local rank.
+    local: usize,
+    context: u64,
+    /// How many times `split` has been called on this communicator (all
+    /// members call collectives in lockstep, so this agrees everywhere).
+    split_seq: u64,
+    receiver: Receiver<Envelope>,
+    /// Out-of-order messages awaiting a matching `recv`. Shared by every
+    /// communicator of this rank (parents and `split` children drain the
+    /// same mailbox, so a message stashed by one must stay visible to all).
+    pending: Arc<Mutex<Vec<Envelope>>>,
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.local)
+            .field("size", &self.group.len())
+            .field("context", &self.context)
+            .finish()
+    }
+}
+
+impl Communicator {
+    pub(crate) fn world(size: usize) -> Vec<Communicator> {
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let network = Arc::new(Network {
+            senders,
+            stats: Mutex::new(NetworkStats::default()),
+        });
+        let group = Arc::new((0..size).collect::<Vec<_>>());
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(local, receiver)| Communicator {
+                network: Arc::clone(&network),
+                group: Arc::clone(&group),
+                local,
+                context: 0,
+                split_seq: 0,
+                receiver,
+                pending: Arc::new(Mutex::new(Vec::new())),
+            })
+            .collect()
+    }
+
+    /// This rank's id within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.local
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Network-wide traffic counters.
+    pub fn network_stats(&self) -> NetworkStats {
+        *self.network.stats.lock()
+    }
+
+    /// Sends `payload` to local rank `to` with `tag`.
+    pub fn send(&self, to: usize, tag: u64, payload: Vec<u8>) {
+        assert!(to < self.size(), "send to rank {to} of {}", self.size());
+        {
+            let mut stats = self.network.stats.lock();
+            stats.bytes += payload.len() as u64;
+            stats.messages += 1;
+        }
+        let world_to = self.group[to];
+        self.network.senders[world_to]
+            .send(Envelope {
+                context: self.context,
+                from: self.local,
+                tag,
+                payload,
+            })
+            .expect("rank mailbox closed");
+    }
+
+    /// Blocking selective receive from local rank `from` with `tag`.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<u8> {
+        assert!(from < self.size(), "recv from rank {from} of {}", self.size());
+        let mut pending = self.pending.lock();
+        if let Some(idx) = pending
+            .iter()
+            .position(|e| e.context == self.context && e.from == from && e.tag == tag)
+        {
+            return pending.swap_remove(idx).payload;
+        }
+        loop {
+            let env = self.receiver.recv().expect("network closed while receiving");
+            if env.context == self.context && env.from == from && env.tag == tag {
+                return env.payload;
+            }
+            pending.push(env);
+        }
+    }
+
+    /// Convenience: send an f32 slice.
+    pub fn send_f32(&self, to: usize, tag: u64, data: &[f32]) {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.send(to, tag, bytes);
+    }
+
+    /// Convenience: receive an f32 vector.
+    pub fn recv_f32(&mut self, from: usize, tag: u64) -> Vec<f32> {
+        let bytes = self.recv(from, tag);
+        assert_eq!(bytes.len() % 4, 0, "payload is not an f32 array");
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Broadcast from `root` to all ranks (binomial tree). Non-roots pass
+    /// an empty buffer and receive the root's.
+    pub fn bcast(&mut self, root: usize, data: &mut Vec<u8>) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        // Rotate so the root is virtual rank 0.
+        let me = (self.local + p - root) % p;
+        let mut mask = 1usize;
+        // Receive phase: find the bit where I get the data.
+        while mask < p {
+            if me & mask != 0 {
+                let src = (me - mask + root) % p;
+                *data = self.recv(src, COLLECTIVE_TAG + 1);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to my subtree.
+        mask >>= 1;
+        while mask > 0 {
+            if me + mask < p {
+                let dst = (me + mask + root) % p;
+                self.send(dst, COLLECTIVE_TAG + 1, data.clone());
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Gather every rank's buffer to `root`; returns `Some(vec)` (rank
+    /// order) at the root, `None` elsewhere.
+    pub fn gather(&mut self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        if self.local == root {
+            let mut out = vec![Vec::new(); self.size()];
+            for from in 0..self.size() {
+                if from == root {
+                    out[from] = data.clone();
+                } else {
+                    out[from] = self.recv(from, COLLECTIVE_TAG + 2);
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, COLLECTIVE_TAG + 2, data);
+            None
+        }
+    }
+
+    /// Barrier: gather of empty payloads followed by a broadcast.
+    pub fn barrier(&mut self) {
+        let _ = self.gather(0, Vec::new());
+        let mut token = if self.local == 0 { vec![1u8] } else { Vec::new() };
+        self.bcast(0, &mut token);
+    }
+
+    /// Binomial-tree sum-reduction of f32 buffers to `root` — the
+    /// `MPI_Reduce` of Figure 3b/Figure 8. Every rank passes its
+    /// contribution in `buf`; on return the root's `buf` holds the
+    /// element-wise sum (other ranks' buffers are unspecified).
+    ///
+    /// `⌈log₂ p⌉` rounds; each rank sends at most once.
+    pub fn reduce_sum_f32(&mut self, root: usize, buf: &mut [f32]) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let me = (self.local + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if me & mask != 0 {
+                // Send my partial to the partner below and exit.
+                let dst = (me - mask + root) % p;
+                self.send_f32(dst, COLLECTIVE_TAG + 3, buf);
+                return;
+            }
+            let src_virtual = me + mask;
+            if src_virtual < p {
+                let src = (src_virtual + root) % p;
+                let incoming = self.recv_f32(src, COLLECTIVE_TAG + 3);
+                assert_eq!(incoming.len(), buf.len(), "reduce buffer length mismatch");
+                for (a, b) in buf.iter_mut().zip(&incoming) {
+                    *a += b;
+                }
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// `MPI_Comm_split`: ranks with equal `color` form a new communicator,
+    /// ordered by `(key, old rank)`. Collective — every rank must call it.
+    pub fn split(&mut self, color: u64, key: i64) -> Communicator {
+        // Allgather (gather + bcast) of (color, key, local).
+        let mut triple = Vec::with_capacity(24);
+        triple.extend_from_slice(&color.to_le_bytes());
+        triple.extend_from_slice(&key.to_le_bytes());
+        triple.extend_from_slice(&(self.local as u64).to_le_bytes());
+        let gathered = self.gather(0, triple.clone());
+        let mut all = match gathered {
+            Some(v) => v.concat(),
+            None => Vec::new(),
+        };
+        self.bcast(0, &mut all);
+
+        let mut members: Vec<(i64, usize)> = Vec::new();
+        for chunk in all.chunks_exact(24) {
+            let c = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
+            let k = i64::from_le_bytes(chunk[8..16].try_into().unwrap());
+            let r = u64::from_le_bytes(chunk[16..24].try_into().unwrap()) as usize;
+            if c == color {
+                members.push((k, r));
+            }
+        }
+        members.sort_unstable();
+        let group: Vec<usize> = members.iter().map(|&(_, r)| self.group[r]).collect();
+        let local = members
+            .iter()
+            .position(|&(_, r)| r == self.local)
+            .expect("split: caller missing from its own color group");
+
+        self.split_seq += 1;
+        let context = self
+            .context
+            .wrapping_mul(1_000_003)
+            .wrapping_add(self.split_seq.wrapping_mul(131))
+            .wrapping_add(color)
+            .wrapping_add(1);
+
+        Communicator {
+            network: Arc::clone(&self.network),
+            group: Arc::new(group),
+            local,
+            context,
+            split_seq: 0,
+            receiver: self.receiver.clone(),
+            pending: Arc::clone(&self.pending),
+        }
+    }
+}
+
+/// The paper's hierarchical segmented reduction (Section 4.4.2): ranks on
+/// the same node (consecutive blocks of `ranks_per_node`) first reduce to a
+/// node leader, then the leaders reduce to `root` — halving inter-node
+/// traffic relative to a flat tree when `ranks_per_node > 1`.
+///
+/// `root` must be a node leader (true for the paper's group leaders, which
+/// are rank 0 of each group). On return the root's `buf` holds the sum.
+pub fn hierarchical_reduce_sum(
+    comm: &mut Communicator,
+    root: usize,
+    buf: &mut [f32],
+    ranks_per_node: usize,
+) {
+    assert!(ranks_per_node > 0, "ranks_per_node must be positive");
+    assert_eq!(
+        root % ranks_per_node,
+        0,
+        "root {root} must be a node leader (multiple of {ranks_per_node})"
+    );
+    // Intra-node reduce to the node leader.
+    let node = comm.rank() / ranks_per_node;
+    let mut intra = comm.split(node as u64, comm.rank() as i64);
+    intra.reduce_sum_f32(0, buf);
+    let is_leader = intra.rank() == 0;
+    // Inter-node reduce among leaders.
+    let mut inter = comm.split(u64::from(is_leader), comm.rank() as i64);
+    if is_leader {
+        let root_leader = root / ranks_per_node;
+        inter.reduce_sum_f32(root_leader, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let results = World::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send_f32(1, 7, &[1.0, 2.5, -3.0]);
+                comm.recv_f32(1, 8)
+            } else {
+                let got = comm.recv_f32(0, 7);
+                comm.send_f32(0, 8, &[got[2], got[1], got[0]]);
+                got
+            }
+        });
+        assert_eq!(results[0], vec![-3.0, 2.5, 1.0]);
+        assert_eq!(results[1], vec![1.0, 2.5, -3.0]);
+    }
+
+    #[test]
+    fn selective_receive_reorders_tags() {
+        let results = World::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![1]);
+                comm.send(1, 2, vec![2]);
+                vec![0u8]
+            } else {
+                // Receive tag 2 first even though tag 1 arrived first.
+                let b = comm.recv(0, 2);
+                let a = comm.recv(0, 1);
+                vec![b[0], a[0]]
+            }
+        });
+        assert_eq!(results[1], vec![2, 1]);
+    }
+
+    #[test]
+    fn reduce_sums_across_all_ranks() {
+        for p in [1, 2, 3, 4, 7, 8] {
+            let results = World::run(p, move |mut comm| {
+                let r = comm.rank() as f32;
+                let mut buf = vec![r, 2.0 * r, 100.0];
+                comm.reduce_sum_f32(0, &mut buf);
+                buf
+            });
+            let sum_r: f32 = (0..p).map(|r| r as f32).sum();
+            assert_eq!(results[0][0], sum_r, "p={p}");
+            assert_eq!(results[0][1], 2.0 * sum_r, "p={p}");
+            assert_eq!(results[0][2], 100.0 * p as f32, "p={p}");
+        }
+    }
+
+    #[test]
+    fn reduce_to_nonzero_root() {
+        let results = World::run(5, |mut comm| {
+            let mut buf = vec![1.0f32];
+            comm.reduce_sum_f32(3, &mut buf);
+            (comm.rank(), buf[0])
+        });
+        assert_eq!(results[3].1, 5.0);
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..4 {
+            let results = World::run(4, move |mut comm| {
+                let mut data = if comm.rank() == root {
+                    vec![42u8, root as u8]
+                } else {
+                    Vec::new()
+                };
+                comm.bcast(root, &mut data);
+                data
+            });
+            for r in results {
+                assert_eq!(r, vec![42, root as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = World::run(4, |mut comm| comm.gather(2, vec![comm.rank() as u8]));
+        assert!(results[0].is_none());
+        let at_root = results[2].clone().unwrap();
+        assert_eq!(at_root, vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn split_forms_independent_groups() {
+        // 6 ranks, 2 groups of 3 (paper's grouping: color = rank / nr).
+        let results = World::run(6, |mut comm| {
+            let color = (comm.rank() / 3) as u64;
+            let mut sub = comm.split(color, comm.rank() as i64);
+            let mut buf = vec![comm.rank() as f32];
+            sub.reduce_sum_f32(0, &mut buf);
+            (sub.rank(), sub.size(), buf[0])
+        });
+        // Group 0 = {0,1,2}: sum 3; group 1 = {3,4,5}: sum 12.
+        assert_eq!(results[0], (0, 3, 3.0));
+        assert_eq!(results[3], (0, 3, 12.0));
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.0, i % 3, "sub-rank of world rank {i}");
+            assert_eq!(r.1, 3);
+        }
+    }
+
+    #[test]
+    fn split_orders_by_key() {
+        let results = World::run(3, |mut comm| {
+            // Reverse order keys: world rank 2 becomes sub-rank 0.
+            let sub = comm.split(0, -(comm.rank() as i64));
+            sub.rank()
+        });
+        assert_eq!(results, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn nested_splits_do_not_interfere() {
+        let results = World::run(4, |mut comm| {
+            let mut a = comm.split((comm.rank() % 2) as u64, 0);
+            let mut b = comm.split((comm.rank() / 2) as u64, 0);
+            let mut x = vec![1.0f32];
+            let mut y = vec![10.0f32];
+            a.reduce_sum_f32(0, &mut x);
+            b.reduce_sum_f32(0, &mut y);
+            (a.rank() == 0, x[0], b.rank() == 0, y[0])
+        });
+        for r in &results {
+            if r.0 {
+                assert_eq!(r.1, 2.0);
+            }
+            if r.2 {
+                assert_eq!(r.3, 20.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_reduce_equals_flat() {
+        for (p, rpn) in [(8, 4), (8, 2), (6, 3), (4, 1), (8, 8)] {
+            let results = World::run(p, move |mut comm| {
+                let mut buf = vec![comm.rank() as f32 + 1.0, 0.5];
+                hierarchical_reduce_sum(&mut comm, 0, &mut buf, rpn);
+                buf
+            });
+            let expect: f32 = (0..p).map(|r| r as f32 + 1.0).sum();
+            assert_eq!(results[0][0], expect, "p={p} rpn={rpn}");
+            assert_eq!(results[0][1], 0.5 * p as f32, "p={p} rpn={rpn}");
+        }
+    }
+
+    #[test]
+    fn barrier_completes_for_many_ranks() {
+        let results = World::run(9, |mut comm| {
+            for _ in 0..5 {
+                comm.barrier();
+            }
+            comm.rank()
+        });
+        assert_eq!(results.len(), 9);
+    }
+
+    #[test]
+    fn network_stats_count_bytes() {
+        let results = World::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0u8; 100]);
+            } else {
+                let _ = comm.recv(0, 0);
+            }
+            comm.barrier();
+            comm.network_stats()
+        });
+        assert!(results[0].bytes >= 100);
+        assert!(results[0].messages >= 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! α–β cost model for the collectives, used by the timing-mode pipeline.
+
+/// Latency/bandwidth (α–β) communication cost model.
+///
+/// The constants default to InfiniBand-EDR-class values matching the ABCI
+/// interconnect the paper measured with the Intel MPI benchmarks
+/// (`TH_reduce` in Section 5).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommCostModel {
+    /// Per-message latency α (seconds).
+    pub latency: f64,
+    /// Link bandwidth β⁻¹ (bytes/second).
+    pub bandwidth: f64,
+    /// Local reduction arithmetic throughput (bytes/second summed) —
+    /// effectively memory bandwidth on the CPU doing the `+`.
+    pub reduce_compute: f64,
+}
+
+impl Default for CommCostModel {
+    fn default() -> Self {
+        CommCostModel {
+            latency: 2e-6,
+            bandwidth: 10e9,     // ~EDR 100 Gb/s ≈ 12.5 GB/s, derated
+            reduce_compute: 20e9,
+        }
+    }
+}
+
+impl CommCostModel {
+    /// Time for one point-to-point message of `bytes`.
+    pub fn p2p_secs(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Binomial-tree reduction of `bytes` over `participants` ranks:
+    /// `⌈log₂ p⌉ · (α + bytes·β + bytes·γ)`.
+    ///
+    /// The key scalability property (Table 2's communication column): cost
+    /// grows with the *group* size `N_r`, not the world size.
+    pub fn reduce_secs(&self, bytes: u64, participants: usize) -> f64 {
+        if participants <= 1 {
+            return 0.0;
+        }
+        let rounds = participants.next_power_of_two().trailing_zeros() as f64;
+        rounds * (self.latency + bytes as f64 / self.bandwidth + bytes as f64 / self.reduce_compute)
+    }
+
+    /// The paper's hierarchical variant: intra-node rounds at memory-like
+    /// bandwidth (`intra_boost`× the link), then leader rounds on the link.
+    pub fn hierarchical_reduce_secs(
+        &self,
+        bytes: u64,
+        participants: usize,
+        ranks_per_node: usize,
+        intra_boost: f64,
+    ) -> f64 {
+        assert!(ranks_per_node > 0);
+        if participants <= 1 {
+            return 0.0;
+        }
+        let intra_p = ranks_per_node.min(participants);
+        let intra = CommCostModel {
+            bandwidth: self.bandwidth * intra_boost,
+            ..*self
+        }
+        .reduce_secs(bytes, intra_p);
+        let leaders = participants.div_ceil(ranks_per_node);
+        intra + self.reduce_secs(bytes, leaders)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_has_latency_floor() {
+        let m = CommCostModel::default();
+        assert!(m.p2p_secs(0) == m.latency);
+        assert!(m.p2p_secs(1 << 30) > 0.1);
+    }
+
+    #[test]
+    fn reduce_is_logarithmic_in_group_size() {
+        let m = CommCostModel::default();
+        let b = 1 << 20;
+        let t2 = m.reduce_secs(b, 2);
+        let t4 = m.reduce_secs(b, 4);
+        let t16 = m.reduce_secs(b, 16);
+        assert!((t4 - 2.0 * t2).abs() < 1e-12);
+        assert!((t16 - 4.0 * t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segmented_beats_global_reduce() {
+        // The paper replaces a world-wide collective by per-group ones:
+        // reducing over N_r = 8 must beat reducing over 1024 ranks.
+        let m = CommCostModel::default();
+        let bytes = 256 << 20;
+        assert!(m.reduce_secs(bytes, 8) < m.reduce_secs(bytes, 1024) / 3.0);
+    }
+
+    #[test]
+    fn single_rank_reduce_is_free() {
+        let m = CommCostModel::default();
+        assert_eq!(m.reduce_secs(123, 1), 0.0);
+        assert_eq!(m.reduce_secs(123, 0), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_when_intranode_is_fast() {
+        let m = CommCostModel::default();
+        let bytes = 64 << 20;
+        let flat = m.reduce_secs(bytes, 16);
+        let hier = m.hierarchical_reduce_secs(bytes, 16, 4, 8.0);
+        assert!(hier < flat, "hier {hier} vs flat {flat}");
+    }
+
+    #[test]
+    fn hierarchical_degenerates_to_flat_for_one_rank_per_node() {
+        let m = CommCostModel::default();
+        let bytes = 1 << 20;
+        let flat = m.reduce_secs(bytes, 8);
+        let hier = m.hierarchical_reduce_secs(bytes, 8, 1, 8.0);
+        assert!((hier - flat).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! In-process MPI substitute.
+//!
+//! The paper's distributed framework uses MPI for exactly four things:
+//! point-to-point transfers, `MPI_Comm_split` to form the `N_g` groups of
+//! `N_r` ranks (Section 4.4.1), a *segmented* `MPI_Reduce` over each group
+//! (Section 4.4.2), and a hierarchical node-leader reduction to cut
+//! inter-node traffic. No MPI runtime exists in this environment, so this
+//! crate reimplements that surface with threads and crossbeam channels:
+//!
+//! * [`World::run`] — launches `size` rank threads, hands each a
+//!   [`Communicator`], joins them and returns their results in rank order.
+//! * [`Communicator`] — `rank`/`size`, tagged `send`/`recv` with selective
+//!   receive, `barrier`, `bcast`, `gather`, binomial-tree
+//!   [`Communicator::reduce_sum_f32`], and [`Communicator::split`]
+//!   (the `MPI_Comm_split` of the paper, giving every group its own
+//!   context so collectives never cross groups).
+//! * [`hierarchical_reduce_sum`] — the paper's two-level reduction: ranks
+//!   sharing a node first reduce to a node leader, then leaders reduce to
+//!   the root (Section 4.4.2).
+//! * [`CommCostModel`] — an α–β (latency/bandwidth) model of collective
+//!   cost used by the discrete-event pipeline; the segmented reduce costs
+//!   `⌈log₂ N_r⌉` rounds — the `O(log N)` communication column the paper
+//!   claims in Table 2 — independent of the total rank count.
+//!
+//! Every byte through the network is counted ([`NetworkStats`]) so the
+//! Table 2 ablation can compare communication volumes across decomposition
+//! schemes without timing anything.
+
+mod comm;
+mod cost;
+mod world;
+
+pub use comm::{Communicator, NetworkStats};
+pub use cost::CommCostModel;
+pub use world::World;
+
+pub use comm::hierarchical_reduce_sum;

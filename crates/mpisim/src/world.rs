@@ -1,0 +1,79 @@
+//! Launching rank threads.
+
+use crate::Communicator;
+
+/// The launcher: spawns one OS thread per rank, each receiving its
+/// [`Communicator`] — the `mpirun` of the simulator.
+pub struct World;
+
+impl World {
+    /// Runs `body` on `size` rank threads and returns their results in rank
+    /// order. Panics in any rank propagate after all threads have been
+    /// joined (so no rank output is silently lost).
+    pub fn run<T, F>(size: usize, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        assert!(size > 0, "world size must be positive");
+        let comms = Communicator::world(size);
+        let body = &body;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| scope.spawn(move || body(comm)))
+                .collect();
+            let mut results = Vec::with_capacity(size);
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(v) => results.push(v),
+                    Err(e) => panic = Some(e),
+                }
+            }
+            if let Some(e) = panic {
+                std::panic::resume_unwind(e);
+            }
+            results
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let out = World::run(5, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |mut comm| {
+            let mut buf = vec![3.0f32];
+            comm.reduce_sum_f32(0, &mut buf);
+            comm.barrier();
+            buf[0]
+        });
+        assert_eq!(out, vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 says no")]
+    fn rank_panics_propagate() {
+        let _ = World::run(4, |comm| {
+            if comm.rank() == 2 {
+                panic!("rank 2 says no");
+            }
+            comm.rank()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be positive")]
+    fn zero_size_rejected() {
+        let _ = World::run(0, |_comm| ());
+    }
+}

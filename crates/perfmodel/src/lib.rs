@@ -1,0 +1,17 @@
+//! The Section-5 performance model (Equations 13–17) and the Figure-12
+//! roofline helpers.
+//!
+//! The paper projects end-to-end runtime from micro-benchmark constants:
+//! local-storage load bandwidth, CPU filtering throughput, PCIe bandwidth,
+//! GPU back-projection throughput, `MPI_Reduce` throughput and PFS store
+//! bandwidth. [`MachineParams`] carries those constants (ABCI presets),
+//! [`PerfModel`] evaluates the per-batch stage times and the
+//! perfect-overlap total of Equation 17, and [`roofline`] reproduces the
+//! Figure-12 analysis from the kernel's analytic FLOP/byte counts.
+
+mod machine;
+mod model;
+pub mod roofline;
+
+pub use machine::MachineParams;
+pub use model::{BatchTimes, PerfModel, RunShape};

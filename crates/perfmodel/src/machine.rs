@@ -1,0 +1,110 @@
+//! Micro-benchmark constants (`BW_load`, `TH_flt`, `TH_bp`, `TH_reduce`,
+//! `BW_pci`, `BW_store` of Section 5).
+
+use serde::{Deserialize, Serialize};
+
+/// The measured machine constants the performance model consumes.
+///
+/// All throughputs are per participating unit: `bw_load` per rank's local
+/// NVMe, `th_flt` per rank's CPU share, `th_bp` per GPU, `bw_pci` per GPU's
+/// host link. `bw_store` is the **aggregate** PFS write bandwidth shared by
+/// every group leader (which is why weak scaling floors at the single-volume
+/// store time in Figure 14).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// Local-storage read bandwidth per rank (B/s) — `BW_load`.
+    pub bw_load: f64,
+    /// Aggregate parallel-file-system write bandwidth (B/s) — `BW_store`.
+    pub bw_store: f64,
+    /// CPU filtering throughput per rank (projection elements/s) —
+    /// `TH_flt`.
+    pub th_flt: f64,
+    /// GPU back-projection throughput (voxel updates/s) — `TH_bp`.
+    pub th_bp: f64,
+    /// Segmented-reduce effective link throughput (B/s per tree round) —
+    /// `TH_reduce`.
+    pub th_reduce: f64,
+    /// Host↔device bandwidth per GPU (B/s) — `BW_pci`.
+    pub bw_pci: f64,
+    /// MPI ranks sharing one node (ABCI: 4 GPUs/node) for the hierarchical
+    /// reduce.
+    pub ranks_per_node: usize,
+}
+
+impl MachineParams {
+    /// ABCI V100 compute node, the paper's main platform. Constants are
+    /// anchored to the paper's own measurements: `TH_bp ≈ 115` GUPS
+    /// (Table 5), `BW_store ≈ 28.5` GB/s (Section 6.3), `T_load` of 17.9 GB
+    /// in ~9.5 s ⇒ `BW_load ≈ 1.9` GB/s, `T_flt` of 4.8 G elements in
+    /// ~17 s ⇒ `TH_flt ≈ 2.8e8` elem/s, PCIe 3.0 ×16 ≈ 12 GB/s.
+    pub fn abci_v100() -> Self {
+        MachineParams {
+            bw_load: 1.9e9,
+            bw_store: 28.5e9,
+            th_flt: 2.8e8,
+            th_bp: 115e9,
+            th_reduce: 5e9,
+            bw_pci: 12e9,
+            ranks_per_node: 4,
+        }
+    }
+
+    /// The A100 node of Section 6.2 (8 GPUs/node, PCIe 4, faster NVMe).
+    pub fn abci_a100() -> Self {
+        MachineParams {
+            bw_load: 2.9e9,
+            bw_store: 28.5e9,
+            th_flt: 5.5e8,
+            th_bp: 155e9,
+            th_reduce: 8e9,
+            bw_pci: 20e9,
+            ranks_per_node: 8,
+        }
+    }
+
+    /// Validates positivity.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let ok = self.bw_load > 0.0
+            && self.bw_store > 0.0
+            && self.th_flt > 0.0
+            && self.th_bp > 0.0
+            && self.th_reduce > 0.0
+            && self.bw_pci > 0.0
+            && self.ranks_per_node > 0;
+        if ok {
+            Ok(())
+        } else {
+            Err("all machine parameters must be positive")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MachineParams::abci_v100().validate().unwrap();
+        MachineParams::abci_a100().validate().unwrap();
+    }
+
+    #[test]
+    fn a100_dominates_v100() {
+        let v = MachineParams::abci_v100();
+        let a = MachineParams::abci_a100();
+        assert!(a.th_bp > v.th_bp);
+        assert!(a.bw_pci > v.bw_pci);
+        assert_eq!(a.bw_store, v.bw_store); // same PFS
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut m = MachineParams::abci_v100();
+        m.th_bp = 0.0;
+        assert!(m.validate().is_err());
+        m = MachineParams::abci_v100();
+        m.ranks_per_node = 0;
+        assert!(m.validate().is_err());
+    }
+}

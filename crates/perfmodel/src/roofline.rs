@@ -1,0 +1,104 @@
+//! The Figure-12 roofline analysis, reconstructed analytically.
+
+/// A roofline: peak compute and memory bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Roofline {
+    /// Peak FLOP/s (the horizontal ceiling).
+    pub peak_flops: f64,
+    /// Memory bandwidth in B/s (the slanted ceiling's slope).
+    pub mem_bw: f64,
+}
+
+impl Roofline {
+    /// The V100's single-precision roofline as drawn in Figure 12
+    /// (peak 13.4–15.7 TF/s depending on clocks; the figure's ceiling is
+    /// 13.4e12).
+    pub fn v100() -> Self {
+        Roofline {
+            peak_flops: 13.4e12,
+            mem_bw: 900e9,
+        }
+    }
+
+    /// Attainable FLOP/s at arithmetic intensity `ai` (FLOP/byte).
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (ai * self.mem_bw).min(self.peak_flops)
+    }
+
+    /// The ridge intensity where the two ceilings meet.
+    pub fn ridge(&self) -> f64 {
+        self.peak_flops / self.mem_bw
+    }
+}
+
+/// One kernel's point on the roofline plot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RooflinePoint {
+    /// Arithmetic intensity (FLOP/byte).
+    pub ai: f64,
+    /// Achieved FLOP/s.
+    pub flops: f64,
+}
+
+impl RooflinePoint {
+    /// Builds the point from kernel counters and a measured/modelled
+    /// update throughput: `flops = updates_per_sec × flops_per_update`,
+    /// `ai = total_flops / bytes_touched`.
+    pub fn from_kernel(
+        updates_per_sec: f64,
+        flops_per_update: u64,
+        total_updates: u64,
+        bytes_touched: u64,
+    ) -> Self {
+        let total_flops = total_updates as f64 * flops_per_update as f64;
+        RooflinePoint {
+            ai: total_flops / bytes_touched as f64,
+            flops: updates_per_sec * flops_per_update as f64,
+        }
+    }
+
+    /// Fraction of the roofline this point achieves.
+    pub fn efficiency(&self, roof: &Roofline) -> f64 {
+        self.flops / roof.attainable(self.ai)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_ceiling_matches_figure_12() {
+        let r = Roofline::v100();
+        assert_eq!(r.attainable(1e6), 13.4e12);
+        assert!((r.ridge() - 14.9).abs() < 0.1, "ridge {}", r.ridge());
+    }
+
+    #[test]
+    fn low_intensity_is_bandwidth_bound() {
+        let r = Roofline::v100();
+        assert!((r.attainable(1.0) - 900e9).abs() < 1.0);
+        assert!(r.attainable(10.0) < r.peak_flops);
+    }
+
+    #[test]
+    fn figure12_points_sit_in_the_compute_region() {
+        // The paper's kernels: ~4.0–4.5 TFLOP/s at AI 40.9–2954.7, i.e.
+        // ~30 % of peak in the compute-bound region.
+        let r = Roofline::v100();
+        for (ai, tf) in [(40.9, 4.0e12), (157.7, 4.4e12), (2954.7, 4.5e12)] {
+            let p = RooflinePoint { ai, flops: tf };
+            assert!(ai > r.ridge(), "point not compute-bound");
+            let e = p.efficiency(&r);
+            assert!(e > 0.25 && e < 0.40, "efficiency {e} out of the paper's band");
+        }
+    }
+
+    #[test]
+    fn from_kernel_accounting() {
+        // 115 GUPS at 42 FLOP/update ≈ 4.8 TFLOP/s.
+        let p = RooflinePoint::from_kernel(115e9, 42, 1_000_000, 10_000);
+        assert!((p.flops - 4.83e12).abs() < 0.1e12);
+        assert!((p.ai - 4200.0).abs() < 1.0);
+    }
+}

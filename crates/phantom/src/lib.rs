@@ -1,0 +1,35 @@
+//! Analytic phantoms and a Beer's-law cone-beam forward projector.
+//!
+//! The paper evaluates on six proprietary / multi-hundred-GB scanned
+//! datasets. This crate substitutes them (per the reproduction's
+//! substitution rule, documented in `DESIGN.md`) with analytic ellipsoid
+//! phantoms forward-projected through the *same acquisition geometries*:
+//!
+//! * [`Ellipsoid`] / [`Phantom`] — compositions of rotated ellipsoids with
+//!   exact point densities and exact ray line-integrals, including the
+//!   classic 3-D Shepp-Logan head ([`Phantom::shepp_logan`]) the paper
+//!   itself uses for numerical validation, plus coffee-bean-like and
+//!   bumblebee-like scenes for the dataset-shaped workloads.
+//! * [`SourceDetectorFrame`] — the world-space pose of the source and the
+//!   flat-panel detector at a scan angle, *exactly inverse* to the 3×4
+//!   projection matrix of `scalefbp-geom` (unit-tested against it), so the
+//!   forward and back projections are geometrically consistent.
+//! * [`forward_project`] — analytic cone-beam projections (line integrals)
+//!   of a phantom, parallelised over detector rows with rayon.
+//! * [`PhotonScan`] — converts line integrals to raw photon counts with
+//!   dark/blank fields (`λ = λ_blank·e^{−P} + λ_dark`, optionally with
+//!   Poisson-like noise), so the Equation 1 pre-processing path
+//!   (`P = −log((λ−λ_dark)/(λ_blank−λ_dark))`) is exercised end to end.
+
+mod ellipsoid;
+mod forward;
+mod scenes;
+mod stitching;
+
+pub use ellipsoid::{Ellipsoid, Phantom, Ray};
+pub use forward::{
+    forward_project, forward_project_arc, forward_project_range, FrameRays, PhotonScan,
+    SourceDetectorFrame,
+};
+pub use scenes::{bead_pile, bumblebee_like, coffee_bean_like, rasterize, uniform_ball};
+pub use stitching::{offset_scan_geometries, stitch_offset_scans};

@@ -1,0 +1,228 @@
+//! Dataset-shaped phantom scenes and volume rasterisation.
+
+use rand::Rng;
+use rayon::prelude::*;
+use scalefbp_geom::{CbctGeometry, Volume};
+
+use crate::{Ellipsoid, Phantom};
+
+/// A uniform ball centred on the rotation axis. `radius_frac` scales the
+/// geometry's safe footprint radius (·0.95), so values in `(0, 1]` always
+/// stay inside the scanned cylinder.
+pub fn uniform_ball(geom: &CbctGeometry, radius_frac: f64, density: f32) -> Phantom {
+    let r = geom.footprint_radius() * 0.95 * radius_frac;
+    Phantom::new(vec![Ellipsoid::sphere([0.0; 3], r, density)])
+}
+
+/// A coffee-bean-like scene: an ellipsoidal hull with the bean's centre
+/// crease and internal voids/pores — the low-contrast laminar structure the
+/// paper highlights (walls, hollow pores, voids).
+pub fn coffee_bean_like(geom: &CbctGeometry) -> Phantom {
+    let r = geom.footprint_radius() * 0.9;
+    let mut ph = Phantom::default();
+    // Bean hull: flattened ellipsoid.
+    ph.push(Ellipsoid {
+        center: [0.0; 3],
+        semi_axes: [0.55 * r, 0.85 * r, 0.40 * r],
+        gamma: 0.3,
+        density: 1.0,
+    });
+    // The crease: a thin negative slab approximated by a flat ellipsoid.
+    ph.push(Ellipsoid {
+        center: [0.0, 0.0, 0.12 * r],
+        semi_axes: [0.08 * r, 0.8 * r, 0.30 * r],
+        gamma: 0.3,
+        density: -0.6,
+    });
+    // Internal pores.
+    let pores = [
+        ([0.20, 0.30, -0.05], 0.10),
+        ([-0.18, -0.25, 0.08], 0.08),
+        ([0.05, -0.45, -0.12], 0.06),
+        ([-0.22, 0.42, 0.02], 0.05),
+        ([0.30, -0.10, 0.10], 0.07),
+    ];
+    for (c, pr) in pores {
+        ph.push(Ellipsoid::sphere(
+            [c[0] * r, c[1] * r, c[2] * r],
+            pr * r,
+            -0.35,
+        ));
+    }
+    ph
+}
+
+/// A bumblebee-like scene: a segmented body (head/thorax/abdomen) of low
+/// density with denser chitin shells, mimicking the insect micro-CT dataset.
+pub fn bumblebee_like(geom: &CbctGeometry) -> Phantom {
+    let r = geom.footprint_radius() * 0.9;
+    let seg = |cy: f64, a: f64, b: f64, c: f64| {
+        [
+            Ellipsoid {
+                center: [0.0, cy * r, 0.0],
+                semi_axes: [a * r, b * r, c * r],
+                gamma: 0.0,
+                density: 0.8,
+            },
+            Ellipsoid {
+                center: [0.0, cy * r, 0.0],
+                semi_axes: [a * r * 0.85, b * r * 0.85, c * r * 0.85],
+                gamma: 0.0,
+                density: -0.6,
+            },
+        ]
+    };
+    let mut parts = Vec::new();
+    parts.extend(seg(0.55, 0.18, 0.18, 0.18)); // head
+    parts.extend(seg(0.15, 0.28, 0.25, 0.25)); // thorax
+    parts.extend(seg(-0.40, 0.30, 0.42, 0.30)); // abdomen
+    // Flight muscles inside the thorax.
+    parts.push(Ellipsoid {
+        center: [0.0, 0.15 * r, 0.0],
+        semi_axes: [0.15 * r, 0.12 * r, 0.12 * r],
+        gamma: 0.0,
+        density: 0.4,
+    });
+    Phantom::new(parts)
+}
+
+/// A pile of random beads inside a cylindrical container wall — the granular
+/// NDT workload (metal foams / trabecular bone analogues cited in Section
+/// 6.1). Deterministic for a given `seed`.
+pub fn bead_pile(geom: &CbctGeometry, beads: usize, seed: u64) -> Phantom {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let r = geom.footprint_radius() * 0.9;
+    let half_h = 0.45 * geom.nz as f64 * geom.dz;
+    let mut ph = Phantom::default();
+    // Container: outer minus inner cylinder approximated by tall ellipsoids.
+    ph.push(Ellipsoid::axis_aligned([0.0; 3], [r, r, half_h * 1.8], 0.3));
+    ph.push(Ellipsoid::axis_aligned(
+        [0.0; 3],
+        [0.92 * r, 0.92 * r, half_h * 1.8 * 0.98],
+        -0.3,
+    ));
+    for _ in 0..beads {
+        let br = rng.gen_range(0.04..0.10) * r;
+        let rho = rng.gen_range(0.5..1.2);
+        // Rejection-free placement in a cylinder of radius 0.8r − br.
+        let max_c = 0.8 * r - br;
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let rad = max_c * rng.gen_range(0.0f64..1.0).sqrt();
+        let z = rng.gen_range(-(half_h - br)..(half_h - br));
+        ph.push(Ellipsoid::sphere(
+            [rad * theta.cos(), rad * theta.sin(), z],
+            br,
+            rho as f32,
+        ));
+    }
+    ph
+}
+
+/// Rasterises a phantom onto the geometry's voxel grid (the ground truth
+/// that reconstructions are compared against). Parallelised over slices.
+pub fn rasterize(geom: &CbctGeometry, phantom: &Phantom) -> Volume {
+    let mut vol = Volume::zeros(geom.nx, geom.ny, geom.nz);
+    let (nx, ny) = (geom.nx, geom.ny);
+    let slice_len = nx * ny;
+    vol.data_mut()
+        .par_chunks_mut(slice_len)
+        .enumerate()
+        .for_each(|(k, slice)| {
+            let z = geom.voxel_z(k);
+            for j in 0..ny {
+                let y = geom.voxel_y(j);
+                for i in 0..nx {
+                    let x = geom.voxel_x(i);
+                    slice[j * nx + i] = phantom.density_at([x, y, z]);
+                }
+            }
+        });
+    vol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CbctGeometry {
+        CbctGeometry::ideal(32, 16, 48, 48)
+    }
+
+    #[test]
+    fn uniform_ball_fits_inside_footprint() {
+        let g = geom();
+        let ball = uniform_ball(&g, 1.0, 1.0);
+        let e = ball.ellipsoids()[0];
+        assert!(e.semi_axes[0] < g.footprint_radius());
+        assert!(ball.density_at([0.0; 3]) == 1.0);
+    }
+
+    #[test]
+    fn scenes_are_nonempty_and_bounded() {
+        let g = geom();
+        for ph in [coffee_bean_like(&g), bumblebee_like(&g), bead_pile(&g, 20, 7)] {
+            assert!(!ph.ellipsoids().is_empty());
+            let r = g.footprint_radius();
+            // Everything inside the scan cylinder (centres at least).
+            for e in ph.ellipsoids() {
+                let rad = (e.center[0] * e.center[0] + e.center[1] * e.center[1]).sqrt();
+                assert!(rad < r, "ellipsoid centre outside footprint");
+            }
+            // Some interior structure exists: at least one ellipsoid centre
+            // has nonzero total density.
+            assert!(
+                ph.ellipsoids()
+                    .iter()
+                    .any(|e| ph.density_at(e.center) != 0.0),
+                "scene looks empty"
+            );
+        }
+    }
+
+    #[test]
+    fn bead_pile_is_deterministic_per_seed() {
+        let g = geom();
+        let a = bead_pile(&g, 15, 42);
+        let b = bead_pile(&g, 15, 42);
+        let c = bead_pile(&g, 15, 43);
+        assert_eq!(a.ellipsoids().len(), b.ellipsoids().len());
+        for (x, y) in a.ellipsoids().iter().zip(b.ellipsoids()) {
+            assert_eq!(x.center, y.center);
+            assert_eq!(x.density, y.density);
+        }
+        // Different seed gives different placement.
+        let same = a
+            .ellipsoids()
+            .iter()
+            .zip(c.ellipsoids())
+            .all(|(x, y)| x.center == y.center);
+        assert!(!same);
+    }
+
+    #[test]
+    fn rasterize_matches_point_density() {
+        let g = geom();
+        let ph = uniform_ball(&g, 0.6, 2.0);
+        let vol = rasterize(&g, &ph);
+        for (i, j, k) in [(16, 16, 16), (0, 0, 0), (31, 31, 31), (16, 16, 0)] {
+            let expect = ph.density_at([g.voxel_x(i), g.voxel_y(j), g.voxel_z(k)]);
+            assert_eq!(vol.get(i, j, k), expect);
+        }
+    }
+
+    #[test]
+    fn rasterized_ball_volume_approximates_analytic() {
+        let g = geom();
+        let ph = uniform_ball(&g, 0.8, 1.0);
+        let r = ph.ellipsoids()[0].semi_axes[0];
+        let vol = rasterize(&g, &ph);
+        let voxel_vol = g.dx * g.dy * g.dz;
+        let measured: f64 = vol.data().iter().map(|&v| v as f64).sum::<f64>() * voxel_vol;
+        let analytic = 4.0 / 3.0 * std::f64::consts::PI * r * r * r;
+        assert!(
+            (measured - analytic).abs() / analytic < 0.05,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+}

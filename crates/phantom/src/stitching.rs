@@ -1,0 +1,188 @@
+//! Offset-detector scan stitching — how the coffee-bean dataset was
+//! acquired.
+//!
+//! Section 6.1: *"Offsetting a detector of size 2000×2000 to the left and
+//! right side with overlapped region was conducted at two full scans. The
+//! size of each stitched projection becomes N_u = 3728."* A flat panel
+//! half as wide as the desired field of view is shifted laterally, the
+//! object is scanned twice, and the two half-scans are stitched column-wise
+//! (with a blended overlap) into wide projections.
+//!
+//! [`offset_scan_geometries`] derives the two shifted acquisition
+//! geometries from the wide target geometry — the lateral shift is exactly
+//! a `σ_u` detector offset, which is why the paper's general projection
+//! matrix handles these scans while plain RTK-style geometry does not.
+//! [`stitch_offset_scans`] reassembles the wide stack.
+
+use scalefbp_geom::{CbctGeometry, ProjectionStack};
+
+/// Splits a wide-detector geometry into the left- and right-offset
+/// half-scan geometries of width `narrow_nu` (must overlap:
+/// `narrow_nu > nu/2`).
+///
+/// The returned geometries differ from the wide one only in `nu` and
+/// `σ_u`: left covers wide columns `[0, narrow_nu)`
+/// (`σ_u += (nu − narrow_nu)/2`), right covers
+/// `[nu − narrow_nu, nu)` (`σ_u −= (nu − narrow_nu)/2`).
+pub fn offset_scan_geometries(
+    wide: &CbctGeometry,
+    narrow_nu: usize,
+) -> (CbctGeometry, CbctGeometry) {
+    assert!(
+        narrow_nu < wide.nu,
+        "narrow detector must be narrower than the stitched target"
+    );
+    assert!(
+        2 * narrow_nu > wide.nu,
+        "half-scans must overlap: 2·{narrow_nu} ≤ {}",
+        wide.nu
+    );
+    let shift = 0.5 * (wide.nu - narrow_nu) as f64;
+    let mut left = wide.clone();
+    left.nu = narrow_nu;
+    left.sigma_u = wide.sigma_u + shift;
+    let mut right = wide.clone();
+    right.nu = narrow_nu;
+    right.sigma_u = wide.sigma_u - shift;
+    (left, right)
+}
+
+/// Stitches two offset half-scans (acquired with the geometries of
+/// [`offset_scan_geometries`]) into the wide stack: left columns verbatim,
+/// right columns verbatim, and a linear cross-fade across the overlap —
+/// the standard panel-stitching blend.
+pub fn stitch_offset_scans(
+    wide: &CbctGeometry,
+    left: &ProjectionStack,
+    right: &ProjectionStack,
+) -> ProjectionStack {
+    assert_eq!(left.nu(), right.nu(), "half-scans must share a width");
+    let narrow = left.nu();
+    assert!(narrow < wide.nu && 2 * narrow > wide.nu, "widths inconsistent");
+    assert_eq!(left.nv(), wide.nv, "row count mismatch");
+    assert_eq!(left.np(), wide.np, "projection count mismatch");
+    assert_eq!(right.nv(), wide.nv, "row count mismatch");
+    assert_eq!(right.np(), wide.np, "projection count mismatch");
+
+    let right_start = wide.nu - narrow; // wide column of right scan's u=0
+    let overlap_begin = right_start;
+    let overlap_end = narrow;
+    let overlap_len = overlap_end - overlap_begin;
+
+    let mut out = ProjectionStack::zeros(wide.nv, wide.np, wide.nu);
+    for v in 0..wide.nv {
+        for s in 0..wide.np {
+            let l = left.row(v, s);
+            let r = right.row(v, s);
+            let o = out.row_mut(v, s);
+            for (u, slot) in o.iter_mut().enumerate() {
+                *slot = if u < overlap_begin {
+                    l[u]
+                } else if u >= overlap_end {
+                    r[u - right_start]
+                } else {
+                    // Linear cross-fade from pure left to pure right.
+                    let t = (u - overlap_begin + 1) as f32 / (overlap_len + 1) as f32;
+                    l[u] * (1.0 - t) + r[u - right_start] * t
+                };
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{forward_project, uniform_ball};
+
+    fn wide_geometry() -> CbctGeometry {
+        // 60-column target stitched from two 40-column half-scans
+        // (overlap 20), as in the coffee bean's 2×2000 → 3728.
+        let g = CbctGeometry::ideal(24, 16, 60, 32);
+        g.validate().unwrap();
+        g
+    }
+
+    #[test]
+    fn geometries_cover_the_wide_panel() {
+        let wide = wide_geometry();
+        let (left, right) = offset_scan_geometries(&wide, 40);
+        assert_eq!(left.nu, 40);
+        assert_eq!(right.nu, 40);
+        assert!((left.sigma_u - 10.0).abs() < 1e-12);
+        assert!((right.sigma_u + 10.0).abs() < 1e-12);
+        left.validate().unwrap();
+        right.validate().unwrap();
+    }
+
+    #[test]
+    fn stitched_scan_equals_wide_detector_scan() {
+        // The decisive property: stitching two offset scans of the same
+        // object reproduces the single wide-detector scan, because each
+        // half-scan pixel samples the *same ray* as its wide counterpart.
+        let wide = wide_geometry();
+        let ball = uniform_ball(&wide, 0.6, 1.0);
+        let reference = forward_project(&wide, &ball);
+
+        let (lg, rg) = offset_scan_geometries(&wide, 40);
+        let left = forward_project(&lg, &ball);
+        let right = forward_project(&rg, &ball);
+        let stitched = stitch_offset_scans(&wide, &left, &right);
+
+        let mut max_err = 0.0f32;
+        for (a, b) in reference.data().iter().zip(stitched.data()) {
+            max_err = max_err.max((a - b).abs());
+        }
+        assert!(max_err < 1e-4, "stitch differs from wide scan by {max_err}");
+    }
+
+    #[test]
+    fn stitched_scan_reconstructs() {
+        // End-to-end: stitched offset scans through the corrected
+        // projection matrix (the Table 4 capability).
+        let wide = wide_geometry();
+        let ball = uniform_ball(&wide, 0.5, 1.0);
+        let (lg, rg) = offset_scan_geometries(&wide, 40);
+        let stitched = stitch_offset_scans(
+            &wide,
+            &forward_project(&lg, &ball),
+            &forward_project(&rg, &ball),
+        );
+        // Back-project via the wide geometry (full FDK lives in the core
+        // crate; here a coarse consistency check suffices: the stitched
+        // sinogram peaks at the detector centre like the wide one).
+        let cu = (wide.nu - 1) / 2;
+        let cv = (wide.nv - 1) / 2;
+        let centre = stitched.get(cv, 0, cu);
+        assert!(centre > 0.0);
+        assert!(stitched.get(cv, 0, 0) < centre);
+    }
+
+    #[test]
+    fn blend_is_smooth_across_the_overlap() {
+        // A discontinuity between panels (e.g. gain mismatch) must fade,
+        // not step.
+        let wide = wide_geometry();
+        let mut left = ProjectionStack::zeros(wide.nv, wide.np, 40);
+        let mut right = ProjectionStack::zeros(wide.nv, wide.np, 40);
+        left.data_mut().fill(1.0);
+        right.data_mut().fill(2.0);
+        let stitched = stitch_offset_scans(&wide, &left, &right);
+        let row = stitched.row(0, 0);
+        assert_eq!(row[0], 1.0);
+        assert_eq!(row[wide.nu - 1], 2.0);
+        // Monotone through the overlap, no step larger than the ramp unit.
+        for w in row.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6);
+            assert!(w[1] - w[0] < 0.2, "step {} too large", w[1] - w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must overlap")]
+    fn disjoint_half_scans_rejected() {
+        let wide = wide_geometry();
+        let _ = offset_scan_geometries(&wide, 25);
+    }
+}

@@ -1,0 +1,225 @@
+//! The inter-stage FIFO of Figure 9.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, RecvError, SendError, Sender};
+use parking_lot::Mutex;
+
+/// Occupancy statistics of one queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Total items pushed.
+    pub pushed: u64,
+    /// Total items popped.
+    pub popped: u64,
+    /// High-water mark of queued items.
+    pub peak: u64,
+}
+
+/// A bounded FIFO connecting two pipeline stages, with statistics.
+///
+/// Producers [`push`](Self::push) (blocking when full — the back-pressure
+/// that keeps the load thread from racing ahead of device memory);
+/// consumers [`pop`](Self::pop) until every producer handle is dropped.
+#[derive(Clone)]
+pub struct BoundedQueue<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+    stats: Arc<Mutex<QueueStats>>,
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("len", &self.rx.len())
+            .finish()
+    }
+}
+
+/// The consuming half after [`BoundedQueue::split`].
+pub struct QueuePopper<T> {
+    rx: Receiver<T>,
+    stats: Arc<Mutex<QueueStats>>,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue of the given capacity (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let (tx, rx) = bounded(capacity);
+        BoundedQueue {
+            tx,
+            rx,
+            stats: Arc::new(Mutex::new(QueueStats::default())),
+        }
+    }
+
+    /// Blocking push; returns `Err` if all poppers are gone.
+    pub fn push(&self, item: T) -> Result<(), SendError<T>> {
+        self.tx.send(item)?;
+        let mut s = self.stats.lock();
+        s.pushed += 1;
+        s.peak = s.peak.max(self.rx.len() as u64);
+        Ok(())
+    }
+
+    /// Blocking pop; returns `Err` when the queue is closed **and** empty.
+    pub fn pop(&self) -> Result<T, RecvError> {
+        let item = self.rx.recv()?;
+        self.stats.lock().popped += 1;
+        Ok(item)
+    }
+
+    /// Splits into a producer (self keeps pushing) and a dedicated popper,
+    /// such that dropping every producer clone closes the queue.
+    pub fn split(self) -> (QueueProducer<T>, QueuePopper<T>) {
+        (
+            QueueProducer {
+                tx: self.tx,
+                stats: Arc::clone(&self.stats),
+            },
+            QueuePopper {
+                rx: self.rx,
+                stats: self.stats,
+            },
+        )
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> QueueStats {
+        *self.stats.lock()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+/// The producing half after [`BoundedQueue::split`]. Dropping the last
+/// producer closes the queue (the "stage finished" signal of Figure 9).
+#[derive(Clone)]
+pub struct QueueProducer<T> {
+    tx: Sender<T>,
+    stats: Arc<Mutex<QueueStats>>,
+}
+
+impl<T> QueueProducer<T> {
+    /// Blocking push; returns `Err` if the popper is gone.
+    pub fn push(&self, item: T) -> Result<(), SendError<T>> {
+        self.tx.send(item)?;
+        let mut s = self.stats.lock();
+        s.pushed += 1;
+        s.peak = s.peak.max(self.tx.len() as u64);
+        Ok(())
+    }
+}
+
+impl<T> QueuePopper<T> {
+    /// Blocking pop; `Err` when closed and drained.
+    pub fn pop(&self) -> Result<T, RecvError> {
+        let item = self.rx.recv()?;
+        self.stats.lock().popped += 1;
+        Ok(item)
+    }
+
+    /// Iterates until the queue closes.
+    pub fn drain(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.pop().ok())
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> QueueStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap(), i);
+        }
+        let s = q.stats();
+        assert_eq!((s.pushed, s.popped), (5, 5));
+        assert!(s.peak >= 1);
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure() {
+        let q = BoundedQueue::new(2);
+        let (tx, rx) = q.split();
+        let producer = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.push(i).unwrap();
+            }
+        });
+        // Slow consumer still sees all items in order.
+        let mut got = Vec::new();
+        while let Ok(v) = rx.pop() {
+            got.push(v);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(rx.stats().peak <= 2, "peak {} exceeds capacity", rx.stats().peak);
+    }
+
+    #[test]
+    fn dropping_producers_closes_queue() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let (tx, rx) = q.split();
+        tx.push(1).unwrap();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.push(2).unwrap();
+        drop(tx2);
+        assert_eq!(rx.drain().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(rx.pop().is_err());
+    }
+
+    #[test]
+    fn dropping_popper_errors_pushes() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        let (tx, rx) = q.split();
+        drop(rx);
+        assert!(tx.push(1).is_err());
+    }
+
+    #[test]
+    fn multi_producer_single_consumer_counts() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(4);
+        let (tx, rx) = q.split();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..25 {
+                        tx.push(t * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let got: Vec<_> = rx.drain().collect();
+            assert_eq!(got.len(), 100);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+}

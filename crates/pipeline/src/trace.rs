@@ -1,0 +1,230 @@
+//! Stage-span tracing and the Figure 10 timeline rendering.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One stage execution over one work item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Stage name (e.g. `"load"`, `"bp"`).
+    pub stage: String,
+    /// Work-item (batch) index.
+    pub item: usize,
+    /// Start time in seconds (wall-clock or simulated, caller's choice —
+    /// just be consistent within one collector).
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+}
+
+/// Collects [`Span`]s from any number of stage threads and derives the
+/// overlap metrics of Figure 10. Cheap to clone (shared storage).
+#[derive(Clone, Default)]
+pub struct TraceCollector {
+    spans: Arc<Mutex<Vec<Span>>>,
+}
+
+impl std::fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceCollector({} spans)", self.spans.lock().len())
+    }
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one span.
+    pub fn record(&self, stage: &str, item: usize, start: f64, end: f64) {
+        assert!(end >= start, "span ends before it starts: {stage}[{item}]");
+        self.spans.lock().push(Span {
+            stage: stage.to_string(),
+            item,
+            start,
+            end,
+        });
+    }
+
+    /// All spans, sorted by start time.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut v = self.spans.lock().clone();
+        v.sort_by(|a, b| a.start.total_cmp(&b.start));
+        v
+    }
+
+    /// Stage names in order of first appearance.
+    pub fn stages(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in self.spans() {
+            if !out.contains(&s.stage) {
+                out.push(s.stage.clone());
+            }
+        }
+        out
+    }
+
+    /// Total busy seconds of one stage.
+    pub fn stage_busy(&self, stage: &str) -> f64 {
+        self.spans
+            .lock()
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// End-to-end makespan (max end − min start), 0 if empty.
+    pub fn makespan(&self) -> f64 {
+        let spans = self.spans.lock();
+        let start = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let end = spans.iter().map(|s| s.end).fold(f64::NEG_INFINITY, f64::max);
+        if spans.is_empty() {
+            0.0
+        } else {
+            end - start
+        }
+    }
+
+    /// Overlap efficiency: busiest stage's busy time divided by the
+    /// makespan. 1.0 means the pipeline is perfectly hidden behind its
+    /// bottleneck stage (the ideal the paper's performance model assumes);
+    /// the paper reports ~78 % of peak on average for the measured runs.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let makespan = self.makespan();
+        if makespan <= 0.0 {
+            return 1.0;
+        }
+        let busiest = self
+            .stages()
+            .iter()
+            .map(|st| self.stage_busy(st))
+            .fold(0.0, f64::max);
+        busiest / makespan
+    }
+
+    /// Renders the Figure 10 Gantt view: one row per stage, `width`
+    /// character columns spanning the makespan, `#` where the stage is
+    /// busy.
+    pub fn render_ascii(&self, width: usize) -> String {
+        assert!(width >= 10, "timeline width too small");
+        let spans = self.spans();
+        if spans.is_empty() {
+            return String::from("(no spans)\n");
+        }
+        let t0 = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let t1 = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
+        let dur = (t1 - t0).max(1e-12);
+        let name_w = self
+            .stages()
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(4)
+            .max(5);
+        let mut out = String::new();
+        for stage in self.stages() {
+            let mut row = vec![b' '; width];
+            for s in spans.iter().filter(|s| s.stage == stage) {
+                let a = (((s.start - t0) / dur) * width as f64).floor() as usize;
+                let b = (((s.end - t0) / dur) * width as f64).ceil() as usize;
+                for c in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *c = b'#';
+                }
+            }
+            out.push_str(&format!(
+                "{:>name_w$} |{}|\n",
+                stage,
+                String::from_utf8(row).unwrap()
+            ));
+        }
+        out.push_str(&format!(
+            "{:>name_w$} |0{:>w$}|\n",
+            "t(s)",
+            format!("{:.2}s", dur),
+            w = width - 1
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceCollector {
+        let t = TraceCollector::new();
+        t.record("load", 0, 0.0, 1.0);
+        t.record("bp", 0, 1.0, 3.0);
+        t.record("load", 1, 1.0, 2.0);
+        t.record("bp", 1, 3.0, 5.0);
+        t
+    }
+
+    #[test]
+    fn busy_and_makespan() {
+        let t = sample();
+        assert_eq!(t.stage_busy("load"), 2.0);
+        assert_eq!(t.stage_busy("bp"), 4.0);
+        assert_eq!(t.makespan(), 5.0);
+    }
+
+    #[test]
+    fn overlap_efficiency_is_bottleneck_over_makespan() {
+        let t = sample();
+        assert!((t.overlap_efficiency() - 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_overlap_scores_one() {
+        let t = TraceCollector::new();
+        // One stage saturating the whole run.
+        t.record("bp", 0, 0.0, 2.0);
+        t.record("bp", 1, 2.0, 4.0);
+        t.record("load", 0, 0.0, 0.5);
+        assert!((t.overlap_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stages_keep_first_appearance_order() {
+        let t = sample();
+        assert_eq!(t.stages(), vec!["load".to_string(), "bp".to_string()]);
+    }
+
+    #[test]
+    fn ascii_render_shows_rows_and_marks() {
+        let t = sample();
+        let s = t.render_ascii(40);
+        assert!(s.contains("load |"));
+        assert!(s.contains("bp |") || s.contains("  bp |"));
+        assert!(s.contains('#'));
+        // load busy first 40% of the line roughly.
+        let load_line = s.lines().find(|l| l.trim_start().starts_with("load")).unwrap();
+        let hashes = load_line.matches('#').count();
+        assert!(hashes >= 12 && hashes <= 20, "load hashes {hashes}");
+    }
+
+    #[test]
+    fn empty_collector_is_benign() {
+        let t = TraceCollector::new();
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.overlap_efficiency(), 1.0);
+        assert_eq!(t.render_ascii(20), "(no spans)\n");
+    }
+
+    #[test]
+    fn clones_share_spans() {
+        let t = TraceCollector::new();
+        let t2 = t.clone();
+        t.record("x", 0, 0.0, 1.0);
+        assert_eq!(t2.spans().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_span_rejected() {
+        TraceCollector::new().record("x", 0, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The distributed framework must reproduce the single-node FDK result for
+//! every rank layout — the correctness property behind the whole
+//! decomposition.
+
+use scalefbp::{distributed_reconstruct, fdk_reconstruct, FdkConfig, RankLayout};
+use scalefbp_geom::CbctGeometry;
+use scalefbp_phantom::{forward_project, uniform_ball, Phantom};
+
+fn setup() -> (CbctGeometry, scalefbp_geom::ProjectionStack, scalefbp_geom::Volume) {
+    let geom = CbctGeometry::ideal(24, 32, 48, 40);
+    let phantom = uniform_ball(&geom, 0.55, 1.0);
+    let projections = forward_project(&geom, &phantom);
+    let reference = fdk_reconstruct(&geom, &projections).unwrap();
+    (geom, projections, reference)
+}
+
+#[test]
+fn every_layout_reproduces_the_reference() {
+    let (geom, projections, reference) = setup();
+    for (nr, ng) in [(1, 1), (1, 2), (2, 1), (2, 2), (4, 2), (2, 4), (3, 3)] {
+        let cfg = FdkConfig::new(geom.clone()).with_nc(2);
+        let out = distributed_reconstruct(&cfg, RankLayout::new(nr, ng, 2), &projections, 2)
+            .unwrap_or_else(|e| panic!("nr={nr} ng={ng}: {e}"));
+        let err = reference.max_abs_diff(&out.volume);
+        assert!(err < 3e-4, "nr={nr} ng={ng}: max diff {err}");
+    }
+}
+
+#[test]
+fn volume_only_split_is_bit_identical() {
+    // ng-way volume split with nr=1 never regroups any f32 sum.
+    let (geom, projections, reference) = setup();
+    for ng in [2, 3, 4, 6] {
+        let cfg = FdkConfig::new(geom.clone()).with_nc(2);
+        let out =
+            distributed_reconstruct(&cfg, RankLayout::new(1, ng, 2), &projections, 1).unwrap();
+        assert_eq!(out.volume.data(), reference.data(), "ng={ng}");
+    }
+}
+
+#[test]
+fn node_topology_does_not_change_the_result() {
+    // The hierarchical reduce is a pure regrouping; any ranks-per-node
+    // gives sums within f32 reassociation tolerance.
+    let (geom, projections, reference) = setup();
+    for rpn in [1, 2, 4] {
+        let cfg = FdkConfig::new(geom.clone()).with_nc(2);
+        let out =
+            distributed_reconstruct(&cfg, RankLayout::new(4, 1, 2), &projections, rpn).unwrap();
+        let err = reference.max_abs_diff(&out.volume);
+        assert!(err < 3e-4, "rpn={rpn}: max diff {err}");
+    }
+}
+
+#[test]
+fn network_traffic_scales_with_group_width_not_world_size() {
+    // The segmented collective: widening groups (nr) adds reduce traffic;
+    // adding groups (ng) at fixed nr adds only slab shipping, not
+    // reduction rounds.
+    let (geom, projections, _) = setup();
+    let run = |nr: usize, ng: usize| {
+        let cfg = FdkConfig::new(geom.clone()).with_nc(2);
+        distributed_reconstruct(&cfg, RankLayout::new(nr, ng, 2), &projections, 2)
+            .unwrap()
+            .network
+            .bytes
+    };
+    let narrow = run(1, 4); // no reduction at all
+    let wide = run(4, 1); // 4-rank reduce of the full volume
+    assert!(
+        wide > narrow,
+        "reduction traffic missing: wide {wide} vs narrow {narrow}"
+    );
+    let vol = geom.volume_bytes() as u64;
+    // nr=1,ng=4: only leader→root slabs (3 groups ship, group 0 is root).
+    assert!(narrow <= vol, "narrow {narrow} vs volume {vol}");
+}
+
+#[test]
+fn asymmetric_phantom_survives_distribution() {
+    // A non-centred object: any indexing error between groups would shear
+    // the assembled volume.
+    let geom = CbctGeometry::ideal(24, 32, 48, 40);
+    let r = geom.footprint_radius();
+    let phantom = Phantom::new(vec![
+        scalefbp_phantom::Ellipsoid::sphere([0.3 * r, 0.1 * r, 0.25 * r], 0.2 * r, 1.0),
+        scalefbp_phantom::Ellipsoid::sphere([-0.2 * r, -0.3 * r, -0.3 * r], 0.15 * r, 2.0),
+    ]);
+    let projections = forward_project(&geom, &phantom);
+    let reference = fdk_reconstruct(&geom, &projections).unwrap();
+    let cfg = FdkConfig::new(geom.clone()).with_nc(2);
+    let out = distributed_reconstruct(&cfg, RankLayout::new(2, 3, 2), &projections, 2).unwrap();
+    let err = reference.max_abs_diff(&out.volume);
+    assert!(err < 3e-4, "max diff {err}");
+}
+
+#[test]
+fn work_conservation_across_layouts() {
+    // Total kernel updates are invariant to the decomposition.
+    let (geom, projections, _) = setup();
+    let expected = geom.voxel_updates() as u64;
+    for (nr, ng) in [(1, 1), (2, 2), (4, 2)] {
+        let cfg = FdkConfig::new(geom.clone()).with_nc(2);
+        let out =
+            distributed_reconstruct(&cfg, RankLayout::new(nr, ng, 2), &projections, 2).unwrap();
+        let total: u64 = out.per_rank_kernel.iter().map(|k| k.updates).sum();
+        assert_eq!(total, expected, "nr={nr} ng={ng}");
+    }
+}
