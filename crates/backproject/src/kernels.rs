@@ -198,7 +198,9 @@ mod tests {
         let mut p = ProjectionStack::zeros(g.nv, g.np, g.nu);
         let mut state = 0x2545F4914F6CDD1Du64;
         for px in p.data_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *px = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
         }
         p
@@ -317,10 +319,7 @@ mod tests {
         let mut v = Volume::zeros(g.nx, g.ny, g.nz);
         let stats = backproject_parallel(&stack, &mats, &mut v);
         assert!(v.data().iter().all(|&x| x == 0.0));
-        assert_eq!(
-            stats.updates,
-            (g.nx * g.ny * g.nz * g.np) as u64
-        );
+        assert_eq!(stats.updates, (g.nx * g.ny * g.nz * g.np) as u64);
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl TextureWindow {
     /// Allocates an empty window of height `h` for `np` projections of width
     /// `nu`; `s_offset` records which global projection local index 0 is.
     pub fn new(h: usize, np: usize, nu: usize, s_offset: usize) -> Self {
-        assert!(h > 0 && np > 0 && nu > 0, "window dimensions must be positive");
+        assert!(
+            h > 0 && np > 0 && nu > 0,
+            "window dimensions must be positive"
+        );
         TextureWindow {
             h,
             np,
@@ -97,7 +100,11 @@ impl TextureWindow {
         let n = v_end - v_begin;
         let stride = self.np * self.nu;
         assert_eq!(rows.len(), n * stride, "row block length mismatch");
-        assert!(n <= self.h, "block of {n} rows exceeds ring height {}", self.h);
+        assert!(
+            n <= self.h,
+            "block of {n} rows exceeds ring height {}",
+            self.h
+        );
         let first_write = self.v_lo == self.v_hi;
         if first_write {
             self.v_lo = v_begin;

@@ -42,8 +42,7 @@ fn bench_outofcore(c: &mut Criterion) {
         b.iter(|| {
             let mut out = Volume::zeros(g.nx, g.ny, g.nz);
             for task in decomp.tasks() {
-                let mut window =
-                    TextureWindow::new(task.rows.len().max(1), g.np, g.nu, 0);
+                let mut window = TextureWindow::new(task.rows.len().max(1), g.np, g.nu, 0);
                 window.write_rows(
                     filtered.rows_block(task.rows.begin, task.rows.end),
                     task.rows.begin,

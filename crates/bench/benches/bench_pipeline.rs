@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use scalefbp::{
-    distributed_reconstruct, DeviceSpec, FdkConfig, OutOfCoreReconstructor,
-    PipelinedReconstructor, RankLayout,
+    distributed_reconstruct, DeviceSpec, FdkConfig, OutOfCoreReconstructor, PipelinedReconstructor,
+    RankLayout,
 };
 use scalefbp_geom::CbctGeometry;
 use scalefbp_phantom::{forward_project, uniform_ball};

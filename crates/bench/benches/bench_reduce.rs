@@ -21,15 +21,19 @@ fn bench_flat_vs_hierarchical(c: &mut Criterion) {
                 })
             })
         });
-        group.bench_with_input(BenchmarkId::new("hierarchical_4pn", len), &len, |b, &len| {
-            b.iter(|| {
-                World::run(8, move |mut comm| {
-                    let mut buf = vec![comm.rank() as f32; len];
-                    hierarchical_reduce_sum(&mut comm, 0, &mut buf, 4);
-                    buf[0]
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical_4pn", len),
+            &len,
+            |b, &len| {
+                b.iter(|| {
+                    World::run(8, move |mut comm| {
+                        let mut buf = vec![comm.rank() as f32; len];
+                        hierarchical_reduce_sum(&mut comm, 0, &mut buf, 4).unwrap();
+                        buf[0]
+                    })
                 })
-            })
-        });
+            },
+        );
     }
     group.finish();
 }
@@ -47,7 +51,7 @@ fn bench_segmented_vs_global(c: &mut Criterion) {
         b.iter(|| {
             World::run(8, move |mut comm| {
                 let color = (comm.rank() / 2) as u64;
-                let mut sub = comm.split(color, comm.rank() as i64);
+                let mut sub = comm.split(color, comm.rank() as i64).unwrap();
                 let mut buf = vec![1.0f32; len];
                 sub.reduce_sum_f32(0, &mut buf);
                 buf[0]
@@ -66,5 +70,9 @@ fn bench_segmented_vs_global(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flat_vs_hierarchical, bench_segmented_vs_global);
+criterion_group!(
+    benches,
+    bench_flat_vs_hierarchical,
+    bench_segmented_vs_global
+);
 criterion_main!(benches);

@@ -38,9 +38,7 @@ fn main() {
     // follow the caption's N_r=8 ⇒ N_g=16).
     let bee = DatasetPreset::by_name("bumblebee").unwrap().geometry;
     let b = simulate_distributed(&bee, RankLayout::new(8, 16, 8), &machine);
-    println!(
-        "\nFigure 10b — bumblebee → 4096³ on 128 GPUs (paper: ~35.5 s end-to-end)"
-    );
+    println!("\nFigure 10b — bumblebee → 4096³ on 128 GPUs (paper: ~35.5 s end-to-end)");
     println!(
         "simulated end-to-end: {:.1} s (projected {:.1} s)\n",
         b.measured_secs, b.projected_secs

@@ -12,9 +12,11 @@ use scalefbp_geom::DatasetPreset;
 use scalefbp_iosim::format::{mip_to_pgm, slice_to_pgm};
 use scalefbp_phantom::{bumblebee_like, coffee_bean_like, forward_project, rasterize};
 
+type SceneBuilder = fn(&scalefbp_geom::CbctGeometry) -> scalefbp_phantom::Phantom;
+
 fn main() {
     println!("Figure 11 analogue — dataset-shaped reconstructions for visual inspection\n");
-    let scenes: [(&str, fn(&scalefbp_geom::CbctGeometry) -> scalefbp_phantom::Phantom); 2] = [
+    let scenes: [(&str, SceneBuilder); 2] = [
         ("coffee_bean", coffee_bean_like),
         ("bumblebee", bumblebee_like),
     ];
@@ -31,8 +33,11 @@ fn main() {
             geom.nx,
             vol.rmse(&truth)
         );
-        std::fs::write(format!("fig11_{name}_axial.pgm"), slice_to_pgm(&vol, geom.nz / 2))
-            .unwrap();
+        std::fs::write(
+            format!("fig11_{name}_axial.pgm"),
+            slice_to_pgm(&vol, geom.nz / 2),
+        )
+        .unwrap();
         std::fs::write(format!("fig11_{name}_mip.pgm"), mip_to_pgm(&vol, 1)).unwrap();
         println!("  wrote fig11_{name}_axial.pgm and fig11_{name}_mip.pgm");
     }

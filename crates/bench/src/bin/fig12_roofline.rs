@@ -17,8 +17,11 @@ use scalefbp_perfmodel::roofline::{Roofline, RooflinePoint};
 
 fn main() {
     let roof = Roofline::v100();
-    println!("Figure 12 — roofline on V100 (ceiling {:.1e} FLOP/s, ridge at {:.1} FLOP/byte)",
-        roof.peak_flops, roof.ridge());
+    println!(
+        "Figure 12 — roofline on V100 (ceiling {:.1e} FLOP/s, ridge at {:.1} FLOP/byte)",
+        roof.peak_flops,
+        roof.ridge()
+    );
     println!("paper: AI 40.9 → 2954.7, 4.0 → 4.5 TFLOP/s (≈32.8 % of peak), RTK ≈ same\n");
 
     // Sustained update rates (Table 5's GUPS band): ours vs RTK.

@@ -16,12 +16,19 @@ fn main() {
     println!("GUPS at 1024 GPUs, two orders of magnitude over one GPU)\n");
 
     let series = [
-        ("coffee_bean", 16usize, vec![16, 32, 64, 128, 256, 512, 1024]),
+        (
+            "coffee_bean",
+            16usize,
+            vec![16, 32, 64, 128, 256, 512, 1024],
+        ),
         ("bumblebee", 8, vec![8, 16, 32, 64, 128, 256, 512, 1024]),
         ("tomo_00029", 4, vec![4, 8, 16, 32, 64, 128, 256, 512, 1024]),
     ];
 
-    println!("{:>6} {:>14} {:>14} {:>14}", "GPUs", "coffee_bean", "bumblebee", "tomo_00029");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "GPUs", "coffee_bean", "bumblebee", "tomo_00029"
+    );
     let sweeps: Vec<Vec<(usize, f64)>> = series
         .iter()
         .map(|(name, nr, gpus)| {
@@ -44,7 +51,13 @@ fn main() {
                 .map(|(_, gups)| format!("{gups:.0}"))
                 .unwrap_or_else(|| "-".into())
         };
-        println!("{:>6} {:>14} {:>14} {:>14}", gpus, cell(0), cell(1), cell(2));
+        println!(
+            "{:>6} {:>14} {:>14} {:>14}",
+            gpus,
+            cell(0),
+            cell(1),
+            cell(2)
+        );
     }
 
     // Two-orders-of-magnitude statement from the paper's text.

@@ -33,8 +33,14 @@ fn main() {
     let fbp = fdk_reconstruct(&g, &b).expect("FBP failed");
     let t_fbp = t0.elapsed().as_secs_f64();
     let e_fbp = fbp.rmse(&truth);
-    println!("{:>22} {:>10} {:>12} {:>12}", "method", "iters", "wall (s)", "RMSE");
-    println!("{:>22} {:>10} {:>12.3} {:>12.4}", "FBP (ours)", 1, t_fbp, e_fbp);
+    println!(
+        "{:>22} {:>10} {:>12} {:>12}",
+        "method", "iters", "wall (s)", "RMSE"
+    );
+    println!(
+        "{:>22} {:>10} {:>12.3} {:>12.4}",
+        "FBP (ours)", 1, t_fbp, e_fbp
+    );
 
     // SIRT sweep.
     let mut sirt = Sirt::new(&g, RayMarchConfig::default(), 1.0);
@@ -44,7 +50,11 @@ fn main() {
         while sirt.iterations() < iters {
             sirt.step(&b);
         }
-        t_at.push((iters, t0.elapsed().as_secs_f64(), sirt.estimate().rmse(&truth)));
+        t_at.push((
+            iters,
+            t0.elapsed().as_secs_f64(),
+            sirt.estimate().rmse(&truth),
+        ));
     }
     for (iters, t, e) in &t_at {
         println!("{:>22} {:>10} {:>12.3} {:>12.4}", "SIRT", iters, t, e);
@@ -58,7 +68,11 @@ fn main() {
         while mlem.iterations() < iters {
             mlem.step(&b);
         }
-        m_at.push((iters, t0.elapsed().as_secs_f64(), mlem.estimate().rmse(&truth)));
+        m_at.push((
+            iters,
+            t0.elapsed().as_secs_f64(),
+            mlem.estimate().rmse(&truth),
+        ));
     }
     for (iters, t, e) in &m_at {
         println!("{:>22} {:>10} {:>12.3} {:>12.4}", "MLEM", iters, t, e);

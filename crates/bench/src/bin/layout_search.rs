@@ -30,7 +30,11 @@ fn main() {
         println!("--- {name} (paper uses N_r = {paper_nr}) ---");
         println!("{:>6} {:>6} {:>12}", "N_r", "N_g", "runtime (s)");
         for (layout, secs) in ranked.iter().take(6) {
-            let marker = if layout.nr == paper_nr { "  ← paper" } else { "" };
+            let marker = if layout.nr == paper_nr {
+                "  ← paper"
+            } else {
+                ""
+            };
             println!("{:>6} {:>6} {:>12.2}{marker}", layout.nr, layout.ng, secs);
         }
         let paper_rank = ranked

@@ -44,7 +44,11 @@ fn inpaint(sino: &mut ProjectionStack, mask: &ProjectionStack, threshold: f32) {
                 while u < nu && flags[u] {
                     u += 1;
                 }
-                let left = if start > 0 { row[start - 1] } else { row[u.min(nu - 1)] };
+                let left = if start > 0 {
+                    row[start - 1]
+                } else {
+                    row[u.min(nu - 1)]
+                };
                 let right = if u < nu { row[u] } else { left };
                 let len = u - start;
                 for (o, slot) in row[start..u].iter_mut().enumerate() {

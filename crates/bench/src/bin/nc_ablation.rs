@@ -50,7 +50,10 @@ fn main() {
 
     // Laptop scale (measured): the same sweep with real compute.
     println!("\nmeasured (real compute, tomo_00029 scaled):");
-    println!("{:>5} {:>8} {:>10} {:>12} {:>11}", "N_c", "batches", "rows", "peak dev", "wall (s)");
+    println!(
+        "{:>5} {:>8} {:>10} {:>12} {:>11}",
+        "N_c", "batches", "rows", "peak dev", "wall (s)"
+    );
     let w = MeasuredWorkload::new("tomo_00029", 4);
     for nc in [1usize, 2, 4, 8, 16] {
         let cfg = FdkConfig::new(w.geom.clone())

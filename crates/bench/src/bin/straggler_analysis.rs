@@ -44,6 +44,8 @@ fn main() {
     println!("\nthe wall clock is gated by the slow group under either scheme, but a");
     println!("world-wide collective parks every rank behind the straggler each batch,");
     println!("while the segmented reduce idles only the straggler's own N_r-rank group");
-    println!("— a (N_ranks−1)/N_r ≈ {:.0}× difference in wasted machine time.",
-        (layout.num_ranks() - 1) as f64 / layout.nr as f64);
+    println!(
+        "— a (N_ranks−1)/N_r ≈ {:.0}× difference in wasted machine time.",
+        (layout.num_ranks() - 1) as f64 / layout.nr as f64
+    );
 }

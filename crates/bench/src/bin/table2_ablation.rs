@@ -25,9 +25,18 @@ fn analytic_section() {
         "scheme", "min device", "H2D/GPU", "comm total", "rounds", "out-of-core"
     );
     let rows = [
-        ("ours (2D input, Nr=16)", scheme_costs(&g, Scheme::TwoD { nr: 16, ng: 64 }, 8)),
-        ("iFDK-style (Np only)", scheme_costs(&g, Scheme::NpOnly { nranks: 1024 }, 8)),
-        ("RTK/Lu-style (no split)", scheme_costs(&g, Scheme::NoSplit, 8)),
+        (
+            "ours (2D input, Nr=16)",
+            scheme_costs(&g, Scheme::TwoD { nr: 16, ng: 64 }, 8),
+        ),
+        (
+            "iFDK-style (Np only)",
+            scheme_costs(&g, Scheme::NpOnly { nranks: 1024 }, 8),
+        ),
+        (
+            "RTK/Lu-style (no split)",
+            scheme_costs(&g, Scheme::NoSplit, 8),
+        ),
     ];
     let v100 = DeviceSpec::v100_16gb();
     for (name, c) in rows {

@@ -25,7 +25,17 @@ fn paper_scale_section(device: &DeviceSpec, machine: &MachineParams) {
     println!("\n=== {} (modelled at paper scale) ===", device.name);
     println!(
         "{:>11} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9} {:>5}",
-        "dataset", "output", "T_load", "T_flt", "T_H2D", "T_bp", "T_D2H", "T_store", "T_runtime", "GUPS", "RTK"
+        "dataset",
+        "output",
+        "T_load",
+        "T_flt",
+        "T_H2D",
+        "T_bp",
+        "T_D2H",
+        "T_store",
+        "T_runtime",
+        "GUPS",
+        "RTK"
     );
     let model = PerfModel::new(*machine);
     for name in ["tomo_00030", "tomo_00029"] {
@@ -37,9 +47,8 @@ fn paper_scale_section(device: &DeviceSpec, machine: &MachineParams) {
                 layout: RankLayout::new(1, 1, 8),
             };
             let b = model.batch_times(&shape);
-            let sum = |f: fn(&scalefbp_perfmodel::BatchTimes) -> f64| -> f64 {
-                b.iter().map(f).sum()
-            };
+            let sum =
+                |f: fn(&scalefbp_perfmodel::BatchTimes) -> f64| -> f64 { b.iter().map(f).sum() };
             let runtime = model.runtime(&shape);
             let gups = geom.voxel_updates() as f64 / runtime / 1e9;
             println!(
@@ -54,7 +63,11 @@ fn paper_scale_section(device: &DeviceSpec, machine: &MachineParams) {
                 fmt_secs(sum(|x| x.store)),
                 fmt_secs(runtime),
                 gups,
-                if rtk_feasible(&geom, device) { "ok" } else { "✗" },
+                if rtk_feasible(&geom, device) {
+                    "ok"
+                } else {
+                    "✗"
+                },
             );
         }
     }
@@ -89,7 +102,9 @@ fn measured_section() {
 
 fn main() {
     println!("Table 5 — out-of-core single-GPU evaluation");
-    println!("(paper: V100 achieves 111.6–129.2 GUPS ours / 104.7–113.7 RTK; RTK ✗ beyond 8 GB volumes)");
+    println!(
+        "(paper: V100 achieves 111.6–129.2 GUPS ours / 104.7–113.7 RTK; RTK ✗ beyond 8 GB volumes)"
+    );
     paper_scale_section(&DeviceSpec::v100_16gb(), &MachineParams::abci_v100());
     paper_scale_section(&DeviceSpec::a100_40gb(), &MachineParams::abci_a100());
     measured_section();

@@ -45,7 +45,11 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::MissingCommand => write!(f, "no command given (try `scalefbp help`)"),
             ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
-            ArgError::BadValue { key, value, expected } => {
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "option --{key}: `{value}` is not a valid {expected}")
             }
             ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
@@ -165,8 +169,15 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_flags() {
-        let mut a = parse(&["simulate", "--preset", "tomo_00030", "--noise", "--scale", "3"])
-            .unwrap();
+        let mut a = parse(&[
+            "simulate",
+            "--preset",
+            "tomo_00030",
+            "--noise",
+            "--scale",
+            "3",
+        ])
+        .unwrap();
         assert_eq!(a.command, "simulate");
         assert_eq!(a.opt("preset").as_deref(), Some("tomo_00030"));
         assert!(a.flag("noise"));

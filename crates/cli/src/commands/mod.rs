@@ -4,9 +4,10 @@ use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use scalefbp::{
-    fdk_reconstruct_slab, fdk_reconstruct_with, DeviceSpec, FdkConfig, FilterWindow,
-    OutOfCoreReconstructor, PipelinedReconstructor, RankLayout,
+    fault_tolerant_reconstruct, fdk_reconstruct_slab, fdk_reconstruct_with, DeviceSpec, FdkConfig,
+    FilterWindow, OutOfCoreReconstructor, PipelinedReconstructor, RankLayout,
 };
+use scalefbp_faults::{FaultPlan, FaultScenario, RecoveryEvent};
 use scalefbp_geom::{CbctGeometry, DatasetPreset};
 use scalefbp_iosim::format::{
     decode_projections, decode_volume, encode_projections, encode_volume, geometry_from_text,
@@ -14,8 +15,7 @@ use scalefbp_iosim::format::{
 };
 use scalefbp_perfmodel::{MachineParams, PerfModel, RunShape};
 use scalefbp_phantom::{
-    bead_pile, bumblebee_like, coffee_bean_like, forward_project, uniform_ball, Phantom,
-    PhotonScan,
+    bead_pile, bumblebee_like, coffee_bean_like, forward_project, uniform_ball, Phantom, PhotonScan,
 };
 
 use crate::{Args, CliError};
@@ -68,14 +68,21 @@ fn build_phantom(name: &str, geom: &CbctGeometry) -> Result<Phantom, CliError> {
 
 /// `scalefbp presets`.
 pub fn presets() -> Result<String, CliError> {
-    let mut out = String::from(
-        "name          detector        N_p   output   mag    σ_u     σ_v    σ_cor\n",
-    );
+    let mut out =
+        String::from("name          detector        N_p   output   mag    σ_u     σ_v    σ_cor\n");
     for p in DatasetPreset::all() {
         let g = &p.geometry;
         out.push_str(&format!(
             "{:<13} {:>5}×{:<8} {:>5} {:>6}³ {:>5.2} {:>6} {:>7} {:>8}\n",
-            p.name, g.nu, g.nv, g.np, g.nx, g.magnification(), g.sigma_u, g.sigma_v, g.sigma_cor
+            p.name,
+            g.nu,
+            g.nv,
+            g.np,
+            g.nx,
+            g.magnification(),
+            g.sigma_u,
+            g.sigma_v,
+            g.sigma_cor
         ));
     }
     out.push_str("\nuse --preset NAME --scale LOG2 to shrink for local runs\n");
@@ -158,6 +165,38 @@ pub fn info(args: &mut Args) -> Result<String, CliError> {
     )))
 }
 
+/// Resolves `--fault-seed` / `--fault-plan` into a plan. `scenario` is
+/// used only when generating from a seed; an explicit plan file wins.
+fn parse_fault_plan(
+    args: &mut Args,
+    scenario: &FaultScenario,
+) -> Result<Option<FaultPlan>, CliError> {
+    if let Some(path) = args.opt("fault-plan") {
+        let text = std::fs::read_to_string(&path)?;
+        let plan =
+            FaultPlan::parse(&text).map_err(|e| CliError::Message(format!("{path}: {e}")))?;
+        return Ok(Some(plan));
+    }
+    if let Some(seed) = args.opt("fault-seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| CliError::Message(format!("bad --fault-seed `{seed}`")))?;
+        return Ok(Some(FaultPlan::generate(seed, scenario)));
+    }
+    Ok(None)
+}
+
+fn recovery_summary(events: &[RecoveryEvent]) -> String {
+    if events.is_empty() {
+        return ", no recoveries".to_string();
+    }
+    let mut s = format!(", {} recovery events:", events.len());
+    for e in events {
+        s.push_str(&format!("\n    {e}"));
+    }
+    s
+}
+
 /// `scalefbp reconstruct`.
 pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
     let scan_path = PathBuf::from(args.require("scan")?);
@@ -211,25 +250,72 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                 )
             }
             "pipeline" => {
+                // Single-rank pipeline: only device and storage faults
+                // are meaningful for a generated plan.
+                let plan = parse_fault_plan(
+                    args,
+                    &FaultScenario {
+                        world_size: 1,
+                        max_rank_failures: 0,
+                        message_drops: 0,
+                        message_delays: 0,
+                        device_faults: 2,
+                        io_faults: 2,
+                        op_horizon: 16,
+                    },
+                )?;
                 let cfg = FdkConfig::new(geom.clone())
                     .with_window(window)
                     .with_device(device);
                 let rec = PipelinedReconstructor::new(cfg)
                     .map_err(|e| CliError::Message(e.to_string()))?;
-                let (v, report) = rec
-                    .reconstruct(&projections)
-                    .map_err(|e| CliError::Message(e.to_string()))?;
+                let (v, report) = match &plan {
+                    Some(p) => {
+                        let nvme = scalefbp_iosim::StorageEndpoint::local_nvme(None);
+                        rec.reconstruct_with_faults(&projections, p, 0, Some(&nvme))
+                    }
+                    None => rec.reconstruct(&projections),
+                }
+                .map_err(|e| CliError::Message(e.to_string()))?;
+                let faults = if plan.is_some() {
+                    recovery_summary(&report.recovery)
+                } else {
+                    String::new()
+                };
                 (
                     v,
                     format!(
-                        "threaded pipeline: overlap efficiency {:.0}%",
+                        "threaded pipeline: overlap efficiency {:.0}%{faults}",
                         report.overlap_efficiency * 100.0
+                    ),
+                )
+            }
+            "distributed" => {
+                let nr: usize = args.typed_or("nr", 2, "integer")?;
+                let ng: usize = args.typed_or("ng", 2, "integer")?;
+                let plan = parse_fault_plan(args, &FaultScenario::mixed(nr * ng))?
+                    .unwrap_or_else(FaultPlan::none);
+                let cfg = FdkConfig::new(geom.clone()).with_window(window);
+                let out = fault_tolerant_reconstruct(
+                    &cfg,
+                    RankLayout::new(nr, ng, 2),
+                    &projections,
+                    &plan,
+                )
+                .map_err(|e| CliError::Message(e.to_string()))?;
+                (
+                    out.volume,
+                    format!(
+                        "fault-tolerant distributed: N_r={nr} N_g={ng}, \
+                         {:.1} MB network{}",
+                        out.network.bytes as f64 / 1e6,
+                        recovery_summary(&out.recovery)
                     ),
                 )
             }
             other => {
                 return Err(CliError::Message(format!(
-                    "unknown mode `{other}` (incore | outofcore | pipeline)"
+                    "unknown mode `{other}` (incore | outofcore | pipeline | distributed)"
                 )))
             }
         }

@@ -63,8 +63,12 @@ COMMANDS:
   info        --file x.sfbp     describe a container file
   reconstruct --scan scan.sfbp --geom scan.geom --out vol.sfbp
               [--window ramlak|shepplogan|cosine|hamming|hann]
-              [--mode incore|outofcore|pipeline] [--device v100|a100|tiny:BYTES]
-              [--slab Z0:Z1]
+              [--mode incore|outofcore|pipeline|distributed]
+              [--device v100|a100|tiny:BYTES] [--slab Z0:Z1]
+              [--nr N --ng N]           (distributed rank layout)
+              [--fault-seed N | --fault-plan FILE]
+                  inject a deterministic fault schedule (pipeline and
+                  distributed modes) and recover; prints the recovery log
   slice       --volume vol.sfbp --out img.pgm [--k K | --mip x|y|z]
   model       --preset NAME --gpus N --nr N [--nc 8] [--machine v100|a100]
               project the paper-scale runtime (Eq 17 + DES)
@@ -126,6 +130,9 @@ mod tests {
     #[test]
     fn unknown_option_is_reported() {
         let r = run(["presets".to_string(), "--wat".to_string()]);
-        assert!(matches!(r, Err(CliError::Args(ArgError::UnknownOptions(_)))));
+        assert!(matches!(
+            r,
+            Err(CliError::Args(ArgError::UnknownOptions(_)))
+        ));
     }
 }

@@ -72,14 +72,7 @@ fn simulate_info_reconstruct_slice_roundtrip() {
 fn outofcore_and_pipeline_modes_match_incore() {
     let dir = tmpdir("modes");
     let scan = dir.join("scan.sfbp");
-    call(&[
-        "simulate",
-        "--ideal",
-        "24",
-        "--out",
-        scan.to_str().unwrap(),
-    ])
-    .unwrap();
+    call(&["simulate", "--ideal", "24", "--out", scan.to_str().unwrap()]).unwrap();
 
     let mut volumes = Vec::new();
     for (mode, tag) in [("incore", "a"), ("outofcore", "b"), ("pipeline", "c")] {
@@ -205,7 +198,13 @@ fn helpful_errors() {
     assert!(call(&["reconstruct"]).is_err()); // missing --scan
     assert!(call(&["model", "--preset", "nope", "--gpus", "8", "--nr", "8"]).is_err());
     assert!(call(&[
-        "model", "--preset", "bumblebee", "--gpus", "10", "--nr", "4"
+        "model",
+        "--preset",
+        "bumblebee",
+        "--gpus",
+        "10",
+        "--nr",
+        "4"
     ])
     .is_err()); // not divisible
     let dir = tmpdir("errors");

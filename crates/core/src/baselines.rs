@@ -16,9 +16,7 @@
 
 use scalefbp_backproject::backproject_parallel;
 use scalefbp_filter::FilterPipeline;
-use scalefbp_geom::{
-    CbctGeometry, ProjectionMatrix, ProjectionStack, Volume, VolumeDecomposition,
-};
+use scalefbp_geom::{CbctGeometry, ProjectionMatrix, ProjectionStack, Volume, VolumeDecomposition};
 use scalefbp_gpusim::DeviceSpec;
 use scalefbp_mpisim::{NetworkStats, World};
 
@@ -95,10 +93,8 @@ pub fn scheme_costs(geom: &CbctGeometry, scheme: Scheme, nc: usize) -> SchemeCos
             let h2d = rows_streamed * np_local * geom.nu as u64 * f32b;
             // Segmented reduce: per batch, (nr−1) slab-sized messages over
             // the binomial tree, in every group.
-            let comm = (nr.saturating_sub(1)) as u64
-                * slab
-                * decomp.num_subvolumes() as u64
-                * ng as u64;
+            let comm =
+                (nr.saturating_sub(1)) as u64 * slab * decomp.num_subvolumes() as u64 * ng as u64;
             SchemeCosts {
                 min_device_bytes: window + slab,
                 h2d_bytes_per_gpu: h2d,
@@ -168,7 +164,7 @@ pub fn distributed_np_only(
     assert!(nranks > 0, "need at least one rank");
 
     let window = config.window;
-    let results = World::run(nranks, |mut comm| {
+    let (results, network) = World::run_with_stats(nranks, |mut comm| {
         let r = comm.rank();
         let s0 = r * g.np / nranks;
         let s1 = (r + 1) * g.np / nranks;
@@ -190,17 +186,16 @@ pub fn distributed_np_only(
             for v in vol.data_mut() {
                 *v *= scale;
             }
-            (Some(vol), comm.network_stats())
+            Some(vol)
         } else {
-            (None, comm.network_stats())
+            None
         }
     });
 
-    let network = results.last().map(|r| r.1).unwrap_or_default();
     let volume = results
         .into_iter()
         .next()
-        .and_then(|r| r.0)
+        .flatten()
         .expect("rank 0 must hold the reduced volume");
     Ok((volume, network))
 }
@@ -227,7 +222,11 @@ mod tests {
         // Table 5's ✗: iFDK-style cannot fit a 4096³ volume on a V100.
         let v100 = DeviceSpec::v100_16gb();
         assert!(!ifdk.feasible_on(&v100));
-        assert!(ours.feasible_on(&v100), "ours needs {} B", ours.min_device_bytes);
+        assert!(
+            ours.feasible_on(&v100),
+            "ours needs {} B",
+            ours.min_device_bytes
+        );
     }
 
     #[test]
@@ -285,10 +284,8 @@ mod tests {
     #[test]
     fn runnable_np_only_baseline_matches_fdk() {
         let g = CbctGeometry::ideal(20, 24, 40, 36);
-        let projections = scalefbp_phantom::forward_project(
-            &g,
-            &scalefbp_phantom::uniform_ball(&g, 0.5, 1.0),
-        );
+        let projections =
+            scalefbp_phantom::forward_project(&g, &scalefbp_phantom::uniform_ball(&g, 0.5, 1.0));
         let reference = crate::fdk_reconstruct(&g, &projections).unwrap();
         let cfg = FdkConfig::new(g.clone());
         let (vol, network) = distributed_np_only(&cfg, 4, &projections).unwrap();
@@ -301,10 +298,8 @@ mod tests {
     #[test]
     fn np_only_moves_more_than_ours_at_equal_ranks() {
         let g = CbctGeometry::ideal(20, 24, 40, 36);
-        let projections = scalefbp_phantom::forward_project(
-            &g,
-            &scalefbp_phantom::uniform_ball(&g, 0.5, 1.0),
-        );
+        let projections =
+            scalefbp_phantom::forward_project(&g, &scalefbp_phantom::uniform_ball(&g, 0.5, 1.0));
         let cfg = FdkConfig::new(g.clone()).with_nc(2);
         let (_, ifdk_net) = distributed_np_only(&cfg, 4, &projections).unwrap();
         let ours = crate::distributed_reconstruct(

@@ -4,9 +4,7 @@
 
 use scalefbp_backproject::{backproject_parallel, KernelStats};
 use scalefbp_filter::FilterPipeline;
-use scalefbp_geom::{
-    ProjectionMatrix, ProjectionStack, RankLayout, Volume, VolumeDecomposition,
-};
+use scalefbp_geom::{ProjectionMatrix, ProjectionStack, RankLayout, Volume, VolumeDecomposition};
 use scalefbp_mpisim::{hierarchical_reduce_sum, NetworkStats, World};
 
 use crate::{FdkConfig, ReconstructionError};
@@ -65,7 +63,7 @@ pub fn distributed_reconstruct(
     );
 
     let window = config.window;
-    let results = World::run(layout.num_ranks(), |mut comm| {
+    let (results, network) = World::run_with_stats(layout.num_ranks(), |mut comm| {
         let assign = layout.assignment(g, comm.rank());
         let filter = FilterPipeline::new(g, window);
         let scale = filter.backprojection_scale() as f32;
@@ -73,7 +71,9 @@ pub fn distributed_reconstruct(
         let my_mats = &mats[assign.s_begin..assign.s_end];
 
         // The group communicator: the segmented collective's scope.
-        let mut group_comm = comm.split(assign.group as u64, assign.rank_in_group as i64);
+        let mut group_comm = comm
+            .split(assign.group as u64, assign.rank_in_group as i64)
+            .expect("comm split failed");
 
         let decomp = VolumeDecomposition::new(g, assign.z_begin, assign.z_end, assign.nb);
         let mut kernel = KernelStats::default();
@@ -94,7 +94,8 @@ pub fn distributed_reconstruct(
             kernel.merge(&stats);
 
             // Segmented reduction to the group leader.
-            hierarchical_reduce_sum(&mut group_comm, 0, slab.data_mut(), ranks_per_node);
+            hierarchical_reduce_sum(&mut group_comm, 0, slab.data_mut(), ranks_per_node)
+                .expect("group reduction failed");
             if assign.is_group_leader {
                 for v in slab.data_mut() {
                     *v *= scale;
@@ -129,10 +130,9 @@ pub fn distributed_reconstruct(
         } else {
             None
         };
-        (volume, kernel, comm.network_stats())
+        (volume, kernel)
     });
 
-    let network = results.last().map(|r| r.2).unwrap_or_default();
     let per_rank_kernel = results.iter().map(|r| r.1).collect();
     let volume = results
         .into_iter()
@@ -166,8 +166,7 @@ mod tests {
         let g = geom();
         let p = projections(&g);
         let reference = fdk_reconstruct(&g, &p).unwrap();
-        let out =
-            distributed_reconstruct(&FdkConfig::new(g).with_nc(2), layout, &p, rpn).unwrap();
+        let out = distributed_reconstruct(&FdkConfig::new(g).with_nc(2), layout, &p, rpn).unwrap();
         (reference, out)
     }
 

@@ -1,0 +1,639 @@
+//! Fault-tolerant distributed reconstruction.
+//!
+//! [`distributed_reconstruct`](crate::distributed_reconstruct) assumes a
+//! perfectly reliable world: its group collectives deadlock the moment a
+//! rank dies and its point-to-point receives block forever on a lost
+//! message. This module re-runs the same decomposition under an explicit
+//! failure model ([`scalefbp_faults::FaultPlan`]) with a recovery
+//! protocol built from three ingredients:
+//!
+//! 1. **Chunked point-to-point reduction.** Instead of the hierarchical
+//!    segmented reduce, each worker ships its partial sub-volume (one
+//!    *chunk* per batch) to the group leader, which accumulates chunks in
+//!    a fixed rank order. The fixed order makes the summation bitwise
+//!    reproducible no matter when — or on which surviving rank — a chunk
+//!    was produced.
+//! 2. **Timeout + retry-with-backoff failure detection.** Every awaited
+//!    message has a deadline; deadlines double per attempt. A peer that
+//!    misses all attempts is declared dead and its outstanding work is
+//!    re-queued onto surviving ranks of the same group (workers first,
+//!    the leader as a last resort). Because a lost message and a dead
+//!    sender are indistinguishable to a timeout detector, a dropped chunk
+//!    is handled the same way — recomputation yields identical bits, so
+//!    correctness never depends on telling the two apart.
+//! 3. **Leader takeover.** When a group *leader* dies, the root promotes
+//!    the next surviving rank of that group to deputy leader
+//!    (degrading the leader set), which recomputes and ships the group's
+//!    slabs. With no survivors the root recomputes the group itself.
+//!
+//! Every recovery decision is appended to a [`RecoveryLog`]; with the
+//! same seed (hence the same [`FaultPlan`]) the log is identical across
+//! runs. Rank 0 is the recovery coordinator and must not be targeted by
+//! rank-failure events ([`FaultPlan::generate`] never does).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use scalefbp_backproject::backproject_parallel;
+use scalefbp_faults::{FaultInject, FaultInjector, FaultPlan, RecoveryEvent, RecoveryLog};
+use scalefbp_filter::FilterPipeline;
+use scalefbp_geom::{
+    CbctGeometry, ProjectionMatrix, ProjectionStack, RankLayout, SubVolumeTask, Volume,
+    VolumeDecomposition,
+};
+use scalefbp_mpisim::{CommError, Communicator, NetworkStats, World};
+
+use crate::{FdkConfig, ReconstructionError};
+
+/// Worker → leader partial sub-volume, tag + batch index.
+const CHUNK_TAG: u64 = 20_000;
+/// Recomputed chunk (survivor → leader), tag + batch index.
+const RECHUNK_TAG: u64 = 30_000;
+/// Leader → worker recompute request.
+const CTRL_TAG: u64 = 40_000;
+/// Root → deputy leader takeover order.
+const TAKEOVER_TAG: u64 = 41_000;
+/// Root → everyone: the world is done (reliable control plane).
+const SHUTDOWN_TAG: u64 = 42_000;
+/// Leader → root finished slab, tag + slab z offset.
+const SLAB_TAG: u64 = 7_000;
+/// Deputy → root finished slab after takeover, tag + slab z offset.
+const TAKEOVER_SLAB_TAG: u64 = 50_000;
+
+/// First deadline when a leader awaits a chunk. Must dwarf both one
+/// chunk's compute time and any injected straggler delay, so a timeout
+/// deterministically means the chunk is never coming.
+const CHUNK_TIMEOUT: Duration = Duration::from_millis(500);
+/// First deadline when the root awaits a leader's slab. Must exceed a
+/// leader's worst-case recovery stall (chunk detection + requeue), so a
+/// slow-but-alive leader is never declared dead.
+const SLAB_TIMEOUT: Duration = Duration::from_secs(4);
+/// Attempts before a peer is declared dead; deadline doubles per attempt.
+const MAX_ATTEMPTS: u32 = 2;
+/// Poll interval of the worker serve loop.
+const POLL: Duration = Duration::from_millis(20);
+
+fn backoff(base: Duration, attempt: u32) -> Duration {
+    base * 2u32.pow(attempt)
+}
+
+/// Result of a fault-tolerant distributed run.
+#[derive(Clone, Debug)]
+pub struct FaultTolerantOutcome {
+    /// The assembled volume (gathered at world rank 0).
+    pub volume: Volume,
+    /// Network traffic observed (all ranks, post-join snapshot).
+    pub network: NetworkStats,
+    /// Every recovery action taken, canonically ordered. Deterministic
+    /// for a given fault plan; empty for a fault-free run.
+    pub recovery: Vec<RecoveryEvent>,
+}
+
+/// Shared read-only state of one rank's protocol role.
+struct FtCtx<'a> {
+    g: &'a CbctGeometry,
+    layout: RankLayout,
+    projections: &'a ProjectionStack,
+    filter: &'a FilterPipeline,
+    mats: &'a [ProjectionMatrix],
+    recovery: &'a RecoveryLog,
+    scale: f32,
+}
+
+impl FtCtx<'_> {
+    /// The partial sub-volume rank `j` of `group` owes for `task`:
+    /// its projection share filtered and back-projected onto the batch
+    /// slab. Pure — any rank can recompute any chunk, bit for bit.
+    fn compute_chunk(&self, group: usize, task: &SubVolumeTask, j: usize) -> Volume {
+        let a = self.layout.assignment(self.g, group * self.layout.nr + j);
+        let mut part =
+            self.projections
+                .extract_window(task.rows.begin, task.rows.end, a.s_begin, a.s_end);
+        self.filter.filter_stack(&mut part);
+        let mut slab = Volume::zeros_slab(self.g.nx, self.g.ny, task.nz(), task.z_begin);
+        backproject_parallel(&part, &self.mats[a.s_begin..a.s_end], &mut slab);
+        slab
+    }
+
+    /// A finished (summed + scaled) slab for `task`, recomputed from
+    /// scratch in fixed chunk order — the takeover path.
+    fn recompute_task(&self, group: usize, task: &SubVolumeTask) -> Volume {
+        let mut slab = Volume::zeros_slab(self.g.nx, self.g.ny, task.nz(), task.z_begin);
+        for j in 0..self.layout.nr {
+            let chunk = self.compute_chunk(group, task, j);
+            for (acc, v) in slab.data_mut().iter_mut().zip(chunk.data()) {
+                *acc += *v;
+            }
+        }
+        for v in slab.data_mut() {
+            *v *= self.scale;
+        }
+        slab
+    }
+
+    fn group_decomp(&self, group: usize) -> VolumeDecomposition {
+        let leader = group * self.layout.nr;
+        let a = self.layout.assignment(self.g, leader);
+        VolumeDecomposition::new(self.g, a.z_begin, a.z_end, a.nb)
+    }
+}
+
+/// Runs the paper's distributed reconstruction under the given fault
+/// plan, recovering from injected rank failures, message drops and
+/// stragglers. With `FaultPlan::none()` this is the fault-free baseline
+/// the recovered runs are compared against: recomputed chunks are
+/// bit-identical and summed in the same fixed order, so a recovered
+/// volume equals the fault-free volume bit for bit.
+pub fn fault_tolerant_reconstruct(
+    config: &FdkConfig,
+    layout: RankLayout,
+    projections: &ProjectionStack,
+    plan: &FaultPlan,
+) -> Result<FaultTolerantOutcome, ReconstructionError> {
+    config.validate()?;
+    let g = &config.geometry;
+    if projections.nv() != g.nv || projections.np() != g.np || projections.nu() != g.nu {
+        return Err(ReconstructionError::ShapeMismatch(format!(
+            "projections {}×{}×{} vs geometry {}×{}×{}",
+            projections.nv(),
+            projections.np(),
+            projections.nu(),
+            g.nv,
+            g.np,
+            g.nu
+        )));
+    }
+    assert!(
+        g.nz >= layout.ng,
+        "more groups ({}) than volume slices ({})",
+        layout.ng,
+        g.nz
+    );
+
+    let injector = FaultInjector::new(plan.clone());
+    let recovery = RecoveryLog::new();
+    let window = config.window;
+    let recovery_ref = &recovery;
+    let (results, network) = World::run_with_faults(
+        layout.num_ranks(),
+        injector.clone() as Arc<dyn FaultInject>,
+        |mut comm| {
+            let filter = FilterPipeline::new(g, window);
+            let mats = ProjectionMatrix::full_scan(g);
+            let ctx = FtCtx {
+                g,
+                layout,
+                projections,
+                filter: &filter,
+                mats: &mats,
+                recovery: recovery_ref,
+                scale: filter.backprojection_scale() as f32,
+            };
+            let assign = layout.assignment(g, comm.rank());
+            if comm.rank() == 0 {
+                Some(ft_root(&mut comm, &ctx))
+            } else if assign.is_group_leader {
+                ft_leader(&mut comm, &ctx);
+                None
+            } else {
+                ft_worker(&mut comm, &ctx);
+                None
+            }
+        },
+    );
+
+    let volume = results
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("rank 0 must assemble the volume");
+    Ok(FaultTolerantOutcome {
+        volume,
+        network,
+        recovery: recovery.events(),
+    })
+}
+
+/// Terminal state of a rank killed by injection: consume (and discard)
+/// traffic until the root's shutdown arrives, so no sender ever blocks
+/// on a full mailbox and no late message hits a closed channel.
+fn dead_wait(comm: &mut Communicator) {
+    comm.drain_until(0, SHUTDOWN_TAG);
+}
+
+/// Blocks until the root announces shutdown; any error (including a
+/// fault injected on the delivery itself) simply ends the rank.
+fn shutdown_wait(comm: &mut Communicator) {
+    let _ = comm.recv_timeout(0, SHUTDOWN_TAG, Duration::from_secs(60));
+}
+
+fn ft_worker(comm: &mut Communicator, ctx: &FtCtx) {
+    let assign = ctx.layout.assignment(ctx.g, comm.rank());
+    let leader = assign.group * ctx.layout.nr;
+    let decomp = ctx.group_decomp(assign.group);
+
+    for (b, task) in decomp.tasks().iter().enumerate() {
+        let chunk = ctx.compute_chunk(assign.group, task, assign.rank_in_group);
+        comm.send_f32(leader, CHUNK_TAG + b as u64, chunk.data());
+        if comm.self_failed() {
+            return dead_wait(comm);
+        }
+    }
+
+    // Serve loop: recompute requests from the leader, takeover orders
+    // from the root, until shutdown. Polling never touches the fault
+    // injector (only deliveries do), so op counts stay deterministic.
+    loop {
+        match comm.recv_timeout(leader, CTRL_TAG, POLL) {
+            Ok(payload) => {
+                let (b, j) = decode_ctrl(&payload);
+                let chunk = ctx.compute_chunk(assign.group, &decomp.tasks()[b], j);
+                comm.send_f32(leader, RECHUNK_TAG + b as u64, chunk.data());
+                if comm.self_failed() {
+                    return dead_wait(comm);
+                }
+            }
+            Err(CommError::Timeout { .. }) => {}
+            Err(_) => return dead_wait(comm),
+        }
+        match comm.recv_timeout(0, TAKEOVER_TAG, POLL) {
+            Ok(payload) => {
+                let group = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+                ft_takeover(comm, ctx, group);
+                if comm.self_failed() {
+                    return dead_wait(comm);
+                }
+            }
+            Err(CommError::Timeout { .. }) => {}
+            Err(_) => return dead_wait(comm),
+        }
+        match comm.recv_timeout(0, SHUTDOWN_TAG, POLL) {
+            Ok(_) => return,
+            Err(CommError::Timeout { .. }) => {}
+            Err(_) => return dead_wait(comm),
+        }
+    }
+}
+
+/// Deputy-leader path: recompute the whole group's slabs (every chunk,
+/// fixed order — bitwise identical to what the dead leader would have
+/// produced) and ship them to the root.
+fn ft_takeover(comm: &mut Communicator, ctx: &FtCtx, group: usize) {
+    let decomp = ctx.group_decomp(group);
+    for task in decomp.tasks() {
+        let slab = ctx.recompute_task(group, task);
+        comm.send_f32(0, TAKEOVER_SLAB_TAG + task.z_begin as u64, slab.data());
+    }
+}
+
+/// Group-leader collection: gather every batch's chunks from the group's
+/// workers (detecting dead ones), requeue missing chunks onto survivors,
+/// then sum in fixed rank order and scale. `None` means this leader was
+/// itself killed mid-collection.
+fn ft_collect_group_as_leader(
+    comm: &mut Communicator,
+    ctx: &FtCtx,
+    group: usize,
+) -> Option<Vec<Volume>> {
+    let me = comm.rank();
+    let nr = ctx.layout.nr;
+    let decomp = ctx.group_decomp(group);
+    let tasks = decomp.tasks();
+    let mut chunks: Vec<Vec<Option<Vec<f32>>>> = vec![vec![None; nr]; tasks.len()];
+    let mut dead: BTreeSet<usize> = BTreeSet::new();
+
+    // Phase 1: own chunks + collection with failure detection.
+    for (b, task) in tasks.iter().enumerate() {
+        for (j, slot) in chunks[b].iter_mut().enumerate() {
+            if j == 0 {
+                *slot = Some(ctx.compute_chunk(group, task, 0).data().to_vec());
+                continue;
+            }
+            if dead.contains(&j) {
+                continue; // requeued in phase 2
+            }
+            let from = group * nr + j;
+            let mut attempt = 0u32;
+            loop {
+                match comm.recv_f32_timeout(
+                    from,
+                    CHUNK_TAG + b as u64,
+                    backoff(CHUNK_TIMEOUT, attempt),
+                ) {
+                    Ok(data) => {
+                        *slot = Some(data);
+                        break;
+                    }
+                    Err(CommError::Timeout { .. }) => {
+                        attempt += 1;
+                        ctx.recovery.record(RecoveryEvent::MessageRetry {
+                            rank: me,
+                            peer: from,
+                            attempt,
+                        });
+                        if attempt >= MAX_ATTEMPTS {
+                            dead.insert(j);
+                            ctx.recovery.record(RecoveryEvent::RankDeclaredDead {
+                                group,
+                                rank: from,
+                                detected_by: me,
+                            });
+                            break;
+                        }
+                    }
+                    Err(_) => return None,
+                }
+            }
+        }
+    }
+
+    // Phase 2: requeue every missing chunk onto a surviving rank of the
+    // group — the next live worker after the dead one in cyclic order,
+    // falling back to this leader.
+    for (b, task) in tasks.iter().enumerate() {
+        for (j, slot) in chunks[b].iter_mut().enumerate().skip(1) {
+            if slot.is_some() {
+                continue;
+            }
+            let from_world = group * nr + j;
+            let mut data = None;
+            if let Some(t) = next_survivor(j, nr, &dead) {
+                let target = group * nr + t;
+                ctx.recovery.record(RecoveryEvent::WorkRequeued {
+                    group,
+                    from_rank: from_world,
+                    to_rank: target,
+                    chunk: b,
+                });
+                comm.send(target, CTRL_TAG, encode_ctrl(b, j));
+                let mut attempt = 0u32;
+                loop {
+                    match comm.recv_f32_timeout(
+                        target,
+                        RECHUNK_TAG + b as u64,
+                        backoff(CHUNK_TIMEOUT, attempt),
+                    ) {
+                        Ok(d) => {
+                            data = Some(d);
+                            break;
+                        }
+                        Err(CommError::Timeout { .. }) => {
+                            attempt += 1;
+                            ctx.recovery.record(RecoveryEvent::MessageRetry {
+                                rank: me,
+                                peer: target,
+                                attempt,
+                            });
+                            if attempt >= MAX_ATTEMPTS {
+                                dead.insert(t);
+                                ctx.recovery.record(RecoveryEvent::RankDeclaredDead {
+                                    group,
+                                    rank: target,
+                                    detected_by: me,
+                                });
+                                break;
+                            }
+                        }
+                        Err(_) => return None,
+                    }
+                }
+            }
+            let data = data.unwrap_or_else(|| {
+                // No surviving worker could take it: the leader is the
+                // group's last survivor and recomputes locally.
+                ctx.recovery.record(RecoveryEvent::WorkRequeued {
+                    group,
+                    from_rank: from_world,
+                    to_rank: me,
+                    chunk: b,
+                });
+                ctx.compute_chunk(group, task, j).data().to_vec()
+            });
+            *slot = Some(data);
+        }
+    }
+
+    // Phase 3: fixed-order summation + scaling. The order never depends
+    // on arrival or recovery history, so results are bitwise stable.
+    let mut finished = Vec::with_capacity(tasks.len());
+    for (b, task) in tasks.iter().enumerate() {
+        let mut slab = Volume::zeros_slab(ctx.g.nx, ctx.g.ny, task.nz(), task.z_begin);
+        for chunk in &chunks[b] {
+            let data = chunk.as_ref().expect("every chunk was recovered");
+            for (acc, v) in slab.data_mut().iter_mut().zip(data) {
+                *acc += *v;
+            }
+        }
+        for v in slab.data_mut() {
+            *v *= ctx.scale;
+        }
+        finished.push(slab);
+    }
+    Some(finished)
+}
+
+/// The next surviving worker after `j` in cyclic group order (never the
+/// leader — slot 0 — which is the explicit fallback).
+fn next_survivor(j: usize, nr: usize, dead: &BTreeSet<usize>) -> Option<usize> {
+    (1..nr)
+        .map(|step| 1 + (j - 1 + step) % (nr - 1))
+        .find(|t| !dead.contains(t))
+}
+
+fn ft_leader(comm: &mut Communicator, ctx: &FtCtx) {
+    let assign = ctx.layout.assignment(ctx.g, comm.rank());
+    match ft_collect_group_as_leader(comm, ctx, assign.group) {
+        Some(finished) => {
+            for slab in &finished {
+                comm.send_f32(0, SLAB_TAG + slab.z_offset() as u64, slab.data());
+            }
+            if comm.self_failed() {
+                return dead_wait(comm);
+            }
+            shutdown_wait(comm);
+        }
+        None => dead_wait(comm),
+    }
+}
+
+fn ft_root(comm: &mut Communicator, ctx: &FtCtx) -> Volume {
+    // Rank 0 leads group 0 itself.
+    let own = ft_collect_group_as_leader(comm, ctx, 0)
+        .expect("rank 0 must not be a fault target (it is the recovery coordinator)");
+    let mut out = Volume::zeros(ctx.g.nx, ctx.g.ny, ctx.g.nz);
+    for slab in &own {
+        out.paste_slab(slab);
+    }
+    for group in 1..ctx.layout.ng {
+        for slab in ft_collect_group_slabs(comm, ctx, group) {
+            out.paste_slab(&slab);
+        }
+    }
+    // Reliable shutdown to every rank, dead or alive.
+    for r in 1..comm.size() {
+        comm.send_control(r, SHUTDOWN_TAG, vec![0]);
+    }
+    out
+}
+
+/// Root-side collection of one remote group's finished slabs, degrading
+/// through the group's leader set: original leader → deputies in rank
+/// order → the root itself.
+fn ft_collect_group_slabs(comm: &mut Communicator, ctx: &FtCtx, group: usize) -> Vec<Volume> {
+    let nr = ctx.layout.nr;
+    let leader = group * nr;
+    let decomp = ctx.group_decomp(group);
+    let tasks = decomp.tasks();
+
+    let mut provider = leader;
+    let mut tag_base = SLAB_TAG;
+    loop {
+        match try_collect_slabs(comm, ctx, group, provider, tag_base, tasks) {
+            Some(slabs) => return slabs,
+            None => {
+                let next = provider + 1;
+                if next >= leader + nr {
+                    // Leader set exhausted: the root recomputes the group.
+                    ctx.recovery.record(RecoveryEvent::LeaderSetDegraded {
+                        group,
+                        dead_leader: provider,
+                        new_leader: 0,
+                    });
+                    return tasks
+                        .iter()
+                        .enumerate()
+                        .map(|(b, task)| {
+                            ctx.recovery.record(RecoveryEvent::WorkRequeued {
+                                group,
+                                from_rank: provider,
+                                to_rank: 0,
+                                chunk: b,
+                            });
+                            ctx.recompute_task(group, task)
+                        })
+                        .collect();
+                }
+                ctx.recovery.record(RecoveryEvent::LeaderSetDegraded {
+                    group,
+                    dead_leader: provider,
+                    new_leader: next,
+                });
+                comm.send(next, TAKEOVER_TAG, (group as u32).to_le_bytes().to_vec());
+                provider = next;
+                tag_base = TAKEOVER_SLAB_TAG;
+            }
+        }
+    }
+}
+
+/// Collects all of a group's slabs from one provider; `None` once the
+/// provider is declared dead (recorded), discarding any partial slabs —
+/// the successor resends the full set, bit-identical.
+fn try_collect_slabs(
+    comm: &mut Communicator,
+    ctx: &FtCtx,
+    group: usize,
+    provider: usize,
+    tag_base: u64,
+    tasks: &[SubVolumeTask],
+) -> Option<Vec<Volume>> {
+    let mut slabs = Vec::with_capacity(tasks.len());
+    for task in tasks {
+        let mut attempt = 0u32;
+        let data = loop {
+            match comm.recv_f32_timeout(
+                provider,
+                tag_base + task.z_begin as u64,
+                backoff(SLAB_TIMEOUT, attempt),
+            ) {
+                Ok(d) => break d,
+                Err(CommError::Timeout { .. }) => {
+                    attempt += 1;
+                    ctx.recovery.record(RecoveryEvent::MessageRetry {
+                        rank: 0,
+                        peer: provider,
+                        attempt,
+                    });
+                    if attempt >= MAX_ATTEMPTS {
+                        ctx.recovery.record(RecoveryEvent::RankDeclaredDead {
+                            group,
+                            rank: provider,
+                            detected_by: 0,
+                        });
+                        return None;
+                    }
+                }
+                Err(e) => panic!("root receive failed: {e}"),
+            }
+        };
+        let mut slab = Volume::zeros_slab(ctx.g.nx, ctx.g.ny, task.nz(), task.z_begin);
+        slab.data_mut().copy_from_slice(&data);
+        slabs.push(slab);
+    }
+    Some(slabs)
+}
+
+fn encode_ctrl(b: usize, j: usize) -> Vec<u8> {
+    let mut p = (b as u32).to_le_bytes().to_vec();
+    p.extend_from_slice(&(j as u32).to_le_bytes());
+    p
+}
+
+fn decode_ctrl(payload: &[u8]) -> (usize, usize) {
+    let b = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+    let j = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
+    (b, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fdk_reconstruct;
+    use scalefbp_phantom::{forward_project, uniform_ball};
+
+    #[test]
+    fn fault_free_run_matches_reference() {
+        let _serial = crate::TIMING_TEST_LOCK.lock();
+        let g = CbctGeometry::ideal(16, 16, 24, 20);
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let reference = fdk_reconstruct(&g, &p).unwrap();
+        let out = fault_tolerant_reconstruct(
+            &FdkConfig::new(g).with_nc(2),
+            RankLayout::new(2, 2, 2),
+            &p,
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert!(out.recovery.is_empty());
+        let err = reference.max_abs_diff(&out.volume);
+        assert!(err < 2e-4, "max diff {err}");
+    }
+
+    #[test]
+    fn fault_free_single_group_is_bitwise() {
+        let _serial = crate::TIMING_TEST_LOCK.lock();
+        // nr = 1: one chunk per batch, no reduction regrouping at all.
+        let g = CbctGeometry::ideal(16, 16, 24, 20);
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let reference = fdk_reconstruct(&g, &p).unwrap();
+        let out = fault_tolerant_reconstruct(
+            &FdkConfig::new(g).with_nc(2),
+            RankLayout::new(1, 2, 2),
+            &p,
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(out.volume.data(), reference.data());
+    }
+
+    #[test]
+    fn next_survivor_cycles_and_skips_dead() {
+        let dead: BTreeSet<usize> = [2].into_iter().collect();
+        assert_eq!(next_survivor(2, 4, &dead), Some(3));
+        assert_eq!(next_survivor(3, 4, &dead), Some(1));
+        let all: BTreeSet<usize> = [1, 2, 3].into_iter().collect();
+        assert_eq!(next_survivor(1, 4, &all), None);
+        assert_eq!(next_survivor(1, 1, &BTreeSet::new()), None);
+    }
+}

@@ -61,9 +61,17 @@
 //! assert!((c - 1.0).abs() < 0.25, "centre {c}");
 //! ```
 
+/// Serialises tests whose assertions depend on wall-clock behaviour
+/// (stage overlap, failure-detection timeouts) against each other, so
+/// thread-pool contention from a concurrently running world cannot turn
+/// a timing margin into a spurious failure.
+#[cfg(test)]
+pub(crate) static TIMING_TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
 pub mod baselines;
 mod config;
 mod distributed;
+mod fault_tolerant;
 mod fdk;
 mod outofcore;
 mod pipelined;
@@ -72,9 +80,10 @@ pub mod timing;
 
 pub use config::{FdkConfig, ReconstructionError};
 pub use distributed::{distributed_reconstruct, DistributedOutcome};
+pub use fault_tolerant::{fault_tolerant_reconstruct, FaultTolerantOutcome};
 pub use fdk::{fdk_reconstruct, fdk_reconstruct_slab, fdk_reconstruct_with};
 pub use outofcore::{OutOfCoreReconstructor, OutOfCoreReport};
-pub use pipelined::{PipelinedReconstructor, PipelineReport};
+pub use pipelined::{PipelineReport, PipelinedReconstructor};
 pub use shortscan::fdk_reconstruct_short_scan;
 
 /// Re-exports of every substrate crate.

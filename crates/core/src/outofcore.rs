@@ -246,7 +246,11 @@ mod tests {
         let rec = OutOfCoreReconstructor::new(cfg).unwrap();
         assert!(rec.nb() < g.nz, "expected an actual out-of-core plan");
         let (vol, report) = rec.reconstruct(&p).unwrap();
-        assert_eq!(vol.data(), reference.data(), "out-of-core must be bit-identical");
+        assert_eq!(
+            vol.data(),
+            reference.data(),
+            "out-of-core must be bit-identical"
+        );
         assert!(report.wall_secs > 0.0);
     }
 
@@ -319,7 +323,10 @@ mod tests {
         let p = projections(&g);
         let vol_bytes = g.volume_bytes() as u64;
         let budget = g.projection_bytes() as u64 + vol_bytes / 4;
-        assert!(budget < vol_bytes, "test setup: device must be smaller than the output");
+        assert!(
+            budget < vol_bytes,
+            "test setup: device must be smaller than the output"
+        );
         let rec = OutOfCoreReconstructor::new(tiny_device_config(&g, budget)).unwrap();
         let (vol, report) = rec.reconstruct(&p).unwrap();
         assert_eq!(vol.len() * 4, vol_bytes as usize);

@@ -120,8 +120,7 @@ pub fn fdk_reconstruct_short_scan(
     // Parker-weight, then ramp-filter, every row.
     let mut filtered = projections.clone();
     for v in 0..geom.nv {
-        for s in 0..geom.np {
-            let w = &weights[s];
+        for (s, w) in weights.iter().enumerate() {
             let row = filtered.row_mut(v, s);
             for (px, &wu) in row.iter_mut().zip(w) {
                 *px *= wu;
@@ -191,12 +190,9 @@ mod tests {
             for beta in [0.05, 0.3, 1.0, 2.0] {
                 let comp_beta = beta + std::f64::consts::PI - 2.0 * gamma;
                 if comp_beta <= std::f64::consts::PI + 2.0 * delta {
-                    let sum = parker_weight(beta, gamma, delta)
-                        + parker_weight(comp_beta, -gamma, delta);
-                    assert!(
-                        (sum - 1.0).abs() < 1e-9,
-                        "β={beta} γ={gamma}: sum {sum}"
-                    );
+                    let sum =
+                        parker_weight(beta, gamma, delta) + parker_weight(comp_beta, -gamma, delta);
+                    assert!((sum - 1.0).abs() < 1e-9, "β={beta} γ={gamma}: sum {sum}");
                 }
             }
         }

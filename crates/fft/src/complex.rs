@@ -162,7 +162,10 @@ mod tests {
         let a = Complex::new(1.5, 2.0);
         let b = Complex::new(-0.5, 3.0);
         let p = a * b;
-        assert!(close(p, Complex::new(1.5 * -0.5 - 2.0 * 3.0, 1.5 * 3.0 + 2.0 * -0.5)));
+        assert!(close(
+            p,
+            Complex::new(1.5 * -0.5 - 2.0 * 3.0, 1.5 * 3.0 + 2.0 * -0.5)
+        ));
     }
 
     #[test]

@@ -59,9 +59,16 @@ pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if the lengths differ or are not a power of two.
 pub fn circular_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
-    assert_eq!(a.len(), b.len(), "circular convolution requires equal lengths");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "circular convolution requires equal lengths"
+    );
     let n = a.len();
-    assert!(n.is_power_of_two(), "circular convolution length must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "circular convolution length must be a power of two"
+    );
     let plan = FftPlan::new(n);
     let mut fa: Vec<Complex> = a.iter().map(|&v| Complex::from_real(v)).collect();
     let mut fb: Vec<Complex> = b.iter().map(|&v| Complex::from_real(v)).collect();
@@ -80,7 +87,10 @@ mod tests {
 
     fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
         assert_eq!(a.len(), b.len());
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -101,7 +111,10 @@ mod tests {
     #[test]
     fn direct_matches_hand_computed() {
         // (1 + 2x)·(3 + 4x) = 3 + 10x + 8x².
-        assert_eq!(convolve_direct(&[1.0, 2.0], &[3.0, 4.0]), vec![3.0, 10.0, 8.0]);
+        assert_eq!(
+            convolve_direct(&[1.0, 2.0], &[3.0, 4.0]),
+            vec![3.0, 10.0, 8.0]
+        );
     }
 
     #[test]

@@ -36,11 +36,14 @@ impl FftPlan {
     /// # Panics
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n > 0 && n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        assert!(
+            n > 0 && n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
         let bits = n.trailing_zeros();
         let mut rev = vec![0u32; n];
-        for i in 0..n {
-            rev[i] = (i as u32).reverse_bits() >> (32 - bits.max(1));
+        for (i, r) in rev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - bits.max(1));
         }
         if n == 1 {
             rev[0] = 0;
@@ -270,7 +273,9 @@ mod tests {
         let n = 128;
         let plan = FftPlan::new(n);
         let a = ramp(n);
-        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.5)).collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), 0.5))
+            .collect();
         let mut fa = a.clone();
         let mut fb = b.clone();
         plan.forward(&mut fa);

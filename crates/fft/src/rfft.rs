@@ -91,7 +91,11 @@ impl RealFftPlan {
     /// to `len()` real samples. Includes the `1/n` normalisation, so
     /// `inverse(forward(x)) == x` up to rounding.
     pub fn inverse(&self, spectrum: &[Complex]) -> Vec<f64> {
-        assert_eq!(spectrum.len(), self.spectrum_len(), "spectrum length mismatch");
+        assert_eq!(
+            spectrum.len(),
+            self.spectrum_len(),
+            "spectrum length mismatch"
+        );
         let half = self.n / 2;
 
         // Re-tangle into the half-length complex spectrum:

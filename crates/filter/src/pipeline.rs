@@ -203,7 +203,12 @@ mod tests {
         ram.filter_row(&mut a, g.nv / 2);
         hann.filter_row(&mut b, g.nv / 2);
         let energy = |r: &[f32]| -> f32 { r.iter().map(|x| x * x).sum() };
-        assert!(energy(&b) < energy(&a) * 0.05, "{} vs {}", energy(&b), energy(&a));
+        assert!(
+            energy(&b) < energy(&a) * 0.05,
+            "{} vs {}",
+            energy(&b),
+            energy(&a)
+        );
     }
 
     #[test]

@@ -73,12 +73,8 @@ mod tests {
         let cu = 0.5 * (g.nu as f64 - 1.0);
         let cv = 0.5 * (g.nv as f64 - 1.0);
         for d in [1.0, 5.5, 20.0] {
-            assert!(
-                (cosine_weight(&g, cu + d, cv) - cosine_weight(&g, cu - d, cv)).abs() < 1e-12
-            );
-            assert!(
-                (cosine_weight(&g, cu, cv + d) - cosine_weight(&g, cu, cv - d)).abs() < 1e-12
-            );
+            assert!((cosine_weight(&g, cu + d, cv) - cosine_weight(&g, cu - d, cv)).abs() < 1e-12);
+            assert!((cosine_weight(&g, cu, cv + d) - cosine_weight(&g, cu, cv - d)).abs() < 1e-12);
         }
     }
 }

@@ -57,6 +57,7 @@ impl DatasetPreset {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn preset(
     name: &'static str,
     provenance: &'static str,
@@ -253,7 +254,9 @@ mod tests {
     #[test]
     fn all_presets_validate_at_paper_scale() {
         for d in DatasetPreset::all() {
-            d.geometry.validate().unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            d.geometry
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", d.name));
         }
     }
 

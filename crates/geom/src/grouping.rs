@@ -72,7 +72,10 @@ pub(crate) fn even_split(total: usize, parts: usize, idx: usize) -> (usize, usiz
 impl RankLayout {
     /// Creates a layout; `nc` batches per group (the paper fixes `N_c = 8`).
     pub fn new(nr: usize, ng: usize, nc: usize) -> Self {
-        assert!(nr > 0 && ng > 0 && nc > 0, "layout factors must be positive");
+        assert!(
+            nr > 0 && ng > 0 && nc > 0,
+            "layout factors must be positive"
+        );
         RankLayout { nr, ng, nc }
     }
 
@@ -92,7 +95,11 @@ impl RankLayout {
     /// # Panics
     /// Panics if `rank >= num_ranks()`.
     pub fn assignment(&self, geom: &CbctGeometry, rank: usize) -> RankAssignment {
-        assert!(rank < self.num_ranks(), "rank {rank} out of {}", self.num_ranks());
+        assert!(
+            rank < self.num_ranks(),
+            "rank {rank} out of {}",
+            self.num_ranks()
+        );
         let group = rank / self.nr;
         let rank_in_group = rank % self.nr;
         let (z_begin, z_end) = self.group_slices(geom, group);

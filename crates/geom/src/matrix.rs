@@ -60,8 +60,8 @@ impl Mat4x4 {
     pub fn mul(&self, rhs: &Mat4x4) -> Mat4x4 {
         let mut out = [[0.0; 4]; 4];
         for (r, row) in self.0.iter().enumerate() {
-            for c in 0..4 {
-                out[r][c] = dot4(row, &rhs.col(c));
+            for (c, o) in out[r].iter_mut().enumerate() {
+                *o = dot4(row, &rhs.col(c));
             }
         }
         Mat4x4(out)
@@ -83,8 +83,8 @@ impl Mat3x4 {
     pub fn mul4(&self, rhs: &Mat4x4) -> Mat3x4 {
         let mut out = [[0.0; 4]; 3];
         for (r, row) in self.0.iter().enumerate() {
-            for c in 0..4 {
-                out[r][c] = dot4(row, &rhs.col(c));
+            for (c, o) in out[r].iter_mut().enumerate() {
+                *o = dot4(row, &rhs.col(c));
             }
         }
         Mat3x4(out)
@@ -94,7 +94,11 @@ impl Mat3x4 {
     /// un-normalised `[xh, yh, z]`.
     #[inline]
     pub fn apply(&self, v: &Vec4) -> [f64; 3] {
-        [dot4(&self.0[0], v), dot4(&self.0[1], v), dot4(&self.0[2], v)]
+        [
+            dot4(&self.0[0], v),
+            dot4(&self.0[1], v),
+            dot4(&self.0[2], v),
+        ]
     }
 }
 

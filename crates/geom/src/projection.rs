@@ -35,13 +35,7 @@ impl ProjectionStack {
 
     /// Allocates a zero-filled partial stack covering global detector rows
     /// `[v_offset, v_offset+nv)` and projections `[s_offset, s_offset+np)`.
-    pub fn zeros_window(
-        nv: usize,
-        np: usize,
-        nu: usize,
-        v_offset: usize,
-        s_offset: usize,
-    ) -> Self {
+    pub fn zeros_window(nv: usize, np: usize, nu: usize, v_offset: usize, s_offset: usize) -> Self {
         ProjectionStack {
             v_offset,
             s_offset,
@@ -145,7 +139,10 @@ impl ProjectionStack {
     /// The contiguous block of local detector rows `[v_begin, v_end)` across
     /// all held projections — the unit of the H2D copies in Algorithm 3.
     pub fn rows_block(&self, v_begin: usize, v_end: usize) -> &[f32] {
-        assert!(v_begin <= v_end && v_end <= self.nv, "row block out of range");
+        assert!(
+            v_begin <= v_end && v_end <= self.nv,
+            "row block out of range"
+        );
         let stride = self.np * self.nu;
         &self.data[v_begin * stride..v_end * stride]
     }

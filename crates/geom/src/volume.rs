@@ -149,7 +149,11 @@ impl Volume {
     /// Element-wise accumulation of another volume of identical shape
     /// (the reduction operator of the segmented `MPI_Reduce`).
     pub fn accumulate(&mut self, other: &Volume) {
-        assert_eq!(self.data.len(), other.data.len(), "shape mismatch in accumulate");
+        assert_eq!(
+            self.data.len(),
+            other.data.len(),
+            "shape mismatch in accumulate"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use scalefbp_faults::{Channel, FaultInject, FaultKind, NoFaults};
 
 use crate::DeviceSpec;
 
@@ -11,12 +12,21 @@ use crate::DeviceSpec;
 pub enum DeviceError {
     /// An allocation would exceed the device memory capacity — the failure
     /// mode of the non-out-of-core baselines in Table 5 (RTK cannot build
-    /// volumes beyond 8 GB on a 16 GB V100).
+    /// volumes beyond 8 GB on a 16 GB V100). Also injectable as a
+    /// *transient* fault, in which case a retry succeeds.
     OutOfMemory {
         /// Bytes requested.
         requested: u64,
         /// Bytes currently free.
         free: u64,
+    },
+    /// A host↔device copy failed transiently (injected fault; the
+    /// simulated hardware has no spontaneous transfer errors).
+    TransferError {
+        /// Which transfer direction failed (`"h2d"` or `"d2h"`).
+        op: &'static str,
+        /// Bytes the failed transfer carried.
+        bytes: u64,
     },
 }
 
@@ -24,7 +34,13 @@ impl std::fmt::Display for DeviceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeviceError::OutOfMemory { requested, free } => {
-                write!(f, "device out of memory: requested {requested} B, free {free} B")
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B, free {free} B"
+                )
+            }
+            DeviceError::TransferError { op, bytes } => {
+                write!(f, "device {op} transfer of {bytes} B failed")
             }
         }
     }
@@ -67,6 +83,11 @@ struct Inner {
 #[derive(Clone)]
 pub struct Device {
     inner: Arc<Mutex<Inner>>,
+    /// Fault hook consulted by allocations and transfers; `NoFaults`
+    /// unless the device was built with [`Device::with_injector`].
+    injector: Arc<dyn FaultInject>,
+    /// World rank this device belongs to (the fault plan's site address).
+    rank: usize,
 }
 
 /// An RAII device-memory allocation; freed (and returned to the device's
@@ -86,7 +107,9 @@ impl DeviceBuffer {
 
 impl std::fmt::Debug for DeviceBuffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DeviceBuffer").field("bytes", &self.bytes).finish()
+        f.debug_struct("DeviceBuffer")
+            .field("bytes", &self.bytes)
+            .finish()
     }
 }
 
@@ -110,12 +133,20 @@ impl std::fmt::Debug for Device {
 impl Device {
     /// Creates a device of the given spec.
     pub fn new(spec: DeviceSpec) -> Self {
+        Self::with_injector(spec, Arc::new(NoFaults), 0)
+    }
+
+    /// Creates a device whose allocations and transfers consult a fault
+    /// injector, addressed as `rank` in the fault plan.
+    pub fn with_injector(spec: DeviceSpec, injector: Arc<dyn FaultInject>, rank: usize) -> Self {
         Device {
             inner: Arc::new(Mutex::new(Inner {
                 spec,
                 allocated: 0,
                 counters: DeviceCounters::default(),
             })),
+            injector,
+            rank,
         }
     }
 
@@ -135,10 +166,21 @@ impl Device {
         inner.spec.memory_bytes - inner.allocated
     }
 
-    /// Allocates `bytes` of device memory, enforcing the capacity.
+    /// Allocates `bytes` of device memory, enforcing the capacity. An
+    /// injected [`FaultKind::DeviceOom`] fails this call transiently
+    /// (memory is not actually consumed, so retrying succeeds).
     pub fn alloc(&self, bytes: u64) -> Result<DeviceBuffer, DeviceError> {
         let mut inner = self.inner.lock();
         let free = inner.spec.memory_bytes - inner.allocated;
+        if matches!(
+            self.injector.on_op(self.rank, Channel::DeviceAlloc),
+            Some(FaultKind::DeviceOom)
+        ) {
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                free: 0,
+            });
+        }
         if bytes > free {
             return Err(DeviceError::OutOfMemory {
                 requested: bytes,
@@ -154,23 +196,52 @@ impl Device {
     }
 
     /// Records a host→device copy; returns the simulated duration (s).
+    /// Panics on an injected transfer fault — fault-aware callers use
+    /// [`try_h2d`](Self::try_h2d).
     pub fn h2d(&self, bytes: u64) -> f64 {
+        self.try_h2d(bytes).expect("unhandled injected h2d fault")
+    }
+
+    /// Fault-aware host→device copy: an injected
+    /// [`FaultKind::TransferError`] fails the call transiently (no bytes
+    /// counted; a retry succeeds).
+    pub fn try_h2d(&self, bytes: u64) -> Result<f64, DeviceError> {
+        if self.transfer_faulted() {
+            return Err(DeviceError::TransferError { op: "h2d", bytes });
+        }
         let mut inner = self.inner.lock();
         let secs = inner.spec.transfer_secs(bytes);
         inner.counters.h2d_bytes += bytes;
         inner.counters.h2d_calls += 1;
         inner.counters.transfer_secs += secs;
-        secs
+        Ok(secs)
     }
 
     /// Records a device→host copy; returns the simulated duration (s).
+    /// Panics on an injected transfer fault — fault-aware callers use
+    /// [`try_d2h`](Self::try_d2h).
     pub fn d2h(&self, bytes: u64) -> f64 {
+        self.try_d2h(bytes).expect("unhandled injected d2h fault")
+    }
+
+    /// Fault-aware device→host copy (see [`try_h2d`](Self::try_h2d)).
+    pub fn try_d2h(&self, bytes: u64) -> Result<f64, DeviceError> {
+        if self.transfer_faulted() {
+            return Err(DeviceError::TransferError { op: "d2h", bytes });
+        }
         let mut inner = self.inner.lock();
         let secs = inner.spec.transfer_secs(bytes);
         inner.counters.d2h_bytes += bytes;
         inner.counters.d2h_calls += 1;
         inner.counters.transfer_secs += secs;
-        secs
+        Ok(secs)
+    }
+
+    fn transfer_faulted(&self) -> bool {
+        matches!(
+            self.injector.on_op(self.rank, Channel::DeviceTransfer),
+            Some(FaultKind::TransferError)
+        )
     }
 
     /// Records a back-projection launch of `updates` voxel updates; returns
@@ -266,6 +337,45 @@ mod tests {
         assert_eq!(d2.allocated(), 400);
         d2.h2d(100);
         assert_eq!(d.counters().h2d_bytes, 100);
+    }
+
+    #[test]
+    fn injected_oom_and_transfer_faults_are_transient() {
+        use scalefbp_faults::{FaultEvent, FaultInjector, FaultPlan};
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                rank: 3,
+                channel: Channel::DeviceAlloc,
+                op_index: 0,
+                kind: FaultKind::DeviceOom,
+            },
+            FaultEvent {
+                rank: 3,
+                channel: Channel::DeviceTransfer,
+                op_index: 1,
+                kind: FaultKind::TransferError,
+            },
+        ]);
+        let d = Device::with_injector(DeviceSpec::tiny(1000), FaultInjector::new(plan), 3);
+        // First alloc hits the injected OOM; the retry succeeds.
+        assert!(matches!(
+            d.alloc(100),
+            Err(DeviceError::OutOfMemory { free: 0, .. })
+        ));
+        let _buf = d.alloc(100).unwrap();
+        // Transfer op 0 is clean, op 1 faults, op 2 (retry) succeeds.
+        assert!(d.try_h2d(10).is_ok());
+        assert_eq!(
+            d.try_d2h(20),
+            Err(DeviceError::TransferError {
+                op: "d2h",
+                bytes: 20
+            })
+        );
+        assert!(d.try_d2h(20).is_ok());
+        // Failed transfers never pollute the counters.
+        assert_eq!(d.counters().d2h_calls, 1);
+        assert_eq!(d.counters().d2h_bytes, 20);
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl std::fmt::Display for DatasetError {
             DatasetError::Format(e) => write!(f, "dataset format error: {e}"),
             DatasetError::BadManifest(m) => write!(f, "bad manifest: {m}"),
             DatasetError::WindowNotCovered { rows } => {
-                write!(f, "rows [{}, {}) not covered by the stored shards", rows.0, rows.1)
+                write!(
+                    f,
+                    "rows [{}, {}) not covered by the stored shards",
+                    rows.0, rows.1
+                )
             }
         }
     }
@@ -231,15 +235,15 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "scalefbp-dataset-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("scalefbp-dataset-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&d).unwrap();
         d
     }
 
-    fn setup(tag: &str, shards: usize) -> (StorageEndpoint, PathBuf, CbctGeometry, ProjectionStack) {
+    fn setup(
+        tag: &str,
+        shards: usize,
+    ) -> (StorageEndpoint, PathBuf, CbctGeometry, ProjectionStack) {
         let endpoint = StorageEndpoint::local_nvme(Some(tmpdir(tag)));
         let dir = PathBuf::from("ds");
         let geom = CbctGeometry::ideal(16, 6, 20, 18);
@@ -306,10 +310,8 @@ mod tests {
     fn missing_coverage_is_detected() {
         let (endpoint, dir, geom, _) = setup("coverage", 3);
         // Corrupt the manifest: drop the middle shard.
-        let manifest = String::from_utf8(
-            endpoint.read_file(&dir.join("manifest.txt")).unwrap(),
-        )
-        .unwrap();
+        let manifest =
+            String::from_utf8(endpoint.read_file(&dir.join("manifest.txt")).unwrap()).unwrap();
         let filtered: String = manifest
             .lines()
             .filter(|l| !l.contains("rows_000006"))
@@ -333,7 +335,10 @@ mod tests {
         let dir = PathBuf::from("ds");
         let geom = CbctGeometry::ideal(8, 4, 12, 10);
         endpoint
-            .write_file(&dir.join("geometry.txt"), geometry_to_text(&geom).as_bytes())
+            .write_file(
+                &dir.join("geometry.txt"),
+                geometry_to_text(&geom).as_bytes(),
+            )
             .unwrap();
         for bad in ["gibberish\n", "shard = 5 5 x.sfbp\n", "# only comments\n"] {
             endpoint

@@ -28,7 +28,10 @@ impl std::fmt::Display for FormatError {
         match self {
             FormatError::BadHeader(what) => write!(f, "bad container header: {what}"),
             FormatError::LengthMismatch { expected, got } => {
-                write!(f, "container length mismatch: expected {expected} elements, got {got}")
+                write!(
+                    f,
+                    "container length mismatch: expected {expected} elements, got {got}"
+                )
             }
         }
     }
@@ -167,13 +170,19 @@ pub fn geometry_from_text(text: &str) -> Result<scalefbp_geom::CbctGeometry, For
         };
         kv.insert(k.trim(), v.trim());
     }
-    fn f(kv: &std::collections::HashMap<&str, &str>, key: &'static str) -> Result<f64, FormatError> {
+    fn f(
+        kv: &std::collections::HashMap<&str, &str>,
+        key: &'static str,
+    ) -> Result<f64, FormatError> {
         kv.get(key)
             .ok_or(FormatError::BadHeader("missing geometry key"))?
             .parse()
             .map_err(|_| FormatError::BadHeader("unparsable geometry value"))
     }
-    fn u(kv: &std::collections::HashMap<&str, &str>, key: &'static str) -> Result<usize, FormatError> {
+    fn u(
+        kv: &std::collections::HashMap<&str, &str>,
+        key: &'static str,
+    ) -> Result<usize, FormatError> {
         kv.get(key)
             .ok_or(FormatError::BadHeader("missing geometry key"))?
             .parse()
@@ -280,7 +289,10 @@ mod tests {
         data.truncate(data.len() - 4);
         assert!(matches!(
             decode_volume(&data),
-            Err(FormatError::LengthMismatch { expected: 8, got: 7 })
+            Err(FormatError::LengthMismatch {
+                expected: 8,
+                got: 7
+            })
         ));
     }
 

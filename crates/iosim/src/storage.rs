@@ -5,6 +5,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use scalefbp_faults::{Channel, FaultInject, FaultKind, NoFaults};
 
 /// Traffic counters for one endpoint.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -26,7 +27,9 @@ struct Inner {
     read_bw: f64,
     write_bw: f64,
     root: Option<PathBuf>,
-    counters: Mutex<StorageCounters>,
+    counters: Arc<Mutex<StorageCounters>>,
+    injector: Arc<dyn FaultInject>,
+    rank: usize,
 }
 
 /// A storage target (PFS or node-local disk) with a bandwidth cost model,
@@ -49,22 +52,59 @@ impl std::fmt::Debug for StorageEndpoint {
 impl StorageEndpoint {
     /// A custom endpoint. `root = None` makes file operations panic
     /// (counter-only mode for paper-scale simulations).
-    pub fn new(
-        name: &'static str,
-        read_bw: f64,
-        write_bw: f64,
-        root: Option<PathBuf>,
-    ) -> Self {
-        assert!(read_bw > 0.0 && write_bw > 0.0, "bandwidths must be positive");
+    pub fn new(name: &'static str, read_bw: f64, write_bw: f64, root: Option<PathBuf>) -> Self {
+        assert!(
+            read_bw > 0.0 && write_bw > 0.0,
+            "bandwidths must be positive"
+        );
         StorageEndpoint {
             inner: Arc::new(Inner {
                 name,
                 read_bw,
                 write_bw,
                 root,
-                counters: Mutex::new(StorageCounters::default()),
+                counters: Arc::new(Mutex::new(StorageCounters::default())),
+                injector: Arc::new(NoFaults),
+                rank: 0,
             }),
         }
+    }
+
+    /// A view of this endpoint whose reads are instrumented with a fault
+    /// injector on behalf of `rank`. Counters (and the backing directory)
+    /// stay shared with the original endpoint, so traffic from faulted and
+    /// plain views accumulates in one place.
+    pub fn with_fault_injector(&self, injector: Arc<dyn FaultInject>, rank: usize) -> Self {
+        StorageEndpoint {
+            inner: Arc::new(Inner {
+                name: self.inner.name,
+                read_bw: self.inner.read_bw,
+                write_bw: self.inner.write_bw,
+                root: self.inner.root.clone(),
+                counters: Arc::clone(&self.inner.counters),
+                injector,
+                rank,
+            }),
+        }
+    }
+
+    /// Consults the fault injector for one storage-read operation; an
+    /// injected [`FaultKind::ReadError`] surfaces as an `io::Error` before
+    /// any bytes are counted.
+    fn check_read_fault(&self) -> std::io::Result<()> {
+        if let Some(kind) = self
+            .inner
+            .injector
+            .on_op(self.inner.rank, Channel::StorageRead)
+        {
+            if matches!(kind, FaultKind::ReadError) {
+                return Err(std::io::Error::other(format!(
+                    "injected storage read error on {} (rank {})",
+                    self.inner.name, self.inner.rank
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// The ABCI Lustre parallel file system: ~28.5 GB/s aggregate store
@@ -105,6 +145,14 @@ impl StorageEndpoint {
         secs
     }
 
+    /// Fault-aware [`record_read`](Self::record_read): consults the
+    /// injector first, so an injected read error costs nothing and counts
+    /// nothing — the caller is expected to retry.
+    pub fn try_record_read(&self, bytes: u64) -> std::io::Result<f64> {
+        self.check_read_fault()?;
+        Ok(self.record_read(bytes))
+    }
+
     /// Records a modelled write of `bytes`; returns simulated seconds.
     pub fn record_write(&self, bytes: u64) -> f64 {
         let secs = bytes as f64 / self.inner.write_bw;
@@ -143,6 +191,7 @@ impl StorageEndpoint {
 
     /// Reads a whole file under the root, recording the modelled cost.
     pub fn read_file(&self, rel: &Path) -> std::io::Result<Vec<u8>> {
+        self.check_read_fault()?;
         let path = self.resolve(rel);
         let mut f = std::fs::File::open(path)?;
         let mut data = Vec::new();
@@ -157,10 +206,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "scalefbp-iosim-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("scalefbp-iosim-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&d).unwrap();
         d
     }
@@ -218,6 +264,30 @@ mod tests {
     fn counter_only_mode_rejects_file_ops() {
         let s = StorageEndpoint::lustre_pfs(None);
         let _ = s.resolve(Path::new("x"));
+    }
+
+    #[test]
+    fn injected_read_error_is_transient_and_uncounted() {
+        use scalefbp_faults::{FaultEvent, FaultInjector, FaultPlan};
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            rank: 5,
+            channel: Channel::StorageRead,
+            op_index: 1,
+            kind: FaultKind::ReadError,
+        }]);
+        let inj = FaultInjector::new(plan);
+        let base = StorageEndpoint::new("t", 100.0, 100.0, None);
+        let s = base.with_fault_injector(inj, 5);
+        // op 0 succeeds, op 1 is the injected error, op 2 succeeds again.
+        assert!(s.try_record_read(100).is_ok());
+        let err = s.try_record_read(100).unwrap_err();
+        assert!(err.to_string().contains("injected storage read error"));
+        assert!(s.try_record_read(100).is_ok());
+        // The failed read counted nothing, and counters are shared with
+        // the un-instrumented base endpoint.
+        let c = base.counters();
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.read_bytes, 200);
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! The forward/back projection operator pair for iterative methods.
 
 use rayon::prelude::*;
-use scalefbp_geom::{
-    CbctGeometry, ProjectionMatrix, ProjectionStack, SourceDetectorFrame, Volume,
-};
+use scalefbp_geom::{CbctGeometry, ProjectionMatrix, ProjectionStack, SourceDetectorFrame, Volume};
 
 /// Ray-marching discretisation parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -210,11 +208,7 @@ mod tests {
         let marched = forward_project_volume(&g, &vol, RayMarchConfig::default());
         // Compare a grid of pixels; discretisation error is a few percent
         // of the peak value.
-        let peak = analytic
-            .data()
-            .iter()
-            .cloned()
-            .fold(0.0f32, f32::max) as f64;
+        let peak = analytic.data().iter().cloned().fold(0.0f32, f32::max) as f64;
         assert!(peak > 0.0);
         let mut max_err = 0.0f64;
         for v in (0..g.nv).step_by(5) {

@@ -28,7 +28,10 @@ impl Sirt {
     /// Prepares the solver (computes the row/column normalisations, one
     /// forward and one back projection).
     pub fn new(geom: &CbctGeometry, cfg: RayMarchConfig, relaxation: f32) -> Self {
-        assert!(relaxation > 0.0 && relaxation <= 2.0, "relaxation out of (0, 2]");
+        assert!(
+            relaxation > 0.0 && relaxation <= 2.0,
+            "relaxation out of (0, 2]"
+        );
         // R = 1/(A·1): forward-project a unit volume.
         let mut ones_vol = Volume::zeros(geom.nx, geom.ny, geom.nz);
         ones_vol.data_mut().fill(1.0);
@@ -76,7 +79,12 @@ impl Sirt {
         // r = R ⊙ (b − A x)
         let mut r = forward_project_volume(&self.geom, &self.x, self.cfg);
         let mut rms = 0.0f64;
-        for ((rv, &bv), &w) in r.data_mut().iter_mut().zip(b.data()).zip(self.row_norm.data()) {
+        for ((rv, &bv), &w) in r
+            .data_mut()
+            .iter_mut()
+            .zip(b.data())
+            .zip(self.row_norm.data())
+        {
             *rv = (bv - *rv) * w;
             rms += (*rv as f64) * (*rv as f64);
         }

@@ -1,9 +1,48 @@
 //! Communicators: tagged point-to-point plus the collectives the paper uses.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use scalefbp_faults::{Channel, FaultInject, FaultKind};
+
+/// Communication failures surfaced to fault-aware callers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the deadline.
+    Timeout {
+        /// Expected sender (local rank).
+        from: usize,
+        /// Expected tag.
+        tag: u64,
+    },
+    /// A wire frame failed to deserialize.
+    MalformedFrame {
+        /// What was wrong with the frame.
+        detail: String,
+    },
+    /// This rank hit an injected [`FaultKind::RankFailure`] — it must stop
+    /// participating in the protocol.
+    SelfFailed,
+    /// The network shut down while waiting.
+    Closed,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { from, tag } => {
+                write!(f, "timed out waiting for rank {from} tag {tag}")
+            }
+            CommError::MalformedFrame { detail } => write!(f, "malformed frame: {detail}"),
+            CommError::SelfFailed => write!(f, "this rank was killed by fault injection"),
+            CommError::Closed => write!(f, "network closed"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// A message in flight.
 #[derive(Debug)]
@@ -26,6 +65,10 @@ pub struct NetworkStats {
 pub(crate) struct Network {
     senders: Vec<Sender<Envelope>>,
     pub(crate) stats: Mutex<NetworkStats>,
+    /// Consulted on every send and on every delivered receive; the
+    /// world-rank operation counters it keeps are what make injected
+    /// faults land on the same operations every run.
+    injector: Arc<dyn FaultInject>,
 }
 
 /// Reserved tag namespace for collective internals.
@@ -65,7 +108,10 @@ impl std::fmt::Debug for Communicator {
 }
 
 impl Communicator {
-    pub(crate) fn world(size: usize) -> Vec<Communicator> {
+    pub(crate) fn world_with_injector(
+        size: usize,
+        injector: Arc<dyn FaultInject>,
+    ) -> (Vec<Communicator>, Arc<Network>) {
         let mut senders = Vec::with_capacity(size);
         let mut receivers = Vec::with_capacity(size);
         for _ in 0..size {
@@ -76,9 +122,10 @@ impl Communicator {
         let network = Arc::new(Network {
             senders,
             stats: Mutex::new(NetworkStats::default()),
+            injector,
         });
         let group = Arc::new((0..size).collect::<Vec<_>>());
-        receivers
+        let comms = receivers
             .into_iter()
             .enumerate()
             .map(|(local, receiver)| Communicator {
@@ -90,7 +137,20 @@ impl Communicator {
                 receiver,
                 pending: Arc::new(Mutex::new(Vec::new())),
             })
-            .collect()
+            .collect();
+        (comms, network)
+    }
+
+    /// This rank's id in the original world (stable across `split`s; fault
+    /// injection sites are addressed by world rank).
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.group[self.local]
+    }
+
+    /// True once this rank has hit an injected rank failure.
+    pub fn self_failed(&self) -> bool {
+        self.network.injector.rank_failed(self.world_rank())
     }
 
     /// This rank's id within the communicator.
@@ -111,7 +171,58 @@ impl Communicator {
     }
 
     /// Sends `payload` to local rank `to` with `tag`.
+    ///
+    /// Under fault injection, a scheduled delay sleeps before delivery, a
+    /// drop discards the payload after counting it, and a rank failure (or
+    /// a previously failed self) suppresses delivery silently — use
+    /// [`try_send`](Self::try_send) to observe the failure.
     pub fn send(&self, to: usize, tag: u64, payload: Vec<u8>) {
+        let _ = self.try_send(to, tag, payload);
+    }
+
+    /// Fault-aware send: reports [`CommError::SelfFailed`] when this rank
+    /// has been killed by injection (the message is not delivered).
+    pub fn try_send(&self, to: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
+        assert!(to < self.size(), "send to rank {to} of {}", self.size());
+        let me = self.world_rank();
+        if self.network.injector.rank_failed(me) {
+            return Err(CommError::SelfFailed);
+        }
+        let mut dropped = false;
+        match self.network.injector.on_op(me, Channel::Send) {
+            Some(FaultKind::MessageDelay { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Some(FaultKind::MessageDrop) => dropped = true,
+            Some(FaultKind::RankFailure) => return Err(CommError::SelfFailed),
+            _ => {}
+        }
+        {
+            let mut stats = self.network.stats.lock();
+            stats.bytes += payload.len() as u64;
+            stats.messages += 1;
+        }
+        if dropped {
+            return Ok(()); // the sender never learns — that is the point
+        }
+        let world_to = self.group[to];
+        self.network.senders[world_to]
+            .send(Envelope {
+                context: self.context,
+                from: self.local,
+                tag,
+                payload,
+            })
+            .expect("rank mailbox closed");
+        Ok(())
+    }
+
+    /// Control-plane send: delivered unconditionally, bypassing the fault
+    /// injector and the sender's failure state. The fault-tolerant
+    /// protocols use it for orchestration messages (shutdown, takeover)
+    /// whose loss would hang the world — injected faults target the data
+    /// plane only. Traffic is still counted.
+    pub fn send_control(&self, to: usize, tag: u64, payload: Vec<u8>) {
         assert!(to < self.size(), "send to rank {to} of {}", self.size());
         {
             let mut stats = self.network.stats.lock();
@@ -131,20 +242,117 @@ impl Communicator {
 
     /// Blocking selective receive from local rank `from` with `tag`.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<u8> {
-        assert!(from < self.size(), "recv from rank {from} of {}", self.size());
+        self.recv_inner(from, tag, None)
+            .expect("receive failed (injected rank failure without fault handling?)")
+    }
+
+    /// Selective receive with a deadline. Returns
+    /// [`CommError::Timeout`] when no matching message arrives in time —
+    /// the failure-detection primitive of the fault-tolerant paths.
+    pub fn recv_timeout(
+        &mut self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, CommError> {
+        self.recv_inner(from, tag, Some(timeout))
+    }
+
+    /// Shared receive core. Injection is consulted once per *delivered*
+    /// message (never per poll attempt), so the operation count a fault
+    /// plan indexes into stays deterministic even when callers poll with
+    /// short timeouts.
+    fn recv_inner(
+        &mut self,
+        from: usize,
+        tag: u64,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<u8>, CommError> {
+        assert!(
+            from < self.size(),
+            "recv from rank {from} of {}",
+            self.size()
+        );
+        let me = self.world_rank();
+        if self.network.injector.rank_failed(me) {
+            return Err(CommError::SelfFailed);
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut pending = self.pending.lock();
         if let Some(idx) = pending
             .iter()
             .position(|e| e.context == self.context && e.from == from && e.tag == tag)
         {
-            return pending.swap_remove(idx).payload;
+            let payload = pending.swap_remove(idx).payload;
+            drop(pending);
+            self.on_delivery(me)?;
+            return Ok(payload);
         }
         loop {
-            let env = self.receiver.recv().expect("network closed while receiving");
+            let env = match deadline {
+                None => match self.receiver.recv() {
+                    Ok(env) => env,
+                    Err(_) => return Err(CommError::Closed),
+                },
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(CommError::Timeout { from, tag });
+                    }
+                    match self.receiver.recv_timeout(d - now) {
+                        Ok(env) => env,
+                        Err(RecvTimeoutError::Timeout) => {
+                            return Err(CommError::Timeout { from, tag })
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return Err(CommError::Closed),
+                    }
+                }
+            };
             if env.context == self.context && env.from == from && env.tag == tag {
-                return env.payload;
+                drop(pending);
+                self.on_delivery(me)?;
+                return Ok(env.payload);
             }
             pending.push(env);
+        }
+    }
+
+    /// Receive-side injection hook, called once per delivered message.
+    fn on_delivery(&self, me: usize) -> Result<(), CommError> {
+        match self.network.injector.on_op(me, Channel::Recv) {
+            Some(FaultKind::MessageDelay { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                Ok(())
+            }
+            Some(FaultKind::RankFailure) => Err(CommError::SelfFailed),
+            _ => Ok(()),
+        }
+    }
+
+    /// Drains this rank's mailbox without fault instrumentation until a
+    /// `(from, tag)` match arrives. Used by dead or spectator ranks that
+    /// only wait for shutdown; skipping the injector here keeps protocol
+    /// operation counts deterministic.
+    pub fn drain_until(&mut self, from: usize, tag: u64) {
+        let mut pending = self.pending.lock();
+        if let Some(idx) = pending
+            .iter()
+            .position(|e| e.context == self.context && e.from == from && e.tag == tag)
+        {
+            pending.swap_remove(idx);
+            return;
+        }
+        loop {
+            match self.receiver.recv() {
+                Ok(env) => {
+                    if env.context == self.context && env.from == from && env.tag == tag {
+                        return;
+                    }
+                    // Everything else is discarded: a dead rank consumes
+                    // and ignores its traffic.
+                }
+                Err(_) => return,
+            }
         }
     }
 
@@ -160,11 +368,18 @@ impl Communicator {
     /// Convenience: receive an f32 vector.
     pub fn recv_f32(&mut self, from: usize, tag: u64) -> Vec<f32> {
         let bytes = self.recv(from, tag);
-        assert_eq!(bytes.len() % 4, 0, "payload is not an f32 array");
-        bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect()
+        decode_f32(&bytes).expect("payload is not an f32 array")
+    }
+
+    /// Fault-aware f32 receive with a deadline.
+    pub fn recv_f32_timeout(
+        &mut self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f32>, CommError> {
+        let bytes = self.recv_timeout(from, tag, timeout)?;
+        decode_f32(&bytes)
     }
 
     /// Broadcast from `root` to all ranks (binomial tree). Non-roots pass
@@ -201,13 +416,13 @@ impl Communicator {
     /// order) at the root, `None` elsewhere.
     pub fn gather(&mut self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
         if self.local == root {
-            let mut out = vec![Vec::new(); self.size()];
+            let mut out = Vec::with_capacity(self.size());
             for from in 0..self.size() {
-                if from == root {
-                    out[from] = data.clone();
+                out.push(if from == root {
+                    data.clone()
                 } else {
-                    out[from] = self.recv(from, COLLECTIVE_TAG + 2);
-                }
+                    self.recv(from, COLLECTIVE_TAG + 2)
+                });
             }
             Some(out)
         } else {
@@ -219,7 +434,11 @@ impl Communicator {
     /// Barrier: gather of empty payloads followed by a broadcast.
     pub fn barrier(&mut self) {
         let _ = self.gather(0, Vec::new());
-        let mut token = if self.local == 0 { vec![1u8] } else { Vec::new() };
+        let mut token = if self.local == 0 {
+            vec![1u8]
+        } else {
+            Vec::new()
+        };
         self.bcast(0, &mut token);
     }
 
@@ -258,7 +477,9 @@ impl Communicator {
 
     /// `MPI_Comm_split`: ranks with equal `color` form a new communicator,
     /// ordered by `(key, old rank)`. Collective — every rank must call it.
-    pub fn split(&mut self, color: u64, key: i64) -> Communicator {
+    /// Fails with [`CommError::MalformedFrame`] if the allgathered
+    /// membership frames do not deserialize.
+    pub fn split(&mut self, color: u64, key: i64) -> Result<Communicator, CommError> {
         // Allgather (gather + bcast) of (color, key, local).
         let mut triple = Vec::with_capacity(24);
         triple.extend_from_slice(&color.to_le_bytes());
@@ -271,21 +492,17 @@ impl Communicator {
         };
         self.bcast(0, &mut all);
 
-        let mut members: Vec<(i64, usize)> = Vec::new();
-        for chunk in all.chunks_exact(24) {
-            let c = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
-            let k = i64::from_le_bytes(chunk[8..16].try_into().unwrap());
-            let r = u64::from_le_bytes(chunk[16..24].try_into().unwrap()) as usize;
-            if c == color {
-                members.push((k, r));
-            }
-        }
-        members.sort_unstable();
+        let members = parse_split_frames(&all, color, self.size())?;
         let group: Vec<usize> = members.iter().map(|&(_, r)| self.group[r]).collect();
         let local = members
             .iter()
             .position(|&(_, r)| r == self.local)
-            .expect("split: caller missing from its own color group");
+            .ok_or_else(|| CommError::MalformedFrame {
+                detail: format!(
+                    "split: caller rank {} missing from its own color {color} group",
+                    self.local
+                ),
+            })?;
 
         self.split_seq += 1;
         let context = self
@@ -295,7 +512,7 @@ impl Communicator {
             .wrapping_add(color)
             .wrapping_add(1);
 
-        Communicator {
+        Ok(Communicator {
             network: Arc::clone(&self.network),
             group: Arc::new(group),
             local,
@@ -303,8 +520,61 @@ impl Communicator {
             split_seq: 0,
             receiver: self.receiver.clone(),
             pending: Arc::clone(&self.pending),
+        })
+    }
+}
+
+/// Decodes a little-endian f32 payload, rejecting ragged lengths.
+fn decode_f32(bytes: &[u8]) -> Result<Vec<f32>, CommError> {
+    if bytes.len() % 4 != 0 {
+        return Err(CommError::MalformedFrame {
+            detail: format!("f32 payload length {} is not a multiple of 4", bytes.len()),
+        });
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Deserializes the `(color, key, rank)` triples allgathered by
+/// [`Communicator::split`], returning the sorted members of `color`.
+/// Every framing defect — ragged length, truncated field, out-of-range
+/// rank — is reported as [`CommError::MalformedFrame`] instead of
+/// panicking mid-collective.
+fn parse_split_frames(all: &[u8], color: u64, size: usize) -> Result<Vec<(i64, usize)>, CommError> {
+    if all.len() % 24 != 0 {
+        return Err(CommError::MalformedFrame {
+            detail: format!(
+                "split allgather payload of {} bytes is not a whole number of 24-byte triples",
+                all.len()
+            ),
+        });
+    }
+    let field = |chunk: &[u8], at: usize| -> Result<[u8; 8], CommError> {
+        chunk
+            .get(at..at + 8)
+            .and_then(|s| <[u8; 8]>::try_from(s).ok())
+            .ok_or_else(|| CommError::MalformedFrame {
+                detail: format!("split triple truncated at byte {at}"),
+            })
+    };
+    let mut members: Vec<(i64, usize)> = Vec::new();
+    for chunk in all.chunks_exact(24) {
+        let c = u64::from_le_bytes(field(chunk, 0)?);
+        let k = i64::from_le_bytes(field(chunk, 8)?);
+        let r = u64::from_le_bytes(field(chunk, 16)?) as usize;
+        if r >= size {
+            return Err(CommError::MalformedFrame {
+                detail: format!("split triple names rank {r} of a {size}-rank communicator"),
+            });
+        }
+        if c == color {
+            members.push((k, r));
         }
     }
+    members.sort_unstable();
+    Ok(members)
 }
 
 /// The paper's hierarchical segmented reduction (Section 4.4.2): ranks on
@@ -319,7 +589,7 @@ pub fn hierarchical_reduce_sum(
     root: usize,
     buf: &mut [f32],
     ranks_per_node: usize,
-) {
+) -> Result<(), CommError> {
     assert!(ranks_per_node > 0, "ranks_per_node must be positive");
     assert_eq!(
         root % ranks_per_node,
@@ -328,15 +598,16 @@ pub fn hierarchical_reduce_sum(
     );
     // Intra-node reduce to the node leader.
     let node = comm.rank() / ranks_per_node;
-    let mut intra = comm.split(node as u64, comm.rank() as i64);
+    let mut intra = comm.split(node as u64, comm.rank() as i64)?;
     intra.reduce_sum_f32(0, buf);
     let is_leader = intra.rank() == 0;
     // Inter-node reduce among leaders.
-    let mut inter = comm.split(u64::from(is_leader), comm.rank() as i64);
+    let mut inter = comm.split(u64::from(is_leader), comm.rank() as i64)?;
     if is_leader {
         let root_leader = root / ranks_per_node;
         inter.reduce_sum_f32(root_leader, buf);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -434,7 +705,7 @@ mod tests {
         // 6 ranks, 2 groups of 3 (paper's grouping: color = rank / nr).
         let results = World::run(6, |mut comm| {
             let color = (comm.rank() / 3) as u64;
-            let mut sub = comm.split(color, comm.rank() as i64);
+            let mut sub = comm.split(color, comm.rank() as i64).unwrap();
             let mut buf = vec![comm.rank() as f32];
             sub.reduce_sum_f32(0, &mut buf);
             (sub.rank(), sub.size(), buf[0])
@@ -452,7 +723,7 @@ mod tests {
     fn split_orders_by_key() {
         let results = World::run(3, |mut comm| {
             // Reverse order keys: world rank 2 becomes sub-rank 0.
-            let sub = comm.split(0, -(comm.rank() as i64));
+            let sub = comm.split(0, -(comm.rank() as i64)).unwrap();
             sub.rank()
         });
         assert_eq!(results, vec![2, 1, 0]);
@@ -461,8 +732,8 @@ mod tests {
     #[test]
     fn nested_splits_do_not_interfere() {
         let results = World::run(4, |mut comm| {
-            let mut a = comm.split((comm.rank() % 2) as u64, 0);
-            let mut b = comm.split((comm.rank() / 2) as u64, 0);
+            let mut a = comm.split((comm.rank() % 2) as u64, 0).unwrap();
+            let mut b = comm.split((comm.rank() / 2) as u64, 0).unwrap();
             let mut x = vec![1.0f32];
             let mut y = vec![10.0f32];
             a.reduce_sum_f32(0, &mut x);
@@ -484,7 +755,7 @@ mod tests {
         for (p, rpn) in [(8, 4), (8, 2), (6, 3), (4, 1), (8, 8)] {
             let results = World::run(p, move |mut comm| {
                 let mut buf = vec![comm.rank() as f32 + 1.0, 0.5];
-                hierarchical_reduce_sum(&mut comm, 0, &mut buf, rpn);
+                hierarchical_reduce_sum(&mut comm, 0, &mut buf, rpn).unwrap();
                 buf
             });
             let expect: f32 = (0..p).map(|r| r as f32 + 1.0).sum();

@@ -20,7 +20,7 @@ impl Default for CommCostModel {
     fn default() -> Self {
         CommCostModel {
             latency: 2e-6,
-            bandwidth: 10e9,     // ~EDR 100 Gb/s ≈ 12.5 GB/s, derated
+            bandwidth: 10e9, // ~EDR 100 Gb/s ≈ 12.5 GB/s, derated
             reduce_compute: 20e9,
         }
     }

@@ -30,7 +30,7 @@ mod comm;
 mod cost;
 mod world;
 
-pub use comm::{Communicator, NetworkStats};
+pub use comm::{CommError, Communicator, NetworkStats};
 pub use cost::CommCostModel;
 pub use world::World;
 

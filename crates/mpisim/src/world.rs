@@ -1,6 +1,10 @@
 //! Launching rank threads.
 
-use crate::Communicator;
+use std::sync::Arc;
+
+use scalefbp_faults::{FaultInject, NoFaults};
+
+use crate::{Communicator, NetworkStats};
 
 /// The launcher: spawns one OS thread per rank, each receiving its
 /// [`Communicator`] — the `mpirun` of the simulator.
@@ -15,10 +19,37 @@ impl World {
         T: Send,
         F: Fn(Communicator) -> T + Send + Sync,
     {
+        World::run_with_faults(size, Arc::new(NoFaults), body).0
+    }
+
+    /// [`run`](Self::run) plus the world's final [`NetworkStats`],
+    /// snapshotted *after* every rank has been joined — unlike a
+    /// per-rank `network_stats()` call, the returned counters do not
+    /// depend on which rank finished first.
+    pub fn run_with_stats<T, F>(size: usize, body: F) -> (Vec<T>, NetworkStats)
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        World::run_with_faults(size, Arc::new(NoFaults), body)
+    }
+
+    /// Runs the world under a fault injector: every send and delivered
+    /// receive of every rank consults `injector`. Returns the rank
+    /// results and the post-join [`NetworkStats`].
+    pub fn run_with_faults<T, F>(
+        size: usize,
+        injector: Arc<dyn FaultInject>,
+        body: F,
+    ) -> (Vec<T>, NetworkStats)
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
         assert!(size > 0, "world size must be positive");
-        let comms = Communicator::world(size);
+        let (comms, network) = Communicator::world_with_injector(size, injector);
         let body = &body;
-        std::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
                 .map(|comm| scope.spawn(move || body(comm)))
@@ -35,7 +66,9 @@ impl World {
                 std::panic::resume_unwind(e);
             }
             results
-        })
+        });
+        let stats = *network.stats.lock();
+        (results, stats)
     }
 }
 

@@ -181,7 +181,13 @@ impl PerfModel {
 
     /// Strong-scaling sweep: runtimes for `gpus` GPU counts with a fixed
     /// `nr` (the paper's per-dataset `N_r`), `ng = gpus / nr`.
-    pub fn strong_scaling(&self, geom: &CbctGeometry, nr: usize, nc: usize, gpus: &[usize]) -> Vec<(usize, f64)> {
+    pub fn strong_scaling(
+        &self,
+        geom: &CbctGeometry,
+        nr: usize,
+        nc: usize,
+        gpus: &[usize],
+    ) -> Vec<(usize, f64)> {
         gpus.iter()
             .map(|&n| {
                 assert!(n % nr == 0, "GPU count {n} not divisible by N_r={nr}");
@@ -274,8 +280,14 @@ mod tests {
             layout: RankLayout::new(16, 64, 8),
         };
         let rt = model.runtime(&shape);
-        assert!(rt >= vol_store * 0.95, "runtime {rt} below store floor {vol_store}");
-        assert!(rt < vol_store * 2.5, "runtime {rt} far above store floor {vol_store}");
+        assert!(
+            rt >= vol_store * 0.95,
+            "runtime {rt} below store floor {vol_store}"
+        );
+        assert!(
+            rt < vol_store * 2.5,
+            "runtime {rt} far above store floor {vol_store}"
+        );
     }
 
     #[test]
@@ -305,7 +317,10 @@ mod tests {
         // 8× the GPUs buys clearly more throughput, but sub-linearly — the
         // flattening visible at the right edge of Figure 15.
         assert!(g512 > 2.0 * g64, "GUPS {g64} → {g512}");
-        assert!(g512 < 8.0 * g64, "GUPS scaled super-linearly: {g64} → {g512}");
+        assert!(
+            g512 < 8.0 * g64,
+            "GUPS scaled super-linearly: {g64} → {g512}"
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ mod tests {
             let p = RooflinePoint { ai, flops: tf };
             assert!(ai > r.ridge(), "point not compute-bound");
             let e = p.efficiency(&r);
-            assert!(e > 0.25 && e < 0.40, "efficiency {e} out of the paper's band");
+            assert!(
+                e > 0.25 && e < 0.40,
+                "efficiency {e} out of the paper's band"
+            );
         }
     }
 

@@ -63,7 +63,10 @@ fn project_with_frames(
     v_begin: usize,
     v_end: usize,
 ) -> ProjectionStack {
-    assert!(v_begin <= v_end && v_end <= geom.nv, "row range out of bounds");
+    assert!(
+        v_begin <= v_end && v_end <= geom.nv,
+        "row range out of bounds"
+    );
     let nv = v_end - v_begin;
     let mut stack = ProjectionStack::zeros_window(nv, geom.np, geom.nu, v_begin, 0);
     let np = geom.np;
@@ -152,9 +155,6 @@ mod tests {
     fn geom() -> CbctGeometry {
         CbctGeometry::ideal(33, 24, 48, 40)
     }
-
-
-
 
     #[test]
     fn ball_projection_peaks_at_detector_centre() {

@@ -76,7 +76,7 @@ pub fn bumblebee_like(geom: &CbctGeometry) -> Phantom {
     parts.extend(seg(0.55, 0.18, 0.18, 0.18)); // head
     parts.extend(seg(0.15, 0.28, 0.25, 0.25)); // thorax
     parts.extend(seg(-0.40, 0.30, 0.42, 0.30)); // abdomen
-    // Flight muscles inside the thorax.
+                                                // Flight muscles inside the thorax.
     parts.push(Ellipsoid {
         center: [0.0, 0.15 * r, 0.0],
         semi_axes: [0.15 * r, 0.12 * r, 0.12 * r],
@@ -161,7 +161,11 @@ mod tests {
     #[test]
     fn scenes_are_nonempty_and_bounded() {
         let g = geom();
-        for ph in [coffee_bean_like(&g), bumblebee_like(&g), bead_pile(&g, 20, 7)] {
+        for ph in [
+            coffee_bean_like(&g),
+            bumblebee_like(&g),
+            bead_pile(&g, 20, 7),
+        ] {
             assert!(!ph.ellipsoids().is_empty());
             let r = g.footprint_radius();
             // Everything inside the scan cylinder (centres at least).

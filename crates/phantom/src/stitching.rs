@@ -58,7 +58,10 @@ pub fn stitch_offset_scans(
 ) -> ProjectionStack {
     assert_eq!(left.nu(), right.nu(), "half-scans must share a width");
     let narrow = left.nu();
-    assert!(narrow < wide.nu && 2 * narrow > wide.nu, "widths inconsistent");
+    assert!(
+        narrow < wide.nu && 2 * narrow > wide.nu,
+        "widths inconsistent"
+    );
     assert_eq!(left.nv(), wide.nv, "row count mismatch");
     assert_eq!(left.np(), wide.np, "projection count mismatch");
     assert_eq!(right.nv(), wide.nv, "row count mismatch");

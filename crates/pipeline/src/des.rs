@@ -38,7 +38,12 @@ impl PipelineModel {
         assert!(!durations.is_empty(), "at least one stage required");
         let n = durations[0].len();
         for (s, row) in durations.iter().enumerate() {
-            assert_eq!(row.len(), n, "stage {s} has {} items, expected {n}", row.len());
+            assert_eq!(
+                row.len(),
+                n,
+                "stage {s} has {} items, expected {n}",
+                row.len()
+            );
             assert!(
                 row.iter().all(|&d| d >= 0.0 && d.is_finite()),
                 "stage {s} has a negative or non-finite duration"
@@ -165,7 +170,10 @@ mod tests {
         let (_, makespan) = m.simulate();
         let projected = m.projected_runtime();
         assert!((projected - (3.75 + 7.0 * 2.0)).abs() < 1e-12);
-        assert!((makespan - projected).abs() < 1e-9, "{makespan} vs {projected}");
+        assert!(
+            (makespan - projected).abs() < 1e-9,
+            "{makespan} vs {projected}"
+        );
     }
 
     #[test]
@@ -209,8 +217,14 @@ mod tests {
         let (trace, _) = m.simulate();
         let spans = trace.spans();
         for i in 0..2 {
-            let a = spans.iter().find(|s| s.stage == "a" && s.item == i).unwrap();
-            let b = spans.iter().find(|s| s.stage == "b" && s.item == i).unwrap();
+            let a = spans
+                .iter()
+                .find(|s| s.stage == "a" && s.item == i)
+                .unwrap();
+            let b = spans
+                .iter()
+                .find(|s| s.stage == "b" && s.item == i)
+                .unwrap();
             assert!(b.start >= a.end - 1e-12, "item {i} started early");
         }
     }

@@ -174,7 +174,11 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
-        assert!(rx.stats().peak <= 2, "peak {} exceeds capacity", rx.stats().peak);
+        assert!(
+            rx.stats().peak <= 2,
+            "peak {} exceeds capacity",
+            rx.stats().peak
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ fn main() {
     let rec = PipelinedReconstructor::new(config).expect("planning failed");
     println!("pipeline plan: N_b = {} slices/batch", rec.nb());
 
-    let (volume, report) = rec.reconstruct(&projections).expect("reconstruction failed");
+    let (volume, report) = rec
+        .reconstruct(&projections)
+        .expect("reconstruction failed");
 
     println!("\nFigure-10-style stage timeline (load → filter → bp → store):");
     print!("{}", report.trace.render_ascii(72));
@@ -47,7 +49,11 @@ fn main() {
         report.overlap_efficiency * 100.0
     );
     for stage in report.trace.stages() {
-        println!("  {:>6}: busy {:.2} s", stage, report.trace.stage_busy(&stage));
+        println!(
+            "  {:>6}: busy {:.2} s",
+            stage,
+            report.trace.stage_busy(&stage)
+        );
     }
 
     let pgm = slice_to_pgm(&volume, geom.nz / 2);

@@ -49,9 +49,17 @@ fn main() {
     let paper = DatasetPreset::by_name("bumblebee").unwrap().geometry;
     let machine = MachineParams::abci_v100();
     println!("\ntiming mode: bumblebee at paper scale (2000²×3142 → 4096³), ABCI V100 nodes");
-    println!("{:>6} {:>12} {:>12} {:>10}", "GPUs", "measured(s)", "projected(s)", "GUPS");
-    for out in strong_scaling_sweep(&paper, 8, 8, &[8, 16, 32, 64, 128, 256, 512, 1024], &machine)
-    {
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "GPUs", "measured(s)", "projected(s)", "GUPS"
+    );
+    for out in strong_scaling_sweep(
+        &paper,
+        8,
+        8,
+        &[8, 16, 32, 64, 128, 256, 512, 1024],
+        &machine,
+    ) {
         println!(
             "{:>6} {:>12.1} {:>12.1} {:>10.0}",
             out.gpus, out.measured_secs, out.projected_secs, out.gups

@@ -24,10 +24,7 @@ fn main() {
     // keeping the exact geometry (magnification, offsets).
     let preset = DatasetPreset::by_name("coffee_bean").unwrap().scaled(5);
     let geom = preset.geometry.clone();
-    println!(
-        "dataset: {} ({})",
-        preset.name, preset.provenance
-    );
+    println!("dataset: {} ({})", preset.name, preset.provenance);
     println!(
         "scaled geometry: detector {}×{}, {} projections, output {}³, magnification {:.2}×, σ_cor={}",
         geom.nu, geom.nv, geom.np, geom.nx, geom.magnification(), geom.sigma_cor
@@ -68,7 +65,9 @@ fn main() {
         rec.plan().num_subvolumes()
     );
 
-    let (volume, report) = rec.reconstruct(&projections).expect("reconstruction failed");
+    let (volume, report) = rec
+        .reconstruct(&projections)
+        .expect("reconstruction failed");
 
     println!("\nper-batch streaming (differential rows, Figure 4):");
     println!("  batch  rows_loaded  simulated H2D+BP+D2H (s)");

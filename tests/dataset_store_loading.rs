@@ -51,11 +51,7 @@ fn sharded_store_drives_a_full_reconstruction() {
                     .unwrap();
                 filter.filter_stack(&mut window);
                 let mut partial = Volume::zeros_slab(geom.nx, geom.ny, task.nz(), task.z_begin);
-                backproject_parallel(
-                    &window,
-                    &mats[assign.s_begin..assign.s_end],
-                    &mut partial,
-                );
+                backproject_parallel(&window, &mats[assign.s_begin..assign.s_end], &mut partial);
                 slab.accumulate(&partial);
             }
             for v in slab.data_mut() {

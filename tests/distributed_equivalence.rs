@@ -6,7 +6,11 @@ use scalefbp::{distributed_reconstruct, fdk_reconstruct, FdkConfig, RankLayout};
 use scalefbp_geom::CbctGeometry;
 use scalefbp_phantom::{forward_project, uniform_ball, Phantom};
 
-fn setup() -> (CbctGeometry, scalefbp_geom::ProjectionStack, scalefbp_geom::Volume) {
+fn setup() -> (
+    CbctGeometry,
+    scalefbp_geom::ProjectionStack,
+    scalefbp_geom::Volume,
+) {
     let geom = CbctGeometry::ideal(24, 32, 48, 40);
     let phantom = uniform_ball(&geom, 0.55, 1.0);
     let projections = forward_project(&geom, &phantom);

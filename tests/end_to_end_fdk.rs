@@ -89,8 +89,8 @@ fn scaled_dataset_presets_reconstruct() {
         let g = &scaled.geometry;
         let phantom = uniform_ball(g, 0.5, 1.0);
         let projections = forward_project(g, &phantom);
-        let vol = fdk_reconstruct(g, &projections)
-            .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+        let vol =
+            fdk_reconstruct(g, &projections).unwrap_or_else(|e| panic!("{}: {e}", preset.name));
         let c = vol.get(g.nx / 2, g.ny / 2, g.nz / 2);
         assert!(
             (c - 1.0).abs() < 0.35,

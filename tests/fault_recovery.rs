@@ -1,0 +1,321 @@
+//! Seeded fault-schedule recovery tests.
+//!
+//! Every test runs the same reconstruction twice — once under an
+//! injected [`FaultPlan`], once under `FaultPlan::none()` — and checks
+//! that recovery reproduces the fault-free answer. Because recovered
+//! chunks are recomputed by the identical kernel and summed in a fixed
+//! rank order, the match is *bitwise* for every supported fault class
+//! (and trivially within the 1e-5 acceptance tolerance). Determinism is
+//! checked by running fault-injected reconstructions twice and comparing
+//! their canonical [`RecoveryLog`]s.
+//!
+//! Distinct seeds exercised here: 101, 202, 303, 404 (stragglers),
+//! 11, 12 (mixed rank failures / drops / delays), 7, 8 (device + IO).
+
+use scalefbp::{
+    fault_tolerant_reconstruct, FaultTolerantOutcome, FdkConfig, PipelinedReconstructor,
+};
+use scalefbp_faults::{Channel, FaultEvent, FaultKind, FaultPlan, FaultScenario, RecoveryEvent};
+use scalefbp_geom::{CbctGeometry, ProjectionStack, RankLayout};
+use scalefbp_iosim::StorageEndpoint;
+use scalefbp_phantom::{forward_project, uniform_ball};
+
+/// Failure detection is timeout-based; running these worlds concurrently
+/// could push compute past a deadline and flip a detector. Serialise.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn geom() -> CbctGeometry {
+    CbctGeometry::ideal(16, 16, 24, 20)
+}
+
+fn projections(g: &CbctGeometry) -> ProjectionStack {
+    forward_project(g, &uniform_ball(g, 0.5, 1.0))
+}
+
+fn run_ft(
+    g: &CbctGeometry,
+    p: &ProjectionStack,
+    layout: RankLayout,
+    plan: &FaultPlan,
+) -> FaultTolerantOutcome {
+    fault_tolerant_reconstruct(&FdkConfig::new(g.clone()).with_nc(2), layout, p, plan).unwrap()
+}
+
+fn assert_recovered_bitwise(faulted: &FaultTolerantOutcome, baseline: &FaultTolerantOutcome) {
+    let err = baseline.volume.max_abs_diff(&faulted.volume);
+    assert!(err < 1e-5, "recovered volume off by {err}");
+    // Recomputation is exact, so the match is in fact bitwise.
+    assert_eq!(faulted.volume.data(), baseline.volume.data());
+}
+
+#[test]
+fn straggler_delays_are_bitwise_and_logless() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let layout = RankLayout::new(3, 2, 2);
+    let baseline = run_ft(&g, &p, layout, &FaultPlan::none());
+    assert!(baseline.recovery.is_empty());
+    for seed in [101u64, 202, 303, 404] {
+        let plan = FaultPlan::generate(seed, &FaultScenario::delays_only(layout.num_ranks(), 4));
+        assert!(plan.delays_only());
+        let out = run_ft(&g, &p, layout, &plan);
+        assert_recovered_bitwise(&out, &baseline);
+        // Delays are absorbed by the timeouts: nothing to recover.
+        assert!(
+            out.recovery.is_empty(),
+            "seed {seed}: unexpected recoveries {:?}",
+            out.recovery
+        );
+    }
+}
+
+#[test]
+fn worker_rank_failure_requeues_onto_survivors() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let layout = RankLayout::new(2, 2, 2);
+    // Rank 3 (worker of group 1) dies on its second chunk send.
+    let plan = FaultPlan::from_events(vec![FaultEvent {
+        rank: 3,
+        channel: Channel::Send,
+        op_index: 1,
+        kind: FaultKind::RankFailure,
+    }]);
+    let baseline = run_ft(&g, &p, layout, &FaultPlan::none());
+    let out = run_ft(&g, &p, layout, &plan);
+    assert_recovered_bitwise(&out, &baseline);
+    assert!(out
+        .recovery
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::RankDeclaredDead { rank: 3, .. })));
+    assert!(out
+        .recovery
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::WorkRequeued { from_rank: 3, .. })));
+    // Same seed (here: same plan) → same RecoveryLog.
+    let again = run_ft(&g, &p, layout, &plan);
+    assert_eq!(again.recovery, out.recovery);
+    assert_eq!(again.volume.data(), out.volume.data());
+}
+
+#[test]
+fn leader_rank_failure_degrades_to_deputy() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let layout = RankLayout::new(2, 2, 2);
+    // Rank 2 (leader of group 1) dies on its first delivered receive.
+    let plan = FaultPlan::from_events(vec![FaultEvent {
+        rank: 2,
+        channel: Channel::Recv,
+        op_index: 0,
+        kind: FaultKind::RankFailure,
+    }]);
+    let baseline = run_ft(&g, &p, layout, &FaultPlan::none());
+    let out = run_ft(&g, &p, layout, &plan);
+    assert_recovered_bitwise(&out, &baseline);
+    assert!(out.recovery.iter().any(|e| matches!(
+        e,
+        RecoveryEvent::LeaderSetDegraded {
+            group: 1,
+            dead_leader: 2,
+            new_leader: 3
+        }
+    )));
+}
+
+#[test]
+fn message_drop_is_indistinguishable_from_death_and_recovered() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let layout = RankLayout::new(2, 2, 2);
+    // Rank 1's first chunk to the root-leader of group 0 vanishes.
+    let plan = FaultPlan::from_events(vec![FaultEvent {
+        rank: 1,
+        channel: Channel::Send,
+        op_index: 0,
+        kind: FaultKind::MessageDrop,
+    }]);
+    let baseline = run_ft(&g, &p, layout, &FaultPlan::none());
+    let out = run_ft(&g, &p, layout, &plan);
+    assert_recovered_bitwise(&out, &baseline);
+    // nr = 2 leaves no surviving worker: the leader recomputes locally.
+    assert!(out.recovery.iter().any(|e| matches!(
+        e,
+        RecoveryEvent::WorkRequeued {
+            from_rank: 1,
+            to_rank: 0,
+            ..
+        }
+    )));
+    let again = run_ft(&g, &p, layout, &plan);
+    assert_eq!(again.recovery, out.recovery);
+}
+
+#[test]
+fn generated_mixed_plans_recover_deterministically() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let layout = RankLayout::new(3, 2, 2);
+    let baseline = run_ft(&g, &p, layout, &FaultPlan::none());
+    for seed in [11u64, 12] {
+        let plan = FaultPlan::generate(seed, &FaultScenario::mixed(layout.num_ranks()));
+        let first = run_ft(&g, &p, layout, &plan);
+        assert_recovered_bitwise(&first, &baseline);
+        let second = run_ft(&g, &p, layout, &plan);
+        assert_eq!(
+            first.recovery, second.recovery,
+            "seed {seed}: RecoveryLog not deterministic"
+        );
+        assert_eq!(first.volume.data(), second.volume.data());
+    }
+}
+
+#[test]
+fn device_transfer_errors_are_retried_in_pipeline() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let rec = PipelinedReconstructor::new(FdkConfig::new(g.clone())).unwrap();
+    let (reference, _) = rec.reconstruct(&p).unwrap();
+    // First h2d and first d2h both fail once.
+    let plan = FaultPlan::from_events(vec![
+        FaultEvent {
+            rank: 0,
+            channel: Channel::DeviceTransfer,
+            op_index: 0,
+            kind: FaultKind::TransferError,
+        },
+        FaultEvent {
+            rank: 0,
+            channel: Channel::DeviceTransfer,
+            op_index: 1,
+            kind: FaultKind::TransferError,
+        },
+    ]);
+    let (vol, report) = rec.reconstruct_with_faults(&p, &plan, 0, None).unwrap();
+    assert_eq!(vol.data(), reference.data());
+    let retries: Vec<_> = report
+        .recovery
+        .iter()
+        .filter(|e| matches!(e, RecoveryEvent::DeviceRetry { .. }))
+        .collect();
+    assert_eq!(retries.len(), 2, "events: {:?}", report.recovery);
+    // The trace consumed the recovery log too.
+    assert_eq!(report.trace.recovery_events(), report.recovery);
+}
+
+#[test]
+fn storage_read_errors_are_retried_in_pipeline() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let rec = PipelinedReconstructor::new(FdkConfig::new(g.clone())).unwrap();
+    let (reference, _) = rec.reconstruct(&p).unwrap();
+    let plan = FaultPlan::from_events(vec![
+        FaultEvent {
+            rank: 0,
+            channel: Channel::StorageRead,
+            op_index: 0,
+            kind: FaultKind::ReadError,
+        },
+        FaultEvent {
+            rank: 0,
+            channel: Channel::StorageRead,
+            op_index: 2,
+            kind: FaultKind::ReadError,
+        },
+    ]);
+    let nvme = StorageEndpoint::local_nvme(None);
+    let (vol, report) = rec
+        .reconstruct_with_faults(&p, &plan, 0, Some(&nvme))
+        .unwrap();
+    assert_eq!(vol.data(), reference.data());
+    let retries = report
+        .recovery
+        .iter()
+        .filter(|e| matches!(e, RecoveryEvent::IoRetry { .. }))
+        .count();
+    assert_eq!(retries, 2, "events: {:?}", report.recovery);
+    // Failed reads are never counted: one successful read per batch.
+    let batches = g.nz.div_ceil(rec.nb()) as u64;
+    assert_eq!(nvme.counters().reads, batches);
+}
+
+#[test]
+fn generated_device_io_plans_are_deterministic_in_pipeline() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let rec = PipelinedReconstructor::new(FdkConfig::new(g.clone())).unwrap();
+    let (reference, _) = rec.reconstruct(&p).unwrap();
+    let scenario = FaultScenario {
+        world_size: 1,
+        max_rank_failures: 0,
+        message_drops: 0,
+        message_delays: 0,
+        device_faults: 2,
+        io_faults: 2,
+        op_horizon: 8,
+    };
+    for seed in [7u64, 8] {
+        let plan = FaultPlan::generate(seed, &scenario);
+        let nvme = StorageEndpoint::local_nvme(None);
+        let (vol, report) = rec
+            .reconstruct_with_faults(&p, &plan, 0, Some(&nvme))
+            .unwrap();
+        assert_eq!(vol.data(), reference.data(), "seed {seed}");
+        let nvme2 = StorageEndpoint::local_nvme(None);
+        let (vol2, report2) = rec
+            .reconstruct_with_faults(&p, &plan, 0, Some(&nvme2))
+            .unwrap();
+        assert_eq!(vol.data(), vol2.data());
+        assert_eq!(report.recovery, report2.recovery, "seed {seed}");
+    }
+}
+
+#[test]
+fn cli_reconstructs_under_fault_seed() {
+    let _s = SERIAL.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("scalefbp-faultcli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scan = dir.join("scan.sfbp");
+    let vol = dir.join("vol.sfbp");
+    let run = |tokens: &[&str]| {
+        scalefbp_cli::run(tokens.iter().map(|s| s.to_string())).expect("cli run failed")
+    };
+    run(&["simulate", "--out", scan.to_str().unwrap(), "--ideal", "12"]);
+    let out = run(&[
+        "reconstruct",
+        "--scan",
+        scan.to_str().unwrap(),
+        "--out",
+        vol.to_str().unwrap(),
+        "--mode",
+        "distributed",
+        "--nr",
+        "2",
+        "--ng",
+        "2",
+        "--fault-seed",
+        "5",
+    ]);
+    assert!(out.contains("fault-tolerant distributed"), "{out}");
+    assert!(vol.exists());
+    let out = run(&[
+        "reconstruct",
+        "--scan",
+        scan.to_str().unwrap(),
+        "--out",
+        vol.to_str().unwrap(),
+        "--mode",
+        "pipeline",
+        "--fault-seed",
+        "6",
+    ]);
+    assert!(out.contains("threaded pipeline"), "{out}");
+}

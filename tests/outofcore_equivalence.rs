@@ -49,7 +49,10 @@ fn bit_identical_across_device_budgets() {
             break;
         }
     }
-    assert!(plans.len() > 1, "expected different N_b plans across budgets: {plans:?}");
+    assert!(
+        plans.len() > 1,
+        "expected different N_b plans across budgets: {plans:?}"
+    );
 }
 
 #[test]
@@ -107,7 +110,10 @@ fn table5_feasibility_boundary() {
     let rtk_alloc = device
         .alloc(geom.projection_bytes() as u64)
         .and_then(|p| device.alloc(geom.volume_bytes() as u64).map(|v| (p, v)));
-    assert!(rtk_alloc.is_err(), "RTK-style allocation should exceed the device");
+    assert!(
+        rtk_alloc.is_err(),
+        "RTK-style allocation should exceed the device"
+    );
 
     // Ours: streams within the budget.
     let cfg = FdkConfig::new(geom.clone()).with_device(DeviceSpec::tiny(device_budget));

@@ -329,15 +329,15 @@ proptest! {
         for v in 0..wide.nv {
             for s in 0..wide.np {
                 let row = stitched.row(v, s);
-                for u in 0..wide.nu {
+                for (u, &px) in row.iter().enumerate() {
                     if u < right_start {
-                        prop_assert_eq!(row[u], left.get(v, s, u));
+                        prop_assert_eq!(px, left.get(v, s, u));
                     } else if u >= narrow {
-                        prop_assert_eq!(row[u], right.get(v, s, u - right_start));
+                        prop_assert_eq!(px, right.get(v, s, u - right_start));
                     } else {
                         let lo = left.get(v, s, u).min(right.get(v, s, u - right_start));
                         let hi = left.get(v, s, u).max(right.get(v, s, u - right_start));
-                        prop_assert!(row[u] >= lo - 1e-6 && row[u] <= hi + 1e-6);
+                        prop_assert!(px >= lo - 1e-6 && px <= hi + 1e-6);
                     }
                 }
             }

@@ -77,7 +77,10 @@ fn short_scan_needs_fewer_projections_for_similar_quality() {
     )
     .unwrap();
 
-    assert!(np_short < 100, "short scan should save views, used {np_short}");
+    assert!(
+        np_short < 100,
+        "short scan should save views, used {np_short}"
+    );
     let e_full = midplane_rmse(&full, &truth);
     let e_short = midplane_rmse(&short, &truth);
     assert!(

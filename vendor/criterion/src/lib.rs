@@ -1,0 +1,207 @@
+//! Offline stub of `criterion`: runs each benchmark a handful of timed
+//! iterations and prints a mean, with no statistics, plotting, or CLI.
+//! Keeps the `harness = false` bench targets compiling and runnable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark in the stub.
+const STUB_ITERS: u32 = 3;
+
+/// Identifier for a parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation (accepted and ignored by the stub).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing helper handed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a few iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then timed iterations.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = STUB_ITERS as u64;
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("bench {label:<40} {mean:>12.3?}/iter ({} iters)", b.iters);
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Runs a named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark manager.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Re-export point used by some bench files.
+pub use std::hint::black_box;
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sum");
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("n", 100), &100usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline stub of `rayon`: the workspace only uses
+//! `par_chunks_mut(..).enumerate().for_each(..)`, which this stub serves
+//! with the **sequential** `std::slice::ChunksMut` iterator. Output chunks
+//! are disjoint, so results are bit-identical to any parallel schedule —
+//! only wall-clock scaling differs.
+
+pub mod slice {
+    /// Sequential stand-in for rayon's `ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// Splits the slice into mutable chunks of `chunk_size` (last may
+        /// be shorter). Returns a plain iterator, so every adapter the
+        /// parallel API offers (`enumerate`, `for_each`, `zip`, …) works.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Number of worker threads the "pool" would use. Sequential stub: 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_slice_in_order() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}
