@@ -4,15 +4,18 @@ use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use scalefbp::{
-    fault_tolerant_reconstruct, fdk_reconstruct_slab, fdk_reconstruct_with, DeviceSpec, FdkConfig,
-    FilterWindow, OutOfCoreReconstructor, PipelinedReconstructor, RankLayout,
+    fault_tolerant_reconstruct_observed, fdk_reconstruct_slab, fdk_reconstruct_with, DeviceSpec,
+    FdkConfig, FilterWindow, MetricsRegistry, MetricsSnapshot, OutOfCoreReconstructor,
+    PipelinedReconstructor, RankLayout,
 };
 use scalefbp_faults::{FaultPlan, FaultScenario, RecoveryEvent};
-use scalefbp_geom::{CbctGeometry, DatasetPreset};
+use scalefbp_geom::{CbctGeometry, DatasetPreset, ProjectionStack};
 use scalefbp_iosim::format::{
     decode_projections, decode_volume, encode_projections, encode_volume, geometry_from_text,
     geometry_to_text, mip_to_pgm, slice_to_pgm,
 };
+use scalefbp_iosim::StorageEndpoint;
+use scalefbp_obs::{chrome_trace_json, validate_chrome_trace, validate_metrics_json};
 use scalefbp_perfmodel::{MachineParams, PerfModel, RunShape};
 use scalefbp_phantom::{
     bead_pile, bumblebee_like, coffee_bean_like, forward_project, uniform_ball, Phantom, PhotonScan,
@@ -186,6 +189,73 @@ fn parse_fault_plan(
     Ok(None)
 }
 
+/// Fault scenario for a single-rank pipeline run: only device and
+/// storage faults are meaningful for a generated plan.
+fn single_rank_scenario() -> FaultScenario {
+    FaultScenario {
+        world_size: 1,
+        max_rank_failures: 0,
+        message_drops: 0,
+        message_delays: 0,
+        device_faults: 2,
+        io_faults: 2,
+        op_horizon: 16,
+    }
+}
+
+/// Consumes `--trace-out`, `--metrics-out` and `--stats`, writing the
+/// deterministic exports where asked. Returns the lines to append to the
+/// command's output (empty when none of the three was given).
+fn write_observability(
+    args: &mut Args,
+    trace_json: &str,
+    metrics: &MetricsSnapshot,
+) -> Result<String, CliError> {
+    let mut note = String::new();
+    if let Some(path) = args.opt("trace-out") {
+        std::fs::write(&path, trace_json)
+            .map_err(|e| CliError::Message(format!("--trace-out {path}: {e}")))?;
+        note.push_str(&format!("chrome trace → {path}\n"));
+    }
+    if let Some(path) = args.opt("metrics-out") {
+        std::fs::write(&path, metrics.to_json())
+            .map_err(|e| CliError::Message(format!("--metrics-out {path}: {e}")))?;
+        note.push_str(&format!("metrics snapshot → {path}\n"));
+    }
+    if args.flag("stats") {
+        note.push_str(&metrics.render_table());
+    }
+    Ok(note)
+}
+
+/// Input for the self-contained `pipeline` / `distributed` commands:
+/// an on-disk scan when `--scan` is given, otherwise a synthesized
+/// uniform-ball scan of an ideal geometry (`--ideal N`, default 24).
+fn load_or_synthesize(
+    args: &mut Args,
+) -> Result<(CbctGeometry, ProjectionStack, String), CliError> {
+    if let Some(scan) = args.opt("scan") {
+        let scan_path = PathBuf::from(scan);
+        let geom_path = args
+            .opt("geom")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| geometry_path(&scan_path));
+        let geom = geometry_from_text(&std::fs::read_to_string(&geom_path)?)
+            .map_err(|e| CliError::Message(format!("{}: {e}", geom_path.display())))?;
+        let projections = decode_projections(&std::fs::read(&scan_path)?)
+            .map_err(|e| CliError::Message(format!("{}: {e}", scan_path.display())))?;
+        Ok((geom, projections, format!("{}", scan_path.display())))
+    } else {
+        let _ = args.opt("geom");
+        let n: usize = args.typed_or("ideal", 24, "integer")?;
+        let geom = CbctGeometry::ideal(n, n * 3 / 2, n * 3 / 2, n * 3 / 2);
+        geom.validate()
+            .map_err(|e| CliError::Message(format!("invalid geometry: {e}")))?;
+        let projections = forward_project(&geom, &uniform_ball(&geom, 0.55, 1.0));
+        Ok((geom, projections, format!("synthetic ball, ideal {n}")))
+    }
+}
+
 fn recovery_summary(events: &[RecoveryEvent]) -> String {
     if events.is_empty() {
         return ", no recoveries".to_string();
@@ -215,66 +285,78 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
         .map_err(|e| CliError::Message(format!("{}: {e}", scan_path.display())))?;
 
     let t0 = std::time::Instant::now();
-    let (volume, detail) = if let Some(slab) = args.opt("slab") {
+    // Every arm yields (volume, detail, chrome-trace JSON, metrics);
+    // modes without instrumented substrates export empty-but-valid
+    // documents so --trace-out / --metrics-out work uniformly.
+    let (volume, detail, trace_json, metrics) = if let Some(slab) = args.opt("slab") {
         let (z0, z1) = slab
             .split_once(':')
             .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
             .ok_or_else(|| CliError::Message(format!("bad --slab `{slab}` (want Z0:Z1)")))?;
         let v = fdk_reconstruct_slab(&geom, &projections, z0, z1, window)
             .map_err(|e| CliError::Message(e.to_string()))?;
-        (v, format!("ROI slab [{z0}, {z1})"))
+        (
+            v,
+            format!("ROI slab [{z0}, {z1})"),
+            chrome_trace_json(&[]),
+            MetricsRegistry::new().snapshot(),
+        )
     } else {
         match mode.as_str() {
             "incore" => {
                 let v = fdk_reconstruct_with(&geom, &projections, window)
                     .map_err(|e| CliError::Message(e.to_string()))?;
-                (v, "in-core".to_string())
+                (
+                    v,
+                    "in-core".to_string(),
+                    chrome_trace_json(&[]),
+                    MetricsRegistry::new().snapshot(),
+                )
             }
             "outofcore" => {
                 let cfg = FdkConfig::new(geom.clone())
                     .with_window(window)
                     .with_device(device);
-                let rec = OutOfCoreReconstructor::new(cfg)
+                let rec = OutOfCoreReconstructor::with_observability(cfg, MetricsRegistry::new())
                     .map_err(|e| CliError::Message(e.to_string()))?;
                 let (v, report) = rec
                     .reconstruct(&projections)
                     .map_err(|e| CliError::Message(e.to_string()))?;
-                (
-                    v,
-                    format!(
-                        "out-of-core: N_b={} over {} batches, H2D {:.1} MB",
-                        report.nb,
-                        report.batches.len(),
-                        report.device.h2d_bytes as f64 / 1e6
-                    ),
-                )
+                let detail = format!(
+                    "out-of-core: N_b={} over {} batches, H2D {:.1} MB",
+                    report.nb,
+                    report.batches.len(),
+                    report.device.h2d_bytes as f64 / 1e6
+                );
+                let trace = report.serial_trace().to_chrome_trace();
+                (v, detail, trace, report.metrics)
             }
             "pipeline" => {
-                // Single-rank pipeline: only device and storage faults
-                // are meaningful for a generated plan.
-                let plan = parse_fault_plan(
-                    args,
-                    &FaultScenario {
-                        world_size: 1,
-                        max_rank_failures: 0,
-                        message_drops: 0,
-                        message_delays: 0,
-                        device_faults: 2,
-                        io_faults: 2,
-                        op_horizon: 16,
-                    },
-                )?;
+                let plan = parse_fault_plan(args, &single_rank_scenario())?;
                 let cfg = FdkConfig::new(geom.clone())
                     .with_window(window)
                     .with_device(device);
                 let rec = PipelinedReconstructor::new(cfg)
                     .map_err(|e| CliError::Message(e.to_string()))?;
+                let registry = MetricsRegistry::new();
                 let (v, report) = match &plan {
                     Some(p) => {
-                        let nvme = scalefbp_iosim::StorageEndpoint::local_nvme(None);
-                        rec.reconstruct_with_faults(&projections, p, 0, Some(&nvme))
+                        let nvme = StorageEndpoint::with_observability(
+                            "local-nvme",
+                            1.9e9,
+                            1.2e9,
+                            None,
+                            registry.clone(),
+                        );
+                        rec.reconstruct_observed(&projections, p, 0, Some(&nvme), registry)
                     }
-                    None => rec.reconstruct(&projections),
+                    None => rec.reconstruct_observed(
+                        &projections,
+                        &FaultPlan::none(),
+                        0,
+                        None,
+                        registry,
+                    ),
                 }
                 .map_err(|e| CliError::Message(e.to_string()))?;
                 let faults = if plan.is_some() {
@@ -282,13 +364,12 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                 } else {
                     String::new()
                 };
-                (
-                    v,
-                    format!(
-                        "threaded pipeline: overlap efficiency {:.0}%{faults}",
-                        report.overlap_efficiency * 100.0
-                    ),
-                )
+                let detail = format!(
+                    "threaded pipeline: overlap efficiency {:.0}%{faults}",
+                    report.overlap_efficiency * 100.0
+                );
+                let trace = report.model_trace.to_chrome_trace();
+                (v, detail, trace, report.metrics)
             }
             "distributed" => {
                 let nr: usize = args.typed_or("nr", 2, "integer")?;
@@ -296,22 +377,22 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                 let plan = parse_fault_plan(args, &FaultScenario::mixed(nr * ng))?
                     .unwrap_or_else(FaultPlan::none);
                 let cfg = FdkConfig::new(geom.clone()).with_window(window);
-                let out = fault_tolerant_reconstruct(
+                let out = fault_tolerant_reconstruct_observed(
                     &cfg,
                     RankLayout::new(nr, ng, 2),
                     &projections,
                     &plan,
+                    MetricsRegistry::new(),
                 )
                 .map_err(|e| CliError::Message(e.to_string()))?;
-                (
-                    out.volume,
-                    format!(
-                        "fault-tolerant distributed: N_r={nr} N_g={ng}, \
-                         {:.1} MB network{}",
-                        out.network.bytes as f64 / 1e6,
-                        recovery_summary(&out.recovery)
-                    ),
-                )
+                let detail = format!(
+                    "fault-tolerant distributed: N_r={nr} N_g={ng}, \
+                     {:.1} MB network{}",
+                    out.network.bytes as f64 / 1e6,
+                    recovery_summary(&out.recovery)
+                );
+                let trace = out.chrome_trace();
+                (out.volume, detail, trace, out.metrics)
             }
             other => {
                 return Err(CliError::Message(format!(
@@ -320,15 +401,121 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
             }
         }
     };
+    let obs_note = write_observability(args, &trace_json, &metrics)?;
     let secs = t0.elapsed().as_secs_f64();
     std::fs::write(&out_path, encode_volume(&volume))?;
     Ok(format!(
-        "reconstructed {}×{}×{} ({detail}) in {secs:.2} s → {}\n",
+        "reconstructed {}×{}×{} ({detail}) in {secs:.2} s → {}\n{obs_note}",
         volume.nx(),
         volume.ny(),
         volume.nz(),
         out_path.display()
     ))
+}
+
+/// `scalefbp pipeline` — a self-contained observability demo of the
+/// Figure 9 threaded pipeline: reconstructs a scan (or a synthesized
+/// ball) through the instrumented load → filter → bp → store pipeline
+/// against the modelled NVMe endpoint, exporting the deterministic model
+/// trace and metrics snapshot.
+pub fn pipeline(args: &mut Args) -> Result<String, CliError> {
+    let (geom, projections, source) = load_or_synthesize(args)?;
+    let window = parse_window(&args.opt("window").unwrap_or_else(|| "ramlak".into()))?;
+    let device = parse_device(&args.opt("device").unwrap_or_else(|| "v100".into()))?;
+    let plan = parse_fault_plan(args, &single_rank_scenario())?.unwrap_or_else(FaultPlan::none);
+
+    let cfg = FdkConfig::new(geom.clone())
+        .with_window(window)
+        .with_device(device);
+    let rec = PipelinedReconstructor::new(cfg).map_err(|e| CliError::Message(e.to_string()))?;
+    let registry = MetricsRegistry::new();
+    let nvme =
+        StorageEndpoint::with_observability("local-nvme", 1.9e9, 1.2e9, None, registry.clone());
+    let (volume, report) = rec
+        .reconstruct_observed(&projections, &plan, 0, Some(&nvme), registry)
+        .map_err(|e| CliError::Message(e.to_string()))?;
+
+    let obs_note =
+        write_observability(args, &report.model_trace.to_chrome_trace(), &report.metrics)?;
+    if let Some(out) = args.opt("out") {
+        std::fs::write(&out, encode_volume(&volume))?;
+    }
+    Ok(format!(
+        "pipeline ({source}): {}×{}×{} over {} batches, \
+         model makespan {:.3} ms, overlap efficiency {:.0}%{}\n{obs_note}",
+        volume.nx(),
+        volume.ny(),
+        volume.nz(),
+        report
+            .metrics
+            .counter("pipeline.batches", Some(0))
+            .unwrap_or(0),
+        report.model_trace.makespan() * 1e3,
+        report.overlap_efficiency * 100.0,
+        recovery_summary(&report.recovery)
+    ))
+}
+
+/// `scalefbp distributed` — a self-contained observability demo of the
+/// fault-tolerant distributed driver: runs the N_r×N_g world (with an
+/// optional fault schedule), exporting the recovery timeline and the
+/// per-rank mergeable metrics snapshot.
+pub fn distributed(args: &mut Args) -> Result<String, CliError> {
+    let (geom, projections, source) = load_or_synthesize(args)?;
+    let window = parse_window(&args.opt("window").unwrap_or_else(|| "ramlak".into()))?;
+    let nr: usize = args.typed_or("nr", 2, "integer")?;
+    let ng: usize = args.typed_or("ng", 2, "integer")?;
+    let plan =
+        parse_fault_plan(args, &FaultScenario::mixed(nr * ng))?.unwrap_or_else(FaultPlan::none);
+
+    let cfg = FdkConfig::new(geom.clone()).with_window(window);
+    let out = fault_tolerant_reconstruct_observed(
+        &cfg,
+        RankLayout::new(nr, ng, 2),
+        &projections,
+        &plan,
+        MetricsRegistry::new(),
+    )
+    .map_err(|e| CliError::Message(e.to_string()))?;
+
+    let obs_note = write_observability(args, &out.chrome_trace(), &out.metrics)?;
+    if let Some(path) = args.opt("out") {
+        std::fs::write(&path, encode_volume(&out.volume))?;
+    }
+    Ok(format!(
+        "distributed ({source}): {}×{}×{} on N_r={nr} N_g={ng}, \
+         {:.1} MB network{}\n{obs_note}",
+        out.volume.nx(),
+        out.volume.ny(),
+        out.volume.nz(),
+        out.network.bytes as f64 / 1e6,
+        recovery_summary(&out.recovery)
+    ))
+}
+
+/// `scalefbp trace-validate` — parses an exported chrome trace (and
+/// optionally a metrics snapshot) and checks the invariants the golden
+/// tests rely on: numeric pid/tid/ts/dur, known phases, per-track span
+/// non-overlap, counter/histogram well-formedness.
+pub fn trace_validate(args: &mut Args) -> Result<String, CliError> {
+    let trace_path = PathBuf::from(args.require("trace")?);
+    let text = std::fs::read_to_string(&trace_path)?;
+    let summary = validate_chrome_trace(&text)
+        .map_err(|e| CliError::Message(format!("{}: {e}", trace_path.display())))?;
+    let mut out = format!(
+        "{}: valid chrome trace — {} spans, {} instants, {} tracks\n",
+        trace_path.display(),
+        summary.spans,
+        summary.instants,
+        summary.tracks
+    );
+    if let Some(mpath) = args.opt("metrics") {
+        let mtext = std::fs::read_to_string(&mpath)?;
+        let n = validate_metrics_json(&mtext)
+            .map_err(|e| CliError::Message(format!("{mpath}: {e}")))?;
+        out.push_str(&format!("{mpath}: valid metrics snapshot — {n} metrics\n"));
+    }
+    Ok(out)
 }
 
 /// `scalefbp slice`.

@@ -69,6 +69,21 @@ COMMANDS:
               [--fault-seed N | --fault-plan FILE]
                   inject a deterministic fault schedule (pipeline and
                   distributed modes) and recover; prints the recovery log
+              [--trace-out trace.json] [--metrics-out metrics.json] [--stats]
+                  export the deterministic chrome trace / metrics snapshot
+                  (see docs/observability.md); --stats prints the table
+  pipeline    [--scan scan.sfbp | --ideal N] [--device SPEC] [--window W]
+              [--fault-seed N | --fault-plan FILE] [--out vol.sfbp]
+              [--trace-out F] [--metrics-out F] [--stats]
+              self-contained threaded-pipeline run (synthesized ball scan
+              by default) exporting the model trace and metrics
+  distributed [--scan scan.sfbp | --ideal N] [--nr N --ng N] [--window W]
+              [--fault-seed N | --fault-plan FILE] [--out vol.sfbp]
+              [--trace-out F] [--metrics-out F] [--stats]
+              self-contained fault-tolerant distributed run exporting the
+              recovery timeline and per-rank mergeable metrics
+  trace-validate --trace trace.json [--metrics metrics.json]
+              check an exported trace/snapshot against the format invariants
   slice       --volume vol.sfbp --out img.pgm [--k K | --mip x|y|z]
   model       --preset NAME --gpus N --nr N [--nc 8] [--machine v100|a100]
               project the paper-scale runtime (Eq 17 + DES)
@@ -85,6 +100,9 @@ pub fn run<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, CliError
         "simulate" => commands::simulate(&mut args)?,
         "info" => commands::info(&mut args)?,
         "reconstruct" => commands::reconstruct(&mut args)?,
+        "pipeline" => commands::pipeline(&mut args)?,
+        "distributed" => commands::distributed(&mut args)?,
+        "trace-validate" => commands::trace_validate(&mut args)?,
         "slice" => commands::slice(&mut args)?,
         "model" => commands::model(&mut args)?,
         other => return Err(CliError::UnknownCommand(other.to_string())),

@@ -193,6 +193,127 @@ fn model_command_projects_runtimes() {
     assert!(out.contains("GUPS"), "{out}");
 }
 
+/// The three observed modes export a valid trace + snapshot through
+/// `--trace-out` / `--metrics-out`, and `trace-validate` accepts them.
+#[test]
+fn observability_flags_on_all_reconstruct_modes() {
+    let dir = tmpdir("obsflags");
+    let scan = dir.join("scan.sfbp");
+    call(&["simulate", "--ideal", "24", "--out", scan.to_str().unwrap()]).unwrap();
+
+    for (mode, extra) in [
+        ("outofcore", vec!["--device", "tiny:2000000"]),
+        ("pipeline", vec!["--fault-seed", "7"]),
+        ("distributed", vec!["--nr", "2", "--ng", "2"]),
+    ] {
+        let vol = dir.join(format!("vol_{mode}.sfbp"));
+        let trace = dir.join(format!("trace_{mode}.json"));
+        let metrics = dir.join(format!("metrics_{mode}.json"));
+        let mut tokens = vec![
+            "reconstruct",
+            "--scan",
+            scan.to_str().unwrap(),
+            "--out",
+            vol.to_str().unwrap(),
+            "--mode",
+            mode,
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--stats",
+        ];
+        tokens.extend(extra);
+        let out = call(&tokens).unwrap();
+        assert!(out.contains("chrome trace →"), "{mode}: {out}");
+        assert!(out.contains("metrics snapshot →"), "{mode}: {out}");
+
+        let validated = call(&[
+            "trace-validate",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(
+            validated.contains("valid chrome trace"),
+            "{mode}: {validated}"
+        );
+        assert!(
+            validated.contains("valid metrics snapshot"),
+            "{mode}: {validated}"
+        );
+    }
+}
+
+/// The self-contained `pipeline` and `distributed` commands need no scan
+/// file at all and honour the same export flags.
+#[test]
+fn pipeline_and_distributed_commands_are_self_contained() {
+    let dir = tmpdir("selfcontained");
+    for cmd in ["pipeline", "distributed"] {
+        let trace = dir.join(format!("{cmd}.trace.json"));
+        let metrics = dir.join(format!("{cmd}.metrics.json"));
+        let out = call(&[
+            cmd,
+            "--ideal",
+            "16",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--stats",
+        ])
+        .unwrap();
+        assert!(out.contains("synthetic ball"), "{cmd}: {out}");
+        call(&[
+            "trace-validate",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+    }
+}
+
+/// An unwritable export path is a loud error, not a silent skip.
+#[test]
+fn unwritable_trace_path_is_an_error() {
+    let dir = tmpdir("unwritable");
+    let r = call(&[
+        "pipeline",
+        "--ideal",
+        "16",
+        "--trace-out",
+        dir.join("no/such/dir/trace.json").to_str().unwrap(),
+    ]);
+    match r {
+        Err(CliError::Message(m)) => assert!(m.contains("--trace-out"), "{m}"),
+        other => panic!("expected CliError::Message, got {other:?}"),
+    }
+    let r = call(&[
+        "pipeline",
+        "--ideal",
+        "16",
+        "--metrics-out",
+        dir.join("no/such/dir/metrics.json").to_str().unwrap(),
+    ]);
+    assert!(r.is_err());
+}
+
+/// `trace-validate` rejects malformed documents.
+#[test]
+fn trace_validate_rejects_garbage() {
+    let dir = tmpdir("badtrace");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, b"{\"traceEvents\": [{\"ph\": \"X\"}]}").unwrap();
+    assert!(call(&["trace-validate", "--trace", bad.to_str().unwrap()]).is_err());
+    std::fs::write(&bad, b"not json at all").unwrap();
+    assert!(call(&["trace-validate", "--trace", bad.to_str().unwrap()]).is_err());
+}
+
 #[test]
 fn helpful_errors() {
     assert!(call(&["reconstruct"]).is_err()); // missing --scan

@@ -43,6 +43,8 @@ use scalefbp_geom::{
     VolumeDecomposition,
 };
 use scalefbp_mpisim::{CommError, Communicator, NetworkStats, World};
+use scalefbp_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use scalefbp_pipeline::TraceCollector;
 
 use crate::{FdkConfig, ReconstructionError};
 
@@ -88,6 +90,25 @@ pub struct FaultTolerantOutcome {
     /// Every recovery action taken, canonically ordered. Deterministic
     /// for a given fault plan; empty for a fault-free run.
     pub recovery: Vec<RecoveryEvent>,
+    /// Snapshot of the run's metrics registry: per-rank `mpi.*` traffic
+    /// and `ft.*` protocol counters — deterministic for a given plan.
+    pub metrics: MetricsSnapshot,
+}
+
+impl FaultTolerantOutcome {
+    /// Chrome-trace JSON of the run's recovery timeline: one instant per
+    /// recovery event on the acting rank's `recovery` track, timestamped
+    /// by canonical event index (model time, not wall clock) — so the
+    /// export is byte-identical across runs of the same fault plan.
+    pub fn chrome_trace(&self) -> String {
+        let log = RecoveryLog::new();
+        for ev in &self.recovery {
+            log.record(ev.clone());
+        }
+        let trace = TraceCollector::new();
+        trace.absorb_recovery_log(&log);
+        trace.to_chrome_trace()
+    }
 }
 
 /// Shared read-only state of one rank's protocol role.
@@ -99,6 +120,9 @@ struct FtCtx<'a> {
     mats: &'a [ProjectionMatrix],
     recovery: &'a RecoveryLog,
     scale: f32,
+    /// `ft.chunks.computed`, labelled with this rank — every
+    /// [`compute_chunk`](Self::compute_chunk) call, including recoveries.
+    chunks_computed: Counter,
 }
 
 impl FtCtx<'_> {
@@ -106,6 +130,7 @@ impl FtCtx<'_> {
     /// its projection share filtered and back-projected onto the batch
     /// slab. Pure — any rank can recompute any chunk, bit for bit.
     fn compute_chunk(&self, group: usize, task: &SubVolumeTask, j: usize) -> Volume {
+        self.chunks_computed.inc();
         let a = self.layout.assignment(self.g, group * self.layout.nr + j);
         let mut part =
             self.projections
@@ -151,6 +176,21 @@ pub fn fault_tolerant_reconstruct(
     projections: &ProjectionStack,
     plan: &FaultPlan,
 ) -> Result<FaultTolerantOutcome, ReconstructionError> {
+    fault_tolerant_reconstruct_observed(config, layout, projections, plan, MetricsRegistry::new())
+}
+
+/// [`fault_tolerant_reconstruct`] with every counter recorded into a
+/// caller-supplied registry: the world's per-rank `mpi.*` traffic plus
+/// the protocol's `ft.chunks.computed` per-rank counters. The outcome
+/// carries the final snapshot, whose per-rank views merge back to the
+/// global aggregate (see [`MetricsSnapshot::rank_view`]).
+pub fn fault_tolerant_reconstruct_observed(
+    config: &FdkConfig,
+    layout: RankLayout,
+    projections: &ProjectionStack,
+    plan: &FaultPlan,
+    registry: MetricsRegistry,
+) -> Result<FaultTolerantOutcome, ReconstructionError> {
     config.validate()?;
     let g = &config.geometry;
     if projections.nv() != g.nv || projections.np() != g.np || projections.nu() != g.nu {
@@ -175,9 +215,11 @@ pub fn fault_tolerant_reconstruct(
     let recovery = RecoveryLog::new();
     let window = config.window;
     let recovery_ref = &recovery;
-    let (results, network) = World::run_with_faults(
+    let registry_ref = &registry;
+    let (results, network) = World::run_with_observability(
         layout.num_ranks(),
         injector.clone() as Arc<dyn FaultInject>,
+        registry.clone(),
         |mut comm| {
             let filter = FilterPipeline::new(g, window);
             let mats = ProjectionMatrix::full_scan(g);
@@ -189,6 +231,7 @@ pub fn fault_tolerant_reconstruct(
                 mats: &mats,
                 recovery: recovery_ref,
                 scale: filter.backprojection_scale() as f32,
+                chunks_computed: registry_ref.rank_counter("ft.chunks.computed", comm.rank()),
             };
             let assign = layout.assignment(g, comm.rank());
             if comm.rank() == 0 {
@@ -212,6 +255,7 @@ pub fn fault_tolerant_reconstruct(
         volume,
         network,
         recovery: recovery.events(),
+        metrics: registry.snapshot(),
     })
 }
 
@@ -625,6 +669,45 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.volume.data(), reference.data());
+    }
+
+    #[test]
+    fn observed_metrics_merge_across_ranks() {
+        let _serial = crate::TIMING_TEST_LOCK.lock();
+        let g = CbctGeometry::ideal(16, 16, 24, 20);
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let layout = RankLayout::new(2, 2, 2);
+        let out = fault_tolerant_reconstruct_observed(
+            &FdkConfig::new(g).with_nc(2),
+            layout,
+            &p,
+            &FaultPlan::none(),
+            MetricsRegistry::new(),
+        )
+        .unwrap();
+        let m = &out.metrics;
+        // Every rank computed at least one chunk.
+        assert_eq!(m.ranks(), (0..layout.num_ranks()).collect::<Vec<_>>());
+        for r in 0..layout.num_ranks() {
+            assert!(m.counter("ft.chunks.computed", Some(r)).unwrap() > 0);
+        }
+        // Per-rank views merge back to the global snapshot — the property
+        // that lets distributed runs ship one snapshot per rank.
+        let merged = m
+            .ranks()
+            .iter()
+            .map(|&r| m.rank_view(r))
+            .fold(m.unranked_view(), |acc, v| acc.merge(&v));
+        assert_eq!(merged.to_json(), m.to_json());
+        // Registry-backed traffic equals the post-join NetworkStats.
+        assert_eq!(
+            merged.aggregate().counter("mpi.send.bytes", None),
+            Some(out.network.bytes)
+        );
+        // Fault-free: the recovery trace is an empty (but valid) export.
+        let summary = scalefbp_obs::validate_chrome_trace(&out.chrome_trace()).unwrap();
+        assert_eq!(summary.spans, 0);
+        assert_eq!(summary.instants, 0);
     }
 
     #[test]

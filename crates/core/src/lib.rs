@@ -80,7 +80,9 @@ pub mod timing;
 
 pub use config::{FdkConfig, ReconstructionError};
 pub use distributed::{distributed_reconstruct, DistributedOutcome};
-pub use fault_tolerant::{fault_tolerant_reconstruct, FaultTolerantOutcome};
+pub use fault_tolerant::{
+    fault_tolerant_reconstruct, fault_tolerant_reconstruct_observed, FaultTolerantOutcome,
+};
 pub use fdk::{fdk_reconstruct, fdk_reconstruct_slab, fdk_reconstruct_with};
 pub use outofcore::{OutOfCoreReconstructor, OutOfCoreReport};
 pub use pipelined::{PipelineReport, PipelinedReconstructor};
@@ -95,10 +97,15 @@ pub mod substrates {
     pub use scalefbp_gpusim as gpusim;
     pub use scalefbp_iosim as iosim;
     pub use scalefbp_mpisim as mpisim;
+    pub use scalefbp_obs as obs;
     pub use scalefbp_perfmodel as perfmodel;
     pub use scalefbp_phantom as phantom;
     pub use scalefbp_pipeline as pipeline;
 }
+
+// The observability layer's entry types, at the crate root: a registry
+// to thread through `*_observed` runs and the snapshot they export.
+pub use scalefbp_obs::{MetricsRegistry, MetricsSnapshot};
 
 // The most-used substrate types, at the crate root for ergonomics.
 pub use scalefbp_filter::FilterWindow;

@@ -1,9 +1,14 @@
 //! Algorithm 3: out-of-core streaming reconstruction on one device.
 
+use std::sync::Arc;
+
 use scalefbp_backproject::{backproject_window, KernelStats, TextureWindow};
+use scalefbp_faults::{FaultInject, NoFaults};
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, Volume, VolumeDecomposition};
 use scalefbp_gpusim::{Device, DeviceCounters};
+use scalefbp_obs::{MetricsRegistry, MetricsSnapshot};
+use scalefbp_pipeline::TraceCollector;
 
 use crate::{FdkConfig, ReconstructionError};
 
@@ -40,6 +45,9 @@ pub struct OutOfCoreReport {
     pub kernel: KernelStats,
     /// Total wall-clock seconds of the reconstruction.
     pub wall_secs: f64,
+    /// Snapshot of the run's metrics registry (`gpu.*` plus the
+    /// `ooc.*` slab-loop counters) — deterministic, exportable.
+    pub metrics: MetricsSnapshot,
 }
 
 impl OutOfCoreReport {
@@ -56,6 +64,24 @@ impl OutOfCoreReport {
             .map(|b| b.h2d_secs + b.bp_secs + b.d2h_secs)
             .sum()
     }
+
+    /// Deterministic model-time timeline of the serial slab loop:
+    /// per batch, h2d → bp → d2h back to back in simulated seconds.
+    /// Unlike the per-batch `wall_secs`, this is a pure function of the
+    /// inputs and exports byte-identically across runs.
+    pub fn serial_trace(&self) -> TraceCollector {
+        let trace = TraceCollector::new();
+        let mut t = 0.0;
+        for b in &self.batches {
+            trace.record("h2d", b.index, t, t + b.h2d_secs);
+            t += b.h2d_secs;
+            trace.record("bp", b.index, t, t + b.bp_secs);
+            t += b.bp_secs;
+            trace.record("d2h", b.index, t, t + b.d2h_secs);
+            t += b.d2h_secs;
+        }
+        trace
+    }
 }
 
 /// The streaming out-of-core reconstructor of Algorithm 3.
@@ -70,6 +96,7 @@ impl OutOfCoreReport {
 pub struct OutOfCoreReconstructor {
     config: FdkConfig,
     device: Device,
+    registry: MetricsRegistry,
     nb: usize,
     window_rows: usize,
 }
@@ -79,6 +106,15 @@ impl OutOfCoreReconstructor {
     /// [`ReconstructionError::DeviceTooSmall`] if even a one-slice slab
     /// exceeds device memory.
     pub fn new(config: FdkConfig) -> Result<Self, ReconstructionError> {
+        Self::with_observability(config, MetricsRegistry::new())
+    }
+
+    /// [`new`](Self::new) recording the device's `gpu.*` metrics and the
+    /// slab loop's `ooc.*` counters into a caller-supplied registry.
+    pub fn with_observability(
+        config: FdkConfig,
+        registry: MetricsRegistry,
+    ) -> Result<Self, ReconstructionError> {
         config.validate()?;
         let g = &config.geometry;
         let capacity = config.device.memory_bytes;
@@ -95,8 +131,14 @@ impl OutOfCoreReconstructor {
             let needed = window_bytes + slab_bytes + mats_bytes;
             if needed <= capacity {
                 return Ok(OutOfCoreReconstructor {
-                    device: Device::new(config.device.clone()),
+                    device: Device::with_observability(
+                        config.device.clone(),
+                        Arc::new(NoFaults) as Arc<dyn FaultInject>,
+                        0,
+                        registry.clone(),
+                    ),
                     config,
+                    registry,
                     nb,
                     window_rows,
                 });
@@ -121,6 +163,11 @@ impl OutOfCoreReconstructor {
     /// The device (for inspecting counters mid-run).
     pub fn device(&self) -> &Device {
         &self.device
+    }
+
+    /// The registry this reconstructor reports into.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// The sub-volume plan.
@@ -170,6 +217,8 @@ impl OutOfCoreReconstructor {
         let mut out = Volume::zeros(g.nx, g.ny, g.nz);
         let mut batches = Vec::with_capacity(decomp.num_subvolumes());
         let mut kernel = KernelStats::default();
+        let batches_done = self.registry.counter("ooc.batches");
+        let rows_loaded = self.registry.counter("ooc.rows.loaded");
 
         for task in decomp.tasks() {
             let batch_start = std::time::Instant::now();
@@ -193,6 +242,8 @@ impl OutOfCoreReconstructor {
             }
             out.paste_slab(&slab);
 
+            batches_done.inc();
+            rows_loaded.add(r.len() as u64);
             batches.push(OocBatch {
                 index: task.index,
                 rows_loaded: r.len(),
@@ -210,6 +261,7 @@ impl OutOfCoreReconstructor {
             device: self.device.counters(),
             kernel,
             wall_secs: run_start.elapsed().as_secs_f64(),
+            metrics: self.registry.snapshot(),
         };
         Ok((out, report))
     }
@@ -332,6 +384,33 @@ mod tests {
         assert_eq!(vol.len() * 4, vol_bytes as usize);
         assert!(report.device.peak_allocated <= budget);
         assert!(report.device.peak_allocated < vol_bytes);
+    }
+
+    #[test]
+    fn serial_trace_and_metrics_are_deterministic() {
+        let g = geom();
+        let p = projections(&g);
+        let cfg = tiny_device_config(&g, (g.projection_bytes() + g.volume_bytes()) as u64 / 2);
+        let run = || {
+            let rec =
+                OutOfCoreReconstructor::with_observability(cfg.clone(), MetricsRegistry::new())
+                    .unwrap();
+            let (_, report) = rec.reconstruct(&p).unwrap();
+            (report.serial_trace().to_chrome_trace(), report.metrics)
+        };
+        let (trace_a, metrics_a) = run();
+        let (trace_b, metrics_b) = run();
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(metrics_a.to_json(), metrics_b.to_json());
+        scalefbp_obs::validate_chrome_trace(&trace_a).unwrap();
+        let batches = metrics_a.counter("ooc.batches", None).unwrap();
+        assert!(batches > 1, "expected an actual out-of-core plan");
+        assert_eq!(
+            metrics_a.counter("gpu.h2d.bytes", Some(0)),
+            metrics_a
+                .counter("ooc.rows.loaded", None)
+                .map(|rows| rows * (g.np * g.nu * 4) as u64)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The five-stage threaded pipeline of Figure 9, single-rank version:
 //! load → filter → back-project → store, with span tracing (Figure 10).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use scalefbp_backproject::{backproject_window, TextureWindow};
@@ -10,15 +10,29 @@ use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, SubVolumeTask, Volume};
 use scalefbp_gpusim::{Device, DeviceCounters};
 use scalefbp_iosim::StorageEndpoint;
-use scalefbp_pipeline::{BoundedQueue, TraceCollector};
+use scalefbp_obs::{MetricsRegistry, MetricsSnapshot};
+use scalefbp_pipeline::{BoundedQueue, PipelineModel, TraceCollector};
 
 use crate::{FdkConfig, OutOfCoreReconstructor, ReconstructionError};
+
+/// Modelled host bandwidths feeding the deterministic timing model
+/// (bytes/second). The wall-clock trace depends on the scheduler; the
+/// model trace replays the same batches through [`PipelineModel`] with
+/// these calibration constants so two runs export identical timelines.
+const MODEL_HOST_LOAD_BW: f64 = 8.0e9;
+const MODEL_FILTER_BW: f64 = 2.0e9;
+const MODEL_STORE_BW: f64 = 6.0e9;
 
 /// Outcome statistics of a pipelined run.
 #[derive(Clone, Debug)]
 pub struct PipelineReport {
     /// Recorded stage spans (wall-clock seconds from run start).
     pub trace: TraceCollector,
+    /// Deterministic model-time timeline: the same batches replayed
+    /// through the Figure 9 queue recurrence with modelled stage
+    /// durations. This is what `--trace-out` exports — byte-identical
+    /// across runs, unlike the wall-clock `trace`.
+    pub model_trace: TraceCollector,
     /// Device traffic counters.
     pub device: DeviceCounters,
     /// End-to-end wall-clock seconds.
@@ -28,6 +42,9 @@ pub struct PipelineReport {
     /// Recovery actions taken (device/IO retries), canonically ordered.
     /// Empty for a fault-free run. Also absorbed into `trace`.
     pub recovery: Vec<RecoveryEvent>,
+    /// Snapshot of every metric the run recorded (device, storage and
+    /// pipeline counters) — deterministic, exported by `--metrics-out`.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Retry budget for transient device/IO faults. Injected faults are
@@ -155,6 +172,23 @@ impl PipelinedReconstructor {
         rank: usize,
         storage: Option<&StorageEndpoint>,
     ) -> Result<(Volume, PipelineReport), ReconstructionError> {
+        self.reconstruct_observed(projections, plan, rank, storage, MetricsRegistry::new())
+    }
+
+    /// [`reconstruct_with_faults`](Self::reconstruct_with_faults) with
+    /// every counter recorded into a caller-supplied registry. The device
+    /// reports rank-labelled `gpu.*` metrics into it, the pipeline adds
+    /// `pipeline.*` counters, and the report carries the final snapshot;
+    /// pass the registry a [`StorageEndpoint`] was built with to collect
+    /// `io.*` traffic in the same snapshot.
+    pub fn reconstruct_observed(
+        &self,
+        projections: &ProjectionStack,
+        plan: &FaultPlan,
+        rank: usize,
+        storage: Option<&StorageEndpoint>,
+        registry: MetricsRegistry,
+    ) -> Result<(Volume, PipelineReport), ReconstructionError> {
         let g = &self.config.geometry;
         if projections.nv() != g.nv || projections.np() != g.np || projections.nu() != g.nu {
             return Err(ReconstructionError::ShapeMismatch(format!(
@@ -170,10 +204,11 @@ impl PipelinedReconstructor {
 
         let injector = FaultInjector::new(plan.clone());
         let recovery = RecoveryLog::new();
-        let device = Device::with_injector(
+        let device = Device::with_observability(
             self.config.device.clone(),
             injector.clone() as Arc<dyn FaultInject>,
             rank,
+            registry.clone(),
         );
         let storage =
             storage.map(|s| s.with_fault_injector(injector as Arc<dyn FaultInject>, rank));
@@ -186,6 +221,12 @@ impl PipelinedReconstructor {
         let trace = TraceCollector::new();
         let t0 = Instant::now();
         let now = move || t0.elapsed().as_secs_f64();
+
+        let batches_done = registry.rank_counter("pipeline.batches", rank);
+        let rows_loaded = registry.rank_counter("pipeline.rows.loaded", rank);
+        // Modelled per-batch stage durations (seconds), indexed by
+        // `task.index`; replayed through the DES after the threads join.
+        let model_secs = Mutex::new(vec![[0.0f64; 4]; tasks.len()]);
 
         // Queues of Figure 9 (load→filter, filter→bp, bp→store).
         let (q1_tx, q1_rx) = BoundedQueue::<(SubVolumeTask, ProjectionStack)>::new(2).split();
@@ -200,15 +241,20 @@ impl PipelinedReconstructor {
             let load_tasks = tasks.clone();
             let load_storage = storage.clone();
             let load_recovery = &recovery;
+            let load_model = &model_secs;
             scope.spawn(move || {
                 for task in load_tasks {
                     let start = now();
                     let r = task.new_rows;
-                    if let Some(st) = &load_storage {
+                    let bytes = (r.len() * g.np * g.nu * 4) as u64;
+                    let secs = if let Some(st) = &load_storage {
                         // Model (and fault-inject) the read from storage.
-                        let bytes = (r.len() * g.np * g.nu * 4) as u64;
-                        storage_read_with_retry(st, bytes, rank, load_recovery);
-                    }
+                        storage_read_with_retry(st, bytes, rank, load_recovery)
+                    } else {
+                        bytes as f64 / MODEL_HOST_LOAD_BW
+                    };
+                    rows_loaded.add(r.len() as u64);
+                    load_model.lock().unwrap()[task.index][0] = secs;
                     let window = projections.extract_window(r.begin, r.end, 0, g.np);
                     load_trace.record("load", task.index, start, now());
                     if q1_tx.push((task, window)).is_err() {
@@ -220,10 +266,13 @@ impl PipelinedReconstructor {
             // Filter thread (CPU, Equation 2).
             let filter_trace = trace.clone();
             let filter_ref = &filter;
+            let filter_model = &model_secs;
             scope.spawn(move || {
                 while let Ok((task, mut window)) = q1_rx.pop() {
                     let start = now();
                     filter_ref.filter_stack(&mut window);
+                    let bytes = (window.nv() * window.np() * window.nu() * 4) as f64;
+                    filter_model.lock().unwrap()[task.index][1] = bytes / MODEL_FILTER_BW;
                     filter_trace.record("filter", task.index, start, now());
                     if q2_tx.push((task, window)).is_err() {
                         return;
@@ -237,13 +286,15 @@ impl PipelinedReconstructor {
             let bp_recovery = &recovery;
             let mats_ref = &mats;
             let window_rows = self.window_rows;
+            let bp_model = &model_secs;
             scope.spawn(move || {
                 let mut tex = TextureWindow::new(window_rows, g.np, g.nu, 0);
                 while let Ok((task, rows)) = q2_rx.pop() {
                     let start = now();
                     let r = task.new_rows;
+                    let mut device_secs = 0.0;
                     if !r.is_empty() {
-                        h2d_with_retry(
+                        device_secs += h2d_with_retry(
                             &bp_device,
                             (r.len() * g.np * g.nu * 4) as u64,
                             rank,
@@ -253,11 +304,14 @@ impl PipelinedReconstructor {
                     }
                     let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
                     let stats = backproject_window(&tex, mats_ref, &mut slab);
-                    bp_device.launch_backprojection(stats.updates);
-                    d2h_with_retry(&bp_device, (slab.len() * 4) as u64, rank, bp_recovery);
+                    device_secs += bp_device.launch_backprojection(stats.updates);
+                    device_secs +=
+                        d2h_with_retry(&bp_device, (slab.len() * 4) as u64, rank, bp_recovery);
                     for v in slab.data_mut() {
                         *v *= scale;
                     }
+                    bp_model.lock().unwrap()[task.index][2] = device_secs;
+                    batches_done.inc();
                     bp_trace.record("bp", task.index, start, now());
                     if q3_tx.push(slab).is_err() {
                         return;
@@ -268,10 +322,12 @@ impl PipelinedReconstructor {
             // Store thread: assembles the output volume.
             let store_trace = trace.clone();
             let out_ref = &mut out;
+            let store_model = &model_secs;
             scope.spawn(move || {
                 let mut item = 0usize;
                 while let Ok(slab) = q3_rx.pop() {
                     let start = now();
+                    store_model.lock().unwrap()[item][3] = (slab.len() * 4) as f64 / MODEL_STORE_BW;
                     out_ref.paste_slab(&slab);
                     store_trace.record("store", item, start, now());
                     item += 1;
@@ -279,13 +335,31 @@ impl PipelinedReconstructor {
             });
         });
 
+        // Replay the batches through the deterministic queue recurrence:
+        // same stage order and queue capacity as the real threads, but on
+        // modelled durations, so the exported timeline is reproducible.
+        let durations = model_secs.into_inner().unwrap();
+        let stage_rows: Vec<Vec<f64>> = (0..4)
+            .map(|s| durations.iter().map(|d| d[s]).collect())
+            .collect();
+        let (model_trace, model_makespan) =
+            PipelineModel::new(&["load", "filter", "bp", "store"], stage_rows)
+                .with_queue_capacity(2)
+                .simulate();
+        model_trace.absorb_recovery_log(&recovery);
+        registry
+            .rank_gauge("pipeline.model.makespan_secs", rank)
+            .set(model_makespan);
+
         trace.absorb_recovery_log(&recovery);
         let report = PipelineReport {
             overlap_efficiency: trace.overlap_efficiency(),
             trace,
+            model_trace,
             device: device.counters(),
             wall_secs: t0.elapsed().as_secs_f64(),
             recovery: recovery.events(),
+            metrics: registry.snapshot(),
         };
         Ok((out, report))
     }
@@ -379,6 +453,39 @@ mod tests {
         let art = report.trace.render_ascii(60);
         assert!(art.contains("load"));
         assert!(art.contains("store"));
+    }
+
+    #[test]
+    fn observed_run_exports_deterministic_trace_and_metrics() {
+        let g = geom();
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let rec = PipelinedReconstructor::new(FdkConfig::new(g.clone())).unwrap();
+        let run = || {
+            let registry = MetricsRegistry::new();
+            let storage =
+                StorageEndpoint::with_observability("pfs", 2.0e9, 1.5e9, None, registry.clone());
+            let (_, report) = rec
+                .reconstruct_observed(&p, &FaultPlan::none(), 0, Some(&storage), registry)
+                .unwrap();
+            (report.model_trace.to_chrome_trace(), report.metrics)
+        };
+        let (trace_a, metrics_a) = run();
+        let (trace_b, metrics_b) = run();
+        // Byte-identical across runs: the model trace and the snapshot
+        // depend only on the inputs, never on thread scheduling.
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(metrics_a.to_json(), metrics_b.to_json());
+        let summary = scalefbp_obs::validate_chrome_trace(&trace_a).unwrap();
+        assert!(summary.spans > 0);
+        scalefbp_obs::validate_metrics_json(&metrics_a.to_json()).unwrap();
+        // One snapshot carries pipeline, device and storage traffic.
+        let batches = g.nz.div_ceil(rec.nb()) as u64;
+        assert_eq!(
+            metrics_a.counter("pipeline.batches", Some(0)),
+            Some(batches)
+        );
+        assert!(metrics_a.counter("gpu.d2h.bytes", Some(0)).unwrap() > 0);
+        assert!(metrics_a.counter("io.pfs.read.bytes", None).unwrap() > 0);
     }
 
     #[test]

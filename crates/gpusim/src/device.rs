@@ -4,8 +4,24 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use scalefbp_faults::{Channel, FaultInject, FaultKind, NoFaults};
+use scalefbp_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::DeviceSpec;
+
+/// Simulated FLOPs per voxel update — matches the cost model of
+/// `scalefbp-backproject`'s kernel counters (one fused multiply-add per
+/// interpolation tap plus addressing arithmetic).
+pub const FLOPS_PER_UPDATE: u64 = 42;
+
+/// Bucket bounds (bytes) for the transfer-size histogram: 64 KiB to 4 GiB
+/// in 16× steps, spanning single-row slabs up to whole sub-volumes.
+const TRANSFER_SIZE_BOUNDS: [u64; 5] = [
+    64 * 1024,
+    1024 * 1024,
+    16 * 1024 * 1024,
+    256 * 1024 * 1024,
+    4 * 1024 * 1024 * 1024,
+];
 
 /// Errors from device operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,7 +90,48 @@ pub struct DeviceCounters {
 struct Inner {
     spec: DeviceSpec,
     allocated: u64,
-    counters: DeviceCounters,
+    /// Simulated-seconds accumulators stay `f64` (not registry nanos):
+    /// callers assert exact equality with the per-call returns.
+    transfer_secs: f64,
+    kernel_secs: f64,
+}
+
+/// Cached registry handles for one device — registered at construction,
+/// one atomic op per counted event afterwards.
+struct DeviceMetrics {
+    h2d_bytes: Counter,
+    h2d_calls: Counter,
+    d2h_bytes: Counter,
+    d2h_calls: Counter,
+    kernel_updates: Counter,
+    kernel_launches: Counter,
+    kernel_flops: Counter,
+    transfer_nanos: Counter,
+    kernel_nanos: Counter,
+    peak_allocated: Gauge,
+    transfer_sizes: Histogram,
+}
+
+impl DeviceMetrics {
+    fn new(registry: &MetricsRegistry, rank: usize) -> Self {
+        DeviceMetrics {
+            h2d_bytes: registry.rank_counter("gpu.h2d.bytes", rank),
+            h2d_calls: registry.rank_counter("gpu.h2d.calls", rank),
+            d2h_bytes: registry.rank_counter("gpu.d2h.bytes", rank),
+            d2h_calls: registry.rank_counter("gpu.d2h.calls", rank),
+            kernel_updates: registry.rank_counter("gpu.kernel.updates", rank),
+            kernel_launches: registry.rank_counter("gpu.kernel.launches", rank),
+            kernel_flops: registry.rank_counter("gpu.kernel.flops", rank),
+            transfer_nanos: registry.rank_counter("gpu.transfer.nanos", rank),
+            kernel_nanos: registry.rank_counter("gpu.kernel.nanos", rank),
+            peak_allocated: registry.rank_gauge("gpu.mem.peak_bytes", rank),
+            transfer_sizes: registry.rank_histogram(
+                "gpu.transfer.bytes",
+                rank,
+                &TRANSFER_SIZE_BOUNDS,
+            ),
+        }
+    }
 }
 
 /// A simulated accelerator with enforced memory capacity and counted,
@@ -83,6 +140,8 @@ struct Inner {
 #[derive(Clone)]
 pub struct Device {
     inner: Arc<Mutex<Inner>>,
+    metrics: Arc<DeviceMetrics>,
+    registry: MetricsRegistry,
     /// Fault hook consulted by allocations and transfers; `NoFaults`
     /// unless the device was built with [`Device::with_injector`].
     injector: Arc<dyn FaultInject>,
@@ -139,15 +198,36 @@ impl Device {
     /// Creates a device whose allocations and transfers consult a fault
     /// injector, addressed as `rank` in the fault plan.
     pub fn with_injector(spec: DeviceSpec, injector: Arc<dyn FaultInject>, rank: usize) -> Self {
+        Self::with_observability(spec, injector, rank, MetricsRegistry::new())
+    }
+
+    /// [`with_injector`](Self::with_injector) recording this device's
+    /// counters (`gpu.h2d.bytes`, `gpu.kernel.flops`, …) into a shared
+    /// registry, rank-labelled, so they land in the run's exported
+    /// snapshot alongside communication and I/O metrics.
+    pub fn with_observability(
+        spec: DeviceSpec,
+        injector: Arc<dyn FaultInject>,
+        rank: usize,
+        registry: MetricsRegistry,
+    ) -> Self {
         Device {
             inner: Arc::new(Mutex::new(Inner {
                 spec,
                 allocated: 0,
-                counters: DeviceCounters::default(),
+                transfer_secs: 0.0,
+                kernel_secs: 0.0,
             })),
+            metrics: Arc::new(DeviceMetrics::new(&registry, rank)),
+            registry,
             injector,
             rank,
         }
+    }
+
+    /// The registry this device reports into.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// The device spec.
@@ -188,7 +268,7 @@ impl Device {
             });
         }
         inner.allocated += bytes;
-        inner.counters.peak_allocated = inner.counters.peak_allocated.max(inner.allocated);
+        self.metrics.peak_allocated.raise(inner.allocated as f64);
         Ok(DeviceBuffer {
             device: Arc::clone(&self.inner),
             bytes,
@@ -211,9 +291,11 @@ impl Device {
         }
         let mut inner = self.inner.lock();
         let secs = inner.spec.transfer_secs(bytes);
-        inner.counters.h2d_bytes += bytes;
-        inner.counters.h2d_calls += 1;
-        inner.counters.transfer_secs += secs;
+        inner.transfer_secs += secs;
+        drop(inner);
+        self.metrics.h2d_bytes.add(bytes);
+        self.metrics.h2d_calls.inc();
+        self.record_transfer(bytes, secs);
         Ok(secs)
     }
 
@@ -231,10 +313,19 @@ impl Device {
         }
         let mut inner = self.inner.lock();
         let secs = inner.spec.transfer_secs(bytes);
-        inner.counters.d2h_bytes += bytes;
-        inner.counters.d2h_calls += 1;
-        inner.counters.transfer_secs += secs;
+        inner.transfer_secs += secs;
+        drop(inner);
+        self.metrics.d2h_bytes.add(bytes);
+        self.metrics.d2h_calls.inc();
+        self.record_transfer(bytes, secs);
         Ok(secs)
+    }
+
+    /// Direction-independent transfer metrics (modelled duration as
+    /// integer nanoseconds plus the size histogram).
+    fn record_transfer(&self, bytes: u64, secs: f64) {
+        self.metrics.transfer_nanos.add((secs * 1e9).round() as u64);
+        self.metrics.transfer_sizes.observe(bytes);
     }
 
     fn transfer_faulted(&self) -> bool {
@@ -249,20 +340,52 @@ impl Device {
     pub fn launch_backprojection(&self, updates: u64) -> f64 {
         let mut inner = self.inner.lock();
         let secs = inner.spec.backprojection_secs(updates);
-        inner.counters.kernel_updates += updates;
-        inner.counters.kernel_launches += 1;
-        inner.counters.kernel_secs += secs;
+        inner.kernel_secs += secs;
+        drop(inner);
+        self.metrics.kernel_updates.add(updates);
+        self.metrics.kernel_launches.inc();
+        self.metrics
+            .kernel_flops
+            .add(updates.saturating_mul(FLOPS_PER_UPDATE));
+        self.metrics.kernel_nanos.add((secs * 1e9).round() as u64);
         secs
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters (assembled from the registry-backed
+    /// integer counters plus the device's simulated-seconds accumulators).
     pub fn counters(&self) -> DeviceCounters {
-        self.inner.lock().counters
+        let inner = self.inner.lock();
+        DeviceCounters {
+            h2d_bytes: self.metrics.h2d_bytes.get(),
+            d2h_bytes: self.metrics.d2h_bytes.get(),
+            h2d_calls: self.metrics.h2d_calls.get(),
+            d2h_calls: self.metrics.d2h_calls.get(),
+            kernel_updates: self.metrics.kernel_updates.get(),
+            kernel_launches: self.metrics.kernel_launches.get(),
+            transfer_secs: inner.transfer_secs,
+            kernel_secs: inner.kernel_secs,
+            peak_allocated: self.metrics.peak_allocated.get() as u64,
+        }
     }
 
-    /// Resets the counters (not the allocations).
+    /// Resets the counters (not the allocations). Registry-backed values
+    /// are zeroed in place, so a shared registry sees the reset too.
     pub fn reset_counters(&self) {
-        self.inner.lock().counters = DeviceCounters::default();
+        let mut inner = self.inner.lock();
+        inner.transfer_secs = 0.0;
+        inner.kernel_secs = 0.0;
+        drop(inner);
+        self.metrics.h2d_bytes.reset();
+        self.metrics.d2h_bytes.reset();
+        self.metrics.h2d_calls.reset();
+        self.metrics.d2h_calls.reset();
+        self.metrics.kernel_updates.reset();
+        self.metrics.kernel_launches.reset();
+        self.metrics.kernel_flops.reset();
+        self.metrics.transfer_nanos.reset();
+        self.metrics.kernel_nanos.reset();
+        self.metrics.peak_allocated.reset();
+        self.metrics.transfer_sizes.reset();
     }
 }
 
@@ -376,6 +499,31 @@ mod tests {
         // Failed transfers never pollute the counters.
         assert_eq!(d.counters().d2h_calls, 1);
         assert_eq!(d.counters().d2h_bytes, 20);
+    }
+
+    #[test]
+    fn registry_receives_rank_labelled_metrics() {
+        let reg = MetricsRegistry::new();
+        let d = Device::with_observability(
+            DeviceSpec::tiny(1 << 30),
+            Arc::new(NoFaults),
+            2,
+            reg.clone(),
+        );
+        let _buf = d.alloc(4096).unwrap();
+        d.h2d(1_000_000);
+        d.d2h(2_000_000);
+        d.launch_backprojection(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("gpu.h2d.bytes", Some(2)), Some(1_000_000));
+        assert_eq!(snap.counter("gpu.d2h.bytes", Some(2)), Some(2_000_000));
+        assert_eq!(
+            snap.counter("gpu.kernel.flops", Some(2)),
+            Some(10 * FLOPS_PER_UPDATE)
+        );
+        assert_eq!(snap.gauge("gpu.mem.peak_bytes", Some(2)), Some(4096.0));
+        // Transfer durations mirror into integer nanoseconds.
+        assert!(snap.counter("gpu.transfer.nanos", Some(2)).unwrap() > 0);
     }
 
     #[test]

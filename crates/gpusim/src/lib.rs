@@ -23,6 +23,6 @@ mod device;
 mod spec;
 mod stream;
 
-pub use device::{Device, DeviceBuffer, DeviceCounters, DeviceError};
+pub use device::{Device, DeviceBuffer, DeviceCounters, DeviceError, FLOPS_PER_UPDATE};
 pub use spec::DeviceSpec;
 pub use stream::{Stream, StreamOp};

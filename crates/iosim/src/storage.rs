@@ -6,6 +6,11 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use scalefbp_faults::{Channel, FaultInject, FaultKind, NoFaults};
+use scalefbp_obs::{Counter, Histogram, MetricsRegistry};
+
+/// Latency-histogram bucket bounds in simulated nanoseconds: 1 µs, 100 µs,
+/// 10 ms, 1 s, 100 s — spanning single-row reads up to full-volume stores.
+const LATENCY_BOUNDS: [u64; 5] = [1_000, 100_000, 10_000_000, 1_000_000_000, 100_000_000_000];
 
 /// Traffic counters for one endpoint.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -22,12 +27,46 @@ pub struct StorageCounters {
     pub secs: f64,
 }
 
+/// Registry-backed traffic metrics of one endpoint, shared by every view
+/// (clones and fault-instrumented views accumulate in one place). Metric
+/// names are prefixed with the endpoint name (`io.local-nvme.read.bytes`)
+/// and left unranked — an endpoint models one shared storage target, so
+/// per-rank attribution happens at the pipeline level instead.
+struct StorageMetrics {
+    read_bytes: Counter,
+    written_bytes: Counter,
+    reads: Counter,
+    writes: Counter,
+    read_latency: Histogram,
+    write_latency: Histogram,
+    /// Simulated-seconds accumulator stays `f64` for exact equality with
+    /// the per-call returns (the histograms hold the integer-nanos view).
+    secs: Mutex<f64>,
+}
+
+impl StorageMetrics {
+    fn new(registry: &MetricsRegistry, name: &str) -> Self {
+        StorageMetrics {
+            read_bytes: registry.counter(&format!("io.{name}.read.bytes")),
+            written_bytes: registry.counter(&format!("io.{name}.write.bytes")),
+            reads: registry.counter(&format!("io.{name}.read.ops")),
+            writes: registry.counter(&format!("io.{name}.write.ops")),
+            read_latency: registry
+                .histogram(&format!("io.{name}.read.latency_nanos"), &LATENCY_BOUNDS),
+            write_latency: registry
+                .histogram(&format!("io.{name}.write.latency_nanos"), &LATENCY_BOUNDS),
+            secs: Mutex::new(0.0),
+        }
+    }
+}
+
 struct Inner {
     name: &'static str,
     read_bw: f64,
     write_bw: f64,
     root: Option<PathBuf>,
-    counters: Arc<Mutex<StorageCounters>>,
+    metrics: Arc<StorageMetrics>,
+    registry: MetricsRegistry,
     injector: Arc<dyn FaultInject>,
     rank: usize,
 }
@@ -53,6 +92,19 @@ impl StorageEndpoint {
     /// A custom endpoint. `root = None` makes file operations panic
     /// (counter-only mode for paper-scale simulations).
     pub fn new(name: &'static str, read_bw: f64, write_bw: f64, root: Option<PathBuf>) -> Self {
+        Self::with_observability(name, read_bw, write_bw, root, MetricsRegistry::new())
+    }
+
+    /// [`new`](Self::new) recording this endpoint's traffic into a shared
+    /// registry (`io.<name>.read.bytes`, read/write latency histograms, …)
+    /// so it lands in the run's exported snapshot.
+    pub fn with_observability(
+        name: &'static str,
+        read_bw: f64,
+        write_bw: f64,
+        root: Option<PathBuf>,
+        registry: MetricsRegistry,
+    ) -> Self {
         assert!(
             read_bw > 0.0 && write_bw > 0.0,
             "bandwidths must be positive"
@@ -63,11 +115,17 @@ impl StorageEndpoint {
                 read_bw,
                 write_bw,
                 root,
-                counters: Arc::new(Mutex::new(StorageCounters::default())),
+                metrics: Arc::new(StorageMetrics::new(&registry, name)),
+                registry,
                 injector: Arc::new(NoFaults),
                 rank: 0,
             }),
         }
+    }
+
+    /// The registry this endpoint reports into.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
     }
 
     /// A view of this endpoint whose reads are instrumented with a fault
@@ -81,7 +139,8 @@ impl StorageEndpoint {
                 read_bw: self.inner.read_bw,
                 write_bw: self.inner.write_bw,
                 root: self.inner.root.clone(),
-                counters: Arc::clone(&self.inner.counters),
+                metrics: Arc::clone(&self.inner.metrics),
+                registry: self.inner.registry.clone(),
                 injector,
                 rank,
             }),
@@ -125,23 +184,40 @@ impl StorageEndpoint {
         self.inner.name
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (assembled from the registry-backed integer
+    /// counters plus the shared simulated-seconds accumulator).
     pub fn counters(&self) -> StorageCounters {
-        *self.inner.counters.lock()
+        let m = &self.inner.metrics;
+        StorageCounters {
+            read_bytes: m.read_bytes.get(),
+            written_bytes: m.written_bytes.get(),
+            reads: m.reads.get(),
+            writes: m.writes.get(),
+            secs: *m.secs.lock(),
+        }
     }
 
-    /// Resets the counters.
+    /// Resets the counters. Registry-backed values are zeroed in place,
+    /// so every view sharing them (and the registry) sees the reset.
     pub fn reset_counters(&self) {
-        *self.inner.counters.lock() = StorageCounters::default();
+        let m = &self.inner.metrics;
+        m.read_bytes.reset();
+        m.written_bytes.reset();
+        m.reads.reset();
+        m.writes.reset();
+        m.read_latency.reset();
+        m.write_latency.reset();
+        *m.secs.lock() = 0.0;
     }
 
     /// Records a modelled read of `bytes`; returns simulated seconds.
     pub fn record_read(&self, bytes: u64) -> f64 {
         let secs = bytes as f64 / self.inner.read_bw;
-        let mut c = self.inner.counters.lock();
-        c.read_bytes += bytes;
-        c.reads += 1;
-        c.secs += secs;
+        let m = &self.inner.metrics;
+        m.read_bytes.add(bytes);
+        m.reads.inc();
+        m.read_latency.observe_secs(secs);
+        *m.secs.lock() += secs;
         secs
     }
 
@@ -156,10 +232,11 @@ impl StorageEndpoint {
     /// Records a modelled write of `bytes`; returns simulated seconds.
     pub fn record_write(&self, bytes: u64) -> f64 {
         let secs = bytes as f64 / self.inner.write_bw;
-        let mut c = self.inner.counters.lock();
-        c.written_bytes += bytes;
-        c.writes += 1;
-        c.secs += secs;
+        let m = &self.inner.metrics;
+        m.written_bytes.add(bytes);
+        m.writes.inc();
+        m.write_latency.observe_secs(secs);
+        *m.secs.lock() += secs;
         secs
     }
 
@@ -288,6 +365,36 @@ mod tests {
         let c = base.counters();
         assert_eq!(c.reads, 2);
         assert_eq!(c.read_bytes, 200);
+    }
+
+    #[test]
+    fn registry_receives_prefixed_metrics_with_latency_histogram() {
+        use scalefbp_obs::{MetricKey, MetricValue};
+        let reg = MetricsRegistry::new();
+        let s = StorageEndpoint::with_observability("nvme", 100.0, 50.0, None, reg.clone());
+        s.record_read(200); // 2 s modelled
+        s.record_write(100); // 2 s modelled
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("io.nvme.read.bytes", None), Some(200));
+        assert_eq!(snap.counter("io.nvme.write.ops", None), Some(1));
+        match snap
+            .get(&MetricKey::new("io.nvme.read.latency_nanos", None))
+            .unwrap()
+        {
+            MetricValue::Histogram { count, sum, .. } => {
+                assert_eq!(*count, 1);
+                assert_eq!(*sum, 2_000_000_000); // 2 s in nanos
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Fault-instrumented views share the same registry metrics.
+        use scalefbp_faults::NoFaults;
+        let view = s.with_fault_injector(Arc::new(NoFaults), 3);
+        view.record_read(100);
+        assert_eq!(
+            reg.snapshot().counter("io.nvme.read.bytes", None),
+            Some(300)
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use scalefbp_faults::{Channel, FaultInject, FaultKind};
+use scalefbp_obs::{Counter, MetricValue, MetricsRegistry};
 
 /// Communication failures surfaced to fault-aware callers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -64,11 +65,53 @@ pub struct NetworkStats {
 
 pub(crate) struct Network {
     senders: Vec<Sender<Envelope>>,
-    pub(crate) stats: Mutex<NetworkStats>,
+    /// Per-rank traffic counters live here; [`Network::stats`] folds them
+    /// back into the aggregate [`NetworkStats`] view.
+    pub(crate) metrics: MetricsRegistry,
     /// Consulted on every send and on every delivered receive; the
     /// world-rank operation counters it keeps are what make injected
     /// faults land on the same operations every run.
     injector: Arc<dyn FaultInject>,
+}
+
+impl Network {
+    /// Aggregate traffic counters, folded from the per-rank metrics.
+    pub(crate) fn stats(&self) -> NetworkStats {
+        let snap = self.metrics.snapshot();
+        let mut stats = NetworkStats::default();
+        for (key, value) in snap.entries() {
+            if let MetricValue::Counter(c) = value {
+                match key.name.as_str() {
+                    "mpi.send.bytes" => stats.bytes += c,
+                    "mpi.send.messages" => stats.messages += c,
+                    _ => {}
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Cached counter handles for one world rank — registered once at world
+/// construction, then every send/receive is a single atomic increment
+/// (the registry lock is never taken on the message path).
+#[derive(Clone)]
+struct RankCounters {
+    sent_bytes: Counter,
+    sent_messages: Counter,
+    recv_messages: Counter,
+    collective_calls: Counter,
+}
+
+impl RankCounters {
+    fn new(metrics: &MetricsRegistry, world_rank: usize) -> Self {
+        RankCounters {
+            sent_bytes: metrics.rank_counter("mpi.send.bytes", world_rank),
+            sent_messages: metrics.rank_counter("mpi.send.messages", world_rank),
+            recv_messages: metrics.rank_counter("mpi.recv.messages", world_rank),
+            collective_calls: metrics.rank_counter("mpi.collective.calls", world_rank),
+        }
+    }
 }
 
 /// Reserved tag namespace for collective internals.
@@ -95,6 +138,9 @@ pub struct Communicator {
     /// communicator of this rank (parents and `split` children drain the
     /// same mailbox, so a message stashed by one must stay visible to all).
     pending: Arc<Mutex<Vec<Envelope>>>,
+    /// This world rank's cached metric handles (world-rank keyed, so
+    /// `split` children keep attributing traffic to the same rank).
+    counters: RankCounters,
 }
 
 impl std::fmt::Debug for Communicator {
@@ -108,9 +154,10 @@ impl std::fmt::Debug for Communicator {
 }
 
 impl Communicator {
-    pub(crate) fn world_with_injector(
+    pub(crate) fn world_with_observability(
         size: usize,
         injector: Arc<dyn FaultInject>,
+        metrics: MetricsRegistry,
     ) -> (Vec<Communicator>, Arc<Network>) {
         let mut senders = Vec::with_capacity(size);
         let mut receivers = Vec::with_capacity(size);
@@ -121,7 +168,7 @@ impl Communicator {
         }
         let network = Arc::new(Network {
             senders,
-            stats: Mutex::new(NetworkStats::default()),
+            metrics,
             injector,
         });
         let group = Arc::new((0..size).collect::<Vec<_>>());
@@ -136,6 +183,7 @@ impl Communicator {
                 split_seq: 0,
                 receiver,
                 pending: Arc::new(Mutex::new(Vec::new())),
+                counters: RankCounters::new(&network.metrics, local),
             })
             .collect();
         (comms, network)
@@ -167,7 +215,14 @@ impl Communicator {
 
     /// Network-wide traffic counters.
     pub fn network_stats(&self) -> NetworkStats {
-        *self.network.stats.lock()
+        self.network.stats()
+    }
+
+    /// The registry holding this world's per-rank communication metrics
+    /// (`mpi.send.bytes`, `mpi.recv.messages`, …). Rank closures use it
+    /// to register their own counters into the same exported snapshot.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.network.metrics
     }
 
     /// Sends `payload` to local rank `to` with `tag`.
@@ -197,11 +252,8 @@ impl Communicator {
             Some(FaultKind::RankFailure) => return Err(CommError::SelfFailed),
             _ => {}
         }
-        {
-            let mut stats = self.network.stats.lock();
-            stats.bytes += payload.len() as u64;
-            stats.messages += 1;
-        }
+        self.counters.sent_bytes.add(payload.len() as u64);
+        self.counters.sent_messages.inc();
         if dropped {
             return Ok(()); // the sender never learns — that is the point
         }
@@ -224,11 +276,8 @@ impl Communicator {
     /// plane only. Traffic is still counted.
     pub fn send_control(&self, to: usize, tag: u64, payload: Vec<u8>) {
         assert!(to < self.size(), "send to rank {to} of {}", self.size());
-        {
-            let mut stats = self.network.stats.lock();
-            stats.bytes += payload.len() as u64;
-            stats.messages += 1;
-        }
+        self.counters.sent_bytes.add(payload.len() as u64);
+        self.counters.sent_messages.inc();
         let world_to = self.group[to];
         self.network.senders[world_to]
             .send(Envelope {
@@ -319,6 +368,7 @@ impl Communicator {
 
     /// Receive-side injection hook, called once per delivered message.
     fn on_delivery(&self, me: usize) -> Result<(), CommError> {
+        self.counters.recv_messages.inc();
         match self.network.injector.on_op(me, Channel::Recv) {
             Some(FaultKind::MessageDelay { millis }) => {
                 std::thread::sleep(Duration::from_millis(millis));
@@ -385,6 +435,7 @@ impl Communicator {
     /// Broadcast from `root` to all ranks (binomial tree). Non-roots pass
     /// an empty buffer and receive the root's.
     pub fn bcast(&mut self, root: usize, data: &mut Vec<u8>) {
+        self.counters.collective_calls.inc();
         let p = self.size();
         if p == 1 {
             return;
@@ -415,6 +466,7 @@ impl Communicator {
     /// Gather every rank's buffer to `root`; returns `Some(vec)` (rank
     /// order) at the root, `None` elsewhere.
     pub fn gather(&mut self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        self.counters.collective_calls.inc();
         if self.local == root {
             let mut out = Vec::with_capacity(self.size());
             for from in 0..self.size() {
@@ -449,6 +501,7 @@ impl Communicator {
     ///
     /// `⌈log₂ p⌉` rounds; each rank sends at most once.
     pub fn reduce_sum_f32(&mut self, root: usize, buf: &mut [f32]) {
+        self.counters.collective_calls.inc();
         let p = self.size();
         if p == 1 {
             return;
@@ -520,6 +573,7 @@ impl Communicator {
             split_seq: 0,
             receiver: self.receiver.clone(),
             pending: Arc::clone(&self.pending),
+            counters: self.counters.clone(),
         })
     }
 }

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use scalefbp_faults::{FaultInject, NoFaults};
+use scalefbp_obs::MetricsRegistry;
 
 use crate::{Communicator, NetworkStats};
 
@@ -46,8 +47,25 @@ impl World {
         T: Send,
         F: Fn(Communicator) -> T + Send + Sync,
     {
+        World::run_with_observability(size, injector, MetricsRegistry::new(), body)
+    }
+
+    /// [`run_with_faults`](Self::run_with_faults) with the world's
+    /// per-rank communication metrics recorded into a caller-supplied
+    /// registry, so a distributed run's traffic lands in the same
+    /// snapshot as its device and pipeline metrics.
+    pub fn run_with_observability<T, F>(
+        size: usize,
+        injector: Arc<dyn FaultInject>,
+        metrics: MetricsRegistry,
+        body: F,
+    ) -> (Vec<T>, NetworkStats)
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
         assert!(size > 0, "world size must be positive");
-        let (comms, network) = Communicator::world_with_injector(size, injector);
+        let (comms, network) = Communicator::world_with_observability(size, injector, metrics);
         let body = &body;
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = comms
@@ -67,7 +85,7 @@ impl World {
             }
             results
         });
-        let stats = *network.stats.lock();
+        let stats = network.stats();
         (results, stats)
     }
 }

@@ -5,6 +5,20 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use scalefbp_faults::{RecoveryEvent, RecoveryLog};
+use scalefbp_obs::{chrome_trace_json, EventSink, InstantEvent, SpanEvent, TraceEvent};
+
+/// The rank that *acted* in a recovery event — the one whose timeline the
+/// event lands on when recoveries become trace instants.
+fn recovery_event_rank(ev: &RecoveryEvent) -> usize {
+    match ev {
+        RecoveryEvent::RankDeclaredDead { detected_by, .. } => *detected_by,
+        RecoveryEvent::WorkRequeued { to_rank, .. } => *to_rank,
+        RecoveryEvent::MessageRetry { rank, .. } => *rank,
+        RecoveryEvent::DeviceRetry { rank, .. } => *rank,
+        RecoveryEvent::IoRetry { rank, .. } => *rank,
+        RecoveryEvent::LeaderSetDegraded { new_leader, .. } => *new_leader,
+    }
+}
 
 /// One stage execution over one work item.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,6 +41,7 @@ pub struct TraceCollector {
     spans: Arc<Mutex<Vec<Span>>>,
     clamped: Arc<AtomicU64>,
     recoveries: Arc<Mutex<Vec<RecoveryEvent>>>,
+    sink: EventSink,
 }
 
 impl std::fmt::Debug for TraceCollector {
@@ -41,16 +56,32 @@ impl TraceCollector {
         Self::default()
     }
 
+    /// Shares an existing [`EventSink`] (e.g. a run-wide one) so this
+    /// collector's diagnostics land in the same exported trace.
+    pub fn with_sink(mut self, sink: EventSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The event sink receiving this collector's rate-limited diagnostics.
+    pub fn sink(&self) -> &EventSink {
+        &self.sink
+    }
+
     /// Records one span. An inverted span (`end < start` — possible when
     /// stage clocks are read across threads under injected delays) is
     /// clamped to a zero-length span at `start` and counted in
-    /// [`clamped_spans`](Self::clamped_spans) instead of panicking.
+    /// [`clamped_spans`](Self::clamped_spans) instead of panicking. The
+    /// diagnostic goes through the event sink, rate-limited — recording
+    /// is a hot path shared by every stage thread, and an injected-delay
+    /// storm used to flood stderr from here.
     pub fn record(&self, stage: &str, item: usize, start: f64, end: f64) {
         let end = if end < start {
             self.clamped.fetch_add(1, Ordering::Relaxed);
-            eprintln!(
-                "trace: clamping inverted span {stage}[{item}]: \
-                 {end:.6} < {start:.6}"
+            self.sink.warn(
+                0,
+                "trace.span_clamped",
+                &format!("{stage}[{item}]: {end:.6} < {start:.6}"),
             );
             start
         } else {
@@ -193,6 +224,52 @@ impl TraceCollector {
         }
         out
     }
+
+    /// Converts the timeline to canonical [`TraceEvent`]s, attributing
+    /// spans to `rank`. Span times round to integer microseconds with a
+    /// per-track monotonic fix-up (rounding two abutting sub-µs spans
+    /// independently could otherwise create a 1 µs overlap that the trace
+    /// validator rejects). Recovery events become instants on the
+    /// `"recovery"` track of the rank that acted, timestamped by their
+    /// canonical index so the export never depends on the wall clock.
+    pub fn trace_events(&self, rank: usize) -> Vec<TraceEvent> {
+        let mut events = self.sink.events();
+        let spans = self.spans();
+        for stage in self.stages() {
+            let mut cursor = 0u64;
+            let mut stage_spans: Vec<&Span> = spans.iter().filter(|s| s.stage == stage).collect();
+            stage_spans.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.item.cmp(&b.item)));
+            for s in stage_spans {
+                let ts = ((s.start.max(0.0)) * 1e6).round() as u64;
+                let dur = (((s.end - s.start).max(0.0)) * 1e6).round() as u64;
+                let ts = ts.max(cursor);
+                cursor = ts + dur;
+                events.push(TraceEvent::Span(SpanEvent {
+                    rank,
+                    track: stage.clone(),
+                    start_us: ts,
+                    dur_us: dur,
+                    name: format!("{stage} #{}", s.item),
+                }));
+            }
+        }
+        for (i, ev) in self.recovery_events().iter().enumerate() {
+            events.push(TraceEvent::Instant(InstantEvent {
+                rank: recovery_event_rank(ev),
+                track: "recovery".to_string(),
+                ts_us: i as u64,
+                name: ev.to_string(),
+            }));
+        }
+        events.sort();
+        events
+    }
+
+    /// Renders this collector's timeline (attributed to rank 0) as
+    /// Chrome-trace JSON loadable by `chrome://tracing` or Perfetto.
+    pub fn to_chrome_trace(&self) -> String {
+        chrome_trace_json(&self.trace_events(0))
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +357,68 @@ mod tests {
         assert_eq!(spans[0].start, 2.0);
         assert_eq!(spans[0].end, 2.0); // clamped to zero length
         assert_eq!(t.makespan(), 2.0);
+    }
+
+    #[test]
+    fn clamped_spans_warn_through_sink_without_flooding() {
+        let t = TraceCollector::new();
+        // A storm of inverted spans — this used to eprintln! per span on
+        // the hot path; now the sink keeps at most WARN_EVENT_LIMIT
+        // instants while the clamped counter tracks every occurrence.
+        for i in 0..500 {
+            t.record("bp", i, 2.0, 1.0);
+        }
+        assert_eq!(t.clamped_spans(), 500);
+        assert_eq!(t.sink().warn_count("trace.span_clamped"), 500);
+        let warn_instants = t
+            .sink()
+            .events()
+            .into_iter()
+            .filter(|e| e.track() == "warnings")
+            .count();
+        assert_eq!(warn_instants as u64, scalefbp_obs::WARN_EVENT_LIMIT);
+    }
+
+    #[test]
+    fn shared_sink_receives_collector_warnings() {
+        let sink = EventSink::new();
+        let t = TraceCollector::new().with_sink(sink.clone());
+        t.record("x", 0, 5.0, 4.0);
+        assert_eq!(sink.warn_count("trace.span_clamped"), 1);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_deterministic() {
+        let export = || {
+            let t = sample();
+            let log = RecoveryLog::new();
+            log.record(RecoveryEvent::DeviceRetry {
+                rank: 0,
+                op: "h2d".to_string(),
+                attempt: 1,
+            });
+            t.absorb_recovery_log(&log);
+            t.to_chrome_trace()
+        };
+        let json = export();
+        let summary = scalefbp_obs::validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.spans, 4);
+        assert_eq!(summary.instants, 1);
+        assert_eq!(json, export());
+    }
+
+    #[test]
+    fn sub_microsecond_spans_never_overlap_after_rounding() {
+        let t = TraceCollector::new();
+        // Rounding each span independently would put several of these on
+        // the same microsecond; the monotonic fix-up must keep the track
+        // valid.
+        for i in 0..20 {
+            let start = i as f64 * 0.4e-6;
+            t.record("fast", i, start, start + 0.4e-6);
+        }
+        let json = t.to_chrome_trace();
+        scalefbp_obs::validate_chrome_trace(&json).unwrap();
     }
 
     #[test]

@@ -6,6 +6,10 @@ use proptest::prelude::*;
 use scalefbp_backproject::TextureWindow;
 use scalefbp_geom::{CbctGeometry, ProjectionStack, RankLayout, VolumeDecomposition};
 use scalefbp_mpisim::{hierarchical_reduce_sum, World};
+use scalefbp_obs::{
+    validate_chrome_trace, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
+use scalefbp_pipeline::TraceCollector;
 
 fn geometry(nz: usize, np: usize) -> CbctGeometry {
     let mut g = CbctGeometry::ideal(16, 12, 24, 16);
@@ -176,6 +180,148 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// Histogram bounds shared by every generated `h*` metric, so merging
+/// the same key across snapshots never trips the bounds-mismatch check.
+const HIST_BOUNDS: [u64; 3] = [10, 100, 1_000];
+
+/// SplitMix64 step — expands one sampled word into several independent
+/// sub-values (the vendored proptest stub has no tuple strategies).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decodes sampled words into snapshot entries over a small fixed key
+/// pool, one name pool per metric kind (`c*` counters, `g*` gauges,
+/// `h*` histograms) so two snapshots never register one name with two
+/// kinds, which `MetricValue::merge` treats as a programming error.
+fn entries_from_words(words: &[u64]) -> Vec<(MetricKey, MetricValue)> {
+    words
+        .iter()
+        .map(|&w| {
+            let name_i = (w >> 2) % 3;
+            let rank = match (w >> 4) % 4 {
+                0 => None,
+                r => Some(r as usize - 1),
+            };
+            match w % 3 {
+                0 => (
+                    MetricKey::new(format!("c{name_i}"), rank),
+                    MetricValue::Counter(mix(w)),
+                ),
+                1 => {
+                    let unit = (mix(w) >> 11) as f64 / (1u64 << 53) as f64;
+                    (
+                        MetricKey::new(format!("g{name_i}"), rank),
+                        MetricValue::Gauge((unit - 0.5) * 2.0e12),
+                    )
+                }
+                _ => {
+                    let buckets: Vec<u64> = (0..HIST_BOUNDS.len() as u64 + 1)
+                        .map(|i| mix(w ^ i) % 1_000_000)
+                        .collect();
+                    (
+                        MetricKey::new(format!("h{name_i}"), rank),
+                        MetricValue::Histogram {
+                            bounds: HIST_BOUNDS.to_vec(),
+                            count: buckets.iter().sum(),
+                            sum: mix(w ^ 0xFF) % (u64::MAX / 4),
+                            buckets,
+                        },
+                    )
+                }
+            }
+        })
+        .collect()
+}
+
+fn empty_snapshot() -> MetricsSnapshot {
+    MetricsSnapshot::from_entries(Vec::<(MetricKey, MetricValue)>::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Snapshot merge is a commutative monoid: counters saturating-add,
+    /// gauges max, histograms bucket-wise — so rank snapshots can be
+    /// folded together in any grouping or order and the empty snapshot
+    /// is the identity. This is what makes per-rank metrics shippable.
+    #[test]
+    fn metrics_merge_is_associative_commutative_with_identity(
+        wa in proptest::collection::vec(any::<u64>(), 0..24),
+        wb in proptest::collection::vec(any::<u64>(), 0..24),
+        wc in proptest::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let a = MetricsSnapshot::from_entries(entries_from_words(&wa));
+        let b = MetricsSnapshot::from_entries(entries_from_words(&wb));
+        let c = MetricsSnapshot::from_entries(entries_from_words(&wc));
+        prop_assert_eq!(a.merge(&b).to_json(), b.merge(&a).to_json(), "commutativity");
+        prop_assert_eq!(
+            a.merge(&b).merge(&c).to_json(),
+            a.merge(&b.merge(&c)).to_json(),
+            "associativity"
+        );
+        prop_assert_eq!(a.merge(&empty_snapshot()).to_json(), a.to_json(), "identity");
+    }
+
+    /// Distributed counting equals serial counting, exactly: recording
+    /// every op into one shared registry yields the same snapshot as
+    /// recording each rank's ops into its own registry and merging the
+    /// per-rank snapshots. Counters are integers, so equality is exact —
+    /// no tree-order tolerance needed.
+    #[test]
+    fn per_rank_registries_merge_to_the_serial_registry(
+        ops in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let serial = MetricsRegistry::new();
+        let rank_regs: Vec<MetricsRegistry> =
+            (0..3).map(|_| MetricsRegistry::new()).collect();
+        for &w in &ops {
+            let name = format!("op{}", w % 4);
+            let rank = ((w >> 2) % 3) as usize;
+            let v = (w >> 8) % 1_000 + 1;
+            serial.rank_counter(&name, rank).add(v);
+            rank_regs[rank].rank_counter(&name, rank).add(v);
+        }
+        let merged = rank_regs
+            .iter()
+            .map(|r| r.snapshot())
+            .fold(empty_snapshot(), |acc, s| acc.merge(&s));
+        prop_assert_eq!(merged.to_json(), serial.snapshot().to_json());
+    }
+
+    /// The trace collector accepts arbitrary (even inverted or negative)
+    /// span endpoints without ever producing a span with `end < start`,
+    /// and its chrome export survives validation — spans on one track
+    /// stay non-overlapping after µs rounding.
+    #[test]
+    fn trace_clamping_never_inverts_spans(
+        words in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let stages = ["load", "filter", "bp"];
+        let trace = TraceCollector::new();
+        for &w in &words {
+            let endpoint = |z: u64| ((mix(z) >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2.0e3;
+            trace.record(
+                stages[(w % 3) as usize],
+                ((w >> 2) % 8) as usize,
+                endpoint(w),
+                endpoint(w ^ 0xA5A5),
+            );
+        }
+        for span in trace.spans() {
+            prop_assert!(
+                span.end >= span.start,
+                "span {}[{}] inverted: {} < {}",
+                span.stage, span.item, span.end, span.start
+            );
+        }
+        validate_chrome_trace(&trace.to_chrome_trace()).map_err(TestCaseError::fail)?;
     }
 }
 

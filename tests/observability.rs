@@ -1,0 +1,226 @@
+//! Golden-trace suite for the observability layer: the Chrome-trace and
+//! metrics exports are pure functions of the inputs — a fixed phantom
+//! plus a fixed `--fault-seed` must serialise to the *same bytes* on
+//! every run, no matter how the OS schedules the pipeline threads. The
+//! goldens here are self-relative (run twice, diff) so the suite pins
+//! determinism without baking serialised artefacts into the repo.
+
+use std::path::PathBuf;
+
+use scalefbp::substrates::phantom::{forward_project, uniform_ball};
+use scalefbp::{
+    fault_tolerant_reconstruct_observed, CbctGeometry, FdkConfig, MetricsRegistry,
+    PipelinedReconstructor, RankLayout,
+};
+use scalefbp_cli::run;
+use scalefbp_faults::FaultPlan;
+use scalefbp_iosim::StorageEndpoint;
+use scalefbp_obs::{parse_json, validate_chrome_trace, validate_metrics_json, JsonValue};
+
+/// Serialises the tests that spawn rank worlds: failure detection is
+/// timeout-based, so a machine saturated by a sibling test could turn a
+/// live rank into a spurious "dead" verdict.
+static WORLD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("scalefbp-obs-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn call(tokens: &[&str]) -> String {
+    run(tokens.iter().map(|s| s.to_string())).expect("CLI call failed")
+}
+
+/// One full `scalefbp pipeline` run through the CLI under a fixed fault
+/// seed; returns the exported (trace, metrics) bytes.
+fn golden_pipeline_run(dir: &std::path::Path, tag: &str) -> (String, String) {
+    let trace = dir.join(format!("trace-{tag}.json"));
+    let metrics = dir.join(format!("metrics-{tag}.json"));
+    call(&[
+        "pipeline",
+        "--ideal",
+        "16",
+        "--fault-seed",
+        "11",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    (
+        std::fs::read_to_string(&trace).unwrap(),
+        std::fs::read_to_string(&metrics).unwrap(),
+    )
+}
+
+/// The tentpole acceptance test: two seeded CLI runs export
+/// byte-identical trace and metrics documents.
+#[test]
+fn golden_trace_is_byte_identical_across_runs() {
+    let dir = tmpdir("golden");
+    let (trace_a, metrics_a) = golden_pipeline_run(&dir, "a");
+    let (trace_b, metrics_b) = golden_pipeline_run(&dir, "b");
+    assert_eq!(trace_a, trace_b, "chrome trace must be byte-identical");
+    assert_eq!(
+        metrics_a, metrics_b,
+        "metrics snapshot must be byte-identical"
+    );
+
+    let summary = validate_chrome_trace(&trace_a).unwrap();
+    assert!(summary.spans > 0, "expected stage spans, got {summary:?}");
+    let n = validate_metrics_json(&metrics_a).unwrap();
+    assert!(n > 0, "expected metrics entries");
+}
+
+/// Structural invariants of the exported trace, checked on the raw JSON
+/// rather than through the validator: every span/instant carries numeric
+/// pid/tid/ts (spans also dur), and spans on one tid never overlap.
+#[test]
+fn golden_trace_json_structure() {
+    let dir = tmpdir("structure");
+    let (trace, _) = golden_pipeline_run(&dir, "s");
+    let doc = parse_json(&trace).unwrap();
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut per_tid_spans: std::collections::BTreeMap<(u64, u64), Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(JsonValue::as_str).expect("ph");
+        let num = |k: &str| e.get(k).and_then(JsonValue::as_u64);
+        match ph {
+            "X" => {
+                let (pid, tid) = (num("pid").unwrap(), num("tid").unwrap());
+                let (ts, dur) = (num("ts").unwrap(), num("dur").unwrap());
+                per_tid_spans.entry((pid, tid)).or_default().push((ts, dur));
+            }
+            "i" => {
+                assert!(num("pid").is_some() && num("tid").is_some() && num("ts").is_some());
+            }
+            "M" => {
+                assert!(num("pid").is_some(), "metadata without pid");
+            }
+            other => panic!("unexpected ph {other:?}"),
+        }
+    }
+    // The four pipeline stages each contribute a track of spans.
+    assert!(per_tid_spans.len() >= 4, "tracks: {per_tid_spans:?}");
+    for (track, mut spans) in per_tid_spans {
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 >= w[0].0 + w[0].1,
+                "overlap on track {track:?}: {w:?}"
+            );
+        }
+    }
+}
+
+/// The snapshot's counters agree with the substrate reports: H2D/D2H
+/// traffic from the device counters, read bytes from the storage
+/// counters, and the batch count from the plan.
+#[test]
+fn metrics_snapshot_matches_substrate_reports() {
+    let g = CbctGeometry::ideal(16, 24, 24, 24);
+    let p = forward_project(&g, &uniform_ball(&g, 0.55, 1.0));
+    let rec = PipelinedReconstructor::new(FdkConfig::new(g.clone())).unwrap();
+    let registry = MetricsRegistry::new();
+    let storage = StorageEndpoint::with_observability("pfs", 2.0e9, 1.0e9, None, registry.clone());
+    let (_, report) = rec
+        .reconstruct_observed(&p, &FaultPlan::none(), 0, Some(&storage), registry)
+        .unwrap();
+
+    let m = &report.metrics;
+    assert_eq!(
+        m.counter("gpu.h2d.bytes", Some(0)),
+        Some(report.device.h2d_bytes)
+    );
+    assert_eq!(
+        m.counter("gpu.d2h.bytes", Some(0)),
+        Some(report.device.d2h_bytes)
+    );
+    assert_eq!(
+        m.counter("gpu.kernel.updates", Some(0)),
+        Some(report.device.kernel_updates)
+    );
+    assert_eq!(
+        m.counter("io.pfs.read.bytes", None),
+        Some(storage.counters().read_bytes)
+    );
+    let batches = g.nz.div_ceil(rec.nb()) as u64;
+    assert_eq!(m.counter("pipeline.batches", Some(0)), Some(batches));
+    // Every trace span also appears in the export.
+    let summary = validate_chrome_trace(&report.model_trace.to_chrome_trace()).unwrap();
+    assert_eq!(summary.spans as u64, 4 * batches);
+}
+
+/// Distributed runs ship one mergeable snapshot: folding the per-rank
+/// views (plus unranked entries) reproduces the global snapshot exactly,
+/// and rank-aggregated traffic equals the world's NetworkStats.
+#[test]
+fn distributed_snapshot_equals_merge_of_rank_views() {
+    let _serial = WORLD_LOCK.lock().unwrap();
+    let g = CbctGeometry::ideal(16, 16, 24, 20);
+    let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+    let layout = RankLayout::new(2, 2, 2);
+    let out = fault_tolerant_reconstruct_observed(
+        &FdkConfig::new(g).with_nc(2),
+        layout,
+        &p,
+        &FaultPlan::none(),
+        MetricsRegistry::new(),
+    )
+    .unwrap();
+
+    let global = &out.metrics;
+    let merged = global
+        .ranks()
+        .iter()
+        .map(|&r| global.rank_view(r))
+        .fold(global.unranked_view(), |acc, v| acc.merge(&v));
+    assert_eq!(merged.to_json(), global.to_json());
+    assert_eq!(
+        merged.aggregate().counter("mpi.send.bytes", None),
+        Some(out.network.bytes)
+    );
+    assert_eq!(
+        merged.aggregate().counter("mpi.send.messages", None),
+        Some(out.network.messages)
+    );
+}
+
+/// A seeded *distributed* CLI run also exports deterministically — the
+/// recovery instants land at canonical indices, not wall-clock times.
+#[test]
+fn distributed_cli_export_is_deterministic_under_faults() {
+    let _serial = WORLD_LOCK.lock().unwrap();
+    let dir = tmpdir("dist");
+    let run_once = |tag: &str| {
+        let trace = dir.join(format!("trace-{tag}.json"));
+        let metrics = dir.join(format!("metrics-{tag}.json"));
+        call(&[
+            "distributed",
+            "--ideal",
+            "16",
+            "--nr",
+            "2",
+            "--ng",
+            "2",
+            "--fault-seed",
+            "5",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]);
+        std::fs::read_to_string(&trace).unwrap()
+    };
+    let a = run_once("a");
+    let b = run_once("b");
+    assert_eq!(a, b, "recovery timeline must not depend on wall clock");
+    validate_chrome_trace(&a).unwrap();
+}
