@@ -1,0 +1,396 @@
+//! The cache-blocked back-projection hot path.
+//!
+//! [`backproject_parallel`](crate::backproject_parallel) walks the whole
+//! `(i, j)` plane per slice with the projection loop innermost, so each
+//! voxel gathers from `N_p` scattered detector neighbourhoods and the
+//! resident detector working set is `N_p × rows × N_u` — far beyond L1 for
+//! realistic scans. The blocked kernel restructures the same arithmetic:
+//!
+//! * the `(i, j)` plane is tiled into L1-sized blocks ([`TileShape`]);
+//! * within a tile the **projection loop is outermost**, so one projection's
+//!   small detector footprint is streamed at a time and stays cache-hot;
+//! * the `r·[i, j, k, 1]` dot products hoist the `r[·][1]·j` and
+//!   `r[·][2]·k` products out of the inner `i` loop — the rounding-exact
+//!   form of the `backproject_incremental` affine amortisation (the
+//!   products are hoisted, not turned into running sums, so every f32
+//!   rounding step matches the reference dot product bit for bit);
+//! * the f32 projection-matrix rows are packed into a flat dense array so
+//!   the inner loops do not stride through 152-byte `ProjectionMatrix`
+//!   records;
+//! * slices are distributed over the rayon pool and each slice walks its
+//!   tiles independently (z-slab × tile parallelism).
+//!
+//! Per-voxel contributions accumulate in a zero-initialised tile buffer in
+//! ascending projection order and are added to the volume once — the exact
+//! addition sequence of `backproject_parallel`'s register accumulation, so
+//! the blocked kernel is **bit-identical** to the parallel (and hence the
+//! reference) kernel. The equivalence is pinned by unit tests here and a
+//! randomised proptest over tile shapes, slab offsets and partial windows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rayon::prelude::*;
+use scalefbp_geom::{ProjectionMatrix, ProjectionStack, Volume};
+
+use crate::kernels::depth_ok;
+use crate::{KernelStats, TextureWindow};
+
+/// Truncate-and-adjust floor: `f32::floor` lowers to a libm call on the
+/// baseline x86-64 target (no SSE4.1 `roundss`), which dominates the
+/// per-sample cost of the straight kernels. The cast trick is bit-exact
+/// with `x.floor() as isize` for every finite input; non-finite inputs
+/// saturate to extreme indices that fail the interior bounds check, so
+/// they fall through to the guarded slow path either way.
+#[inline(always)]
+fn fast_floor(x: f32) -> isize {
+    let t = x as isize;
+    t.wrapping_sub((t as f32 > x) as isize)
+}
+
+/// The `(i, j)` tile of one blocked inner loop.
+///
+/// The defaults keep the tile's accumulator (`bi·bj` f32) plus one
+/// projection's detector footprint comfortably inside a 32 KiB L1 while
+/// leaving the inner `i` loop long enough to amortise the per-row setup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileShape {
+    /// Tile width along `i` (the unit-stride volume axis).
+    pub bi: usize,
+    /// Tile height along `j`.
+    pub bj: usize,
+}
+
+impl TileShape {
+    /// L1-sized default tile: 64 × 8 voxels (2 KiB accumulator).
+    pub const L1: TileShape = TileShape { bi: 64, bj: 8 };
+
+    /// A tile of `bi × bj` voxels.
+    ///
+    /// # Panics
+    /// Panics if either extent is zero.
+    pub fn new(bi: usize, bj: usize) -> Self {
+        assert!(bi > 0 && bj > 0, "tile extents must be positive");
+        TileShape { bi, bj }
+    }
+}
+
+impl Default for TileShape {
+    fn default() -> Self {
+        TileShape::L1
+    }
+}
+
+/// The shared blocked loop nest. `sample` abstracts the detector fetch so
+/// the in-core (`ProjectionStack`) and streaming (`TextureWindow`) kernels
+/// share one implementation; it receives the *global* detector row
+/// coordinate and must reproduce the corresponding straight kernel's fetch
+/// arithmetic exactly. Returns the number of guard-passing accumulations.
+fn blocked_core<F>(rows: &[[[f32; 4]; 3]], vol: &mut Volume, tile: TileShape, sample: F) -> u64
+where
+    F: Fn(usize, f32, f32) -> f32 + Sync,
+{
+    let (nx, ny) = (vol.nx(), vol.ny());
+    let z_offset = vol.z_offset();
+    let slice_len = nx * ny;
+    let (bi, bj) = (tile.bi, tile.bj);
+    let updates = AtomicU64::new(0);
+    vol.data_mut()
+        .par_chunks_mut(slice_len)
+        .enumerate()
+        .for_each(|(k, slice)| {
+            let kk = (k + z_offset) as f32;
+            let mut acc = vec![0.0f32; bi * bj];
+            let mut local = 0u64;
+            let mut j0 = 0;
+            while j0 < ny {
+                let j1 = (j0 + bj).min(ny);
+                let mut i0 = 0;
+                while i0 < nx {
+                    let i1 = (i0 + bi).min(nx);
+                    let bw = i1 - i0;
+                    acc[..bw * (j1 - j0)].fill(0.0);
+                    for (s, r) in rows.iter().enumerate() {
+                        // Per-(projection, slice) constants of the dot
+                        // products, hoisted with their rounding intact.
+                        let cx = r[0][2] * kk;
+                        let cy = r[1][2] * kk;
+                        let cz = r[2][2] * kk;
+                        for (tj, j) in (j0..j1).enumerate() {
+                            let jj = j as f32;
+                            let bx = r[0][1] * jj;
+                            let by = r[1][1] * jj;
+                            let bz = r[2][1] * jj;
+                            let arow = &mut acc[tj * bw..(tj + 1) * bw];
+                            for (ti, i) in (i0..i1).enumerate() {
+                                let ii = i as f32;
+                                // Same products, same left-to-right adds as
+                                // `project_f32`'s `r0·i + r1·j + r2·k + r3`.
+                                let zh = ((r[2][0] * ii + bz) + cz) + r[2][3];
+                                if !depth_ok(zh) {
+                                    continue;
+                                }
+                                let xh = ((r[0][0] * ii + bx) + cx) + r[0][3];
+                                let yh = ((r[1][0] * ii + by) + cy) + r[1][3];
+                                arow[ti] += 1.0 / (zh * zh) * sample(s, xh / zh, yh / zh);
+                                local += 1;
+                            }
+                        }
+                    }
+                    for (tj, j) in (j0..j1).enumerate() {
+                        let dst = &mut slice[j * nx + i0..j * nx + i1];
+                        for (d, &a) in dst.iter_mut().zip(&acc[tj * bw..tj * bw + bw]) {
+                            *d += a;
+                        }
+                    }
+                    i0 = i1;
+                }
+                j0 = j1;
+            }
+            updates.fetch_add(local, Ordering::Relaxed);
+        });
+    updates.into_inner()
+}
+
+/// Packs the kernel-facing f32 rows densely (48 B apiece, contiguous) so
+/// the blocked inner loops never stride through the full matrix records.
+fn pack_rows(mats: &[ProjectionMatrix]) -> Vec<[[f32; 4]; 3]> {
+    mats.iter().map(|m| m.rows_f32).collect()
+}
+
+fn check_args(held_np: usize, mats: &[ProjectionMatrix]) {
+    assert_eq!(
+        held_np,
+        mats.len(),
+        "one projection matrix per held projection is required"
+    );
+}
+
+/// Cache-blocked in-core kernel with the default [`TileShape`].
+/// Bit-identical to [`backproject_parallel`](crate::backproject_parallel).
+pub fn backproject_blocked(
+    stack: &ProjectionStack,
+    mats: &[ProjectionMatrix],
+    vol: &mut Volume,
+) -> KernelStats {
+    backproject_blocked_with(stack, mats, vol, TileShape::default())
+}
+
+/// [`backproject_blocked`] with an explicit tile shape (any positive tile
+/// produces the same bits; the shape only moves the cache behaviour).
+pub fn backproject_blocked_with(
+    stack: &ProjectionStack,
+    mats: &[ProjectionMatrix],
+    vol: &mut Volume,
+    tile: TileShape,
+) -> KernelStats {
+    check_args(stack.np(), mats);
+    let rows = pack_rows(mats);
+    let v_offset = stack.v_offset() as f32;
+    let voxels = (vol.nx() * vol.ny() * vol.nz()) as u64;
+    let data = stack.data();
+    let (nv, np, nu) = (stack.nv(), stack.np(), stack.nu());
+    let pstride = np * nu;
+    let updates = blocked_core(&rows, vol, tile, |s, x, y| {
+        let y = y - v_offset;
+        let iu = fast_floor(x);
+        let iv = fast_floor(y);
+        if iu >= 0 && iv >= 0 {
+            let (u0, v0) = (iu as usize, iv as usize);
+            if u0 + 1 < nu && v0 + 1 < nv {
+                // Whole 2×2 footprint in-bounds: the same four taps and
+                // the same blend tree as `ProjectionStack::sub_pixel`,
+                // minus the four per-tap zero-pad guards.
+                let eu = x - iu as f32;
+                let ev = y - iv as f32;
+                let r0 = (v0 * np + s) * nu + u0;
+                let r1 = r0 + pstride;
+                let t1 = data[r0] * (1.0 - eu) + data[r0 + 1] * eu;
+                let t2 = data[r1] * (1.0 - eu) + data[r1 + 1] * eu;
+                return t1 * (1.0 - ev) + t2 * ev;
+            }
+        }
+        stack.sub_pixel(s, x, y)
+    });
+    KernelStats::for_updates(updates, voxels, stack.len() as u64)
+}
+
+/// Cache-blocked streaming kernel: [`backproject_blocked`] sampling through
+/// the [`TextureWindow`] ring buffer. Bit-identical to
+/// [`backproject_window`](crate::backproject_window), with the same
+/// newly-written-rows `proj_bytes` accounting.
+pub fn backproject_window_blocked(
+    window: &TextureWindow,
+    mats: &[ProjectionMatrix],
+    vol: &mut Volume,
+) -> KernelStats {
+    backproject_window_blocked_with(window, mats, vol, TileShape::default())
+}
+
+/// [`backproject_window_blocked`] with an explicit tile shape.
+pub fn backproject_window_blocked_with(
+    window: &TextureWindow,
+    mats: &[ProjectionMatrix],
+    vol: &mut Volume,
+    tile: TileShape,
+) -> KernelStats {
+    check_args(window.np(), mats);
+    let rows = pack_rows(mats);
+    let voxels = (vol.nx() * vol.ny() * vol.nz()) as u64;
+    let data = window.data();
+    let (h, np, nu) = (window.height(), window.np(), window.nu());
+    let (v_lo, v_hi) = window.valid_rows();
+    let updates = blocked_core(&rows, vol, tile, |s, x, y| {
+        let iu = fast_floor(x);
+        let iv = fast_floor(y);
+        if iu >= 0 && iv >= v_lo as isize {
+            let (u0, v0) = (iu as usize, iv as usize);
+            if u0 + 1 < nu && v0 + 1 < v_hi {
+                // Both taps inside the valid ring rows: same modular slot
+                // lookups and blend tree as `TextureWindow::sub_pixel`,
+                // minus the per-tap window guards.
+                let eu = x - iu as f32;
+                let ev = y - iv as f32;
+                let r0 = ((v0 % h) * np + s) * nu + u0;
+                let r1 = (((v0 + 1) % h) * np + s) * nu + u0;
+                let t1 = data[r0] * (1.0 - eu) + data[r0 + 1] * eu;
+                let t2 = data[r1] * (1.0 - eu) + data[r1 + 1] * eu;
+                return t1 * (1.0 - ev) + t2 * ev;
+            }
+        }
+        window.sub_pixel(s, x, y)
+    });
+    KernelStats::for_updates(
+        updates,
+        voxels,
+        (window.take_unaccounted_rows() * window.np() * window.nu()) as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{backproject_parallel, backproject_window};
+    use scalefbp_geom::{CbctGeometry, VolumeDecomposition};
+
+    fn geom() -> CbctGeometry {
+        CbctGeometry::ideal(24, 16, 40, 36)
+    }
+
+    fn random_stack(g: &CbctGeometry) -> ProjectionStack {
+        let mut p = ProjectionStack::zeros(g.nv, g.np, g.nu);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for px in p.data_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *px = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+        }
+        p
+    }
+
+    #[test]
+    fn blocked_matches_parallel_bitwise() {
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut a = Volume::zeros(g.nx, g.ny, g.nz);
+        let mut b = Volume::zeros(g.nx, g.ny, g.nz);
+        let sa = backproject_parallel(&stack, &mats, &mut a);
+        let sb = backproject_blocked(&stack, &mats, &mut b);
+        assert_eq!(a.data(), b.data(), "blocked kernel must be bit-identical");
+        assert_eq!(sa, sb, "stats must agree too");
+    }
+
+    #[test]
+    fn every_tile_shape_is_bit_identical() {
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut reference = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_parallel(&stack, &mats, &mut reference);
+        for (bi, bj) in [(1, 1), (3, 5), (24, 16), (7, 2), (100, 100)] {
+            let mut b = Volume::zeros(g.nx, g.ny, g.nz);
+            backproject_blocked_with(&stack, &mats, &mut b, TileShape::new(bi, bj));
+            assert_eq!(reference.data(), b.data(), "tile {bi}×{bj}");
+        }
+    }
+
+    #[test]
+    fn blocked_slab_with_partial_window_matches_parallel() {
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let part = stack.extract_window(6, 30, 0, g.np);
+        let (z0, z1) = (5, 13);
+        let mut a = Volume::zeros_slab(g.nx, g.ny, z1 - z0, z0);
+        let mut b = Volume::zeros_slab(g.nx, g.ny, z1 - z0, z0);
+        backproject_parallel(&part, &mats, &mut a);
+        backproject_blocked(&part, &mats, &mut b);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn blocked_window_kernel_matches_streaming_kernel_per_slab() {
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let decomp = VolumeDecomposition::full(&g, 6);
+        let h = decomp.max_rows();
+
+        let run = |blocked: bool| {
+            let mut window = TextureWindow::new(h, g.np, g.nu, 0);
+            let mut assembled = Volume::zeros(g.nx, g.ny, g.nz);
+            let mut stats = KernelStats::default();
+            for task in decomp.tasks() {
+                let r = task.new_rows;
+                if !r.is_empty() {
+                    window.write_rows(stack.rows_block(r.begin, r.end), r.begin, r.end);
+                }
+                let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
+                stats.merge(&if blocked {
+                    backproject_window_blocked(&window, &mats, &mut slab)
+                } else {
+                    backproject_window(&window, &mats, &mut slab)
+                });
+                assembled.paste_slab(&slab);
+            }
+            (assembled, stats)
+        };
+        let (straight, straight_stats) = run(false);
+        let (blocked, blocked_stats) = run(true);
+        assert_eq!(straight.data(), blocked.data());
+        assert_eq!(straight_stats, blocked_stats);
+    }
+
+    #[test]
+    fn blocked_accumulates_into_existing_volume() {
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut once_par = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_parallel(&stack, &mats, &mut once_par);
+        let mut twice = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_parallel(&stack, &mats, &mut twice);
+        backproject_blocked(&stack, &mats, &mut twice);
+        let mut twice_par = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_parallel(&stack, &mats, &mut twice_par);
+        backproject_parallel(&stack, &mats, &mut twice_par);
+        assert_eq!(twice.data(), twice_par.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "tile extents must be positive")]
+    fn zero_tile_rejected() {
+        let _ = TileShape::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one projection matrix per held projection")]
+    fn mismatched_matrices_panic() {
+        let g = geom();
+        let stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut v = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_blocked(&stack, &mats[..g.np - 1], &mut v);
+    }
+}

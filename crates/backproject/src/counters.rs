@@ -16,12 +16,18 @@ pub const FLOPS_PER_UPDATE: u64 = 42;
 /// Work and traffic counters accumulated by one kernel launch.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KernelStats {
-    /// Voxel updates performed (`N_x·N_y·N_b·N_p_local`); the paper's GUPS
-    /// metric is `updates / runtime / 1e9`.
+    /// Voxel accumulations actually performed — `(voxel, projection)` pairs
+    /// that passed the depth guard, not the launch shape
+    /// `N_x·N_y·N_b·N_p_local` (the two coincide whenever every voxel
+    /// projects in front of the source, which holds for every valid scan
+    /// geometry). The paper's GUPS metric is `updates / runtime / 1e9`.
     pub updates: u64,
     /// Floating-point operations (`updates × FLOPS_PER_UPDATE`).
     pub flops: u64,
-    /// Projection bytes resident for the launch (texture footprint).
+    /// Projection bytes newly staged for the launch. For the streaming
+    /// window kernel this charges only rows written since the previous
+    /// launch, so per-slab stats sum to the total traffic instead of
+    /// re-billing ring-buffer residents.
     pub proj_bytes: u64,
     /// Volume bytes written (one f32 store per voxel).
     pub vol_bytes: u64,
@@ -29,9 +35,17 @@ pub struct KernelStats {
 
 impl KernelStats {
     /// Stats for a launch over `voxels` voxels and `np` projections, with
-    /// `proj_elems` projection pixels resident.
+    /// `proj_elems` projection pixels staged. Assumes every voxel passed
+    /// the depth guard (launch-shaped upper bound); kernels that count
+    /// their accumulations use [`for_updates`](Self::for_updates).
     pub fn for_launch(voxels: u64, np: u64, proj_elems: u64) -> Self {
-        let updates = voxels * np;
+        Self::for_updates(voxels * np, voxels, proj_elems)
+    }
+
+    /// Stats for a launch that performed exactly `updates` guard-passing
+    /// accumulations over `voxels` voxels, with `proj_elems` projection
+    /// pixels staged.
+    pub fn for_updates(updates: u64, voxels: u64, proj_elems: u64) -> Self {
         KernelStats {
             updates,
             flops: updates * FLOPS_PER_UPDATE,
@@ -97,5 +111,20 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_intensity() {
         assert_eq!(KernelStats::default().arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn guarded_launch_counts_only_performed_updates() {
+        let s = KernelStats::for_updates(7_500, 1000, 500);
+        assert_eq!(s.updates, 7_500);
+        assert_eq!(s.flops, 7_500 * FLOPS_PER_UPDATE);
+        // Traffic is shape-determined, independent of guard skips.
+        assert_eq!(s.proj_bytes, 2000);
+        assert_eq!(s.vol_bytes, 4000);
+        // A guard-free launch is the launch-shaped special case.
+        assert_eq!(
+            KernelStats::for_updates(10_000, 1000, 500),
+            KernelStats::for_launch(1000, 10, 500)
+        );
     }
 }

@@ -1,4 +1,6 @@
-//! The three equivalent back-projection kernels.
+//! The equivalent back-projection kernels.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, Volume};
@@ -14,6 +16,15 @@ fn project_f32(rows: &[[f32; 4]; 3], i: f32, j: f32, k: f32) -> (f32, f32, f32) 
     let x = dot(&rows[0]) / z;
     let y = dot(&rows[1]) / z;
     (x, y, z)
+}
+
+/// The unified depth guard: a voxel contributes only when its homogeneous
+/// depth is finite and strictly in front of the source. Every kernel uses
+/// this predicate, so degenerate projection matrices (NaN/±inf rows) make
+/// all of them skip identically instead of some sampling NaN.
+#[inline(always)]
+pub(crate) fn depth_ok(z: f32) -> bool {
+    z.is_finite() && z > 0.0
 }
 
 fn check_args(stack_np: usize, mats: &[ProjectionMatrix]) {
@@ -41,22 +52,24 @@ pub fn backproject_reference(
     let (nx, ny, nz) = (vol.nx(), vol.ny(), vol.nz());
     let z_offset = vol.z_offset();
     let v_offset = stack.v_offset();
+    let mut updates = 0u64;
     for (s, mat) in mats.iter().enumerate() {
         for k in 0..nz {
             let kk = (k + z_offset) as f32;
             for j in 0..ny {
                 for i in 0..nx {
                     let (x, y, z) = project_f32(&mat.rows_f32, i as f32, j as f32, kk);
-                    if z <= 0.0 {
+                    if !depth_ok(z) {
                         continue;
                     }
                     let sample = stack.sub_pixel(s, x, y - v_offset as f32);
                     *vol.get_mut(i, j, k) += 1.0 / (z * z) * sample;
+                    updates += 1;
                 }
             }
         }
     }
-    KernelStats::for_launch((nx * ny * nz) as u64, mats.len() as u64, stack.len() as u64)
+    KernelStats::for_updates(updates, (nx * ny * nz) as u64, stack.len() as u64)
 }
 
 /// The register-accumulating data-parallel kernel (Section 4.3.1): each
@@ -73,26 +86,34 @@ pub fn backproject_parallel(
     let z_offset = vol.z_offset();
     let v_offset = stack.v_offset() as f32;
     let slice_len = nx * ny;
+    let updates = AtomicU64::new(0);
     vol.data_mut()
         .par_chunks_mut(slice_len)
         .enumerate()
         .for_each(|(k, slice)| {
             let kk = (k + z_offset) as f32;
+            let mut local = 0u64;
             for j in 0..ny {
                 for i in 0..nx {
                     let mut sum = 0.0f32;
                     for (s, mat) in mats.iter().enumerate() {
                         let (x, y, z) = project_f32(&mat.rows_f32, i as f32, j as f32, kk);
-                        if z <= 0.0 {
+                        if !depth_ok(z) {
                             continue;
                         }
                         sum += 1.0 / (z * z) * stack.sub_pixel(s, x, y - v_offset);
+                        local += 1;
                     }
                     slice[j * nx + i] += sum;
                 }
             }
+            updates.fetch_add(local, Ordering::Relaxed);
         });
-    KernelStats::for_launch((nx * ny * nz) as u64, mats.len() as u64, stack.len() as u64)
+    KernelStats::for_updates(
+        updates.into_inner(),
+        (nx * ny * nz) as u64,
+        stack.len() as u64,
+    )
 }
 
 /// Listing 1 proper: the streaming kernel sampling through the
@@ -110,29 +131,37 @@ pub fn backproject_window(
     let (nx, ny, nz) = (vol.nx(), vol.ny(), vol.nz());
     let z_offset = vol.z_offset();
     let slice_len = nx * ny;
+    let updates = AtomicU64::new(0);
     vol.data_mut()
         .par_chunks_mut(slice_len)
         .enumerate()
         .for_each(|(k, slice)| {
             let kk = (k + z_offset) as f32;
+            let mut local = 0u64;
             for j in 0..ny {
                 for i in 0..nx {
                     let mut sum = 0.0f32;
                     for (s, mat) in mats.iter().enumerate() {
                         let (x, y, z) = project_f32(&mat.rows_f32, i as f32, j as f32, kk);
-                        if z <= 0.0 {
+                        if !depth_ok(z) {
                             continue;
                         }
                         sum += 1.0 / (z * z) * window.sub_pixel(s, x, y);
+                        local += 1;
                     }
                     slice[j * nx + i] += sum;
                 }
             }
+            updates.fetch_add(local, Ordering::Relaxed);
         });
-    KernelStats::for_launch(
+    // Charge only rows streamed in since the previous launch: the ring
+    // buffer retains most of the window across slabs, and billing the full
+    // `H·N_p·N_u` every launch would double-count those residents (the
+    // per-slab sum then exceeds the rows actually moved to the device).
+    KernelStats::for_updates(
+        updates.into_inner(),
         (nx * ny * nz) as u64,
-        mats.len() as u64,
-        (window.height() * window.np() * window.nu()) as u64,
+        (window.take_unaccounted_rows() * window.np() * window.nu()) as u64,
     )
 }
 
@@ -155,11 +184,13 @@ pub fn backproject_incremental(
     let z_offset = vol.z_offset();
     let v_offset = stack.v_offset() as f32;
     let slice_len = nx * ny;
+    let updates = AtomicU64::new(0);
     vol.data_mut()
         .par_chunks_mut(slice_len)
         .enumerate()
         .for_each(|(k, slice)| {
             let kk = (k + z_offset) as f32;
+            let mut local = 0u64;
             for (s, mat) in mats.iter().enumerate() {
                 let r = &mat.rows_f32;
                 for j in 0..ny {
@@ -170,10 +201,11 @@ pub fn backproject_incremental(
                     let mut zh = r[2][1] * jj + r[2][2] * kk + r[2][3];
                     let row = &mut slice[j * nx..(j + 1) * nx];
                     for px in row.iter_mut() {
-                        if zh > 0.0 {
+                        if depth_ok(zh) {
                             let x = xh / zh;
                             let y = yh / zh;
                             *px += 1.0 / (zh * zh) * stack.sub_pixel(s, x, y - v_offset);
+                            local += 1;
                         }
                         xh += r[0][0];
                         yh += r[1][0];
@@ -181,8 +213,13 @@ pub fn backproject_incremental(
                     }
                 }
             }
+            updates.fetch_add(local, Ordering::Relaxed);
         });
-    KernelStats::for_launch((nx * ny * nz) as u64, mats.len() as u64, stack.len() as u64)
+    KernelStats::for_updates(
+        updates.into_inner(),
+        (nx * ny * nz) as u64,
+        stack.len() as u64,
+    )
 }
 
 #[cfg(test)]
@@ -319,7 +356,129 @@ mod tests {
         let mut v = Volume::zeros(g.nx, g.ny, g.nz);
         let stats = backproject_parallel(&stack, &mats, &mut v);
         assert!(v.data().iter().all(|&x| x == 0.0));
+        // `updates` counts accumulations actually performed. For a valid
+        // scan geometry every voxel sits in front of the source, so the
+        // count equals the launch shape — but it is the guard-passing
+        // count, not `nx·ny·nz·np` by construction (see the degenerate
+        // test below for the case where they differ).
         assert_eq!(stats.updates, (g.nx * g.ny * g.nz * g.np) as u64);
+        assert_eq!(stats.flops, stats.updates * crate::FLOPS_PER_UPDATE);
+    }
+
+    #[test]
+    fn window_stats_charge_each_streamed_row_once() {
+        // The ring buffer retains most rows across slab launches; the
+        // per-launch `proj_bytes` must bill only the newly-written rows so
+        // the per-slab sum equals the total streaming traffic (what the
+        // reference kernel charges for the same rows), not `batches ×
+        // H·N_p·N_u`.
+        let g = geom();
+        let stack = random_stack(&g);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let decomp = VolumeDecomposition::full(&g, 6);
+        let h = decomp.max_rows();
+
+        let mut window = TextureWindow::new(h, g.np, g.nu, 0);
+        let mut summed = KernelStats::default();
+        let mut launches = 0u64;
+        for task in decomp.tasks() {
+            let r = task.new_rows;
+            if !r.is_empty() {
+                window.write_rows(stack.rows_block(r.begin, r.end), r.begin, r.end);
+            }
+            let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
+            summed.merge(&backproject_window(&window, &mats, &mut slab));
+            launches += 1;
+        }
+        let row_bytes = (g.np * g.nu * 4) as u64;
+        assert_eq!(
+            summed.proj_bytes,
+            window.rows_written() as u64 * row_bytes,
+            "per-slab proj_bytes must sum to the rows actually streamed"
+        );
+        // Regression guard: the old accounting billed the full window
+        // height every launch, double-counting ring-buffer residents.
+        assert!(launches > 1, "test needs an actual multi-slab plan");
+        assert!(summed.proj_bytes < launches * (h as u64) * row_bytes);
+        // Work counters match the non-streaming kernel over the same scan.
+        let mut full = Volume::zeros(g.nx, g.ny, g.nz);
+        let reference = backproject_parallel(&stack, &mats, &mut full);
+        assert_eq!(summed.updates, reference.updates);
+    }
+
+    #[test]
+    fn degenerate_matrices_are_skipped_by_all_kernels() {
+        // A degenerate matrix (NaN depth row) must make every kernel skip
+        // its contributions identically; before the unified
+        // `z.is_finite() && z > 0.0` guard, `backproject_reference`'s
+        // `z <= 0.0` let NaN depths through (NaN fails every comparison)
+        // and poisoned the volume, while the incremental kernel's
+        // `zh > 0.0` skipped them.
+        let g = geom();
+        let stack = random_stack(&g);
+        let mut mats = ProjectionMatrix::full_scan(&g);
+        mats[1].rows_f32[2] = [f32::NAN; 4];
+        mats[3].rows_f32[2] = [f32::INFINITY; 4];
+
+        let healthy: Vec<ProjectionMatrix> = mats
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| *s != 1 && *s != 3)
+            .map(|(_, m)| m.clone())
+            .collect();
+        let healthy_stack = {
+            let mut sel = ProjectionStack::zeros(g.nv, g.np - 2, g.nu);
+            for v in 0..g.nv {
+                let mut dst = 0;
+                for s in 0..g.np {
+                    if s != 1 && s != 3 {
+                        sel.row_mut(v, dst).copy_from_slice(stack.row(v, s));
+                        dst += 1;
+                    }
+                }
+            }
+            sel
+        };
+
+        let mut with_bad = Volume::zeros(g.nx, g.ny, g.nz);
+        let stats = backproject_reference(&stack, &mats, &mut with_bad);
+        let mut without = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_reference(&healthy_stack, &healthy, &mut without);
+        assert!(
+            with_bad.data().iter().all(|x| x.is_finite()),
+            "degenerate matrices must not poison the volume"
+        );
+        assert_eq!(
+            with_bad.data(),
+            without.data(),
+            "degenerate projections must contribute nothing"
+        );
+        // The skipped projections are visible in the work accounting.
+        assert_eq!(
+            stats.updates,
+            (g.nx * g.ny * g.nz * (g.np - 2)) as u64,
+            "guard-skipped voxels must not be counted as updates"
+        );
+
+        // All four kernels agree on the degenerate input.
+        let mut par = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_parallel(&stack, &mats, &mut par);
+        assert_eq!(with_bad.data(), par.data());
+
+        let mut incr = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_incremental(&stack, &mats, &mut incr);
+        assert!(incr.data().iter().all(|x| x.is_finite()));
+        let rmse = with_bad.rmse(&incr);
+        assert!(
+            rmse < 1e-6,
+            "incremental drifted on degenerate input: {rmse}"
+        );
+
+        let mut window = TextureWindow::new(g.nv, g.np, g.nu, 0);
+        window.write_rows(stack.rows_block(0, g.nv), 0, g.nv);
+        let mut win = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_window(&window, &mats, &mut win);
+        assert_eq!(with_bad.data(), win.data());
     }
 
     #[test]

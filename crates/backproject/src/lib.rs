@@ -20,14 +20,28 @@
 //! property the paper relies on when validating the streaming kernel
 //! against RTK.
 //!
-//! Every kernel returns [`KernelStats`] (updates, FLOPs, bytes touched) so
-//! the roofline analysis of Figure 12 can be regenerated without hardware
-//! counters.
+//! On top of the straight kernels, the cache-blocked hot path
+//! ([`backproject_blocked`] / [`backproject_window_blocked`], tile shape
+//! [`TileShape`]) tiles the `(i, j)` plane into L1-sized blocks, iterates
+//! projections outermost per tile and hoists the per-row dot-product
+//! constants — the same arithmetic in the same rounding order, so it stays
+//! bit-identical to the straight kernels while keeping the detector
+//! footprint cache-resident (see `docs/performance.md` and the
+//! `scalefbp-bench` binary for measurements).
+//!
+//! Every kernel returns [`KernelStats`] (guard-passing updates, FLOPs,
+//! bytes staged) so the roofline analysis of Figure 12 can be regenerated
+//! without hardware counters.
 
+mod blocked;
 mod counters;
 mod kernels;
 mod texture;
 
+pub use blocked::{
+    backproject_blocked, backproject_blocked_with, backproject_window_blocked,
+    backproject_window_blocked_with, TileShape,
+};
 pub use counters::{KernelStats, FLOPS_PER_UPDATE};
 pub use kernels::{
     backproject_incremental, backproject_parallel, backproject_reference, backproject_window,

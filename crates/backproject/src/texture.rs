@@ -1,6 +1,8 @@
 //! The modular ring buffer over detector rows — the CPU analogue of the
 //! 3-D texture of Listing 1 (`devPixel`'s `Z = z % dimZ`).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 /// A device-resident window of `h` detector rows across `np` projections,
 /// addressed by **global** detector row modulo `h`.
 ///
@@ -9,7 +11,7 @@
 /// and overwrites the oldest rows in place (`cudaMemcpy3D` into
 /// `devMem(s % H …)` in the paper). Samples outside the currently valid
 /// window return zero.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct TextureWindow {
     h: usize,
     np: usize,
@@ -22,6 +24,28 @@ pub struct TextureWindow {
     v_hi: usize,
     /// Total rows ever written (for transfer accounting).
     rows_written: usize,
+    /// Rows written since the last launch drained them
+    /// ([`take_unaccounted_rows`](Self::take_unaccounted_rows)) — atomic
+    /// because kernels only hold a shared reference. This is what lets
+    /// per-slab `KernelStats` charge each streamed row exactly once
+    /// instead of re-billing the whole resident window every launch.
+    unaccounted_rows: AtomicUsize,
+}
+
+impl Clone for TextureWindow {
+    fn clone(&self) -> Self {
+        TextureWindow {
+            h: self.h,
+            np: self.np,
+            nu: self.nu,
+            s_offset: self.s_offset,
+            data: self.data.clone(),
+            v_lo: self.v_lo,
+            v_hi: self.v_hi,
+            rows_written: self.rows_written,
+            unaccounted_rows: AtomicUsize::new(self.unaccounted_rows.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl TextureWindow {
@@ -41,6 +65,7 @@ impl TextureWindow {
             v_lo: 0,
             v_hi: 0,
             rows_written: 0,
+            unaccounted_rows: AtomicUsize::new(0),
         }
     }
 
@@ -74,10 +99,24 @@ impl TextureWindow {
     pub fn rows_written(&self) -> usize {
         self.rows_written
     }
+    /// Rows written since the last call to this method, and resets the
+    /// count. Launch accounting drains this so each streamed row is
+    /// charged to exactly one launch's `proj_bytes`.
+    #[inline]
+    pub fn take_unaccounted_rows(&self) -> usize {
+        self.unaccounted_rows.swap(0, Ordering::Relaxed)
+    }
     /// Device bytes held by the window.
     #[inline]
     pub fn bytes(&self) -> usize {
         self.data.len() * 4
+    }
+
+    /// The raw ring buffer, `[slot][s][u]`-ordered, for the blocked
+    /// kernel's guard-free interior sampling path.
+    #[inline]
+    pub(crate) fn data(&self) -> &[f32] {
+        &self.data
     }
 
     /// Streams the contiguous row block for global rows `[v_begin, v_end)`
@@ -129,6 +168,7 @@ impl TextureWindow {
                 .copy_from_slice(&rows[idx * stride..(idx + 1) * stride]);
         }
         self.rows_written += n;
+        self.unaccounted_rows.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Single-pixel fetch at **global** detector row `v` (the `devPixel` of
@@ -282,6 +322,32 @@ mod tests {
         let got = w.sub_pixel(0, 1.0, 1.5);
         let expect = 0.5 * p.get(2, 0, 1);
         assert!((got - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unaccounted_rows_drain_once() {
+        let p = stack(10, 2, 3);
+        let mut w = TextureWindow::new(4, 2, 3, 0);
+        w.write_rows(p.rows_block(0, 4), 0, 4);
+        w.write_rows(p.rows_block(4, 6), 4, 6);
+        assert_eq!(w.take_unaccounted_rows(), 6);
+        // Drained: a second take without writes charges nothing.
+        assert_eq!(w.take_unaccounted_rows(), 0);
+        w.write_rows(p.rows_block(6, 7), 6, 7);
+        assert_eq!(w.take_unaccounted_rows(), 1);
+        // Cumulative accounting is unaffected by draining.
+        assert_eq!(w.rows_written(), 7);
+    }
+
+    #[test]
+    fn clone_carries_unaccounted_rows() {
+        let p = stack(6, 1, 2);
+        let mut w = TextureWindow::new(4, 1, 2, 0);
+        w.write_rows(p.rows_block(0, 3), 0, 3);
+        let c = w.clone();
+        assert_eq!(c.take_unaccounted_rows(), 3);
+        // Independent counters: draining the clone leaves the original.
+        assert_eq!(w.take_unaccounted_rows(), 3);
     }
 
     #[test]

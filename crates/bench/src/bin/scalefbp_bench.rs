@@ -1,0 +1,376 @@
+//! `scalefbp-bench` — the reproducible kernel benchmark harness.
+//!
+//! Runs fixed phantom workloads through every back-projection kernel
+//! (reference / parallel / incremental / blocked) and both filtering
+//! strategies (two-pass / fused), then emits machine-readable JSON:
+//!
+//! * `BENCH_backproject.json` — per-workload, per-kernel wall seconds,
+//!   performed updates, GUPS, and the headline
+//!   `speedup_blocked_vs_parallel`.
+//! * `BENCH_filter.json` — per-workload row-filtering throughput for the
+//!   two strategies and `speedup_fused_vs_two_pass`.
+//!
+//! ```text
+//! cargo run --release -p scalefbp-bench --bin scalefbp-bench
+//!     [-- --quick] [-- --out-dir DIR] [-- --reps N]
+//! ```
+//!
+//! The workloads are deterministic (analytic ball phantom plus an LCG
+//! noise floor with a fixed seed), so updates/bytes/bit-identity fields
+//! are reproducible run to run; the timings of course are not. `--quick`
+//! substitutes a tiny workload for CI smoke runs. Every kernel's volume
+//! is compared against the parallel kernel's and the bitwise verdict is
+//! recorded in the JSON, so a speedup obtained by breaking numerics
+//! would show up immediately.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use scalefbp::substrates::backproject::{
+    backproject_blocked, backproject_incremental, backproject_parallel, backproject_reference,
+    KernelStats,
+};
+use scalefbp::substrates::filter::{FilterPipeline, FilterWindow};
+use scalefbp::substrates::geom::{CbctGeometry, ProjectionMatrix, ProjectionStack, Volume};
+use scalefbp::substrates::phantom::{forward_project, uniform_ball};
+
+/// Deterministic noise floor so the projections are not piecewise-smooth
+/// (keeps the bilinear fetches honest). Plain 64-bit LCG, fixed seed.
+fn add_noise(stack: &mut ProjectionStack, seed: u64) {
+    let mut state = seed;
+    for px in stack.data_mut() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Top 24 bits → [0, 1): cheap, deterministic, platform-independent.
+        let r = (state >> 40) as f32 / (1u64 << 24) as f32;
+        *px += (r - 0.5) * 0.02;
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    geom: CbctGeometry,
+    filtered: ProjectionStack,
+    mats: Vec<ProjectionMatrix>,
+    /// Whether the serial reference kernel is timed too (skipped on the
+    /// largest workload — it is the same arithmetic, just minutes slower).
+    run_reference: bool,
+}
+
+impl Workload {
+    fn new(
+        name: &'static str,
+        n: usize,
+        np: usize,
+        nu: usize,
+        nv: usize,
+        run_reference: bool,
+    ) -> Self {
+        let geom = CbctGeometry::ideal(n, np, nu, nv);
+        let mut projections = forward_project(&geom, &uniform_ball(&geom, 0.5, 1.0));
+        add_noise(&mut projections, 0x5EED_CBC7_2021);
+        // Benchmark the kernels on filtered rows, as the drivers run them.
+        let pipeline = FilterPipeline::new(&geom, FilterWindow::RamLak);
+        pipeline.filter_stack(&mut projections);
+        let mats = ProjectionMatrix::full_scan(&geom);
+        Workload {
+            name,
+            geom,
+            filtered: projections,
+            mats,
+            run_reference,
+        }
+    }
+}
+
+struct KernelRun {
+    kernel: &'static str,
+    secs: f64,
+    stats: KernelStats,
+    bit_identical_to_parallel: Option<bool>,
+}
+
+/// Best-of-`reps` timing of one kernel; returns the volume of the last
+/// run for the bit-identity check (every rep produces the same bits).
+fn time_kernel<F>(reps: usize, geom: &CbctGeometry, f: F) -> (f64, KernelStats, Volume)
+where
+    F: Fn(&mut Volume) -> KernelStats,
+{
+    let mut best = f64::INFINITY;
+    let mut vol = Volume::zeros(geom.nx, geom.ny, geom.nz);
+    let mut stats = KernelStats::default();
+    for _ in 0..reps.max(1) {
+        let mut v = Volume::zeros(geom.nx, geom.ny, geom.nz);
+        let t = Instant::now();
+        stats = f(&mut v);
+        best = best.min(t.elapsed().as_secs_f64());
+        vol = v;
+    }
+    (best, stats, vol)
+}
+
+fn bench_backproject(w: &Workload, reps: usize) -> Vec<KernelRun> {
+    let g = &w.geom;
+    let stack = &w.filtered;
+    let mats = &w.mats;
+
+    let (par_secs, par_stats, par_vol) =
+        time_kernel(reps, g, |v| backproject_parallel(stack, mats, v));
+
+    let mut runs = Vec::new();
+    if w.run_reference {
+        let (secs, stats, vol) = time_kernel(reps, g, |v| backproject_reference(stack, mats, v));
+        runs.push(KernelRun {
+            kernel: "reference",
+            secs,
+            stats,
+            bit_identical_to_parallel: Some(vol.data() == par_vol.data()),
+        });
+    }
+    runs.push(KernelRun {
+        kernel: "parallel",
+        secs: par_secs,
+        stats: par_stats,
+        bit_identical_to_parallel: None,
+    });
+    let (inc_secs, inc_stats, inc_vol) =
+        time_kernel(reps, g, |v| backproject_incremental(stack, mats, v));
+    runs.push(KernelRun {
+        kernel: "incremental",
+        secs: inc_secs,
+        stats: inc_stats,
+        bit_identical_to_parallel: Some(inc_vol.data() == par_vol.data()),
+    });
+    let (blk_secs, blk_stats, blk_vol) =
+        time_kernel(reps, g, |v| backproject_blocked(stack, mats, v));
+    assert_eq!(
+        blk_vol.data(),
+        par_vol.data(),
+        "{}: blocked kernel diverged from parallel — refusing to report its timing",
+        w.name
+    );
+    runs.push(KernelRun {
+        kernel: "blocked",
+        secs: blk_secs,
+        stats: blk_stats,
+        bit_identical_to_parallel: Some(true),
+    });
+    runs
+}
+
+struct FilterRun {
+    mode: &'static str,
+    secs: f64,
+    rows: usize,
+}
+
+fn bench_filter(w: &Workload, reps: usize) -> (Vec<FilterRun>, f32) {
+    let g = &w.geom;
+    let pipeline = FilterPipeline::new(g, FilterWindow::RamLak);
+    let rows = g.nv * g.np;
+
+    let mut best = [f64::INFINITY; 2];
+    let mut out: [Option<ProjectionStack>; 2] = [None, None];
+    for _ in 0..reps.max(1) {
+        for (slot, fused) in [(0usize, false), (1usize, true)] {
+            let mut stack = w.filtered.clone();
+            let t = Instant::now();
+            if fused {
+                pipeline.filter_stack_fused(&mut stack);
+            } else {
+                pipeline.filter_stack(&mut stack);
+            }
+            best[slot] = best[slot].min(t.elapsed().as_secs_f64());
+            out[slot] = Some(stack);
+        }
+    }
+    let two_pass = out[0].take().unwrap();
+    let fused = out[1].take().unwrap();
+    let mut max_abs = 0.0f32;
+    for (a, b) in two_pass.data().iter().zip(fused.data()) {
+        max_abs = max_abs.max((a - b).abs());
+    }
+    (
+        vec![
+            FilterRun {
+                mode: "two-pass",
+                secs: best[0],
+                rows,
+            },
+            FilterRun {
+                mode: "fused",
+                secs: best[1],
+                rows,
+            },
+        ],
+        max_abs,
+    )
+}
+
+fn json_workload_header(out: &mut String, w: &Workload) {
+    let g = &w.geom;
+    let _ = writeln!(
+        out,
+        "      \"name\": \"{}\",\n      \"nx\": {}, \"ny\": {}, \"nz\": {},\n      \"np\": {}, \"nu\": {}, \"nv\": {},",
+        w.name, g.nx, g.ny, g.nz, g.np, g.nu, g.nv
+    );
+}
+
+fn emit_backproject_json(results: &[(&Workload, Vec<KernelRun>)], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"backproject\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"workloads\": [\n");
+    for (wi, (w, runs)) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        json_workload_header(&mut out, w);
+        out.push_str("      \"kernels\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            let gups = r.stats.updates as f64 / r.secs.max(1e-12) / 1e9;
+            let bit = match r.bit_identical_to_parallel {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "        {{\"kernel\": \"{}\", \"secs\": {:.6}, \"updates\": {}, \"gups\": {:.4}, \"bit_identical_to_parallel\": {}}}{}",
+                r.kernel,
+                r.secs,
+                r.stats.updates,
+                gups,
+                bit,
+                if i + 1 < runs.len() { "," } else { "" }
+            );
+        }
+        out.push_str("      ],\n");
+        let secs_of = |name: &str| runs.iter().find(|r| r.kernel == name).map(|r| r.secs);
+        let speedup = match (secs_of("parallel"), secs_of("blocked")) {
+            (Some(p), Some(b)) => p / b.max(1e-12),
+            _ => 0.0,
+        };
+        let _ = writeln!(out, "      \"speedup_blocked_vs_parallel\": {speedup:.4}");
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if wi + 1 < results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn emit_filter_json(results: &[(&Workload, Vec<FilterRun>, f32)], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"filter\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"workloads\": [\n");
+    for (wi, (w, runs, max_abs)) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        json_workload_header(&mut out, w);
+        out.push_str("      \"modes\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            let rows_per_sec = r.rows as f64 / r.secs.max(1e-12);
+            let _ = writeln!(
+                out,
+                "        {{\"mode\": \"{}\", \"secs\": {:.6}, \"rows\": {}, \"rows_per_sec\": {:.1}}}{}",
+                r.mode,
+                r.secs,
+                r.rows,
+                rows_per_sec,
+                if i + 1 < runs.len() { "," } else { "" }
+            );
+        }
+        out.push_str("      ],\n");
+        let secs_of = |name: &str| runs.iter().find(|r| r.mode == name).map(|r| r.secs);
+        let speedup = match (secs_of("two-pass"), secs_of("fused")) {
+            (Some(t), Some(f)) => t / f.max(1e-12),
+            _ => 0.0,
+        };
+        let _ = writeln!(out, "      \"speedup_fused_vs_two_pass\": {speedup:.4},");
+        let _ = writeln!(out, "      \"max_abs_deviation\": {:.3e}", max_abs);
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if wi + 1 < results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| ".".to_string());
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1 } else { 2 });
+
+    let workloads: Vec<Workload> = if quick {
+        vec![Workload::new("ball-quick-32", 32, 24, 64, 48, true)]
+    } else {
+        vec![
+            Workload::new("ball-128", 128, 48, 192, 192, true),
+            Workload::new("ball-256", 256, 48, 320, 320, false),
+        ]
+    };
+
+    eprintln!(
+        "scalefbp-bench: {} workload(s), best of {reps} rep(s), out-dir {out_dir}",
+        workloads.len()
+    );
+
+    let mut bp_results = Vec::new();
+    let mut f_results = Vec::new();
+    for w in &workloads {
+        eprintln!(
+            "  {}: {}³ volume, {} projections of {}×{}",
+            w.name, w.geom.nx, w.geom.np, w.geom.nu, w.geom.nv
+        );
+        let (filter_runs, max_abs) = bench_filter(w, reps);
+        for r in &filter_runs {
+            eprintln!(
+                "    filter/{:<9} {:>9.4}s  ({:.0} rows/s)",
+                r.mode,
+                r.secs,
+                r.rows as f64 / r.secs.max(1e-12)
+            );
+        }
+        f_results.push((w, filter_runs, max_abs));
+        let runs = bench_backproject(w, reps);
+        for r in &runs {
+            eprintln!(
+                "    bp/{:<12} {:>9.4}s  ({:.3} GUPS)",
+                r.kernel,
+                r.secs,
+                r.stats.updates as f64 / r.secs.max(1e-12) / 1e9
+            );
+        }
+        bp_results.push((w, runs));
+    }
+
+    let bp_json = emit_backproject_json(&bp_results, quick);
+    let f_json = emit_filter_json(&f_results, quick);
+    std::fs::create_dir_all(&out_dir).expect("create out-dir");
+    let bp_path = format!("{out_dir}/BENCH_backproject.json");
+    let f_path = format!("{out_dir}/BENCH_filter.json");
+    std::fs::write(&bp_path, &bp_json).expect("write BENCH_backproject.json");
+    std::fs::write(&f_path, &f_json).expect("write BENCH_filter.json");
+    eprintln!("wrote {bp_path} and {f_path}");
+
+    for (w, runs) in &bp_results {
+        let secs_of = |name: &str| runs.iter().find(|r| r.kernel == name).map(|r| r.secs);
+        if let (Some(p), Some(b)) = (secs_of("parallel"), secs_of("blocked")) {
+            println!("{}: blocked {:.2}x vs parallel", w.name, p / b.max(1e-12));
+        }
+    }
+}

@@ -4,9 +4,9 @@ use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use scalefbp::{
-    fault_tolerant_reconstruct_observed, fdk_reconstruct_slab, fdk_reconstruct_with, DeviceSpec,
-    FdkConfig, FilterWindow, MetricsRegistry, MetricsSnapshot, OutOfCoreReconstructor,
-    PipelinedReconstructor, RankLayout,
+    fault_tolerant_reconstruct_observed, fdk_reconstruct_configured, fdk_reconstruct_slab,
+    DeviceSpec, FdkConfig, FilterChoice, FilterWindow, KernelChoice, MetricsRegistry,
+    MetricsSnapshot, OutOfCoreReconstructor, PipelinedReconstructor, RankLayout,
 };
 use scalefbp_faults::{FaultPlan, FaultScenario, RecoveryEvent};
 use scalefbp_geom::{CbctGeometry, DatasetPreset, ProjectionStack};
@@ -278,6 +278,16 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
     let window = parse_window(&args.opt("window").unwrap_or_else(|| "ramlak".into()))?;
     let mode = args.opt("mode").unwrap_or_else(|| "incore".into());
     let device = parse_device(&args.opt("device").unwrap_or_else(|| "v100".into()))?;
+    let kernel: KernelChoice = args
+        .opt("kernel")
+        .unwrap_or_else(|| "parallel".into())
+        .parse()
+        .map_err(CliError::Message)?;
+    let filter_mode: FilterChoice = args
+        .opt("filter-mode")
+        .unwrap_or_else(|| "two-pass".into())
+        .parse()
+        .map_err(CliError::Message)?;
 
     let geom = geometry_from_text(&std::fs::read_to_string(&geom_path)?)
         .map_err(|e| CliError::Message(format!("{}: {e}", geom_path.display())))?;
@@ -304,11 +314,15 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
     } else {
         match mode.as_str() {
             "incore" => {
-                let v = fdk_reconstruct_with(&geom, &projections, window)
+                let cfg = FdkConfig::new(geom.clone())
+                    .with_window(window)
+                    .with_kernel(kernel)
+                    .with_filter(filter_mode);
+                let v = fdk_reconstruct_configured(&cfg, &projections)
                     .map_err(|e| CliError::Message(e.to_string()))?;
                 (
                     v,
-                    "in-core".to_string(),
+                    format!("in-core, {kernel} kernel, {filter_mode} filter"),
                     chrome_trace_json(&[]),
                     MetricsRegistry::new().snapshot(),
                 )
@@ -316,7 +330,9 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
             "outofcore" => {
                 let cfg = FdkConfig::new(geom.clone())
                     .with_window(window)
-                    .with_device(device);
+                    .with_device(device)
+                    .with_kernel(kernel)
+                    .with_filter(filter_mode);
                 let rec = OutOfCoreReconstructor::with_observability(cfg, MetricsRegistry::new())
                     .map_err(|e| CliError::Message(e.to_string()))?;
                 let (v, report) = rec
@@ -335,7 +351,9 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                 let plan = parse_fault_plan(args, &single_rank_scenario())?;
                 let cfg = FdkConfig::new(geom.clone())
                     .with_window(window)
-                    .with_device(device);
+                    .with_device(device)
+                    .with_kernel(kernel)
+                    .with_filter(filter_mode);
                 let rec = PipelinedReconstructor::new(cfg)
                     .map_err(|e| CliError::Message(e.to_string()))?;
                 let registry = MetricsRegistry::new();

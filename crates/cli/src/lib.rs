@@ -64,6 +64,11 @@ COMMANDS:
   reconstruct --scan scan.sfbp --geom scan.geom --out vol.sfbp
               [--window ramlak|shepplogan|cosine|hamming|hann]
               [--mode incore|outofcore|pipeline|distributed]
+              [--kernel reference|parallel|incremental|blocked]
+              [--filter-mode two-pass|fused]
+                  pick the back-projection kernel and filtering strategy
+                  (see docs/performance.md; defaults reproduce the
+                  bit-exact reference behaviour)
               [--device v100|a100|tiny:BYTES] [--slab Z0:Z1]
               [--nr N --ng N]           (distributed rank layout)
               [--fault-seed N | --fault-plan FILE]

@@ -97,6 +97,61 @@ fn outofcore_and_pipeline_modes_match_incore() {
 }
 
 #[test]
+fn blocked_kernel_flag_matches_default_bitwise() {
+    let dir = tmpdir("kernel-flag");
+    let scan = dir.join("scan.sfbp");
+    call(&["simulate", "--ideal", "24", "--out", scan.to_str().unwrap()]).unwrap();
+
+    let mut volumes = Vec::new();
+    for (kernel, tag) in [("parallel", "a"), ("blocked", "b"), ("reference", "c")] {
+        let vol = dir.join(format!("vol_{tag}.sfbp"));
+        let out = call(&[
+            "reconstruct",
+            "--scan",
+            scan.to_str().unwrap(),
+            "--out",
+            vol.to_str().unwrap(),
+            "--kernel",
+            kernel,
+        ])
+        .unwrap();
+        assert!(out.contains(kernel), "{kernel}: {out}");
+        volumes.push(std::fs::read(&vol).unwrap());
+    }
+    assert_eq!(volumes[0], volumes[1], "blocked differs from parallel");
+    assert_eq!(volumes[0], volumes[2], "reference differs from parallel");
+
+    // The fused filter is not bitwise, but the command must succeed and
+    // report the strategy it ran.
+    let vol = dir.join("vol_fused.sfbp");
+    let out = call(&[
+        "reconstruct",
+        "--scan",
+        scan.to_str().unwrap(),
+        "--out",
+        vol.to_str().unwrap(),
+        "--kernel",
+        "blocked",
+        "--filter-mode",
+        "fused",
+    ])
+    .unwrap();
+    assert!(out.contains("fused"), "{out}");
+
+    // Unknown names are rejected with the candidate list.
+    let err = call(&[
+        "reconstruct",
+        "--scan",
+        scan.to_str().unwrap(),
+        "--out",
+        vol.to_str().unwrap(),
+        "--kernel",
+        "warp",
+    ]);
+    assert!(format!("{err:?}").contains("unknown kernel"), "{err:?}");
+}
+
+#[test]
 fn slab_roi_reconstruction() {
     let dir = tmpdir("slab");
     let scan = dir.join("scan.sfbp");

@@ -50,6 +50,109 @@ impl From<DeviceError> for ReconstructionError {
     }
 }
 
+/// Which back-projection kernel the drivers run.
+///
+/// All variants produce bit-identical volumes for the in-core and streaming
+/// paths except [`Incremental`](KernelChoice::Incremental), whose affine
+/// increments round differently (validated to small RMSE in the
+/// backproject crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// Algorithm 1 verbatim: the serial quadruple loop. Slow; the ground
+    /// truth for equivalence testing.
+    Reference,
+    /// Register-accumulating slice-parallel kernel (Section 4.3.1).
+    #[default]
+    Parallel,
+    /// The affine-increment kernel — fastest per-update arithmetic, *not*
+    /// bit-identical. Streaming drivers fall back to the windowed kernel.
+    Incremental,
+    /// Cache-blocked hot path: `(i, j)` tiles with projection-outer
+    /// iteration and hoisted row constants. Bit-identical to `Parallel`.
+    Blocked,
+}
+
+impl KernelChoice {
+    /// All selectable kernels, in benchmark display order.
+    pub const ALL: [KernelChoice; 4] = [
+        KernelChoice::Reference,
+        KernelChoice::Parallel,
+        KernelChoice::Incremental,
+        KernelChoice::Blocked,
+    ];
+
+    /// Stable lowercase name (used in CLI flags and BENCH JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelChoice::Reference => "reference",
+            KernelChoice::Parallel => "parallel",
+            KernelChoice::Incremental => "incremental",
+            KernelChoice::Blocked => "blocked",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for KernelChoice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reference" => Ok(KernelChoice::Reference),
+            "parallel" => Ok(KernelChoice::Parallel),
+            "incremental" => Ok(KernelChoice::Incremental),
+            "blocked" => Ok(KernelChoice::Blocked),
+            other => Err(format!(
+                "unknown kernel '{other}' (expected reference|parallel|incremental|blocked)"
+            )),
+        }
+    }
+}
+
+/// How the ramp-filtering stage is executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FilterChoice {
+    /// Weight+convolve, then a second scaling pass (the original shape).
+    #[default]
+    TwoPass,
+    /// Single fused pass with the scale folded into the frequency response
+    /// and zero per-row allocations. Matches TwoPass to a few f32 ULP.
+    Fused,
+}
+
+impl FilterChoice {
+    /// Stable lowercase name (used in CLI flags and BENCH JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            FilterChoice::TwoPass => "two-pass",
+            FilterChoice::Fused => "fused",
+        }
+    }
+}
+
+impl std::fmt::Display for FilterChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for FilterChoice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "two-pass" | "twopass" => Ok(FilterChoice::TwoPass),
+            "fused" => Ok(FilterChoice::Fused),
+            other => Err(format!(
+                "unknown filter mode '{other}' (expected two-pass|fused)"
+            )),
+        }
+    }
+}
+
 /// Configuration of a reconstruction run.
 #[derive(Clone, Debug)]
 pub struct FdkConfig {
@@ -61,17 +164,23 @@ pub struct FdkConfig {
     pub nc: usize,
     /// Simulated device executing the back-projection.
     pub device: DeviceSpec,
+    /// Back-projection kernel the drivers dispatch to.
+    pub kernel: KernelChoice,
+    /// Filtering execution strategy.
+    pub filter: FilterChoice,
 }
 
 impl FdkConfig {
     /// A config with the paper's defaults (`N_c = 8`, Ram-Lak window,
-    /// V100-16GB device).
+    /// V100-16GB device, parallel kernel, two-pass filter).
     pub fn new(geometry: CbctGeometry) -> Self {
         FdkConfig {
             geometry,
             window: FilterWindow::RamLak,
             nc: 8,
             device: DeviceSpec::v100_16gb(),
+            kernel: KernelChoice::default(),
+            filter: FilterChoice::default(),
         }
     }
 
@@ -94,6 +203,18 @@ impl FdkConfig {
         self
     }
 
+    /// Builder: back-projection kernel.
+    pub fn with_kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builder: filtering strategy.
+    pub fn with_filter(mut self, filter: FilterChoice) -> Self {
+        self.filter = filter;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), ReconstructionError> {
         self.geometry.validate()?;
@@ -111,7 +232,23 @@ mod tests {
         assert_eq!(c.nc, 8);
         assert_eq!(c.window, FilterWindow::RamLak);
         assert_eq!(c.device.name, "V100-16GB");
+        assert_eq!(c.kernel, KernelChoice::Parallel);
+        assert_eq!(c.filter, FilterChoice::TwoPass);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn kernel_and_filter_choices_round_trip_through_names() {
+        for k in KernelChoice::ALL {
+            assert_eq!(k.name().parse::<KernelChoice>().unwrap(), k);
+            assert_eq!(format!("{k}"), k.name());
+        }
+        for f in [FilterChoice::TwoPass, FilterChoice::Fused] {
+            assert_eq!(f.name().parse::<FilterChoice>().unwrap(), f);
+        }
+        assert_eq!("twopass".parse::<FilterChoice>(), Ok(FilterChoice::TwoPass));
+        assert!("warp".parse::<KernelChoice>().is_err());
+        assert!("triple".parse::<FilterChoice>().is_err());
     }
 
     #[test]

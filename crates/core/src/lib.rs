@@ -78,12 +78,14 @@ mod pipelined;
 pub mod shortscan;
 pub mod timing;
 
-pub use config::{FdkConfig, ReconstructionError};
+pub use config::{FdkConfig, FilterChoice, KernelChoice, ReconstructionError};
 pub use distributed::{distributed_reconstruct, DistributedOutcome};
 pub use fault_tolerant::{
     fault_tolerant_reconstruct, fault_tolerant_reconstruct_observed, FaultTolerantOutcome,
 };
-pub use fdk::{fdk_reconstruct, fdk_reconstruct_slab, fdk_reconstruct_with};
+pub use fdk::{
+    fdk_reconstruct, fdk_reconstruct_configured, fdk_reconstruct_slab, fdk_reconstruct_with,
+};
 pub use outofcore::{OutOfCoreReconstructor, OutOfCoreReport};
 pub use pipelined::{PipelineReport, PipelinedReconstructor};
 pub use shortscan::fdk_reconstruct_short_scan;

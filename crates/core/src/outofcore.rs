@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use scalefbp_backproject::{backproject_window, KernelStats, TextureWindow};
+use scalefbp_backproject::{KernelStats, TextureWindow};
 use scalefbp_faults::{FaultInject, NoFaults};
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, Volume, VolumeDecomposition};
@@ -10,6 +10,7 @@ use scalefbp_gpusim::{Device, DeviceCounters};
 use scalefbp_obs::{MetricsRegistry, MetricsSnapshot};
 use scalefbp_pipeline::TraceCollector;
 
+use crate::fdk::{run_filter, run_window_backprojection};
 use crate::{FdkConfig, ReconstructionError};
 
 /// Per-batch record of one out-of-core run (a row of Table 5, per batch).
@@ -202,7 +203,7 @@ impl OutOfCoreReconstructor {
         // Filter stage (the paper's CPU-side thread).
         let pipeline = FilterPipeline::new(g, self.config.window);
         let mut filtered = projections.clone();
-        pipeline.filter_stack(&mut filtered);
+        run_filter(&pipeline, self.config.filter, &mut filtered);
         let scale = pipeline.backprojection_scale() as f32;
 
         let mats = ProjectionMatrix::full_scan(g);
@@ -219,6 +220,7 @@ impl OutOfCoreReconstructor {
         let mut kernel = KernelStats::default();
         let batches_done = self.registry.counter("ooc.batches");
         let rows_loaded = self.registry.counter("ooc.rows.loaded");
+        let kernel_updates = self.registry.counter("ooc.kernel.updates");
 
         for task in decomp.tasks() {
             let batch_start = std::time::Instant::now();
@@ -232,8 +234,9 @@ impl OutOfCoreReconstructor {
             let slab_bytes = (g.nx * g.ny * task.nz() * 4) as u64;
             let _slab_buf = self.device.alloc(slab_bytes)?;
             let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
-            let stats = backproject_window(&window, &mats, &mut slab);
+            let stats = run_window_backprojection(self.config.kernel, &window, &mats, &mut slab);
             kernel.merge(&stats);
+            kernel_updates.add(stats.updates);
             let bp_secs = self.device.launch_backprojection(stats.updates);
             let d2h_secs = self.device.d2h(slab_bytes);
 
@@ -342,6 +345,30 @@ mod tests {
         assert!(report.wall_gups() > 0.0);
         assert!(report.simulated_gpu_secs() > 0.0);
         assert_eq!(report.batches.len(), rec.plan().num_subvolumes());
+    }
+
+    #[test]
+    fn blocked_kernel_streams_bit_identically() {
+        let g = geom();
+        let p = projections(&g);
+        let full_bytes = (g.projection_bytes() + g.volume_bytes()) as u64;
+        let base_cfg = tiny_device_config(&g, full_bytes / 3);
+        let (baseline, _) = OutOfCoreReconstructor::new(base_cfg.clone())
+            .unwrap()
+            .reconstruct(&p)
+            .unwrap();
+        let blocked_cfg = base_cfg.with_kernel(crate::KernelChoice::Blocked);
+        let rec = OutOfCoreReconstructor::with_observability(blocked_cfg, MetricsRegistry::new())
+            .unwrap();
+        assert!(rec.nb() < g.nz, "expected an actual out-of-core plan");
+        let (vol, report) = rec.reconstruct(&p).unwrap();
+        assert_eq!(vol.data(), baseline.data());
+        // The deterministic slab-loop counter mirrors the merged stats.
+        assert_eq!(
+            report.metrics.counter("ooc.kernel.updates", None),
+            Some(report.kernel.updates)
+        );
+        assert_eq!(report.kernel.updates, g.voxel_updates() as u64);
     }
 
     #[test]

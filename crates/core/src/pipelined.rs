@@ -4,7 +4,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use scalefbp_backproject::{backproject_window, TextureWindow};
+use scalefbp_backproject::TextureWindow;
 use scalefbp_faults::{FaultInject, FaultInjector, FaultPlan, RecoveryEvent, RecoveryLog};
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, SubVolumeTask, Volume};
@@ -13,6 +13,7 @@ use scalefbp_iosim::StorageEndpoint;
 use scalefbp_obs::{MetricsRegistry, MetricsSnapshot};
 use scalefbp_pipeline::{BoundedQueue, PipelineModel, TraceCollector};
 
+use crate::fdk::{run_filter, run_window_backprojection};
 use crate::{FdkConfig, OutOfCoreReconstructor, ReconstructionError};
 
 /// Modelled host bandwidths feeding the deterministic timing model
@@ -224,6 +225,7 @@ impl PipelinedReconstructor {
 
         let batches_done = registry.rank_counter("pipeline.batches", rank);
         let rows_loaded = registry.rank_counter("pipeline.rows.loaded", rank);
+        let kernel_updates = registry.rank_counter("pipeline.kernel.updates", rank);
         // Modelled per-batch stage durations (seconds), indexed by
         // `task.index`; replayed through the DES after the threads join.
         let model_secs = Mutex::new(vec![[0.0f64; 4]; tasks.len()]);
@@ -266,11 +268,12 @@ impl PipelinedReconstructor {
             // Filter thread (CPU, Equation 2).
             let filter_trace = trace.clone();
             let filter_ref = &filter;
+            let filter_choice = self.config.filter;
             let filter_model = &model_secs;
             scope.spawn(move || {
                 while let Ok((task, mut window)) = q1_rx.pop() {
                     let start = now();
-                    filter_ref.filter_stack(&mut window);
+                    run_filter(filter_ref, filter_choice, &mut window);
                     let bytes = (window.nv() * window.np() * window.nu() * 4) as f64;
                     filter_model.lock().unwrap()[task.index][1] = bytes / MODEL_FILTER_BW;
                     filter_trace.record("filter", task.index, start, now());
@@ -286,6 +289,7 @@ impl PipelinedReconstructor {
             let bp_recovery = &recovery;
             let mats_ref = &mats;
             let window_rows = self.window_rows;
+            let kernel_choice = self.config.kernel;
             let bp_model = &model_secs;
             scope.spawn(move || {
                 let mut tex = TextureWindow::new(window_rows, g.np, g.nu, 0);
@@ -303,7 +307,8 @@ impl PipelinedReconstructor {
                         tex.write_rows(rows.data(), r.begin, r.end);
                     }
                     let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
-                    let stats = backproject_window(&tex, mats_ref, &mut slab);
+                    let stats = run_window_backprojection(kernel_choice, &tex, mats_ref, &mut slab);
+                    kernel_updates.add(stats.updates);
                     device_secs += bp_device.launch_backprojection(stats.updates);
                     device_secs +=
                         d2h_with_retry(&bp_device, (slab.len() * 4) as u64, rank, bp_recovery);
@@ -423,6 +428,38 @@ mod tests {
             last = (total_busy, makespan);
         }
         panic!("no overlap: busy {} vs makespan {}", last.0, last.1);
+    }
+
+    #[test]
+    fn blocked_kernel_and_fused_filter_pipeline_stays_valid() {
+        let g = geom();
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let reference = fdk_reconstruct(&g, &p).unwrap();
+        // Blocked kernel alone: still bit-identical to the in-core path.
+        let rec = PipelinedReconstructor::new(
+            FdkConfig::new(g.clone()).with_kernel(crate::KernelChoice::Blocked),
+        )
+        .unwrap();
+        let (vol, report) = rec.reconstruct(&p).unwrap();
+        assert_eq!(vol.data(), reference.data());
+        // The rank-0 kernel counter saw every update exactly once.
+        assert_eq!(
+            report.metrics.counter("pipeline.kernel.updates", Some(0)),
+            Some(g.voxel_updates() as u64)
+        );
+        // Fused filter on top: no longer bitwise, but tightly bounded.
+        let fused = PipelinedReconstructor::new(
+            FdkConfig::new(g.clone())
+                .with_kernel(crate::KernelChoice::Blocked)
+                .with_filter(crate::FilterChoice::Fused),
+        )
+        .unwrap();
+        let (fvol, _) = fused.reconstruct(&p).unwrap();
+        let mut max = 0.0f32;
+        for (a, b) in fvol.data().iter().zip(reference.data()) {
+            max = max.max((a - b).abs());
+        }
+        assert!(max < 1e-4, "fused deviation {max}");
     }
 
     #[test]

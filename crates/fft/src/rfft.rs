@@ -57,67 +57,98 @@ impl RealFftPlan {
         self.n / 2 + 1
     }
 
+    /// Length of the scratch buffer the `*_into` variants require: `n/2`.
+    #[inline]
+    pub fn scratch_len(&self) -> usize {
+        self.n / 2
+    }
+
     /// Forward real FFT. `input.len()` must equal `len()`; returns the
     /// half-spectrum of length `spectrum_len()`.
     pub fn forward(&self, input: &[f64]) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; self.spectrum_len()];
+        let mut scratch = vec![Complex::ZERO; self.scratch_len()];
+        self.forward_into(input, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free [`forward`](Self::forward): writes the half-spectrum
+    /// into `spectrum` (length `spectrum_len()`) using `scratch` (length
+    /// `scratch_len()`) for the packed half-length transform. Bit-identical
+    /// to `forward` — the filtering hot loop reuses the buffers across
+    /// thousands of detector rows.
+    pub fn forward_into(&self, input: &[f64], spectrum: &mut [Complex], scratch: &mut [Complex]) {
         assert_eq!(input.len(), self.n, "input length mismatch");
+        assert_eq!(
+            spectrum.len(),
+            self.spectrum_len(),
+            "spectrum length mismatch"
+        );
+        assert_eq!(scratch.len(), self.scratch_len(), "scratch length mismatch");
         let half = self.n / 2;
 
         // Pack: z[k] = x[2k] + i·x[2k+1].
-        let mut z: Vec<Complex> = (0..half)
-            .map(|k| Complex::new(input[2 * k], input[2 * k + 1]))
-            .collect();
-        self.half_plan.forward(&mut z);
+        for (k, z) in scratch.iter_mut().enumerate() {
+            *z = Complex::new(input[2 * k], input[2 * k + 1]);
+        }
+        self.half_plan.forward(scratch);
 
         // Untangle even/odd spectra:
         //   E[k] = (Z[k] + conj(Z[half-k]))/2
         //   O[k] = (Z[k] - conj(Z[half-k]))/(2i)
         //   X[k] = E[k] + e^{-2πik/n}·O[k]
-        let mut out = vec![Complex::ZERO; half + 1];
         for k in 0..half {
-            let zk = z[k];
-            let zmk = z[(half - k) % half].conj();
+            let zk = scratch[k];
+            let zmk = scratch[(half - k) % half].conj();
             let e = (zk + zmk).scale(0.5);
             let o = (zk - zmk) * Complex::new(0.0, -0.5);
-            out[k] = e + self.twiddles[k] * o;
+            spectrum[k] = e + self.twiddles[k] * o;
         }
         // X[half] = E[0] - O[0]  (the Nyquist bin).
-        let z0 = z[0];
-        out[half] = Complex::from_real(z0.re - z0.im);
-        out
+        let z0 = scratch[0];
+        spectrum[half] = Complex::from_real(z0.re - z0.im);
     }
 
     /// Inverse real FFT from a half-spectrum of length `spectrum_len()` back
     /// to `len()` real samples. Includes the `1/n` normalisation, so
     /// `inverse(forward(x)) == x` up to rounding.
     pub fn inverse(&self, spectrum: &[Complex]) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.n];
+        let mut scratch = vec![Complex::ZERO; self.scratch_len()];
+        self.inverse_into(spectrum, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free [`inverse`](Self::inverse): writes `len()` real
+    /// samples into `output` using `scratch` (length `scratch_len()`).
+    /// Bit-identical to `inverse`.
+    pub fn inverse_into(&self, spectrum: &[Complex], output: &mut [f64], scratch: &mut [Complex]) {
         assert_eq!(
             spectrum.len(),
             self.spectrum_len(),
             "spectrum length mismatch"
         );
+        assert_eq!(output.len(), self.n, "output length mismatch");
+        assert_eq!(scratch.len(), self.scratch_len(), "scratch length mismatch");
         let half = self.n / 2;
 
         // Re-tangle into the half-length complex spectrum:
         //   Z[k] = E[k] + i·O[k],
         //   E[k] = (X[k] + conj(X[half-k]))/2,
         //   O[k] = e^{+2πik/n}·(X[k] - conj(X[half-k]))/2.
-        let mut z = vec![Complex::ZERO; half];
-        for (k, zk) in z.iter_mut().enumerate() {
+        for (k, zk) in scratch.iter_mut().enumerate() {
             let xk = spectrum[k];
             let xmk = spectrum[half - k].conj();
             let e = (xk + xmk).scale(0.5);
             let o = self.twiddles[k].conj() * (xk - xmk).scale(0.5);
             *zk = e + Complex::I * o;
         }
-        self.half_plan.process(&mut z, Direction::Inverse);
+        self.half_plan.process(scratch, Direction::Inverse);
 
-        let mut out = vec![0.0f64; self.n];
         for k in 0..half {
-            out[2 * k] = z[k].re;
-            out[2 * k + 1] = z[k].im;
+            output[2 * k] = scratch[k].re;
+            output[2 * k + 1] = scratch[k].im;
         }
-        out
     }
 }
 
@@ -209,5 +240,40 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_odd_length() {
         let _ = RealFftPlan::new(6);
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_and_reusable() {
+        let n = 512;
+        let plan = RealFftPlan::new(n);
+        let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+        let mut time = vec![0.0f64; n];
+        let mut scratch = vec![Complex::ZERO; plan.scratch_len()];
+        // Reuse the same buffers across several rows: later rows must not
+        // see residue from earlier ones.
+        for seed in 0..4 {
+            let x: Vec<f64> = signal(n).iter().map(|v| v * (seed + 1) as f64).collect();
+            plan.forward_into(&x, &mut spec, &mut scratch);
+            let fresh = plan.forward(&x);
+            for (a, b) in spec.iter().zip(&fresh) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            plan.inverse_into(&spec, &mut time, &mut scratch);
+            let fresh_t = plan.inverse(&fresh);
+            for (a, b) in time.iter().zip(&fresh_t) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch length mismatch")]
+    fn wrong_scratch_length_panics() {
+        let plan = RealFftPlan::new(64);
+        let x = signal(64);
+        let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+        let mut scratch = vec![Complex::ZERO; 16];
+        plan.forward_into(&x, &mut spec, &mut scratch);
     }
 }
