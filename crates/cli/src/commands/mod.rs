@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use scalefbp::{
     fault_tolerant_reconstruct_observed, fdk_reconstruct_configured, fdk_reconstruct_slab,
     DeviceSpec, FdkConfig, FilterChoice, FilterWindow, KernelChoice, MetricsRegistry,
-    MetricsSnapshot, OutOfCoreReconstructor, PipelinedReconstructor, RankLayout,
+    MetricsSnapshot, OutOfCoreReconstructor, PipelinedReconstructor, RankLayout, ReduceMode,
 };
 use scalefbp_faults::{FaultPlan, FaultScenario, RecoveryEvent};
 use scalefbp_geom::{CbctGeometry, DatasetPreset, ProjectionStack};
@@ -56,6 +56,15 @@ fn parse_device(spec: &str) -> Result<DeviceSpec, CliError> {
     Err(CliError::Message(format!(
         "unknown device `{spec}` (v100 | a100 | tiny:BYTES)"
     )))
+}
+
+/// Parses `--reduce-mode` (default `hierarchical`, the pre-existing
+/// behaviour) into a [`ReduceMode`].
+fn parse_reduce_mode(args: &mut Args) -> Result<ReduceMode, CliError> {
+    args.opt("reduce-mode")
+        .unwrap_or_else(|| "hierarchical".into())
+        .parse()
+        .map_err(CliError::Message)
 }
 
 fn build_phantom(name: &str, geom: &CbctGeometry) -> Result<Phantom, CliError> {
@@ -288,6 +297,7 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
         .unwrap_or_else(|| "two-pass".into())
         .parse()
         .map_err(CliError::Message)?;
+    let reduce_mode = parse_reduce_mode(args)?;
 
     let geom = geometry_from_text(&std::fs::read_to_string(&geom_path)?)
         .map_err(|e| CliError::Message(format!("{}: {e}", geom_path.display())))?;
@@ -394,7 +404,9 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                 let ng: usize = args.typed_or("ng", 2, "integer")?;
                 let plan = parse_fault_plan(args, &FaultScenario::mixed(nr * ng))?
                     .unwrap_or_else(FaultPlan::none);
-                let cfg = FdkConfig::new(geom.clone()).with_window(window);
+                let cfg = FdkConfig::new(geom.clone())
+                    .with_window(window)
+                    .with_reduce_mode(reduce_mode);
                 let out = fault_tolerant_reconstruct_observed(
                     &cfg,
                     RankLayout::new(nr, ng, 2),
@@ -405,7 +417,7 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                 .map_err(|e| CliError::Message(e.to_string()))?;
                 let detail = format!(
                     "fault-tolerant distributed: N_r={nr} N_g={ng}, \
-                     {:.1} MB network{}",
+                     {reduce_mode} reduce, {:.1} MB network{}",
                     out.network.bytes as f64 / 1e6,
                     recovery_summary(&out.recovery)
                 );
@@ -483,10 +495,13 @@ pub fn distributed(args: &mut Args) -> Result<String, CliError> {
     let window = parse_window(&args.opt("window").unwrap_or_else(|| "ramlak".into()))?;
     let nr: usize = args.typed_or("nr", 2, "integer")?;
     let ng: usize = args.typed_or("ng", 2, "integer")?;
+    let reduce_mode = parse_reduce_mode(args)?;
     let plan =
         parse_fault_plan(args, &FaultScenario::mixed(nr * ng))?.unwrap_or_else(FaultPlan::none);
 
-    let cfg = FdkConfig::new(geom.clone()).with_window(window);
+    let cfg = FdkConfig::new(geom.clone())
+        .with_window(window)
+        .with_reduce_mode(reduce_mode);
     let out = fault_tolerant_reconstruct_observed(
         &cfg,
         RankLayout::new(nr, ng, 2),
@@ -502,7 +517,7 @@ pub fn distributed(args: &mut Args) -> Result<String, CliError> {
     }
     Ok(format!(
         "distributed ({source}): {}×{}×{} on N_r={nr} N_g={ng}, \
-         {:.1} MB network{}\n{obs_note}",
+         {reduce_mode} reduce, {:.1} MB network{}\n{obs_note}",
         out.volume.nx(),
         out.volume.ny(),
         out.volume.nz(),

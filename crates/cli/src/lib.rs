@@ -71,6 +71,10 @@ COMMANDS:
                   bit-exact reference behaviour)
               [--device v100|a100|tiny:BYTES] [--slab Z0:Z1]
               [--nr N --ng N]           (distributed rank layout)
+              [--reduce-mode dense|hierarchical|segmented]
+                  group-reduction algorithm for distributed mode (see
+                  docs/communication.md; the default reproduces the
+                  hierarchical tree bit-for-bit)
               [--fault-seed N | --fault-plan FILE]
                   inject a deterministic fault schedule (pipeline and
                   distributed modes) and recover; prints the recovery log
@@ -83,6 +87,7 @@ COMMANDS:
               self-contained threaded-pipeline run (synthesized ball scan
               by default) exporting the model trace and metrics
   distributed [--scan scan.sfbp | --ideal N] [--nr N --ng N] [--window W]
+              [--reduce-mode dense|hierarchical|segmented]
               [--fault-seed N | --fault-plan FILE] [--out vol.sfbp]
               [--trace-out F] [--metrics-out F] [--stats]
               self-contained fault-tolerant distributed run exporting the

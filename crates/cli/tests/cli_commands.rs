@@ -152,6 +152,105 @@ fn blocked_kernel_flag_matches_default_bitwise() {
 }
 
 #[test]
+fn reduce_mode_flag_accepts_all_modes_and_keeps_the_default() {
+    let dir = tmpdir("reduce-mode");
+    let scan = dir.join("scan.sfbp");
+    call(&["simulate", "--ideal", "16", "--out", scan.to_str().unwrap()]).unwrap();
+
+    // All three modes run and report themselves; the fault-tolerant
+    // driver's fixed-order leader fold makes every volume bit-identical.
+    let mut volumes = Vec::new();
+    for mode in ["dense", "hierarchical", "segmented"] {
+        let vol = dir.join(format!("vol_{mode}.sfbp"));
+        let out = call(&[
+            "reconstruct",
+            "--scan",
+            scan.to_str().unwrap(),
+            "--out",
+            vol.to_str().unwrap(),
+            "--mode",
+            "distributed",
+            "--nr",
+            "2",
+            "--ng",
+            "2",
+            "--reduce-mode",
+            mode,
+        ])
+        .unwrap();
+        assert!(out.contains(&format!("{mode} reduce")), "{mode}: {out}");
+        volumes.push(std::fs::read(&vol).unwrap());
+    }
+    assert_eq!(volumes[0], volumes[1], "dense differs from hierarchical");
+    assert_eq!(
+        volumes[1], volumes[2],
+        "hierarchical differs from segmented"
+    );
+
+    // No flag ⇒ hierarchical, byte-identical output (the pre-PR default).
+    let vol = dir.join("vol_default.sfbp");
+    let out = call(&[
+        "reconstruct",
+        "--scan",
+        scan.to_str().unwrap(),
+        "--out",
+        vol.to_str().unwrap(),
+        "--mode",
+        "distributed",
+        "--nr",
+        "2",
+        "--ng",
+        "2",
+    ])
+    .unwrap();
+    assert!(out.contains("hierarchical reduce"), "{out}");
+    assert_eq!(
+        std::fs::read(&vol).unwrap(),
+        volumes[1],
+        "default differs from explicit hierarchical"
+    );
+
+    // Unknown names are rejected with the candidate list.
+    let err = call(&[
+        "reconstruct",
+        "--scan",
+        scan.to_str().unwrap(),
+        "--out",
+        vol.to_str().unwrap(),
+        "--mode",
+        "distributed",
+        "--reduce-mode",
+        "ring",
+    ]);
+    assert!(
+        format!("{err:?}").contains("unknown reduce mode"),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn self_contained_distributed_command_takes_reduce_mode() {
+    let out = call(&[
+        "distributed",
+        "--ideal",
+        "16",
+        "--nr",
+        "2",
+        "--ng",
+        "2",
+        "--reduce-mode",
+        "segmented",
+    ])
+    .unwrap();
+    assert!(out.contains("segmented reduce"), "{out}");
+    let err = call(&["distributed", "--ideal", "16", "--reduce-mode", "tree"]);
+    assert!(
+        format!("{err:?}").contains("unknown reduce mode"),
+        "{err:?}"
+    );
+}
+
+#[test]
 fn slab_roi_reconstruction() {
     let dir = tmpdir("slab");
     let scan = dir.join("scan.sfbp");

@@ -4,6 +4,8 @@ use scalefbp_filter::FilterWindow;
 use scalefbp_geom::{CbctGeometry, GeometryError};
 use scalefbp_gpusim::{DeviceError, DeviceSpec};
 
+pub use scalefbp_mpisim::ReduceMode;
+
 /// Errors from the reconstruction drivers.
 #[derive(Debug)]
 pub enum ReconstructionError {
@@ -168,6 +170,10 @@ pub struct FdkConfig {
     pub kernel: KernelChoice,
     /// Filtering execution strategy.
     pub filter: FilterChoice,
+    /// Reduction algorithm for the distributed drivers. The default
+    /// ([`ReduceMode::Hierarchical`]) reproduces the pre-existing
+    /// tree-reduce behaviour bit-for-bit; see `docs/communication.md`.
+    pub reduce_mode: ReduceMode,
 }
 
 impl FdkConfig {
@@ -181,6 +187,7 @@ impl FdkConfig {
             device: DeviceSpec::v100_16gb(),
             kernel: KernelChoice::default(),
             filter: FilterChoice::default(),
+            reduce_mode: ReduceMode::default(),
         }
     }
 
@@ -215,6 +222,12 @@ impl FdkConfig {
         self
     }
 
+    /// Builder: distributed reduction algorithm.
+    pub fn with_reduce_mode(mut self, reduce_mode: ReduceMode) -> Self {
+        self.reduce_mode = reduce_mode;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), ReconstructionError> {
         self.geometry.validate()?;
@@ -234,7 +247,19 @@ mod tests {
         assert_eq!(c.device.name, "V100-16GB");
         assert_eq!(c.kernel, KernelChoice::Parallel);
         assert_eq!(c.filter, FilterChoice::TwoPass);
+        assert_eq!(c.reduce_mode, ReduceMode::Hierarchical);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn reduce_mode_builder_and_names_round_trip() {
+        for mode in ReduceMode::ALL {
+            let c = FdkConfig::new(CbctGeometry::ideal(32, 16, 48, 48)).with_reduce_mode(mode);
+            assert_eq!(c.reduce_mode, mode);
+            assert_eq!(mode.name().parse::<ReduceMode>().unwrap(), mode);
+        }
+        let err = "ring".parse::<ReduceMode>().unwrap_err();
+        assert!(err.contains("unknown reduce mode"), "{err}");
     }
 
     #[test]

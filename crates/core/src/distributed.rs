@@ -5,7 +5,9 @@
 use scalefbp_backproject::{backproject_parallel, KernelStats};
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, RankLayout, Volume, VolumeDecomposition};
-use scalefbp_mpisim::{hierarchical_reduce_sum, NetworkStats, World};
+use scalefbp_mpisim::{
+    hierarchical_reduce_sum, segment_partition, NetworkStats, ReduceMode, World,
+};
 
 use crate::{FdkConfig, ReconstructionError};
 
@@ -30,9 +32,14 @@ const SLAB_TAG: u64 = 7_000;
 ///    ranges of its group's sub-volume batches (the 2-D input split of
 ///    Figure 3a).
 /// 2. Per batch, it filters and back-projects a *partial* sub-volume.
-/// 3. The group performs the hierarchical segmented `MPI_Reduce`
-///    (Section 4.4.2) to its leader — the only collective in the pipeline.
-/// 4. Leaders normalise and ship finished slabs to world rank 0 (the
+/// 3. The group reduces each partial slab according to
+///    `config.reduce_mode`: the hierarchical tree `MPI_Reduce` to its
+///    leader (Section 4.4.2, the default — bit-compatible with earlier
+///    releases), a flat canonical dense reduce to the leader, or the
+///    paper's segmented reduce-scatter leaving each rank only its own
+///    `Nz` segment (see `docs/communication.md`).
+/// 4. Slab owners (group leaders, or every segment owner in segmented
+///    mode) normalise and ship finished slabs to world rank 0 (the
 ///    stand-in for the parallel file system), which assembles the volume.
 ///
 /// `ranks_per_node` mirrors the ABCI topology (4 GPUs/node).
@@ -63,6 +70,7 @@ pub fn distributed_reconstruct(
     );
 
     let window = config.window;
+    let reduce_mode = config.reduce_mode;
     let (results, network) = World::run_with_stats(layout.num_ranks(), |mut comm| {
         let assign = layout.assignment(g, comm.rank());
         let filter = FilterPipeline::new(g, window);
@@ -93,9 +101,44 @@ pub fn distributed_reconstruct(
             let stats = backproject_parallel(&part, my_mats, &mut slab);
             kernel.merge(&stats);
 
-            // Segmented reduction to the group leader.
-            hierarchical_reduce_sum(&mut group_comm, 0, slab.data_mut(), ranks_per_node)
-                .expect("group reduction failed");
+            match reduce_mode {
+                // The node-aware tree reduction to the group leader — the
+                // default, byte-identical to earlier releases.
+                ReduceMode::Hierarchical => {
+                    hierarchical_reduce_sum(&mut group_comm, 0, slab.data_mut(), ranks_per_node)
+                        .expect("group reduction failed");
+                }
+                // Flat canonical reduce: the leader folds whole partial
+                // slabs in rank order.
+                ReduceMode::Dense => {
+                    group_comm
+                        .reduce_sum_f32_canonical(0, slab.data_mut())
+                        .expect("group reduction failed");
+                }
+                // The paper's segmented reduce-scatter: each rank keeps
+                // only its own z-segment of the batch slab, chunked one
+                // z-slice per message. The chain's running left fold makes
+                // the result bit-identical to the dense canonical reduce.
+                ReduceMode::Segmented => {
+                    let stride = g.nx * g.ny;
+                    let parts = segment_partition(task.nz(), layout.nr);
+                    let counts: Vec<usize> = parts.iter().map(|r| r.len() * stride).collect();
+                    let seg = group_comm
+                        .segmented_reduce_scatter_f32(slab.data(), &counts, stride)
+                        .expect("group reduce-scatter failed");
+                    let mine = &parts[assign.rank_in_group];
+                    if !mine.is_empty() {
+                        let mut owned =
+                            Volume::zeros_slab(g.nx, g.ny, mine.len(), task.z_begin + mine.start);
+                        owned.data_mut().copy_from_slice(&seg);
+                        for v in owned.data_mut() {
+                            *v *= scale;
+                        }
+                        finished.push(owned);
+                    }
+                    continue;
+                }
+            }
             if assign.is_group_leader {
                 for v in slab.data_mut() {
                     *v *= scale;
@@ -104,8 +147,13 @@ pub fn distributed_reconstruct(
             }
         }
 
-        // Leaders ship finished slabs to world rank 0.
-        if assign.is_group_leader && comm.rank() != 0 {
+        // Slab owners ship finished slabs to world rank 0: the group
+        // leaders, or — in segmented mode — every segment owner.
+        let ships = match reduce_mode {
+            ReduceMode::Segmented => comm.rank() != 0,
+            _ => assign.is_group_leader && comm.rank() != 0,
+        };
+        if ships {
             for slab in &finished {
                 comm.send_f32(0, SLAB_TAG + slab.z_offset() as u64, slab.data());
             }
@@ -115,15 +163,44 @@ pub fn distributed_reconstruct(
             for slab in &finished {
                 out.paste_slab(slab);
             }
-            for group in 1..layout.ng {
-                let leader = group * layout.nr;
-                let (z0, z1) = layout.group_slices(g, group);
-                let sub = VolumeDecomposition::new(g, z0, z1, layout.assignment(g, leader).nb);
-                for task in sub.tasks() {
-                    let data = comm.recv_f32(leader, SLAB_TAG + task.z_begin as u64);
-                    let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
-                    slab.data_mut().copy_from_slice(&data);
-                    out.paste_slab(&slab);
+            match reduce_mode {
+                ReduceMode::Hierarchical | ReduceMode::Dense => {
+                    for group in 1..layout.ng {
+                        let leader = group * layout.nr;
+                        let (z0, z1) = layout.group_slices(g, group);
+                        let sub =
+                            VolumeDecomposition::new(g, z0, z1, layout.assignment(g, leader).nb);
+                        for task in sub.tasks() {
+                            let data = comm.recv_f32(leader, SLAB_TAG + task.z_begin as u64);
+                            let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
+                            slab.data_mut().copy_from_slice(&data);
+                            out.paste_slab(&slab);
+                        }
+                    }
+                }
+                ReduceMode::Segmented => {
+                    // Every (group, task, owner) segment; z offsets are
+                    // globally unique, so the tag identifies the slab.
+                    for group in 0..layout.ng {
+                        let (z0, z1) = layout.group_slices(g, group);
+                        let nb = layout.assignment(g, group * layout.nr).nb;
+                        let sub = VolumeDecomposition::new(g, z0, z1, nb);
+                        for task in sub.tasks() {
+                            for (j, part) in
+                                segment_partition(task.nz(), layout.nr).iter().enumerate()
+                            {
+                                let owner = group * layout.nr + j;
+                                if owner == 0 || part.is_empty() {
+                                    continue;
+                                }
+                                let z = task.z_begin + part.start;
+                                let data = comm.recv_f32(owner, SLAB_TAG + z as u64);
+                                let mut slab = Volume::zeros_slab(g.nx, g.ny, part.len(), z);
+                                slab.data_mut().copy_from_slice(&data);
+                                out.paste_slab(&slab);
+                            }
+                        }
+                    }
                 }
             }
             Some(out)
@@ -202,6 +279,61 @@ mod tests {
             let err = reference.max_abs_diff(&out.volume);
             assert!(err < 2e-4, "nr={nr} ng={ng}: max diff {err}");
         }
+    }
+
+    fn run_mode(layout: RankLayout, rpn: usize, mode: ReduceMode) -> DistributedOutcome {
+        let g = geom();
+        let p = projections(&g);
+        let cfg = FdkConfig::new(g).with_nc(2).with_reduce_mode(mode);
+        distributed_reconstruct(&cfg, layout, &p, rpn).unwrap()
+    }
+
+    /// The canonical-ordering contract at driver level: dense and
+    /// segmented modes fold identically, so whole volumes are bitwise
+    /// equal — including non-power-of-two group widths.
+    #[test]
+    fn dense_and_segmented_modes_are_bitwise_identical() {
+        for (nr, ng) in [(2, 2), (3, 2), (4, 1), (1, 3)] {
+            let dense = run_mode(RankLayout::new(nr, ng, 2), 2, ReduceMode::Dense);
+            let seg = run_mode(RankLayout::new(nr, ng, 2), 2, ReduceMode::Segmented);
+            assert_eq!(
+                dense.volume.data(),
+                seg.volume.data(),
+                "nr={nr} ng={ng}: dense vs segmented"
+            );
+        }
+    }
+
+    /// No `reduce_mode` override means the pre-existing hierarchical tree
+    /// path, byte for byte.
+    #[test]
+    fn default_mode_is_hierarchical_bitwise() {
+        let layout = RankLayout::new(3, 2, 2);
+        let default = run_mode(layout, 2, ReduceMode::default());
+        let hier = run_mode(layout, 2, ReduceMode::Hierarchical);
+        assert_eq!(default.volume.data(), hier.volume.data());
+    }
+
+    /// Every mode reconstructs the phantom within float-accumulation
+    /// tolerance of the serial reference.
+    #[test]
+    fn all_reduce_modes_match_reference() {
+        let g = geom();
+        let p = projections(&g);
+        let reference = fdk_reconstruct(&g, &p).unwrap();
+        for mode in ReduceMode::ALL {
+            let out = run_mode(RankLayout::new(4, 2, 2), 2, mode);
+            let err = reference.max_abs_diff(&out.volume);
+            assert!(err < 2e-4, "{mode}: max diff {err}");
+        }
+    }
+
+    /// Segmented mode records its `mpisim.segreduce.*` traffic.
+    #[test]
+    fn segmented_mode_counts_segreduce_traffic() {
+        let out = run_mode(RankLayout::new(4, 1, 2), 2, ReduceMode::Segmented);
+        // Chain through-traffic is at least one group slab per batch hop.
+        assert!(out.network.bytes > 0);
     }
 
     #[test]

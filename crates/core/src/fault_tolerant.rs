@@ -42,7 +42,9 @@ use scalefbp_geom::{
     CbctGeometry, ProjectionMatrix, ProjectionStack, RankLayout, SubVolumeTask, Volume,
     VolumeDecomposition,
 };
-use scalefbp_mpisim::{CommError, Communicator, NetworkStats, World};
+use scalefbp_mpisim::{
+    segment_partition, CommError, Communicator, NetworkStats, ReduceMode, World,
+};
 use scalefbp_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 use scalefbp_pipeline::TraceCollector;
 
@@ -62,6 +64,12 @@ const SHUTDOWN_TAG: u64 = 42_000;
 const SLAB_TAG: u64 = 7_000;
 /// Deputy → root finished slab after takeover, tag + slab z offset.
 const TAKEOVER_SLAB_TAG: u64 = 50_000;
+/// Segmented-mode worker → leader chunk *piece*, tag + `b·nr + segment`.
+/// In [`ReduceMode::Segmented`] each per-batch chunk travels as one
+/// message per z-segment so faults can land mid-reduce-scatter; the
+/// leader reassembles the pieces before the (unchanged) fixed-order fold,
+/// and recovery resends are always whole chunks ([`RECHUNK_TAG`]).
+const SEGPIECE_TAG: u64 = 60_000;
 
 /// First deadline when a leader awaits a chunk. Must dwarf both one
 /// chunk's compute time and any injected straggler delay, so a timeout
@@ -120,6 +128,11 @@ struct FtCtx<'a> {
     mats: &'a [ProjectionMatrix],
     recovery: &'a RecoveryLog,
     scale: f32,
+    /// Wire format of the worker→leader data plane:
+    /// [`ReduceMode::Segmented`] ships per-segment pieces, everything
+    /// else one message per chunk. The summation order never changes, so
+    /// recovered volumes are bitwise identical across modes.
+    reduce_mode: ReduceMode,
     /// `ft.chunks.computed`, labelled with this rank — every
     /// [`compute_chunk`](Self::compute_chunk) call, including recoveries.
     chunks_computed: Counter,
@@ -231,6 +244,7 @@ pub fn fault_tolerant_reconstruct_observed(
                 mats: &mats,
                 recovery: recovery_ref,
                 scale: filter.backprojection_scale() as f32,
+                reduce_mode: config.reduce_mode,
                 chunks_computed: registry_ref.rank_counter("ft.chunks.computed", comm.rank()),
             };
             let assign = layout.assignment(g, comm.rank());
@@ -279,7 +293,7 @@ fn ft_worker(comm: &mut Communicator, ctx: &FtCtx) {
 
     for (b, task) in decomp.tasks().iter().enumerate() {
         let chunk = ctx.compute_chunk(assign.group, task, assign.rank_in_group);
-        comm.send_f32(leader, CHUNK_TAG + b as u64, chunk.data());
+        send_chunk(comm, ctx, leader, b, task, &chunk);
         if comm.self_failed() {
             return dead_wait(comm);
         }
@@ -318,6 +332,71 @@ fn ft_worker(comm: &mut Communicator, ctx: &FtCtx) {
             Err(_) => return dead_wait(comm),
         }
     }
+}
+
+/// Ships one computed chunk to the group leader. In dense/hierarchical
+/// mode that is a single message; in segmented mode the chunk travels as
+/// one piece per non-empty z-segment (tags `SEGPIECE_TAG + b·nr + s`),
+/// so an injected fault can kill or delay a rank *between* pieces —
+/// mid-reduce-scatter.
+fn send_chunk(
+    comm: &Communicator,
+    ctx: &FtCtx,
+    leader: usize,
+    b: usize,
+    task: &SubVolumeTask,
+    chunk: &Volume,
+) {
+    match ctx.reduce_mode {
+        ReduceMode::Segmented => {
+            let nr = ctx.layout.nr;
+            let stride = ctx.g.nx * ctx.g.ny;
+            for (s, part) in segment_partition(task.nz(), nr).iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                comm.send_f32(
+                    leader,
+                    SEGPIECE_TAG + (b * nr + s) as u64,
+                    &chunk.data()[part.start * stride..part.end * stride],
+                );
+            }
+        }
+        _ => comm.send_f32(leader, CHUNK_TAG + b as u64, chunk.data()),
+    }
+}
+
+/// Leader-side receive of one worker chunk in segmented mode: awaits
+/// every still-missing piece, reassembling the full chunk once all are
+/// present. Pieces already received survive a timeout, so a retry only
+/// re-awaits what is actually missing.
+fn recv_chunk_pieces(
+    comm: &mut Communicator,
+    ctx: &FtCtx,
+    from: usize,
+    b: usize,
+    task: &SubVolumeTask,
+    pieces: &mut [Option<Vec<f32>>],
+    timeout: Duration,
+) -> Result<Vec<f32>, CommError> {
+    let nr = ctx.layout.nr;
+    let stride = ctx.g.nx * ctx.g.ny;
+    let parts = segment_partition(task.nz(), nr);
+    for (s, part) in parts.iter().enumerate() {
+        if part.is_empty() || pieces[s].is_some() {
+            continue;
+        }
+        let piece = comm.recv_f32_timeout(from, SEGPIECE_TAG + (b * nr + s) as u64, timeout)?;
+        debug_assert_eq!(piece.len(), part.len() * stride, "piece length mismatch");
+        pieces[s] = Some(piece);
+    }
+    let mut data = Vec::with_capacity(task.nz() * stride);
+    for (s, part) in parts.iter().enumerate() {
+        if !part.is_empty() {
+            data.extend_from_slice(pieces[s].as_ref().expect("all pieces received"));
+        }
+    }
+    Ok(data)
 }
 
 /// Deputy-leader path: recompute the whole group's slabs (every chunk,
@@ -359,12 +438,30 @@ fn ft_collect_group_as_leader(
             }
             let from = group * nr + j;
             let mut attempt = 0u32;
+            // Segmented mode: pieces received before a timeout survive
+            // the retry, so only missing pieces are re-awaited.
+            let mut pieces: Vec<Option<Vec<f32>>> = match ctx.reduce_mode {
+                ReduceMode::Segmented => vec![None; nr],
+                _ => Vec::new(),
+            };
             loop {
-                match comm.recv_f32_timeout(
-                    from,
-                    CHUNK_TAG + b as u64,
-                    backoff(CHUNK_TIMEOUT, attempt),
-                ) {
+                let received = match ctx.reduce_mode {
+                    ReduceMode::Segmented => recv_chunk_pieces(
+                        comm,
+                        ctx,
+                        from,
+                        b,
+                        task,
+                        &mut pieces,
+                        backoff(CHUNK_TIMEOUT, attempt),
+                    ),
+                    _ => comm.recv_f32_timeout(
+                        from,
+                        CHUNK_TAG + b as u64,
+                        backoff(CHUNK_TIMEOUT, attempt),
+                    ),
+                };
+                match received {
                     Ok(data) => {
                         *slot = Some(data);
                         break;
@@ -708,6 +805,33 @@ mod tests {
         let summary = scalefbp_obs::validate_chrome_trace(&out.chrome_trace()).unwrap();
         assert_eq!(summary.spans, 0);
         assert_eq!(summary.instants, 0);
+    }
+
+    /// The wire format (whole chunks vs per-segment pieces) never touches
+    /// the fixed-order fold, so every reduce mode yields the same bits.
+    #[test]
+    fn all_reduce_modes_are_bitwise_identical_fault_free() {
+        let _serial = crate::TIMING_TEST_LOCK.lock();
+        let g = CbctGeometry::ideal(16, 16, 24, 20);
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let layout = RankLayout::new(3, 2, 2);
+        let volumes: Vec<Vec<f32>> = ReduceMode::ALL
+            .iter()
+            .map(|&mode| {
+                fault_tolerant_reconstruct(
+                    &FdkConfig::new(g.clone()).with_nc(2).with_reduce_mode(mode),
+                    layout,
+                    &p,
+                    &FaultPlan::none(),
+                )
+                .unwrap()
+                .volume
+                .data()
+                .to_vec()
+            })
+            .collect();
+        assert_eq!(volumes[0], volumes[1], "dense vs hierarchical");
+        assert_eq!(volumes[0], volumes[2], "dense vs segmented");
     }
 
     #[test]

@@ -78,7 +78,7 @@ mod pipelined;
 pub mod shortscan;
 pub mod timing;
 
-pub use config::{FdkConfig, FilterChoice, KernelChoice, ReconstructionError};
+pub use config::{FdkConfig, FilterChoice, KernelChoice, ReconstructionError, ReduceMode};
 pub use distributed::{distributed_reconstruct, DistributedOutcome};
 pub use fault_tolerant::{
     fault_tolerant_reconstruct, fault_tolerant_reconstruct_observed, FaultTolerantOutcome,

@@ -117,6 +117,13 @@ impl RankCounters {
 /// Reserved tag namespace for collective internals.
 const COLLECTIVE_TAG: u64 = u64::MAX - 1024;
 
+/// Tag namespace for segmented reduce-scatter chunks. Every chunk of every
+/// call gets a *unique* tag (`base + (call_seq << 32) + chunk_id`), so a
+/// mismatched chunk is a protocol error rather than a silent wrong-chunk
+/// delivery — and the fault-tolerant piece protocol can re-request a
+/// specific chunk by tag.
+const SEGREDUCE_TAG_BASE: u64 = 1 << 61;
+
 /// An MPI-style communicator handle owned by one rank thread.
 ///
 /// A communicator formed by [`split`](Self::split) maps its local ranks onto
@@ -133,6 +140,10 @@ pub struct Communicator {
     /// How many times `split` has been called on this communicator (all
     /// members call collectives in lockstep, so this agrees everywhere).
     split_seq: u64,
+    /// How many segmented reduce-scatters this communicator has run; like
+    /// `split_seq` it agrees across members and disambiguates chunk tags
+    /// between consecutive calls.
+    seg_seq: u64,
     receiver: Receiver<Envelope>,
     /// Out-of-order messages awaiting a matching `recv`. Shared by every
     /// communicator of this rank (parents and `split` children drain the
@@ -181,6 +192,7 @@ impl Communicator {
                 local,
                 context: 0,
                 split_seq: 0,
+                seg_seq: 0,
                 receiver,
                 pending: Arc::new(Mutex::new(Vec::new())),
                 counters: RankCounters::new(&network.metrics, local),
@@ -332,7 +344,10 @@ impl Communicator {
             .iter()
             .position(|e| e.context == self.context && e.from == from && e.tag == tag)
         {
-            let payload = pending.swap_remove(idx).payload;
+            // `remove`, not `swap_remove`: the stash must stay in arrival
+            // order so two messages in the same `(from, tag)` class can
+            // never overtake each other (MPI's non-overtaking guarantee).
+            let payload = pending.remove(idx).payload;
             drop(pending);
             self.on_delivery(me)?;
             return Ok(payload);
@@ -389,7 +404,7 @@ impl Communicator {
             .iter()
             .position(|e| e.context == self.context && e.from == from && e.tag == tag)
         {
-            pending.swap_remove(idx);
+            pending.remove(idx);
             return;
         }
         loop {
@@ -408,11 +423,7 @@ impl Communicator {
 
     /// Convenience: send an f32 slice.
     pub fn send_f32(&self, to: usize, tag: u64, data: &[f32]) {
-        let mut bytes = Vec::with_capacity(data.len() * 4);
-        for v in data {
-            bytes.extend_from_slice(&v.to_le_bytes());
-        }
-        self.send(to, tag, bytes);
+        self.send(to, tag, encode_f32(data));
     }
 
     /// Convenience: receive an f32 vector.
@@ -528,6 +539,156 @@ impl Communicator {
         }
     }
 
+    /// Flat *canonical* sum-reduction to `root`: every non-root rank ships
+    /// its whole contribution, and the root folds the raw buffers in
+    /// ascending rank order (`((b₀ + b₁) + b₂) + …`). That ordering is the
+    /// bit-exactness contract shared with
+    /// [`segmented_reduce_scatter_f32`](Self::segmented_reduce_scatter_f32)
+    /// and [`hierarchical_reduce_sum_canonical`]; see
+    /// `docs/communication.md`.
+    ///
+    /// Root ingress is `(p-1) · len` values — linear in `p`, the prior-art
+    /// dense baseline the paper's segmented collective replaces.
+    pub fn reduce_sum_f32_canonical(
+        &mut self,
+        root: usize,
+        buf: &mut [f32],
+    ) -> Result<(), CommError> {
+        self.counters.collective_calls.inc();
+        let p = self.size();
+        if p == 1 {
+            return Ok(());
+        }
+        if self.local != root {
+            return self.try_send(root, COLLECTIVE_TAG + 4, encode_f32(buf));
+        }
+        let own = buf.to_vec();
+        for r in 0..p {
+            if r == root {
+                if r == 0 {
+                    continue; // `buf` already holds this rank's contribution
+                }
+                for (a, b) in buf.iter_mut().zip(&own) {
+                    *a += *b;
+                }
+            } else {
+                let bytes = self.recv_inner(r, COLLECTIVE_TAG + 4, None)?;
+                let incoming = decode_f32(&bytes)?;
+                assert_eq!(incoming.len(), buf.len(), "reduce buffer length mismatch");
+                if r == 0 {
+                    buf.copy_from_slice(&incoming);
+                } else {
+                    for (a, b) in buf.iter_mut().zip(&incoming) {
+                        *a += *b;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's segmented `MPI_Reduce` (Figure 8): a chain-pipelined
+    /// reduce-scatter in which rank `r` ends up holding only the reduced
+    /// values of its own segment (`counts[r]` elements, laid out
+    /// contiguously in rank order).
+    ///
+    /// For every `chunk`-element chunk of every segment, a partial flows
+    /// down the rank chain `0 → 1 → … → p-1`, each rank adding its own
+    /// contribution — a running left fold, so the result is bit-identical
+    /// to [`reduce_sum_f32_canonical`](Self::reduce_sum_f32_canonical) on
+    /// the same data. The tail rank forwards each finished chunk straight
+    /// to its owner, and owners collect their deliveries only after
+    /// feeding the whole chain, so chunk `b` is in flight while chunk
+    /// `b+1` is still being accumulated.
+    ///
+    /// Per-rank traffic: at most `total` elements of through-traffic on
+    /// the chain, plus the owner's `counts[r]` elements of finished
+    /// results — the `Nz/p` scaling the paper's Fig. 9/10 measures
+    /// (counted under `mpisim.segreduce.*`).
+    pub fn segmented_reduce_scatter_f32(
+        &mut self,
+        buf: &[f32],
+        counts: &[usize],
+        chunk: usize,
+    ) -> Result<Vec<f32>, CommError> {
+        let p = self.size();
+        assert_eq!(counts.len(), p, "one segment count per rank");
+        assert!(chunk > 0, "chunk must be positive");
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, buf.len(), "segment counts must cover the buffer");
+        self.counters.collective_calls.inc();
+
+        let me = self.local;
+        let world_rank = self.world_rank();
+        let metrics = self.metrics();
+        let calls = metrics.rank_counter("mpisim.segreduce.calls", world_rank);
+        let chunks_ctr = metrics.rank_counter("mpisim.segreduce.chunks", world_rank);
+        let chain_bytes = metrics.rank_counter("mpisim.segreduce.chain.bytes", world_rank);
+        let owner_bytes = metrics.rank_counter("mpisim.segreduce.owner.bytes", world_rank);
+        calls.inc();
+
+        let mut offsets = Vec::with_capacity(p + 1);
+        offsets.push(0usize);
+        for &c in counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let my_begin = offsets[me];
+        let mut out = buf[my_begin..offsets[me + 1]].to_vec();
+        if p == 1 {
+            return Ok(out);
+        }
+
+        let seq = self.seg_seq;
+        self.seg_seq += 1;
+        // Every rank enumerates (owner, chunk) identically, so the derived
+        // tags agree without any negotiation.
+        let mut chunk_id: u64 = 0;
+        // Chunks this rank owns but the tail rank finishes: collected
+        // after the chain loop so waiting for them never stalls the chain.
+        let mut deliveries: Vec<(usize, usize, u64)> = Vec::new();
+        for owner in 0..p {
+            let mut c0 = offsets[owner];
+            let seg_end = offsets[owner + 1];
+            while c0 < seg_end {
+                let c1 = (c0 + chunk).min(seg_end);
+                debug_assert!(chunk_id < u64::from(u32::MAX));
+                let tag = SEGREDUCE_TAG_BASE + (seq << 32) + chunk_id;
+                chunk_id += 1;
+                if me == 0 {
+                    self.try_send(1, tag, encode_f32(&buf[c0..c1]))?;
+                } else {
+                    let bytes = self.recv_inner(me - 1, tag, None)?;
+                    chain_bytes.add(bytes.len() as u64);
+                    let mut partial = decode_f32(&bytes)?;
+                    assert_eq!(partial.len(), c1 - c0, "chunk length mismatch");
+                    for (a, b) in partial.iter_mut().zip(&buf[c0..c1]) {
+                        *a += *b;
+                    }
+                    if me < p - 1 {
+                        self.try_send(me + 1, tag, encode_f32(&partial))?;
+                    } else if owner == me {
+                        out[c0 - my_begin..c1 - my_begin].copy_from_slice(&partial);
+                    } else {
+                        self.try_send(owner, tag, encode_f32(&partial))?;
+                    }
+                }
+                chunks_ctr.inc();
+                if owner == me && me < p - 1 {
+                    deliveries.push((c0 - my_begin, c1 - my_begin, tag));
+                }
+                c0 = c1;
+            }
+        }
+        for (d0, d1, tag) in deliveries {
+            let bytes = self.recv_inner(p - 1, tag, None)?;
+            owner_bytes.add(bytes.len() as u64);
+            let finished = decode_f32(&bytes)?;
+            assert_eq!(finished.len(), d1 - d0, "delivered chunk length mismatch");
+            out[d0..d1].copy_from_slice(&finished);
+        }
+        Ok(out)
+    }
+
     /// `MPI_Comm_split`: ranks with equal `color` form a new communicator,
     /// ordered by `(key, old rank)`. Collective — every rank must call it.
     /// Fails with [`CommError::MalformedFrame`] if the allgathered
@@ -571,11 +732,21 @@ impl Communicator {
             local,
             context,
             split_seq: 0,
+            seg_seq: 0,
             receiver: self.receiver.clone(),
             pending: Arc::clone(&self.pending),
             counters: self.counters.clone(),
         })
     }
+}
+
+/// Encodes an f32 slice as a little-endian payload.
+fn encode_f32(data: &[f32]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
 }
 
 /// Decodes a little-endian f32 payload, rejecting ragged lengths.
@@ -664,6 +835,79 @@ pub fn hierarchical_reduce_sum(
     Ok(())
 }
 
+/// Contiguous even partition of `len` items into `parts` segments: the
+/// first `len % parts` segments get one extra item. The partition is
+/// disjoint, exhaustive, and ordered — the segment-ownership contract of
+/// [`Communicator::segmented_reduce_scatter_f32`] (pinned by proptests in
+/// `tests/collective_conformance.rs`).
+pub fn segment_partition(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0, "cannot partition into zero segments");
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut begin = 0;
+    for idx in 0..parts {
+        let n = base + usize::from(idx < extra);
+        out.push(begin..begin + n);
+        begin += n;
+    }
+    debug_assert_eq!(begin, len);
+    out
+}
+
+/// Canonical-ordering variant of [`hierarchical_reduce_sum`]: node leaders
+/// gather their node's *raw* contributions (no partial folding) and forward
+/// the concatenated block, so the root can fold all `p` buffers in
+/// ascending rank order — bit-identical to
+/// [`Communicator::reduce_sum_f32_canonical`].
+///
+/// Relative to the flat canonical reduce this keeps the hierarchical
+/// message pattern (inter-node message count = number of nodes) but not
+/// its byte savings: canonical ordering requires every raw contribution at
+/// the folding site. See `docs/communication.md` for the trade-off.
+pub fn hierarchical_reduce_sum_canonical(
+    comm: &mut Communicator,
+    root: usize,
+    buf: &mut [f32],
+    ranks_per_node: usize,
+) -> Result<(), CommError> {
+    assert!(ranks_per_node > 0, "ranks_per_node must be positive");
+    assert_eq!(
+        root % ranks_per_node,
+        0,
+        "root {root} must be a node leader (multiple of {ranks_per_node})"
+    );
+    let p = comm.size();
+    let n = buf.len();
+    if p == 1 {
+        return Ok(());
+    }
+    // Intra-node gather to the node leader; intra rank order is ascending
+    // communicator rank, so each node block is already canonically ordered.
+    let node = comm.rank() / ranks_per_node;
+    let mut intra = comm.split(node as u64, comm.rank() as i64)?;
+    let node_block = intra.gather(0, encode_f32(buf));
+    let is_leader = intra.rank() == 0;
+    // Inter-node gather of the node blocks; node order is ascending, so
+    // the concatenation enumerates ranks 0..p.
+    let mut inter = comm.split(u64::from(is_leader), comm.rank() as i64)?;
+    if is_leader {
+        let root_leader = root / ranks_per_node;
+        let block = node_block.expect("node leader gathers its block").concat();
+        if let Some(blocks) = inter.gather(root_leader, block) {
+            let vals = decode_f32(&blocks.concat())?;
+            assert_eq!(vals.len(), p * n, "hierarchical gather length mismatch");
+            buf.copy_from_slice(&vals[..n]);
+            for r in 1..p {
+                for (a, b) in buf.iter_mut().zip(&vals[r * n..(r + 1) * n]) {
+                    *a += *b;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -700,6 +944,35 @@ mod tests {
             }
         });
         assert_eq!(results[1], vec![2, 1]);
+    }
+
+    /// Non-overtaking: two messages in the same `(from, tag)` class must be
+    /// delivered in send order even when an out-of-order receive removes an
+    /// unrelated message that was stashed *before* them. (Regression: the
+    /// stash once used `swap_remove`, which moved the later same-class
+    /// message in front of the earlier one — the root of a batch-mixing
+    /// race in `reduce_sum_f32_canonical` under parallel test load.)
+    #[test]
+    fn same_class_messages_never_overtake() {
+        let results = World::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![2]);
+                comm.send(1, 9, vec![1]);
+                comm.send(1, 9, vec![3]);
+                comm.send(1, 7, vec![4]);
+                vec![0u8]
+            } else {
+                // Stash fills as [5, 9:[1], 9:[3]] while waiting for tag 7;
+                // popping tag 5 from the front must not reorder the two
+                // tag-9 messages behind it.
+                let d = comm.recv(0, 7);
+                let x = comm.recv(0, 5);
+                let first = comm.recv(0, 9);
+                let second = comm.recv(0, 9);
+                vec![d[0], x[0], first[0], second[0]]
+            }
+        });
+        assert_eq!(results[1], vec![4, 2, 1, 3]);
     }
 
     #[test]
@@ -827,6 +1100,148 @@ mod tests {
             comm.rank()
         });
         assert_eq!(results.len(), 9);
+    }
+
+    /// Deterministic, association-sensitive per-rank test data.
+    fn contribution(rank: usize, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 37 + rank * 101) % 89) as f32 * 0.173 - 7.5 + (rank as f32) * 1e-3)
+            .collect()
+    }
+
+    /// The canonical left fold in ascending rank order — the ordering
+    /// contract all three canonical collectives must reproduce bitwise.
+    fn oracle_fold(p: usize, len: usize) -> Vec<f32> {
+        let mut acc = contribution(0, len);
+        for r in 1..p {
+            for (a, b) in acc.iter_mut().zip(&contribution(r, len)) {
+                *a += *b;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn canonical_reduce_matches_rank_order_fold() {
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            for root in [0, p - 1] {
+                let len = 23;
+                let results = World::run(p, move |mut comm| {
+                    let mut buf = contribution(comm.rank(), len);
+                    comm.reduce_sum_f32_canonical(root, &mut buf).unwrap();
+                    buf
+                });
+                let expect = oracle_fold(p, len);
+                assert_eq!(
+                    results[root]
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "p={p} root={root}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_reduce_scatter_matches_canonical_fold() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for (len, chunk) in [(40, 7), (17, 1), (9, 64)] {
+                let results = World::run(p, move |mut comm| {
+                    let counts: Vec<usize> = segment_partition(len, p)
+                        .into_iter()
+                        .map(|r| r.len())
+                        .collect();
+                    let buf = contribution(comm.rank(), len);
+                    comm.segmented_reduce_scatter_f32(&buf, &counts, chunk)
+                        .unwrap()
+                });
+                let expect = oracle_fold(p, len);
+                let parts = segment_partition(len, p);
+                for (rank, seg) in parts.iter().enumerate() {
+                    assert_eq!(
+                        results[rank]
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        expect[seg.clone()]
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        "p={p} len={len} chunk={chunk} rank={rank}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_canonical_matches_rank_order_fold() {
+        for (p, rpn) in [(8, 4), (8, 2), (6, 3), (5, 2), (4, 1), (8, 8)] {
+            let len = 19;
+            let results = World::run(p, move |mut comm| {
+                let mut buf = contribution(comm.rank(), len);
+                hierarchical_reduce_sum_canonical(&mut comm, 0, &mut buf, rpn).unwrap();
+                buf
+            });
+            let expect = oracle_fold(p, len);
+            assert_eq!(
+                results[0].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "p={p} rpn={rpn}"
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_back_segmented_calls_do_not_cross_talk() {
+        let results = World::run(3, |mut comm| {
+            let counts: Vec<usize> = segment_partition(30, 3).iter().map(|r| r.len()).collect();
+            let a = contribution(comm.rank(), 30);
+            let b: Vec<f32> = a.iter().map(|v| v * 2.0).collect();
+            let ra = comm.segmented_reduce_scatter_f32(&a, &counts, 4).unwrap();
+            let rb = comm.segmented_reduce_scatter_f32(&b, &counts, 4).unwrap();
+            (ra, rb)
+        });
+        for (rank, (ra, rb)) in results.iter().enumerate() {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!((x * 2.0).to_bits(), y.to_bits(), "rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_reduce_counts_owner_bytes() {
+        let results = World::run(4, |mut comm| {
+            let counts = vec![8usize, 8, 8, 8];
+            let buf = contribution(comm.rank(), 32);
+            comm.segmented_reduce_scatter_f32(&buf, &counts, 8).unwrap();
+            let snap = comm.metrics().snapshot();
+            snap.counter("mpisim.segreduce.owner.bytes", Some(comm.rank()))
+                .unwrap_or(0)
+        });
+        // Ranks 0..2 receive their 8-element (32-byte) finished segment
+        // from the tail rank; rank 3 keeps its segment locally.
+        assert_eq!(results[0], 32);
+        assert_eq!(results[1], 32);
+        assert_eq!(results[2], 32);
+        assert_eq!(results[3], 0);
+    }
+
+    #[test]
+    fn segment_partition_is_disjoint_exhaustive_ordered() {
+        for (len, parts) in [(0, 3), (1, 4), (10, 3), (16, 4), (33, 16)] {
+            let segs = segment_partition(len, parts);
+            assert_eq!(segs.len(), parts);
+            assert_eq!(segs[0].start, 0);
+            assert_eq!(segs[parts - 1].end, len);
+            for w in segs.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous at {w:?}");
+                assert!(w[0].len() >= w[1].len(), "front-loaded at {w:?}");
+            }
+            assert!(segs.iter().all(|s| s.len() <= len.div_ceil(parts)));
+        }
     }
 
     #[test]

@@ -17,21 +17,34 @@
 //! * [`hierarchical_reduce_sum`] — the paper's two-level reduction: ranks
 //!   sharing a node first reduce to a node leader, then leaders reduce to
 //!   the root (Section 4.4.2).
+//! * [`Communicator::segmented_reduce_scatter_f32`] — the paper's headline
+//!   segmented `MPI_Reduce`: a chunk-pipelined reduce-scatter delivering
+//!   each rank only its own `Nz` segment, with a canonical rank-ordered
+//!   summation shared by [`Communicator::reduce_sum_f32_canonical`] and
+//!   [`hierarchical_reduce_sum_canonical`] so all three are bit-identical
+//!   (the contract `docs/communication.md` documents and
+//!   `tests/collective_conformance.rs` pins).
+//! * [`ReduceMode`] — selects among the three algorithms on the driver
+//!   configs and the CLI (`--reduce-mode`).
 //! * [`CommCostModel`] — an α–β (latency/bandwidth) model of collective
-//!   cost used by the discrete-event pipeline; the segmented reduce costs
-//!   `⌈log₂ N_r⌉` rounds — the `O(log N)` communication column the paper
-//!   claims in Table 2 — independent of the total rank count.
+//!   cost used by the discrete-event pipeline; the tree reduce costs
+//!   `⌈log₂ N_r⌉` rounds, the dense reduce `p-1` serial ingests, and the
+//!   segmented reduce-scatter a chunk pipeline that approaches
+//!   `bytes·(β+γ)` independent of `p` — the Table 2 communication column.
 //!
-//! Every byte through the network is counted ([`NetworkStats`]) so the
-//! Table 2 ablation can compare communication volumes across decomposition
-//! schemes without timing anything.
+//! Every byte through the network is counted ([`NetworkStats`], plus the
+//! `mpisim.segreduce.*` per-rank counters) so the Table 2 ablation can
+//! compare communication volumes across decomposition schemes without
+//! timing anything.
 
 mod comm;
 mod cost;
+mod mode;
 mod world;
 
 pub use comm::{CommError, Communicator, NetworkStats};
 pub use cost::CommCostModel;
+pub use mode::ReduceMode;
 pub use world::World;
 
-pub use comm::hierarchical_reduce_sum;
+pub use comm::{hierarchical_reduce_sum, hierarchical_reduce_sum_canonical, segment_partition};

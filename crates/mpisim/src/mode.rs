@@ -1,0 +1,98 @@
+//! Which reduction algorithm the distributed drivers run.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Reduction algorithm selector for the distributed reconstruction paths
+/// (`--reduce-mode` on the CLI).
+///
+/// The three modes differ in message pattern, not in mathematics:
+///
+/// * [`Dense`](ReduceMode::Dense) — every rank ships its whole partial
+///   volume to the root, which folds the contributions in ascending rank
+///   order. Root ingress grows linearly in the rank count.
+/// * [`Hierarchical`](ReduceMode::Hierarchical) — the paper's node-aware
+///   two-level tree (Section 4.4.2). This is the default and reproduces
+///   the pre-existing driver behaviour bit-for-bit.
+/// * [`Segmented`](ReduceMode::Segmented) — the paper's headline
+///   collective: a chunk-pipelined reduce-scatter in which each rank
+///   receives only its own `Nz` segment of the volume, overlapping
+///   communication of one segment with accumulation of the next.
+///
+/// `Dense` and `Segmented` both use the *canonical rank-ordered
+/// summation* (a left fold over ranks `0..p`), so their results are
+/// bit-identical to each other; see `docs/communication.md`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReduceMode {
+    /// Flat canonical reduce to the root.
+    Dense,
+    /// Node-aware two-level tree reduce (pre-existing default).
+    #[default]
+    Hierarchical,
+    /// Chunk-pipelined segmented reduce-scatter.
+    Segmented,
+}
+
+impl ReduceMode {
+    /// Every mode, in CLI listing order.
+    pub const ALL: [ReduceMode; 3] = [
+        ReduceMode::Dense,
+        ReduceMode::Hierarchical,
+        ReduceMode::Segmented,
+    ];
+
+    /// The CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceMode::Dense => "dense",
+            ReduceMode::Hierarchical => "hierarchical",
+            ReduceMode::Segmented => "segmented",
+        }
+    }
+}
+
+impl fmt::Display for ReduceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ReduceMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(ReduceMode::Dense),
+            "hierarchical" => Ok(ReduceMode::Hierarchical),
+            "segmented" => Ok(ReduceMode::Segmented),
+            other => Err(format!(
+                "unknown reduce mode '{other}' (expected dense|hierarchical|segmented)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_hierarchical() {
+        assert_eq!(ReduceMode::default(), ReduceMode::Hierarchical);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for mode in ReduceMode::ALL {
+            assert_eq!(mode.name().parse::<ReduceMode>().unwrap(), mode);
+            assert_eq!(format!("{mode}"), mode.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_candidates() {
+        let err = "ring".parse::<ReduceMode>().unwrap_err();
+        assert!(err.contains("unknown reduce mode 'ring'"), "{err}");
+        assert!(err.contains("dense|hierarchical|segmented"), "{err}");
+    }
+}

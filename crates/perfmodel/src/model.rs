@@ -1,6 +1,7 @@
 //! Equations 13–17: from machine constants to projected runtime.
 
 use scalefbp_geom::{CbctGeometry, RankLayout, VolumeDecomposition};
+use scalefbp_mpisim::ReduceMode;
 
 use crate::MachineParams;
 
@@ -77,11 +78,27 @@ impl PerfModel {
         &self.machine
     }
 
-    /// Per-batch times for group 0 of the run (groups are symmetric).
+    /// Per-batch times for group 0 of the run (groups are symmetric),
+    /// charging the reduce stage under the default reduction algorithm
+    /// ([`ReduceMode::Hierarchical`]).
     ///
     /// Batch `i`'s projection traffic uses `SizeAB` for `i = 0` and the
     /// differential `SizeBB` afterwards (Eq 13 / Eq 5 / Eq 7).
     pub fn batch_times(&self, shape: &RunShape) -> Vec<BatchTimes> {
+        self.batch_times_for_mode(shape, ReduceMode::Hierarchical)
+    }
+
+    /// Per-batch times with the reduce stage charged per `mode`:
+    ///
+    /// * `hierarchical` — `⌈log₂(leaders)⌉` inter-node rounds of the full
+    ///   sub-volume (Section 4.4.2; intra-node rounds assumed free).
+    /// * `dense` — the root serially ingests and folds all `N_r − 1`
+    ///   contributions: `(N_r − 1)` full-volume transfers.
+    /// * `segmented` — the chunk-pipelined reduce-scatter: every link in
+    ///   the chain carries the full sub-volume once, but the chain stages
+    ///   overlap across chunks, so the critical path is one full-volume
+    ///   transfer, scaled by `(N_r − 1)/N_r` (the share a rank forwards).
+    pub fn batch_times_for_mode(&self, shape: &RunShape, mode: ReduceMode) -> Vec<BatchTimes> {
         let g = &shape.geom;
         let m = &self.machine;
         let layout = shape.layout;
@@ -105,12 +122,27 @@ impl PerfModel {
                 let updates = vol_elems * np_local;
 
                 let reduce = if layout.nr > 1 {
-                    // Hierarchical segmented reduce: log₂ rounds over the
-                    // group, intra-node rounds assumed free relative to the
-                    // inter-node link (Section 4.4.2).
-                    let leaders = layout.nr.div_ceil(m.ranks_per_node).max(1);
-                    let rounds = (leaders.next_power_of_two().trailing_zeros() as f64).max(1.0);
-                    vol_bytes * rounds / m.th_reduce
+                    match mode {
+                        ReduceMode::Hierarchical => {
+                            // log₂ rounds over the group's node leaders,
+                            // intra-node rounds assumed free relative to the
+                            // inter-node link (Section 4.4.2).
+                            let leaders = layout.nr.div_ceil(m.ranks_per_node).max(1);
+                            let rounds =
+                                (leaders.next_power_of_two().trailing_zeros() as f64).max(1.0);
+                            vol_bytes * rounds / m.th_reduce
+                        }
+                        ReduceMode::Dense => {
+                            // Root ingress is serialised: one full sub-volume
+                            // per non-root rank.
+                            vol_bytes * (layout.nr - 1) as f64 / m.th_reduce
+                        }
+                        ReduceMode::Segmented => {
+                            // Chunk pipeline: each rank forwards all segments
+                            // but its own, and the chain stages overlap.
+                            vol_bytes * (layout.nr - 1) as f64 / layout.nr as f64 / m.th_reduce
+                        }
+                    }
                 } else {
                     0.0
                 };
@@ -133,7 +165,13 @@ impl PerfModel {
     /// batch 0 runs through every stage, later batches cost their
     /// bottleneck stage.
     pub fn runtime(&self, shape: &RunShape) -> f64 {
-        let batches = self.batch_times(shape);
+        self.runtime_for_mode(shape, ReduceMode::Hierarchical)
+    }
+
+    /// Equation 17 with the reduce stage charged per `mode`
+    /// (see [`PerfModel::batch_times_for_mode`]).
+    pub fn runtime_for_mode(&self, shape: &RunShape, mode: ReduceMode) -> f64 {
+        let batches = self.batch_times_for_mode(shape, mode);
         if batches.is_empty() {
             return 0.0;
         }
@@ -380,5 +418,67 @@ mod tests {
     fn strong_scaling_rejects_indivisible_counts() {
         let model = PerfModel::new(MachineParams::abci_v100());
         let _ = model.strong_scaling(&tomo30_1024(), 16, 8, &[24]);
+    }
+
+    #[test]
+    fn batch_times_delegate_to_hierarchical_mode() {
+        let model = PerfModel::new(MachineParams::abci_v100());
+        let shape = RunShape {
+            geom: DatasetPreset::by_name("coffee_bean").unwrap().geometry,
+            layout: RankLayout::new(16, 8, 8),
+        };
+        assert_eq!(
+            model.batch_times(&shape),
+            model.batch_times_for_mode(&shape, ReduceMode::Hierarchical)
+        );
+        assert_eq!(
+            model.runtime(&shape),
+            model.runtime_for_mode(&shape, ReduceMode::Hierarchical)
+        );
+    }
+
+    #[test]
+    fn dense_reduce_cost_grows_linearly_with_nr() {
+        // The dense root ingests N_r − 1 sub-volumes serially; widening the
+        // group must widen the reduce stage proportionally.
+        let model = PerfModel::new(MachineParams::abci_v100());
+        let geom = DatasetPreset::by_name("coffee_bean").unwrap().geometry;
+        let reduce_of = |nr: usize| {
+            let shape = RunShape {
+                geom: geom.clone(),
+                layout: RankLayout::new(nr, 1, 8),
+            };
+            model.batch_times_for_mode(&shape, ReduceMode::Dense)[0].reduce
+        };
+        let (r4, r32) = (reduce_of(4), reduce_of(32));
+        assert!(r4 > 0.0);
+        let ratio = r32 / r4;
+        // Same sub-volume, 31 vs 3 ingests.
+        assert!((ratio - 31.0 / 3.0).abs() < 1e-6, "dense ratio {ratio}");
+    }
+
+    #[test]
+    fn segmented_reduce_stays_flat_and_beats_dense() {
+        // The pipelined reduce-scatter approaches one full-volume transfer
+        // regardless of N_r, while dense grows as N_r − 1.
+        let model = PerfModel::new(MachineParams::abci_v100());
+        let geom = DatasetPreset::by_name("coffee_bean").unwrap().geometry;
+        for nr in [4usize, 16, 64] {
+            let shape = RunShape {
+                geom: geom.clone(),
+                layout: RankLayout::new(nr, 1, 8),
+            };
+            let dense = model.batch_times_for_mode(&shape, ReduceMode::Dense)[0].reduce;
+            let seg = model.batch_times_for_mode(&shape, ReduceMode::Segmented)[0].reduce;
+            let hier = model.batch_times_for_mode(&shape, ReduceMode::Hierarchical)[0].reduce;
+            assert!(seg < dense, "nr={nr}: segmented {seg} vs dense {dense}");
+            assert!(
+                seg <= hier + 1e-12,
+                "nr={nr}: segmented {seg} vs hierarchical {hier}"
+            );
+            // One full transfer is the asymptote.
+            let one_transfer = dense / (nr - 1) as f64;
+            assert!(seg < one_transfer * (1.0 + 1e-9), "nr={nr}: seg {seg}");
+        }
     }
 }

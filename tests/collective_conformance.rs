@@ -1,0 +1,196 @@
+//! Conformance suite for the three reduction collectives.
+//!
+//! The contract under test (see `docs/communication.md`): the dense
+//! canonical reduce, the hierarchical canonical reduce, and the segmented
+//! reduce-scatter all compute the **same left fold over ascending ranks**
+//! (`((b₀ + b₁) + b₂) + …`) per element, so for any `(p, Nz, chunk)` the
+//! owner slabs a segmented reduce-scatter delivers are bit-identical to
+//! the corresponding slices of the dense result — including non-power-of
+//! -two rank counts, segments thinner than the rank count, and chunks
+//! that straddle segment boundaries.
+
+use proptest::prelude::*;
+use scalefbp_mpisim::{hierarchical_reduce_sum_canonical, segment_partition, World};
+
+/// A deterministic, rank-distinct, non-commutative-friendly contribution:
+/// values of mixed sign and magnitude so that float summation order is
+/// actually observable in the bits.
+fn contribution(rank: usize, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i * 37 + rank * 101) % 89) as f32 * 0.173 - 7.5 + (rank as f32) * 1e-3)
+        .collect()
+}
+
+/// The canonical result: fold contributions in ascending rank order.
+fn oracle_fold(p: usize, len: usize) -> Vec<f32> {
+    let mut acc = contribution(0, len);
+    for r in 1..p {
+        for (a, b) in acc.iter_mut().zip(contribution(r, len)) {
+            *a += b;
+        }
+    }
+    acc
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The `(p, Nz, chunk)` conformance grid of the issue: every point runs
+/// all three collectives in one world and checks owner slabs bitwise
+/// against the rank-order oracle.
+#[test]
+fn all_three_collectives_agree_bitwise_on_the_grid() {
+    for &p in &[1usize, 2, 3, 4, 8, 16] {
+        for &(nz, chunk) in &[
+            (16usize, 4usize), // chunk divides segments
+            (17, 3),           // non-power-of-two Nz, chunk straddles
+            (5, 8),            // fewer slices than ranks (empty segments)
+            (32, 1),           // one-element chunks: maximal pipelining
+            (24, 64),          // one chunk swallows every segment
+        ] {
+            let parts = segment_partition(nz, p);
+            let counts: Vec<usize> = parts.iter().map(|r| r.len()).collect();
+            let oracle = oracle_fold(p, nz);
+
+            let results = World::run(p, |mut comm| {
+                let me = comm.rank();
+                let mine = contribution(me, nz);
+                let seg = comm
+                    .segmented_reduce_scatter_f32(&mine, &counts, chunk)
+                    .expect("segmented reduce-scatter");
+                let mut dense = mine.clone();
+                comm.reduce_sum_f32_canonical(0, &mut dense)
+                    .expect("dense canonical reduce");
+                let mut hier = mine;
+                hierarchical_reduce_sum_canonical(&mut comm, 0, &mut hier, 2)
+                    .expect("hierarchical canonical reduce");
+                (me, seg, dense, hier)
+            });
+
+            let (_, _, root_dense, root_hier) = &results[0];
+            assert_eq!(
+                bits(root_dense),
+                bits(&oracle),
+                "p={p} nz={nz} chunk={chunk}: dense != oracle fold"
+            );
+            assert_eq!(
+                bits(root_hier),
+                bits(&oracle),
+                "p={p} nz={nz} chunk={chunk}: hierarchical != oracle fold"
+            );
+            for (me, seg, _, _) in &results {
+                let want = &oracle[parts[*me].clone()];
+                assert_eq!(
+                    bits(seg),
+                    bits(want),
+                    "p={p} nz={nz} chunk={chunk}: rank {me} owner slab != dense slice"
+                );
+            }
+        }
+    }
+}
+
+/// Hierarchical conformance must not depend on the node width: any
+/// `ranks_per_node` gives the same bits, because canonical ordering ships
+/// raw contributions to the folding site.
+#[test]
+fn hierarchical_is_bitwise_stable_across_node_widths() {
+    let p = 8;
+    let len = 33;
+    let oracle = oracle_fold(p, len);
+    for rpn in [1usize, 2, 3, 4, 8] {
+        let results = World::run(p, |mut comm| {
+            let mut buf = contribution(comm.rank(), len);
+            hierarchical_reduce_sum_canonical(&mut comm, 0, &mut buf, rpn).unwrap();
+            (comm.rank(), buf)
+        });
+        assert_eq!(
+            bits(&results[0].1),
+            bits(&oracle),
+            "rpn={rpn}: hierarchical diverged from the oracle fold"
+        );
+    }
+}
+
+/// The binomial-tree legacy reduce (`reduce_sum_f32`) pairs ranks by
+/// distance, so its fold order differs from canonical for p ≥ 4 — the
+/// very reason the canonical trio exists. Pin that the distinction is
+/// real: same inputs, different bits (almost surely), both within f32
+/// accumulation tolerance of each other.
+#[test]
+fn canonical_ordering_is_a_real_constraint_not_a_tautology() {
+    let p = 8;
+    let len = 64;
+    let oracle = oracle_fold(p, len);
+    let results = World::run(p, |mut comm| {
+        let mut buf = contribution(comm.rank(), len);
+        comm.reduce_sum_f32(0, &mut buf);
+        buf
+    });
+    let tree = &results[0];
+    // Numerically equivalent...
+    for (a, b) in tree.iter().zip(&oracle) {
+        assert!((a - b).abs() < 1e-3, "tree {a} vs canonical {b}");
+    }
+    // ...but not the same fold: at least one element differs in bits.
+    assert_ne!(
+        bits(tree),
+        bits(&oracle),
+        "tree reduce unexpectedly matched the canonical fold bit-for-bit \
+         (if the tree was made canonical, fold this test into the grid)"
+    );
+}
+
+proptest! {
+    /// `segment_partition` is the ownership map of the segmented
+    /// collective: it must be disjoint, exhaustive, ordered, and balanced
+    /// (sizes differ by at most one, larger segments first).
+    #[test]
+    fn segment_partition_is_disjoint_exhaustive_ordered(len in 0usize..600, parts in 1usize..48) {
+        let ranges = segment_partition(len, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        let mut cursor = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, cursor, "segments must tile without gaps");
+            prop_assert!(r.end >= r.start);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, len, "segments must cover the whole range");
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        for w in sizes.windows(2) {
+            prop_assert!(w[0] >= w[1], "larger segments must come first");
+            prop_assert!(w[0] - w[1] <= 1, "sizes may differ by at most one");
+        }
+    }
+}
+
+proptest! {
+    // Each case spawns two worlds; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Chunk-boundary round-trip: the chunk size is a pure transport
+    /// parameter — any chunking produces the same owner bits as one
+    /// whole-buffer chunk.
+    #[test]
+    fn chunk_size_never_changes_the_owner_bits(
+        p in 1usize..5,
+        nz in 1usize..24,
+        chunk in 1usize..30,
+    ) {
+        let parts = segment_partition(nz, p);
+        let counts: Vec<usize> = parts.iter().map(|r| r.len()).collect();
+        let run = |chunk: usize| {
+            World::run(p, |mut comm| {
+                let mine = contribution(comm.rank(), nz);
+                comm.segmented_reduce_scatter_f32(&mine, &counts, chunk)
+                    .unwrap()
+            })
+        };
+        let chunked = run(chunk);
+        let whole = run(nz.max(1));
+        for (r, (a, b)) in chunked.iter().zip(&whole).enumerate() {
+            prop_assert_eq!(bits(a), bits(b), "rank {} bits changed with chunk size", r);
+        }
+    }
+}

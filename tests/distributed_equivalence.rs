@@ -2,7 +2,7 @@
 //! every rank layout — the correctness property behind the whole
 //! decomposition.
 
-use scalefbp::{distributed_reconstruct, fdk_reconstruct, FdkConfig, RankLayout};
+use scalefbp::{distributed_reconstruct, fdk_reconstruct, FdkConfig, RankLayout, ReduceMode};
 use scalefbp_geom::CbctGeometry;
 use scalefbp_phantom::{forward_project, uniform_ball, Phantom};
 
@@ -78,6 +78,66 @@ fn network_traffic_scales_with_group_width_not_world_size() {
     let vol = geom.volume_bytes() as u64;
     // nr=1,ng=4: only leader→root slabs (3 groups ship, group 0 is root).
     assert!(narrow <= vol, "narrow {narrow} vs volume {vol}");
+}
+
+#[test]
+fn every_reduce_mode_reproduces_the_reference() {
+    // The mode only changes how group partials are combined — all three
+    // must land within f32 reassociation tolerance of single-node FDK on
+    // every layout, including non-power-of-two group widths.
+    let (geom, projections, reference) = setup();
+    for (nr, ng) in [(2, 2), (3, 2), (4, 1)] {
+        for mode in ReduceMode::ALL {
+            let cfg = FdkConfig::new(geom.clone())
+                .with_nc(2)
+                .with_reduce_mode(mode);
+            let out = distributed_reconstruct(&cfg, RankLayout::new(nr, ng, 2), &projections, 2)
+                .unwrap_or_else(|e| panic!("nr={nr} ng={ng} mode={mode}: {e}"));
+            let err = reference.max_abs_diff(&out.volume);
+            assert!(err < 3e-4, "nr={nr} ng={ng} mode={mode}: max diff {err}");
+        }
+    }
+}
+
+#[test]
+fn dense_and_segmented_modes_are_bit_identical() {
+    // Both fold contributions in ascending rank order per element — the
+    // canonical-ordering contract of docs/communication.md — so the
+    // assembled volumes match bitwise, owner slab by owner slab.
+    let (geom, projections, _) = setup();
+    for (nr, ng) in [(2, 2), (3, 2), (4, 1)] {
+        let run = |mode: ReduceMode| {
+            let cfg = FdkConfig::new(geom.clone())
+                .with_nc(2)
+                .with_reduce_mode(mode);
+            distributed_reconstruct(&cfg, RankLayout::new(nr, ng, 2), &projections, 2)
+                .unwrap()
+                .volume
+        };
+        let dense = run(ReduceMode::Dense);
+        let segmented = run(ReduceMode::Segmented);
+        assert_eq!(dense.data(), segmented.data(), "nr={nr} ng={ng}");
+    }
+}
+
+#[test]
+fn default_config_matches_explicit_hierarchical_bitwise() {
+    // No --reduce-mode flag ⇒ pre-PR behaviour, bit for bit.
+    let (geom, projections, _) = setup();
+    let layout = RankLayout::new(3, 2, 2);
+    let default_cfg = FdkConfig::new(geom.clone()).with_nc(2);
+    assert_eq!(default_cfg.reduce_mode, ReduceMode::Hierarchical);
+    let default_out = distributed_reconstruct(&default_cfg, layout, &projections, 2).unwrap();
+    let explicit = distributed_reconstruct(
+        &FdkConfig::new(geom.clone())
+            .with_nc(2)
+            .with_reduce_mode(ReduceMode::Hierarchical),
+        layout,
+        &projections,
+        2,
+    )
+    .unwrap();
+    assert_eq!(default_out.volume.data(), explicit.volume.data());
 }
 
 #[test]

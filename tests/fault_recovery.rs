@@ -13,7 +13,7 @@
 //! 11, 12 (mixed rank failures / drops / delays), 7, 8 (device + IO).
 
 use scalefbp::{
-    fault_tolerant_reconstruct, FaultTolerantOutcome, FdkConfig, PipelinedReconstructor,
+    fault_tolerant_reconstruct, FaultTolerantOutcome, FdkConfig, PipelinedReconstructor, ReduceMode,
 };
 use scalefbp_faults::{Channel, FaultEvent, FaultKind, FaultPlan, FaultScenario, RecoveryEvent};
 use scalefbp_geom::{CbctGeometry, ProjectionStack, RankLayout};
@@ -39,6 +39,22 @@ fn run_ft(
     plan: &FaultPlan,
 ) -> FaultTolerantOutcome {
     fault_tolerant_reconstruct(&FdkConfig::new(g.clone()).with_nc(2), layout, p, plan).unwrap()
+}
+
+fn run_ft_mode(
+    g: &CbctGeometry,
+    p: &ProjectionStack,
+    layout: RankLayout,
+    plan: &FaultPlan,
+    mode: ReduceMode,
+) -> FaultTolerantOutcome {
+    fault_tolerant_reconstruct(
+        &FdkConfig::new(g.clone()).with_nc(2).with_reduce_mode(mode),
+        layout,
+        p,
+        plan,
+    )
+    .unwrap()
 }
 
 fn assert_recovered_bitwise(faulted: &FaultTolerantOutcome, baseline: &FaultTolerantOutcome) {
@@ -170,6 +186,112 @@ fn generated_mixed_plans_recover_deterministically() {
         assert_eq!(
             first.recovery, second.recovery,
             "seed {seed}: RecoveryLog not deterministic"
+        );
+        assert_eq!(first.volume.data(), second.volume.data());
+    }
+}
+
+#[test]
+fn segmented_mode_worker_killed_mid_piece_sends_recovers_bitwise() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let layout = RankLayout::new(2, 2, 2);
+    // In segmented mode each chunk travels as N_r = 2 per-segment pieces,
+    // so send op 1 is the *second piece of the first chunk*: rank 3 dies
+    // with the leader holding a partial piece set. Recovery must discard
+    // nothing it already has, requeue the chunk whole (RECHUNK resends
+    // are mode-independent), and land on the fault-free bits.
+    let plan = FaultPlan::from_events(vec![FaultEvent {
+        rank: 3,
+        channel: Channel::Send,
+        op_index: 1,
+        kind: FaultKind::RankFailure,
+    }]);
+    let baseline = run_ft_mode(&g, &p, layout, &FaultPlan::none(), ReduceMode::Segmented);
+    // The fixed-order leader fold makes every mode bitwise identical.
+    let dense_baseline = run_ft(&g, &p, layout, &FaultPlan::none());
+    assert_eq!(baseline.volume.data(), dense_baseline.volume.data());
+    let out = run_ft_mode(&g, &p, layout, &plan, ReduceMode::Segmented);
+    assert_recovered_bitwise(&out, &baseline);
+    assert!(out
+        .recovery
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::RankDeclaredDead { rank: 3, .. })));
+    assert!(out
+        .recovery
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::WorkRequeued { from_rank: 3, .. })));
+    // Same plan → same RecoveryLog and same bits.
+    let again = run_ft_mode(&g, &p, layout, &plan, ReduceMode::Segmented);
+    assert_eq!(again.recovery, out.recovery);
+    assert_eq!(again.volume.data(), out.volume.data());
+}
+
+#[test]
+fn segmented_mode_leader_killed_during_piece_receive_degrades_to_deputy() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let layout = RankLayout::new(2, 2, 2);
+    // Rank 2 (leader of group 1) dies on its first delivered receive —
+    // while collecting segment pieces. The deputy must take over and
+    // reproduce the fault-free volume exactly.
+    let plan = FaultPlan::from_events(vec![FaultEvent {
+        rank: 2,
+        channel: Channel::Recv,
+        op_index: 0,
+        kind: FaultKind::RankFailure,
+    }]);
+    let baseline = run_ft_mode(&g, &p, layout, &FaultPlan::none(), ReduceMode::Segmented);
+    let out = run_ft_mode(&g, &p, layout, &plan, ReduceMode::Segmented);
+    assert_recovered_bitwise(&out, &baseline);
+    assert!(out.recovery.iter().any(|e| matches!(
+        e,
+        RecoveryEvent::LeaderSetDegraded {
+            group: 1,
+            dead_leader: 2,
+            new_leader: 3
+        }
+    )));
+}
+
+#[test]
+fn segmented_mode_seeded_delay_plans_are_bitwise_stable() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let layout = RankLayout::new(3, 2, 2);
+    let baseline = run_ft_mode(&g, &p, layout, &FaultPlan::none(), ReduceMode::Segmented);
+    for seed in [505u64, 606] {
+        let plan = FaultPlan::generate(seed, &FaultScenario::delays_only(layout.num_ranks(), 4));
+        assert!(plan.delays_only());
+        let out = run_ft_mode(&g, &p, layout, &plan, ReduceMode::Segmented);
+        assert_recovered_bitwise(&out, &baseline);
+        // Delayed pieces arrive within the chunk timeout: no recovery.
+        assert!(
+            out.recovery.is_empty(),
+            "seed {seed}: unexpected recoveries {:?}",
+            out.recovery
+        );
+    }
+}
+
+#[test]
+fn segmented_mode_mixed_seeded_plans_recover_deterministically() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    let layout = RankLayout::new(3, 2, 2);
+    let baseline = run_ft_mode(&g, &p, layout, &FaultPlan::none(), ReduceMode::Segmented);
+    for seed in [21u64, 22] {
+        let plan = FaultPlan::generate(seed, &FaultScenario::mixed(layout.num_ranks()));
+        let first = run_ft_mode(&g, &p, layout, &plan, ReduceMode::Segmented);
+        assert_recovered_bitwise(&first, &baseline);
+        let second = run_ft_mode(&g, &p, layout, &plan, ReduceMode::Segmented);
+        assert_eq!(
+            first.recovery, second.recovery,
+            "seed {seed}: RecoveryLog not deterministic under segmented mode"
         );
         assert_eq!(first.volume.data(), second.volume.data());
     }
