@@ -15,7 +15,18 @@
 //!     [-- --quick] [-- --out-dir DIR] [-- --reps N]
 //! cargo run --release -p scalefbp-bench --bin scalefbp-bench
 //!     -- scaling [--quick] [--out-dir DIR]
+//! cargo run --release -p scalefbp-bench --bin scalefbp-bench
+//!     -- chaos [--quick] [--out-dir DIR]
 //! ```
+//!
+//! The `chaos` subcommand is the checkpoint/restart replay harness: it
+//! kills an out-of-core run and a segmented fault-tolerant distributed
+//! run (under seeded fault plans) after a grid of durable-slab commit
+//! counts, resumes each from its checkpoint directory, and asserts
+//! in-process that every resumed volume is bitwise identical to the
+//! uninterrupted golden run before writing `BENCH_chaos.json` and the
+//! `chaos_recovery.log` artifact. `--quick` shrinks the grid to one kill
+//! point per mode for CI smoke runs.
 //!
 //! The `scaling` subcommand sweeps strong and weak scaling to 1024
 //! simulated GPUs across the three reduction algorithms
@@ -35,6 +46,7 @@
 //! would show up immediately.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use scalefbp::substrates::backproject::{
@@ -49,7 +61,13 @@ use scalefbp::substrates::mpisim::CommCostModel;
 use scalefbp::substrates::perfmodel::{MachineParams, PerfModel, RunShape};
 use scalefbp::substrates::phantom::{forward_project, uniform_ball};
 use scalefbp::timing::simulate_distributed_with_mode;
-use scalefbp::ReduceMode;
+use scalefbp::{
+    fault_tolerant_reconstruct_checkpointed, fault_tolerant_reconstruct_observed, CheckpointSpec,
+    DeviceSpec, FdkConfig, MetricsRegistry, OutOfCoreReconstructor, ReconstructionError,
+    ReduceMode,
+};
+use scalefbp_faults::{FaultPlan, FaultScenario};
+use scalefbp_iosim::StorageEndpoint;
 
 /// Deterministic noise floor so the projections are not piecewise-smooth
 /// (keeps the bilinear fetches honest). Plain 64-bit LCG, fixed seed.
@@ -615,6 +633,254 @@ fn run_scaling(quick: bool, out_dir: &str) {
     eprintln!("wrote {path}");
 }
 
+/// One cell of the chaos-replay grid: a checkpointed run killed after
+/// `kill_after` durable slab commits, then resumed and compared bitwise
+/// against the golden uninterrupted volume.
+struct ChaosCell {
+    mode: &'static str,
+    seed: Option<u64>,
+    kill_after: usize,
+    slabs_total: usize,
+    resumed_slabs: u64,
+    recovery_events: usize,
+}
+
+/// Kill grid for a run of `slabs` durable commits: first commit, middle,
+/// and last-but-one (so the resume path covers nearly-empty and
+/// nearly-full checkpoints). `--quick` keeps only the middle point.
+fn kill_points(slabs: usize, quick: bool) -> Vec<usize> {
+    assert!(slabs >= 2, "chaos needs a multi-slab run, got {slabs}");
+    let mid = (slabs / 2).max(1);
+    let mut ks = if quick {
+        vec![mid]
+    } else {
+        vec![1, mid, slabs - 1]
+    };
+    ks.dedup();
+    ks
+}
+
+/// A clean checkpoint directory for one grid cell.
+fn fresh_dir(out_dir: &str, name: &str) -> PathBuf {
+    let d = PathBuf::from(out_dir).join(name);
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create chaos checkpoint dir");
+    d
+}
+
+fn assert_bitwise(golden: &Volume, got: &Volume, what: &str) {
+    assert!(
+        golden.data().len() == got.data().len()
+            && golden
+                .data()
+                .iter()
+                .zip(got.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "{what}: resumed volume is not bitwise identical to the golden run"
+    );
+}
+
+fn emit_chaos_json(cells: &[ChaosCell], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"chaos\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let seed = match c.seed {
+            Some(s) => s.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"seed\": {seed}, \"kill_after\": {}, \"slabs_total\": {}, \"resumed_slabs\": {}, \"recovery_events\": {}, \"bitwise_identical\": true}}{}",
+            c.mode,
+            c.kill_after,
+            c.slabs_total,
+            c.resumed_slabs,
+            c.recovery_events,
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The `chaos` subcommand: the checkpoint/restart replay harness.
+///
+/// Every cell runs kill → resume against a fresh checkpoint directory
+/// under `out_dir`; bitwise identity is asserted in-process, so a
+/// non-crash-consistent commit protocol fails the harness rather than
+/// producing a quietly different JSON.
+fn run_chaos(quick: bool, out_dir: &str) {
+    std::fs::create_dir_all(out_dir).expect("create out-dir");
+    let mut cells: Vec<ChaosCell> = Vec::new();
+    let mut log = String::new();
+
+    // Out-of-core: a tiny device forces a multi-slab decomposition.
+    let n = if quick { 16 } else { 24 };
+    let g = CbctGeometry::ideal(n, n * 3 / 2, n * 3 / 2, n * 3 / 2);
+    let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+    let cfg = FdkConfig::new(g).with_device(DeviceSpec::tiny(2_000_000));
+    let rec = OutOfCoreReconstructor::new(cfg).expect("out-of-core plan");
+    let (golden, report) = rec.reconstruct(&p).expect("golden out-of-core run");
+    let slabs = report.batches.len();
+    eprintln!(
+        "  outofcore: {slabs} slabs, kill grid {:?}",
+        kill_points(slabs, quick)
+    );
+    for k in kill_points(slabs, quick) {
+        let dir = fresh_dir(out_dir, &format!("chaos-ooc-{k}"));
+        let ep = StorageEndpoint::local_nvme(Some(dir));
+        match rec.reconstruct_checkpointed(&p, &ep, &CheckpointSpec::new("", 1).killing_after(k)) {
+            Err(ReconstructionError::Interrupted { completed_slabs }) => {
+                assert_eq!(completed_slabs, k, "kill switch fired at the wrong commit")
+            }
+            other => panic!(
+                "outofcore k={k}: expected an interrupted run, got {:?}",
+                other.map(|_| ())
+            ),
+        }
+        let (resumed, _) = rec
+            .reconstruct_checkpointed(&p, &ep, &CheckpointSpec::new("", 1).resuming())
+            .expect("resume from checkpoint");
+        assert_bitwise(&golden, &resumed, &format!("outofcore k={k}"));
+        let resumed_slabs = ep
+            .metrics_registry()
+            .snapshot()
+            .counter("ckpt.resumed.slabs", None)
+            .unwrap_or(0);
+        assert_eq!(
+            resumed_slabs, k as u64,
+            "resume did not skip the committed slabs"
+        );
+        let _ = writeln!(
+            log,
+            "outofcore kill_after={k}: resumed {resumed_slabs}/{slabs} slabs from checkpoint, bitwise identical"
+        );
+        cells.push(ChaosCell {
+            mode: "outofcore",
+            seed: None,
+            kill_after: k,
+            slabs_total: slabs,
+            resumed_slabs,
+            recovery_events: 0,
+        });
+    }
+
+    // Segmented fault-tolerant distributed runs under seeded fault plans
+    // (delays, drops, a rank failure, and a corrupted frame per seed).
+    let g = CbctGeometry::ideal(16, 16, 24, 20);
+    let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+    let layout = RankLayout::new(2, 2, 2);
+    let cfg = FdkConfig::new(g)
+        .with_nc(2)
+        .with_reduce_mode(ReduceMode::Segmented);
+    let seeds: Vec<u64> = if quick { vec![7] } else { vec![7, 21] };
+    for seed in seeds {
+        let plan = FaultPlan::generate(seed, &FaultScenario::mixed(layout.num_ranks()));
+        let golden =
+            fault_tolerant_reconstruct_observed(&cfg, layout, &p, &plan, MetricsRegistry::new())
+                .expect("golden distributed run");
+        // One full checkpointed run counts the durable slabs and checks
+        // that checkpointing alone does not perturb the bits.
+        let dir = fresh_dir(out_dir, &format!("chaos-ft-{seed}-full"));
+        let ep = StorageEndpoint::local_nvme(Some(dir));
+        let full = fault_tolerant_reconstruct_checkpointed(
+            &cfg,
+            layout,
+            &p,
+            &plan,
+            MetricsRegistry::new(),
+            &ep,
+            &CheckpointSpec::new("", 1),
+        )
+        .expect("full checkpointed distributed run");
+        assert_bitwise(
+            &golden.volume,
+            &full.volume,
+            &format!("distributed seed={seed} (checkpointed, no kill)"),
+        );
+        let slabs = ep
+            .metrics_registry()
+            .snapshot()
+            .counter("ckpt.saves", None)
+            .unwrap_or(0) as usize;
+        eprintln!(
+            "  distributed seed={seed}: {slabs} slabs, kill grid {:?}",
+            kill_points(slabs, quick)
+        );
+        for k in kill_points(slabs, quick) {
+            let dir = fresh_dir(out_dir, &format!("chaos-ft-{seed}-{k}"));
+            let ep = StorageEndpoint::local_nvme(Some(dir));
+            match fault_tolerant_reconstruct_checkpointed(
+                &cfg,
+                layout,
+                &p,
+                &plan,
+                MetricsRegistry::new(),
+                &ep,
+                &CheckpointSpec::new("", 1).killing_after(k),
+            ) {
+                Err(ReconstructionError::Interrupted { completed_slabs }) => {
+                    assert_eq!(completed_slabs, k, "kill switch fired at the wrong commit")
+                }
+                other => panic!(
+                    "distributed seed={seed} k={k}: expected an interrupted run, got {:?}",
+                    other.map(|_| ())
+                ),
+            }
+            let out = fault_tolerant_reconstruct_checkpointed(
+                &cfg,
+                layout,
+                &p,
+                &plan,
+                MetricsRegistry::new(),
+                &ep,
+                &CheckpointSpec::new("", 1).resuming(),
+            )
+            .expect("resume from checkpoint");
+            assert_bitwise(
+                &golden.volume,
+                &out.volume,
+                &format!("distributed seed={seed} k={k}"),
+            );
+            let resumed_slabs = ep
+                .metrics_registry()
+                .snapshot()
+                .counter("ckpt.resumed.slabs", None)
+                .unwrap_or(0);
+            let _ = writeln!(
+                log,
+                "distributed seed={seed} kill_after={k}: resumed {resumed_slabs}/{slabs} slabs, \
+                 {} recovery events, bitwise identical",
+                out.recovery.len()
+            );
+            for e in &out.recovery {
+                let _ = writeln!(log, "    {e}");
+            }
+            cells.push(ChaosCell {
+                mode: "distributed-segmented",
+                seed: Some(seed),
+                kill_after: k,
+                slabs_total: slabs,
+                resumed_slabs,
+                recovery_events: out.recovery.len(),
+            });
+        }
+    }
+
+    let json = emit_chaos_json(&cells, quick);
+    let json_path = format!("{out_dir}/BENCH_chaos.json");
+    let log_path = format!("{out_dir}/chaos_recovery.log");
+    std::fs::write(&json_path, &json).expect("write BENCH_chaos.json");
+    std::fs::write(&log_path, &log).expect("write chaos_recovery.log");
+    eprintln!("wrote {json_path} and {log_path}");
+    println!(
+        "chaos: {} kill/resume cells, all bitwise identical to golden",
+        cells.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -627,6 +893,11 @@ fn main() {
     if args.first().map(String::as_str) == Some("scaling") {
         eprintln!("scalefbp-bench scaling: quick={quick}, out-dir {out_dir}");
         run_scaling(quick, &out_dir);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        eprintln!("scalefbp-bench chaos: quick={quick}, out-dir {out_dir}");
+        run_chaos(quick, &out_dir);
         return;
     }
     let reps: usize = args

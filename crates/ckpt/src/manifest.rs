@@ -1,0 +1,352 @@
+//! The checkpoint manifest: a small text file naming every durable slab.
+//!
+//! The manifest is the *commit record* of the checkpoint protocol. A slab
+//! file that exists on disk but is not named here was in flight when the
+//! run died and is ignored on resume; a slab named here was fully written,
+//! fsynced, and renamed into place before the manifest was rewritten. The
+//! whole file carries a CRC-32 trailer so a torn or hand-mangled manifest
+//! is rejected rather than trusted.
+//!
+//! Format (line-oriented text, one record per line):
+//!
+//! ```text
+//! # scalefbp checkpoint manifest v1
+//! config = <16-hex-digit fingerprint of the reconstruction config>
+//! slab = <z0> <z1> <file> <crc32-hex> <payload-bytes>
+//! ...
+//! crc = <crc32-hex of every preceding byte>
+//! ```
+
+use scalefbp_faults::crc32;
+
+/// One durable slab: rows `[z.0, z.1)` of the volume live in `file`,
+/// whose unsealed payload is `bytes` long and checksums to `crc`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlabEntry {
+    /// Half-open z-row range the slab covers.
+    pub z: (usize, usize),
+    /// Slab file name, relative to the checkpoint directory.
+    pub file: String,
+    /// CRC-32 of the slab payload (also sealed into the file itself).
+    pub crc: u32,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// Parsed manifest: the config fingerprint it was written under plus the
+/// committed slabs, in commit order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointManifest {
+    /// Fingerprint of the reconstruction configuration (see
+    /// [`fingerprint`]); resume refuses a manifest whose fingerprint does
+    /// not match the current run's.
+    pub config: u64,
+    /// Committed slabs in commit order.
+    pub slabs: Vec<SlabEntry>,
+}
+
+/// Why a manifest failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ManifestError {
+    /// A line did not match the expected grammar.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The CRC-32 trailer did not match the manifest body — the file is
+    /// torn or was edited.
+    ChecksumMismatch {
+        /// Trailer value.
+        expected: u32,
+        /// Recomputed body checksum.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::Malformed { line, message } => {
+                write!(f, "checkpoint manifest line {line}: {message}")
+            }
+            ManifestError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint manifest checksum mismatch (trailer {expected:#010x}, body {actual:#010x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl CheckpointManifest {
+    /// A fresh, empty manifest for `config`.
+    pub fn new(config: u64) -> Self {
+        CheckpointManifest {
+            config,
+            slabs: Vec::new(),
+        }
+    }
+
+    /// Records a committed slab, replacing any previous entry for the
+    /// same z-range (a re-save after a retried slab is idempotent).
+    pub fn commit_slab(&mut self, entry: SlabEntry) {
+        if let Some(existing) = self.slabs.iter_mut().find(|s| s.z == entry.z) {
+            *existing = entry;
+        } else {
+            self.slabs.push(entry);
+        }
+    }
+
+    /// The committed z-ranges, in commit order.
+    pub fn committed_ranges(&self) -> Vec<(usize, usize)> {
+        self.slabs.iter().map(|s| s.z).collect()
+    }
+
+    /// Serializes to the text format, CRC trailer included.
+    pub fn serialize(&self) -> String {
+        let mut body = String::from("# scalefbp checkpoint manifest v1\n");
+        body.push_str(&format!("config = {:016x}\n", self.config));
+        for s in &self.slabs {
+            body.push_str(&format!(
+                "slab = {} {} {} {:08x} {}\n",
+                s.z.0, s.z.1, s.file, s.crc, s.bytes
+            ));
+        }
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc = {crc:08x}\n"));
+        body
+    }
+
+    /// Parses the text format, verifying the CRC trailer before trusting
+    /// any record.
+    pub fn parse(text: &str) -> Result<CheckpointManifest, ManifestError> {
+        let malformed = |line: usize, message: String| ManifestError::Malformed { line, message };
+        // The trailer is the last non-empty line; everything before its
+        // first byte is the checksummed body.
+        let trimmed = text.trim_end_matches('\n');
+        if trimmed.is_empty() {
+            return Err(malformed(1, "empty manifest".into()));
+        }
+        let trailer_at = trimmed.rfind('\n').map(|p| p + 1).unwrap_or(0);
+        let (body, trailer) = (&text[..trailer_at], &trimmed[trailer_at..]);
+        let trailer_line = text[..trailer_at].lines().count() + 1;
+        let expected = trailer
+            .strip_prefix("crc = ")
+            .and_then(|h| u32::from_str_radix(h.trim(), 16).ok())
+            .ok_or_else(|| {
+                malformed(
+                    trailer_line,
+                    format!("expected `crc = <hex>` trailer, got `{trailer}`"),
+                )
+            })?;
+        let actual = crc32(body.as_bytes());
+        if actual != expected {
+            return Err(ManifestError::ChecksumMismatch { expected, actual });
+        }
+        let mut config: Option<u64> = None;
+        let mut slabs: Vec<SlabEntry> = Vec::new();
+        for (idx, line) in body.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("config = ") {
+                let value = u64::from_str_radix(rest.trim(), 16)
+                    .map_err(|_| malformed(line_no, format!("bad config fingerprint `{rest}`")))?;
+                if config.replace(value).is_some() {
+                    return Err(malformed(line_no, "duplicate config line".into()));
+                }
+            } else if let Some(rest) = line.strip_prefix("slab = ") {
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                if fields.len() != 5 {
+                    return Err(malformed(
+                        line_no,
+                        format!(
+                            "slab record needs 5 fields (z0 z1 file crc bytes), got {}",
+                            fields.len()
+                        ),
+                    ));
+                }
+                let z0: usize = fields[0]
+                    .parse()
+                    .map_err(|_| malformed(line_no, format!("bad z0 `{}`", fields[0])))?;
+                let z1: usize = fields[1]
+                    .parse()
+                    .map_err(|_| malformed(line_no, format!("bad z1 `{}`", fields[1])))?;
+                if z0 >= z1 {
+                    return Err(malformed(line_no, format!("empty slab range {z0}..{z1}")));
+                }
+                let crc = u32::from_str_radix(fields[3], 16)
+                    .map_err(|_| malformed(line_no, format!("bad slab crc `{}`", fields[3])))?;
+                let bytes: u64 = fields[4]
+                    .parse()
+                    .map_err(|_| malformed(line_no, format!("bad slab bytes `{}`", fields[4])))?;
+                slabs.push(SlabEntry {
+                    z: (z0, z1),
+                    file: fields[2].to_string(),
+                    crc,
+                    bytes,
+                });
+            } else {
+                return Err(malformed(line_no, format!("unrecognized line `{line}`")));
+            }
+        }
+        let config =
+            config.ok_or_else(|| malformed(1, "manifest has no config fingerprint".into()))?;
+        Ok(CheckpointManifest { config, slabs })
+    }
+}
+
+/// FNV-1a fingerprint of a canonical configuration string. Stable across
+/// runs and platforms; used to refuse resuming a checkpoint written under
+/// a different reconstruction configuration.
+pub fn fingerprint(canonical: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Splits a run's slab task ranges into (already checkpointed, still to
+/// compute), by index. A task counts as checkpointed only when its *exact*
+/// z-range is committed — partial overlap means the checkpoint was written
+/// under a different decomposition, and the task reruns in full.
+pub fn resume_partition(
+    tasks: &[(usize, usize)],
+    committed: &[(usize, usize)],
+) -> (Vec<usize>, Vec<usize>) {
+    let mut done = Vec::new();
+    let mut todo = Vec::new();
+    for (i, z) in tasks.iter().enumerate() {
+        if committed.contains(z) {
+            done.push(i);
+        } else {
+            todo.push(i);
+        }
+    }
+    (done, todo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointManifest {
+        let mut m = CheckpointManifest::new(0xDEAD_BEEF_0123_4567);
+        m.commit_slab(SlabEntry {
+            z: (0, 8),
+            file: "slab_000000_000008.bin".into(),
+            crc: 0x1234_ABCD,
+            bytes: 4096,
+        });
+        m.commit_slab(SlabEntry {
+            z: (8, 16),
+            file: "slab_000008_000016.bin".into(),
+            crc: 0x0000_0001,
+            bytes: 4096,
+        });
+        m
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        assert_eq!(CheckpointManifest::parse(&m.serialize()).unwrap(), m);
+        let empty = CheckpointManifest::new(7);
+        assert_eq!(
+            CheckpointManifest::parse(&empty.serialize()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn commit_is_idempotent_per_range() {
+        let mut m = sample();
+        m.commit_slab(SlabEntry {
+            z: (0, 8),
+            file: "slab_000000_000008.bin".into(),
+            crc: 0xFFFF_0000,
+            bytes: 4096,
+        });
+        assert_eq!(m.slabs.len(), 2);
+        assert_eq!(m.slabs[0].crc, 0xFFFF_0000);
+    }
+
+    #[test]
+    fn torn_or_edited_manifests_are_rejected() {
+        let text = sample().serialize();
+        // Flip any single byte of the body: no edit is accepted. (Most
+        // flips trip the CRC trailer; flipping the newline that ends the
+        // body breaks the line grammar first, which is also a rejection.)
+        let body_len = text.rfind("crc = ").unwrap();
+        for i in 0..body_len {
+            let mut bad = text.clone().into_bytes();
+            bad[i] ^= 0x20;
+            let bad = String::from_utf8(bad).unwrap();
+            let parsed = CheckpointManifest::parse(&bad);
+            assert!(parsed.is_err(), "edit at byte {i} accepted");
+            if text.as_bytes()[i] != b'\n' {
+                assert!(
+                    matches!(parsed, Err(ManifestError::ChecksumMismatch { .. })),
+                    "edit at byte {i}: {parsed:?}"
+                );
+            }
+        }
+        // Truncation mid-file loses the trailer.
+        assert!(CheckpointManifest::parse(&text[..body_len]).is_err());
+        assert!(CheckpointManifest::parse("").is_err());
+    }
+
+    #[test]
+    fn malformed_records_carry_line_numbers() {
+        // Re-seal a syntactically bad body so only the grammar is at fault.
+        let reseal = |body: &str| {
+            format!(
+                "{body}crc = {:08x}\n",
+                scalefbp_faults::crc32(body.as_bytes())
+            )
+        };
+        let cases = [
+            ("config = xyz\n", "bad config fingerprint"),
+            ("config = 1\nconfig = 2\n", "duplicate config"),
+            ("config = 1\nslab = 3 3 f.bin 0 9\n", "empty slab range"),
+            ("config = 1\nslab = 0 4 f.bin zz 9\n", "bad slab crc"),
+            ("config = 1\nslab = 0 4 f.bin 0\n", "needs 5 fields"),
+            ("config = 1\nwhat is this\n", "unrecognized line"),
+            ("# just a comment\n", "no config fingerprint"),
+        ];
+        for (body, needle) in cases {
+            match CheckpointManifest::parse(&reseal(body)) {
+                Err(ManifestError::Malformed { message, .. }) => {
+                    assert!(message.contains(needle), "`{message}` vs `{needle}`")
+                }
+                other => panic!("`{body}` gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        assert_eq!(fingerprint(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint("a"), fingerprint("a"));
+        assert_ne!(fingerprint("nz=64"), fingerprint("nz=65"));
+    }
+
+    #[test]
+    fn resume_partition_is_exact_match_only() {
+        let tasks = [(0, 4), (4, 8), (8, 12)];
+        let (done, todo) = resume_partition(&tasks, &[(4, 8), (99, 100)]);
+        assert_eq!(done, vec![1]);
+        assert_eq!(todo, vec![0, 2]);
+        // Partial overlap does not count.
+        let (done, todo) = resume_partition(&tasks, &[(0, 3)]);
+        assert!(done.is_empty());
+        assert_eq!(todo, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,404 @@
+//! The checkpoint store: durable slab payloads behind an atomic manifest.
+//!
+//! Commit protocol for one slab (crash-consistent at every step):
+//!
+//! 1. the sealed slab file is staged, fsynced, and renamed into place
+//!    ([`StorageEndpoint::write_file_sealed`]);
+//! 2. the manifest — now naming the new slab — is rewritten through the
+//!    same stage/fsync/rename path.
+//!
+//! A crash before step 2 leaves an orphan slab file the manifest never
+//! names; resume ignores it. A crash mid-rename leaves the old file
+//! visible. There is no window in which a reader can observe a slab that
+//! is named but not durable.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use scalefbp_faults::{crc32, BackoffPolicy, RecoveryLog};
+use scalefbp_iosim::StorageEndpoint;
+use scalefbp_obs::Counter;
+
+use crate::manifest::{CheckpointManifest, ManifestError, SlabEntry};
+
+/// Manifest file name inside the checkpoint directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.txt";
+
+/// How a checkpointed run should behave — carried from the CLI flags down
+/// into the reconstruction drivers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Checkpoint directory, relative to the storage endpoint root.
+    pub dir: PathBuf,
+    /// Save a checkpoint every `every` completed slabs.
+    pub every: usize,
+    /// Resume from the latest valid checkpoint instead of starting fresh.
+    pub resume: bool,
+    /// Chaos hook: abort the run (as if killed) after this many slab
+    /// saves. `None` outside the chaos harness.
+    pub kill_after_saves: Option<usize>,
+}
+
+impl CheckpointSpec {
+    /// A spec that checkpoints into `dir` every `every` slabs.
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> Self {
+        CheckpointSpec {
+            dir: dir.into(),
+            every: every.max(1),
+            resume: false,
+            kill_after_saves: None,
+        }
+    }
+
+    /// Enables resuming from the latest valid checkpoint.
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Arms the chaos kill switch after `saves` slab saves.
+    pub fn killing_after(mut self, saves: usize) -> Self {
+        self.kill_after_saves = Some(saves);
+        self
+    }
+}
+
+/// Why a checkpoint could not be opened or written.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying storage failure.
+    Io(io::Error),
+    /// The manifest exists but does not parse or fails its checksum.
+    Manifest(ManifestError),
+    /// The manifest was written under a different reconstruction
+    /// configuration; resuming would silently mix incompatible volumes.
+    ConfigMismatch {
+        /// Fingerprint of the current configuration.
+        expected: u64,
+        /// Fingerprint recorded in the manifest.
+        found: u64,
+    },
+    /// A slab's payload no longer matches the checksum committed in the
+    /// manifest.
+    SlabCorrupt {
+        /// The slab's z-range.
+        z: (usize, usize),
+        /// What went wrong reading it.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::Manifest(e) => write!(f, "checkpoint manifest: {e}"),
+            CheckpointError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint is stale: written under config {found:016x}, current is {expected:016x}"
+            ),
+            CheckpointError::SlabCorrupt { z, detail } => {
+                write!(f, "checkpoint slab {}..{} corrupt: {detail}", z.0, z.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<ManifestError> for CheckpointError {
+    fn from(e: ManifestError) -> Self {
+        CheckpointError::Manifest(e)
+    }
+}
+
+/// Cached `ckpt.*` counter handles.
+struct CkptCounters {
+    saves: Counter,
+    bytes: Counter,
+    manifest_writes: Counter,
+    resumed_slabs: Counter,
+}
+
+/// A live checkpoint directory bound to one run.
+pub struct CheckpointStore {
+    endpoint: StorageEndpoint,
+    dir: PathBuf,
+    manifest: CheckpointManifest,
+    counters: CkptCounters,
+    saves_this_run: usize,
+}
+
+impl CheckpointStore {
+    fn counters(endpoint: &StorageEndpoint) -> CkptCounters {
+        let reg = endpoint.metrics_registry();
+        CkptCounters {
+            saves: reg.counter("ckpt.saves"),
+            bytes: reg.counter("ckpt.bytes"),
+            manifest_writes: reg.counter("ckpt.manifest.writes"),
+            resumed_slabs: reg.counter("ckpt.resumed.slabs"),
+        }
+    }
+
+    /// Starts a fresh checkpoint under `dir` for configuration
+    /// fingerprint `config`, writing an empty manifest immediately so a
+    /// crash before the first slab still leaves a valid directory.
+    pub fn create(
+        endpoint: &StorageEndpoint,
+        dir: &Path,
+        config: u64,
+    ) -> Result<CheckpointStore, CheckpointError> {
+        let mut store = CheckpointStore {
+            endpoint: endpoint.clone(),
+            dir: dir.to_path_buf(),
+            manifest: CheckpointManifest::new(config),
+            counters: CheckpointStore::counters(endpoint),
+            saves_this_run: 0,
+        };
+        store.write_manifest()?;
+        Ok(store)
+    }
+
+    /// Opens an existing checkpoint under `dir`, validating the manifest
+    /// checksum and the configuration fingerprint.
+    pub fn open(
+        endpoint: &StorageEndpoint,
+        dir: &Path,
+        config: u64,
+    ) -> Result<CheckpointStore, CheckpointError> {
+        let raw = endpoint.read_file(&dir.join(MANIFEST_FILE))?;
+        let text = String::from_utf8(raw).map_err(|_| {
+            CheckpointError::Manifest(ManifestError::Malformed {
+                line: 1,
+                message: "manifest is not UTF-8".into(),
+            })
+        })?;
+        let manifest = CheckpointManifest::parse(&text)?;
+        if manifest.config != config {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: config,
+                found: manifest.config,
+            });
+        }
+        Ok(CheckpointStore {
+            endpoint: endpoint.clone(),
+            dir: dir.to_path_buf(),
+            manifest,
+            counters: CheckpointStore::counters(endpoint),
+            saves_this_run: 0,
+        })
+    }
+
+    /// Opens the checkpoint if a manifest exists, otherwise creates a
+    /// fresh one — the resume entry point. A manifest that exists but is
+    /// corrupt or config-stale is an error, never silently discarded.
+    pub fn open_or_create(
+        endpoint: &StorageEndpoint,
+        dir: &Path,
+        config: u64,
+    ) -> Result<CheckpointStore, CheckpointError> {
+        match endpoint.read_file(&dir.join(MANIFEST_FILE)) {
+            Ok(_) => CheckpointStore::open(endpoint, dir, config),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                CheckpointStore::create(endpoint, dir, config)
+            }
+            Err(e) => Err(CheckpointError::Io(e)),
+        }
+    }
+
+    /// The committed manifest.
+    pub fn manifest(&self) -> &CheckpointManifest {
+        &self.manifest
+    }
+
+    /// Slab saves performed by *this* run (resumed slabs not included) —
+    /// what the chaos kill switch counts.
+    pub fn saves_this_run(&self) -> usize {
+        self.saves_this_run
+    }
+
+    /// Durably commits one slab payload for z-rows `[z0, z1)`.
+    pub fn save_slab(
+        &mut self,
+        z0: usize,
+        z1: usize,
+        payload: &[u8],
+    ) -> Result<(), CheckpointError> {
+        assert!(z0 < z1, "empty slab range {z0}..{z1}");
+        let file = format!("slab_{z0:06}_{z1:06}.bin");
+        self.endpoint
+            .write_file_sealed(&self.dir.join(&file), payload)?;
+        self.manifest.commit_slab(SlabEntry {
+            z: (z0, z1),
+            file,
+            crc: crc32(payload),
+            bytes: payload.len() as u64,
+        });
+        self.write_manifest()?;
+        self.saves_this_run += 1;
+        self.counters.saves.inc();
+        self.counters.bytes.add(payload.len() as u64);
+        Ok(())
+    }
+
+    /// Loads a committed slab's payload, verifying both the file seal and
+    /// the manifest's recorded checksum. Transient read faults are
+    /// retried under the integrity backoff policy; `recovery`, when
+    /// given, records each detection.
+    pub fn load_slab(
+        &self,
+        z: (usize, usize),
+        recovery: Option<&RecoveryLog>,
+    ) -> Result<Vec<u8>, CheckpointError> {
+        let entry = self
+            .manifest
+            .slabs
+            .iter()
+            .find(|s| s.z == z)
+            .ok_or_else(|| CheckpointError::SlabCorrupt {
+                z,
+                detail: "not in manifest".into(),
+            })?;
+        let payload = self
+            .endpoint
+            .read_file_sealed_retrying(
+                &self.dir.join(&entry.file),
+                BackoffPolicy::integrity(),
+                recovery,
+            )
+            .map_err(|e| CheckpointError::SlabCorrupt {
+                z,
+                detail: e.to_string(),
+            })?;
+        if payload.len() as u64 != entry.bytes || crc32(&payload) != entry.crc {
+            return Err(CheckpointError::SlabCorrupt {
+                z,
+                detail: format!(
+                    "payload does not match manifest ({} B crc {:08x}, expected {} B crc {:08x})",
+                    payload.len(),
+                    crc32(&payload),
+                    entry.bytes,
+                    entry.crc
+                ),
+            });
+        }
+        self.counters.resumed_slabs.inc();
+        Ok(payload)
+    }
+
+    fn write_manifest(&mut self) -> Result<(), CheckpointError> {
+        self.endpoint.write_file_atomic(
+            &self.dir.join(MANIFEST_FILE),
+            self.manifest.serialize().as_bytes(),
+        )?;
+        self.counters.manifest_writes.inc();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_endpoint(tag: &str) -> StorageEndpoint {
+        let d = std::env::temp_dir().join(format!("scalefbp-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        StorageEndpoint::local_nvme(Some(d))
+    }
+
+    #[test]
+    fn save_then_reopen_then_load_round_trips() {
+        let ep = tmp_endpoint("roundtrip");
+        let dir = Path::new("ck");
+        let mut store = CheckpointStore::create(&ep, dir, 42).unwrap();
+        let a: Vec<u8> = (0..64u8).collect();
+        let b: Vec<u8> = (100..180u8).collect();
+        store.save_slab(0, 8, &a).unwrap();
+        store.save_slab(8, 16, &b).unwrap();
+        assert_eq!(store.saves_this_run(), 2);
+        let reopened = CheckpointStore::open(&ep, dir, 42).unwrap();
+        assert_eq!(
+            reopened.manifest().committed_ranges(),
+            vec![(0, 8), (8, 16)]
+        );
+        assert_eq!(reopened.load_slab((0, 8), None).unwrap(), a);
+        assert_eq!(reopened.load_slab((8, 16), None).unwrap(), b);
+        let snap = ep.metrics_registry().snapshot();
+        assert_eq!(snap.counter("ckpt.saves", None), Some(2));
+        assert_eq!(snap.counter("ckpt.manifest.writes", None), Some(3));
+        assert_eq!(snap.counter("ckpt.resumed.slabs", None), Some(2));
+    }
+
+    #[test]
+    fn stale_config_is_refused() {
+        let ep = tmp_endpoint("stale");
+        let dir = Path::new("ck");
+        CheckpointStore::create(&ep, dir, 1).unwrap();
+        match CheckpointStore::open_or_create(&ep, dir, 2) {
+            Err(CheckpointError::ConfigMismatch {
+                expected: 2,
+                found: 1,
+            }) => {}
+            Err(other) => panic!("wrong error for stale checkpoint: {other:?}"),
+            Ok(_) => panic!("stale checkpoint accepted"),
+        }
+    }
+
+    #[test]
+    fn corrupt_manifest_is_refused_not_discarded() {
+        let ep = tmp_endpoint("badmanifest");
+        let dir = Path::new("ck");
+        let mut store = CheckpointStore::create(&ep, dir, 9).unwrap();
+        store.save_slab(0, 4, &[1, 2, 3]).unwrap();
+        let rel = dir.join(MANIFEST_FILE);
+        let mut text = String::from_utf8(ep.read_file(&rel).unwrap()).unwrap();
+        text = text.replace("slab = 0 4", "slab = 0 5");
+        ep.write_file(&rel, text.as_bytes()).unwrap();
+        assert!(matches!(
+            CheckpointStore::open_or_create(&ep, dir, 9),
+            Err(CheckpointError::Manifest(
+                ManifestError::ChecksumMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn orphan_slab_files_are_ignored_on_resume() {
+        let ep = tmp_endpoint("orphan");
+        let dir = Path::new("ck");
+        let mut store = CheckpointStore::create(&ep, dir, 5).unwrap();
+        store.save_slab(0, 4, &[7; 32]).unwrap();
+        // A slab staged (or even renamed) without a manifest commit — the
+        // crash window between protocol steps 1 and 2.
+        ep.write_file(&dir.join("slab_000004_000008.bin"), &[9; 16])
+            .unwrap();
+        let reopened = CheckpointStore::open(&ep, dir, 5).unwrap();
+        assert_eq!(reopened.manifest().committed_ranges(), vec![(0, 4)]);
+        assert!(reopened.load_slab((4, 8), None).is_err());
+    }
+
+    #[test]
+    fn slab_payload_tamper_is_detected_via_manifest_crc() {
+        let ep = tmp_endpoint("tamper");
+        let dir = Path::new("ck");
+        let mut store = CheckpointStore::create(&ep, dir, 5).unwrap();
+        store.save_slab(0, 4, &[1, 2, 3, 4]).unwrap();
+        // Re-seal a *different* payload over the slab file: the file-level
+        // seal verifies, but the manifest's committed checksum does not.
+        ep.write_file_sealed(&dir.join("slab_000000_000004.bin"), &[9, 9, 9, 9])
+            .unwrap();
+        let reopened = CheckpointStore::open(&ep, dir, 5).unwrap();
+        match reopened.load_slab((0, 4), None) {
+            Err(CheckpointError::SlabCorrupt { z: (0, 4), detail }) => {
+                assert!(detail.contains("does not match manifest"), "{detail}")
+            }
+            other => panic!("tampered slab accepted: {other:?}"),
+        }
+    }
+}

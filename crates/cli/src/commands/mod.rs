@@ -4,9 +4,10 @@ use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use scalefbp::{
-    fault_tolerant_reconstruct_observed, fdk_reconstruct_configured, fdk_reconstruct_slab,
-    DeviceSpec, FdkConfig, FilterChoice, FilterWindow, KernelChoice, MetricsRegistry,
-    MetricsSnapshot, OutOfCoreReconstructor, PipelinedReconstructor, RankLayout, ReduceMode,
+    fault_tolerant_reconstruct_checkpointed, fault_tolerant_reconstruct_observed,
+    fdk_reconstruct_configured, fdk_reconstruct_slab, CheckpointSpec, DeviceSpec, FdkConfig,
+    FilterChoice, FilterWindow, KernelChoice, MetricsRegistry, MetricsSnapshot,
+    OutOfCoreReconstructor, PipelinedReconstructor, RankLayout, ReduceMode,
 };
 use scalefbp_faults::{FaultPlan, FaultScenario, RecoveryEvent};
 use scalefbp_geom::{CbctGeometry, DatasetPreset, ProjectionStack};
@@ -198,6 +199,43 @@ fn parse_fault_plan(
     Ok(None)
 }
 
+/// Resolves `--checkpoint-dir` / `--checkpoint-every` / `--resume` into
+/// a storage endpoint rooted at the checkpoint directory plus the spec
+/// the drivers consume. `--resume` without `--checkpoint-dir` is an
+/// error; stale or corrupt manifests surface later as clear
+/// `checkpoint error:` messages from the drivers.
+fn parse_checkpoint_spec(
+    args: &mut Args,
+) -> Result<Option<(StorageEndpoint, CheckpointSpec)>, CliError> {
+    let dir = args.opt("checkpoint-dir");
+    let every = args.opt("checkpoint-every");
+    let resume = args.flag("resume");
+    let Some(dir) = dir else {
+        if resume || every.is_some() {
+            return Err(CliError::Message(
+                "--resume/--checkpoint-every need --checkpoint-dir DIR".into(),
+            ));
+        }
+        return Ok(None);
+    };
+    let every: usize =
+        match every {
+            Some(e) => e.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                CliError::Message(format!("bad --checkpoint-every `{e}` (want ≥ 1)"))
+            })?,
+            None => 1,
+        };
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CliError::Message(format!("--checkpoint-dir {}: {e}", dir.display())))?;
+    let endpoint = StorageEndpoint::local_nvme(Some(dir));
+    let mut spec = CheckpointSpec::new("", every);
+    if resume {
+        spec = spec.resuming();
+    }
+    Ok(Some((endpoint, spec)))
+}
+
 /// Fault scenario for a single-rank pipeline run: only device and
 /// storage faults are meaningful for a generated plan.
 fn single_rank_scenario() -> FaultScenario {
@@ -208,6 +246,7 @@ fn single_rank_scenario() -> FaultScenario {
         message_delays: 0,
         device_faults: 2,
         io_faults: 2,
+        corrupt_faults: 0,
         op_horizon: 16,
     }
 }
@@ -265,6 +304,16 @@ fn load_or_synthesize(
     }
 }
 
+fn checkpoint_note(checkpoint: &Option<(StorageEndpoint, CheckpointSpec)>) -> String {
+    match checkpoint {
+        Some((_, spec)) if spec.resume => {
+            format!(", resumed from checkpoint (every {})", spec.every)
+        }
+        Some((_, spec)) => format!(", checkpointing every {}", spec.every),
+        None => String::new(),
+    }
+}
+
 fn recovery_summary(events: &[RecoveryEvent]) -> String {
     if events.is_empty() {
         return ", no recoveries".to_string();
@@ -298,6 +347,12 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
         .parse()
         .map_err(CliError::Message)?;
     let reduce_mode = parse_reduce_mode(args)?;
+    let checkpoint = parse_checkpoint_spec(args)?;
+    if checkpoint.is_some() && mode != "outofcore" && mode != "distributed" {
+        return Err(CliError::Message(format!(
+            "--checkpoint-dir needs --mode outofcore or distributed (got `{mode}`)"
+        )));
+    }
 
     let geom = geometry_from_text(&std::fs::read_to_string(&geom_path)?)
         .map_err(|e| CliError::Message(format!("{}: {e}", geom_path.display())))?;
@@ -345,11 +400,14 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                     .with_filter(filter_mode);
                 let rec = OutOfCoreReconstructor::with_observability(cfg, MetricsRegistry::new())
                     .map_err(|e| CliError::Message(e.to_string()))?;
-                let (v, report) = rec
-                    .reconstruct(&projections)
-                    .map_err(|e| CliError::Message(e.to_string()))?;
+                let (v, report) = match &checkpoint {
+                    Some((ep, spec)) => rec.reconstruct_checkpointed(&projections, ep, spec),
+                    None => rec.reconstruct(&projections),
+                }
+                .map_err(|e| CliError::Message(e.to_string()))?;
+                let ckpt_note = checkpoint_note(&checkpoint);
                 let detail = format!(
-                    "out-of-core: N_b={} over {} batches, H2D {:.1} MB",
+                    "out-of-core: N_b={} over {} batches, H2D {:.1} MB{ckpt_note}",
                     report.nb,
                     report.batches.len(),
                     report.device.h2d_bytes as f64 / 1e6
@@ -407,18 +465,31 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                 let cfg = FdkConfig::new(geom.clone())
                     .with_window(window)
                     .with_reduce_mode(reduce_mode);
-                let out = fault_tolerant_reconstruct_observed(
-                    &cfg,
-                    RankLayout::new(nr, ng, 2),
-                    &projections,
-                    &plan,
-                    MetricsRegistry::new(),
-                )
+                let layout = RankLayout::new(nr, ng, 2);
+                let out = match &checkpoint {
+                    Some((ep, spec)) => fault_tolerant_reconstruct_checkpointed(
+                        &cfg,
+                        layout,
+                        &projections,
+                        &plan,
+                        MetricsRegistry::new(),
+                        ep,
+                        spec,
+                    ),
+                    None => fault_tolerant_reconstruct_observed(
+                        &cfg,
+                        layout,
+                        &projections,
+                        &plan,
+                        MetricsRegistry::new(),
+                    ),
+                }
                 .map_err(|e| CliError::Message(e.to_string()))?;
                 let detail = format!(
                     "fault-tolerant distributed: N_r={nr} N_g={ng}, \
-                     {reduce_mode} reduce, {:.1} MB network{}",
+                     {reduce_mode} reduce, {:.1} MB network{}{}",
                     out.network.bytes as f64 / 1e6,
+                    checkpoint_note(&checkpoint),
                     recovery_summary(&out.recovery)
                 );
                 let trace = out.chrome_trace();

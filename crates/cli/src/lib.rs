@@ -78,6 +78,11 @@ COMMANDS:
               [--fault-seed N | --fault-plan FILE]
                   inject a deterministic fault schedule (pipeline and
                   distributed modes) and recover; prints the recovery log
+              [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+                  crash-consistent slab checkpoints (outofcore and
+                  distributed modes); --resume picks up from the latest
+                  valid checkpoint, bitwise identical to an uninterrupted
+                  run (see docs/checkpointing.md)
               [--trace-out trace.json] [--metrics-out metrics.json] [--stats]
                   export the deterministic chrome trace / metrics snapshot
                   (see docs/observability.md); --stats prints the table

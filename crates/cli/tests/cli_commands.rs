@@ -468,6 +468,170 @@ fn trace_validate_rejects_garbage() {
     assert!(call(&["trace-validate", "--trace", bad.to_str().unwrap()]).is_err());
 }
 
+/// Checkpoint flags are validated up front: `--resume` /
+/// `--checkpoint-every` need a directory, the directory needs a
+/// checkpointable mode, and the interval must be ≥ 1.
+#[test]
+fn checkpoint_flag_validation() {
+    let dir = tmpdir("ckptflags");
+    let scan = dir.join("scan.sfbp");
+    call(&["simulate", "--ideal", "16", "--out", scan.to_str().unwrap()]).unwrap();
+    let vol = dir.join("vol.sfbp");
+    let ck = dir.join("ck");
+
+    let base = |extra: &[&str]| {
+        let mut t = vec![
+            "reconstruct",
+            "--scan",
+            scan.to_str().unwrap(),
+            "--out",
+            vol.to_str().unwrap(),
+        ];
+        t.extend_from_slice(extra);
+        call(&t)
+    };
+
+    let err = base(&["--resume"]);
+    assert!(format!("{err:?}").contains("--checkpoint-dir"), "{err:?}");
+    let err = base(&["--checkpoint-every", "2"]);
+    assert!(format!("{err:?}").contains("--checkpoint-dir"), "{err:?}");
+    let err = base(&["--checkpoint-dir", ck.to_str().unwrap(), "--mode", "incore"]);
+    assert!(
+        format!("{err:?}").contains("needs --mode outofcore or distributed"),
+        "{err:?}"
+    );
+    let err = base(&[
+        "--checkpoint-dir",
+        ck.to_str().unwrap(),
+        "--mode",
+        "outofcore",
+        "--checkpoint-every",
+        "0",
+    ]);
+    assert!(
+        format!("{err:?}").contains("bad --checkpoint-every"),
+        "{err:?}"
+    );
+}
+
+/// Both checkpointable modes write a manifest, produce output bitwise
+/// identical to an uncheckpointed run, and `--resume` replays entirely
+/// from the checkpoint with the same bytes.
+#[test]
+fn checkpointed_reconstruct_and_resume_are_bitwise() {
+    let dir = tmpdir("ckptrun");
+    let scan = dir.join("scan.sfbp");
+    call(&["simulate", "--ideal", "16", "--out", scan.to_str().unwrap()]).unwrap();
+
+    for (mode, extra) in [
+        ("outofcore", vec!["--device", "tiny:2000000"]),
+        ("distributed", vec!["--nr", "2", "--ng", "2"]),
+    ] {
+        let golden = dir.join(format!("golden_{mode}.sfbp"));
+        let mut tokens = vec![
+            "reconstruct",
+            "--scan",
+            scan.to_str().unwrap(),
+            "--out",
+            golden.to_str().unwrap(),
+            "--mode",
+            mode,
+        ];
+        tokens.extend(&extra);
+        call(&tokens).unwrap();
+        let golden_bytes = std::fs::read(&golden).unwrap();
+
+        let ck = dir.join(format!("ck_{mode}"));
+        let vol = dir.join(format!("vol_{mode}.sfbp"));
+        let mut tokens = vec![
+            "reconstruct",
+            "--scan",
+            scan.to_str().unwrap(),
+            "--out",
+            vol.to_str().unwrap(),
+            "--mode",
+            mode,
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+        ];
+        tokens.extend(&extra);
+        let out = call(&tokens).unwrap();
+        assert!(out.contains("checkpointing every 2"), "{mode}: {out}");
+        assert!(
+            ck.join("MANIFEST.txt").exists(),
+            "{mode}: no manifest written"
+        );
+        assert_eq!(
+            std::fs::read(&vol).unwrap(),
+            golden_bytes,
+            "{mode}: checkpointed run differs from plain run"
+        );
+
+        tokens.push("--resume");
+        let out = call(&tokens).unwrap();
+        assert!(out.contains("resumed from checkpoint"), "{mode}: {out}");
+        assert_eq!(
+            std::fs::read(&vol).unwrap(),
+            golden_bytes,
+            "{mode}: resumed run differs from plain run"
+        );
+    }
+}
+
+/// A checkpoint written under a different configuration is refused as
+/// stale, and a mangled manifest is a loud checksum error — neither is
+/// silently discarded.
+#[test]
+fn stale_or_corrupt_checkpoint_is_refused() {
+    let dir = tmpdir("ckptbad");
+    let scan = dir.join("scan.sfbp");
+    call(&["simulate", "--ideal", "16", "--out", scan.to_str().unwrap()]).unwrap();
+    let vol = dir.join("vol.sfbp");
+    let ck = dir.join("ck");
+
+    let run = |window: &str, resume: bool| {
+        let mut t = vec![
+            "reconstruct",
+            "--scan",
+            scan.to_str().unwrap(),
+            "--out",
+            vol.to_str().unwrap(),
+            "--mode",
+            "outofcore",
+            "--device",
+            "tiny:2000000",
+            "--window",
+            window,
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+        ];
+        if resume {
+            t.push("--resume");
+        }
+        call(&t)
+    };
+
+    run("hann", false).unwrap();
+
+    // Same directory, different window ⇒ different config fingerprint.
+    let err = run("ramlak", true);
+    assert!(format!("{err:?}").contains("stale"), "{err:?}");
+
+    // Flip one hex digit of the manifest's CRC trailer.
+    let manifest = ck.join("MANIFEST.txt");
+    let mut text = std::fs::read_to_string(&manifest).unwrap();
+    let flipped = if text.ends_with("0\n") { "1\n" } else { "0\n" };
+    text.replace_range(text.len() - 2.., flipped);
+    std::fs::write(&manifest, text).unwrap();
+    let err = run("hann", true);
+    assert!(
+        format!("{err:?}").contains("checkpoint manifest"),
+        "{err:?}"
+    );
+}
+
 #[test]
 fn helpful_errors() {
     assert!(call(&["reconstruct"]).is_err()); // missing --scan

@@ -1,0 +1,108 @@
+//! Glue between the reconstruction drivers and `scalefbp-ckpt`: config
+//! fingerprinting and the slab byte encoding the drivers checkpoint with.
+
+use scalefbp_ckpt::fingerprint;
+use scalefbp_geom::Volume;
+
+use crate::{FdkConfig, ReconstructionError};
+
+/// Canonical fingerprint of everything that determines a run's output
+/// bits: the full geometry, filtering, batching, kernel and reduction
+/// choices, plus a `driver` tag (e.g. `outofcore`, `distributed:4x2`) so
+/// a checkpoint written by one driver shape is never resumed by another.
+pub fn config_fingerprint(config: &FdkConfig, driver: &str) -> u64 {
+    let g = &config.geometry;
+    let canonical = format!(
+        "driver={driver};dso={};dsd={};np={};nu={};nv={};du={};dv={};\
+         nx={};ny={};nz={};dx={};dy={};dz={};su={};sv={};scor={};\
+         window={:?};nc={};device={};kernel={};filter={};reduce={}",
+        g.dso,
+        g.dsd,
+        g.np,
+        g.nu,
+        g.nv,
+        g.du,
+        g.dv,
+        g.nx,
+        g.ny,
+        g.nz,
+        g.dx,
+        g.dy,
+        g.dz,
+        g.sigma_u,
+        g.sigma_v,
+        g.sigma_cor,
+        config.window,
+        config.nc,
+        config.device.name,
+        config.kernel.name(),
+        config.filter.name(),
+        config.reduce_mode.name(),
+    );
+    fingerprint(&canonical)
+}
+
+/// Encodes a slab volume's voxels as the little-endian f32 payload the
+/// checkpoint store seals. The z-range is carried by the manifest key,
+/// not the payload.
+pub fn slab_to_bytes(slab: &Volume) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(slab.len() * 4);
+    for v in slab.data() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+/// Decodes a checkpointed payload back into a slab at `z = (z0, z1)` of
+/// an `nx × ny` volume.
+pub fn slab_from_bytes(
+    nx: usize,
+    ny: usize,
+    z: (usize, usize),
+    bytes: &[u8],
+) -> Result<Volume, ReconstructionError> {
+    let nz = z.1 - z.0;
+    if bytes.len() != nx * ny * nz * 4 {
+        return Err(ReconstructionError::Checkpoint(format!(
+            "slab {}..{} payload is {} B, expected {}",
+            z.0,
+            z.1,
+            bytes.len(),
+            nx * ny * nz * 4
+        )));
+    }
+    let mut slab = Volume::zeros_slab(nx, ny, nz, z.0);
+    for (dst, src) in slab.data_mut().iter_mut().zip(bytes.chunks_exact(4)) {
+        *dst = f32::from_le_bytes([src[0], src[1], src[2], src[3]]);
+    }
+    Ok(slab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalefbp_geom::CbctGeometry;
+
+    #[test]
+    fn fingerprint_separates_configs_and_drivers() {
+        let cfg = FdkConfig::new(CbctGeometry::ideal(16, 8, 24, 20));
+        let base = config_fingerprint(&cfg, "outofcore");
+        assert_eq!(base, config_fingerprint(&cfg, "outofcore"));
+        assert_ne!(base, config_fingerprint(&cfg, "distributed:2x2"));
+        let other = FdkConfig::new(CbctGeometry::ideal(16, 8, 24, 20)).with_nc(3);
+        assert_ne!(base, config_fingerprint(&other, "outofcore"));
+    }
+
+    #[test]
+    fn slab_bytes_round_trip() {
+        let mut slab = Volume::zeros_slab(3, 4, 2, 7);
+        for (i, v) in slab.data_mut().iter_mut().enumerate() {
+            *v = i as f32 * 0.25 - 3.0;
+        }
+        let bytes = slab_to_bytes(&slab);
+        let back = slab_from_bytes(3, 4, (7, 9), &bytes).unwrap();
+        assert_eq!(back.data(), slab.data());
+        assert_eq!(back.z_offset(), 7);
+        assert!(slab_from_bytes(3, 4, (7, 10), &bytes).is_err());
+    }
+}

@@ -22,6 +22,16 @@ pub enum ReconstructionError {
     Device(DeviceError),
     /// Projection data does not match the geometry.
     ShapeMismatch(String),
+    /// The checkpoint subsystem refused to open, read or commit — a
+    /// corrupt manifest, a stale config fingerprint, or storage failure.
+    Checkpoint(String),
+    /// The run was killed by the chaos harness after committing
+    /// checkpoints. Not a failure: a resumed run picks up from the
+    /// committed slabs and produces the identical volume.
+    Interrupted {
+        /// Slab checkpoints this run committed before dying.
+        completed_slabs: usize,
+    },
 }
 
 impl std::fmt::Display for ReconstructionError {
@@ -34,6 +44,11 @@ impl std::fmt::Display for ReconstructionError {
             ),
             ReconstructionError::Device(e) => write!(f, "device error: {e}"),
             ReconstructionError::ShapeMismatch(what) => write!(f, "shape mismatch: {what}"),
+            ReconstructionError::Checkpoint(what) => write!(f, "checkpoint error: {what}"),
+            ReconstructionError::Interrupted { completed_slabs } => write!(
+                f,
+                "run interrupted by chaos kill switch after {completed_slabs} checkpointed slab(s)"
+            ),
         }
     }
 }
@@ -49,6 +64,12 @@ impl From<GeometryError> for ReconstructionError {
 impl From<DeviceError> for ReconstructionError {
     fn from(e: DeviceError) -> Self {
         ReconstructionError::Device(e)
+    }
+}
+
+impl From<scalefbp_ckpt::CheckpointError> for ReconstructionError {
+    fn from(e: scalefbp_ckpt::CheckpointError) -> Self {
+        ReconstructionError::Checkpoint(e.to_string())
     }
 }
 

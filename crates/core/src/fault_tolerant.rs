@@ -36,18 +36,21 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use scalefbp_backproject::backproject_parallel;
+use scalefbp_ckpt::{CheckpointSpec, CheckpointStore};
 use scalefbp_faults::{FaultInject, FaultInjector, FaultPlan, RecoveryEvent, RecoveryLog};
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{
     CbctGeometry, ProjectionMatrix, ProjectionStack, RankLayout, SubVolumeTask, Volume,
     VolumeDecomposition,
 };
+use scalefbp_iosim::StorageEndpoint;
 use scalefbp_mpisim::{
     segment_partition, CommError, Communicator, NetworkStats, ReduceMode, World,
 };
 use scalefbp_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 use scalefbp_pipeline::TraceCollector;
 
+use crate::checkpoint::{config_fingerprint, slab_from_bytes, slab_to_bytes};
 use crate::{FdkConfig, ReconstructionError};
 
 /// Worker → leader partial sub-volume, tag + batch index.
@@ -136,7 +139,14 @@ struct FtCtx<'a> {
     /// `ft.chunks.computed`, labelled with this rank — every
     /// [`compute_chunk`](Self::compute_chunk) call, including recoveries.
     chunks_computed: Counter,
+    /// `integrity.mpi.failures`, labelled with this rank — every sealed
+    /// frame whose CRC failed to verify on receive.
+    integrity_failures: Counter,
 }
+
+/// Checkpoint wiring handed to the root: storage endpoint, spec, and the
+/// config fingerprint the manifest must carry.
+type FtCkpt<'a> = (&'a StorageEndpoint, &'a CheckpointSpec, u64);
 
 impl FtCtx<'_> {
     /// The partial sub-volume rank `j` of `group` owes for `task`:
@@ -204,6 +214,48 @@ pub fn fault_tolerant_reconstruct_observed(
     plan: &FaultPlan,
     registry: MetricsRegistry,
 ) -> Result<FaultTolerantOutcome, ReconstructionError> {
+    ft_run(config, layout, projections, plan, registry, None)
+}
+
+/// [`fault_tolerant_reconstruct_observed`] with crash-consistent slab
+/// checkpoints committed by the root into `spec.dir` on `endpoint` every
+/// `spec.every` slabs. With `spec.resume`, groups whose slabs are all
+/// committed are loaded from the checkpoint instead of collected; the
+/// resumed volume is bitwise identical to an uninterrupted run under the
+/// same fault plan. The chaos harness arms `spec.kill_after_saves` to
+/// abort the root mid-run with [`ReconstructionError::Interrupted`] —
+/// shutdown is still delivered to every rank, so the world joins cleanly.
+pub fn fault_tolerant_reconstruct_checkpointed(
+    config: &FdkConfig,
+    layout: RankLayout,
+    projections: &ProjectionStack,
+    plan: &FaultPlan,
+    registry: MetricsRegistry,
+    endpoint: &StorageEndpoint,
+    spec: &CheckpointSpec,
+) -> Result<FaultTolerantOutcome, ReconstructionError> {
+    let fp = config_fingerprint(
+        config,
+        &format!("distributed:nr={},ng={}", layout.nr, layout.ng),
+    );
+    ft_run(
+        config,
+        layout,
+        projections,
+        plan,
+        registry,
+        Some((endpoint, spec, fp)),
+    )
+}
+
+fn ft_run(
+    config: &FdkConfig,
+    layout: RankLayout,
+    projections: &ProjectionStack,
+    plan: &FaultPlan,
+    registry: MetricsRegistry,
+    ckpt: Option<FtCkpt>,
+) -> Result<FaultTolerantOutcome, ReconstructionError> {
     config.validate()?;
     let g = &config.geometry;
     if projections.nv() != g.nv || projections.np() != g.np || projections.nu() != g.nu {
@@ -246,10 +298,12 @@ pub fn fault_tolerant_reconstruct_observed(
                 scale: filter.backprojection_scale() as f32,
                 reduce_mode: config.reduce_mode,
                 chunks_computed: registry_ref.rank_counter("ft.chunks.computed", comm.rank()),
+                integrity_failures: registry_ref
+                    .rank_counter("integrity.mpi.failures", comm.rank()),
             };
             let assign = layout.assignment(g, comm.rank());
             if comm.rank() == 0 {
-                Some(ft_root(&mut comm, &ctx))
+                Some(ft_root(&mut comm, &ctx, ckpt))
             } else if assign.is_group_leader {
                 ft_leader(&mut comm, &ctx);
                 None
@@ -264,7 +318,7 @@ pub fn fault_tolerant_reconstruct_observed(
         .into_iter()
         .next()
         .flatten()
-        .expect("rank 0 must assemble the volume");
+        .expect("rank 0 must assemble the volume")?;
     Ok(FaultTolerantOutcome {
         volume,
         network,
@@ -307,7 +361,7 @@ fn ft_worker(comm: &mut Communicator, ctx: &FtCtx) {
             Ok(payload) => {
                 let (b, j) = decode_ctrl(&payload);
                 let chunk = ctx.compute_chunk(assign.group, &decomp.tasks()[b], j);
-                comm.send_f32(leader, RECHUNK_TAG + b as u64, chunk.data());
+                let _ = comm.send_f32_checked(leader, RECHUNK_TAG + b as u64, chunk.data());
                 if comm.self_failed() {
                     return dead_wait(comm);
                 }
@@ -355,14 +409,16 @@ fn send_chunk(
                 if part.is_empty() {
                     continue;
                 }
-                comm.send_f32(
+                let _ = comm.send_f32_checked(
                     leader,
                     SEGPIECE_TAG + (b * nr + s) as u64,
                     &chunk.data()[part.start * stride..part.end * stride],
                 );
             }
         }
-        _ => comm.send_f32(leader, CHUNK_TAG + b as u64, chunk.data()),
+        _ => {
+            let _ = comm.send_f32_checked(leader, CHUNK_TAG + b as u64, chunk.data());
+        }
     }
 }
 
@@ -386,7 +442,8 @@ fn recv_chunk_pieces(
         if part.is_empty() || pieces[s].is_some() {
             continue;
         }
-        let piece = comm.recv_f32_timeout(from, SEGPIECE_TAG + (b * nr + s) as u64, timeout)?;
+        let piece =
+            comm.recv_f32_checked_timeout(from, SEGPIECE_TAG + (b * nr + s) as u64, timeout)?;
         debug_assert_eq!(piece.len(), part.len() * stride, "piece length mismatch");
         pieces[s] = Some(piece);
     }
@@ -406,7 +463,7 @@ fn ft_takeover(comm: &mut Communicator, ctx: &FtCtx, group: usize) {
     let decomp = ctx.group_decomp(group);
     for task in decomp.tasks() {
         let slab = ctx.recompute_task(group, task);
-        comm.send_f32(0, TAKEOVER_SLAB_TAG + task.z_begin as u64, slab.data());
+        let _ = comm.send_f32_checked(0, TAKEOVER_SLAB_TAG + task.z_begin as u64, slab.data());
     }
 }
 
@@ -455,7 +512,7 @@ fn ft_collect_group_as_leader(
                         &mut pieces,
                         backoff(CHUNK_TIMEOUT, attempt),
                     ),
-                    _ => comm.recv_f32_timeout(
+                    _ => comm.recv_f32_checked_timeout(
                         from,
                         CHUNK_TAG + b as u64,
                         backoff(CHUNK_TIMEOUT, attempt),
@@ -465,6 +522,29 @@ fn ft_collect_group_as_leader(
                     Ok(data) => {
                         *slot = Some(data);
                         break;
+                    }
+                    // A corrupt frame was consumed and discarded — from
+                    // here on it is indistinguishable from a dropped
+                    // message, so it shares the timeout bookkeeping: the
+                    // retry waits for a resend that never comes, and the
+                    // sender is declared dead and its work requeued.
+                    Err(CommError::IntegrityFailure { detail, .. }) => {
+                        attempt += 1;
+                        ctx.integrity_failures.inc();
+                        ctx.recovery.record(RecoveryEvent::CorruptionDetected {
+                            rank: me,
+                            what: format!("chunk {b} from rank {from}: {detail}"),
+                            attempt,
+                        });
+                        if attempt >= MAX_ATTEMPTS {
+                            dead.insert(j);
+                            ctx.recovery.record(RecoveryEvent::RankDeclaredDead {
+                                group,
+                                rank: from,
+                                detected_by: me,
+                            });
+                            break;
+                        }
                     }
                     Err(CommError::Timeout { .. }) => {
                         attempt += 1;
@@ -510,7 +590,7 @@ fn ft_collect_group_as_leader(
                 comm.send(target, CTRL_TAG, encode_ctrl(b, j));
                 let mut attempt = 0u32;
                 loop {
-                    match comm.recv_f32_timeout(
+                    match comm.recv_f32_checked_timeout(
                         target,
                         RECHUNK_TAG + b as u64,
                         backoff(CHUNK_TIMEOUT, attempt),
@@ -518,6 +598,24 @@ fn ft_collect_group_as_leader(
                         Ok(d) => {
                             data = Some(d);
                             break;
+                        }
+                        Err(CommError::IntegrityFailure { detail, .. }) => {
+                            attempt += 1;
+                            ctx.integrity_failures.inc();
+                            ctx.recovery.record(RecoveryEvent::CorruptionDetected {
+                                rank: me,
+                                what: format!("recomputed chunk {b} from rank {target}: {detail}"),
+                                attempt,
+                            });
+                            if attempt >= MAX_ATTEMPTS {
+                                dead.insert(t);
+                                ctx.recovery.record(RecoveryEvent::RankDeclaredDead {
+                                    group,
+                                    rank: target,
+                                    detected_by: me,
+                                });
+                                break;
+                            }
                         }
                         Err(CommError::Timeout { .. }) => {
                             attempt += 1;
@@ -587,7 +685,7 @@ fn ft_leader(comm: &mut Communicator, ctx: &FtCtx) {
     match ft_collect_group_as_leader(comm, ctx, assign.group) {
         Some(finished) => {
             for slab in &finished {
-                comm.send_f32(0, SLAB_TAG + slab.z_offset() as u64, slab.data());
+                let _ = comm.send_f32_checked(0, SLAB_TAG + slab.z_offset() as u64, slab.data());
             }
             if comm.self_failed() {
                 return dead_wait(comm);
@@ -598,24 +696,106 @@ fn ft_leader(comm: &mut Communicator, ctx: &FtCtx) {
     }
 }
 
-fn ft_root(comm: &mut Communicator, ctx: &FtCtx) -> Volume {
-    // Rank 0 leads group 0 itself.
-    let own = ft_collect_group_as_leader(comm, ctx, 0)
-        .expect("rank 0 must not be a fault target (it is the recovery coordinator)");
-    let mut out = Volume::zeros(ctx.g.nx, ctx.g.ny, ctx.g.nz);
-    for slab in &own {
-        out.paste_slab(slab);
-    }
-    for group in 1..ctx.layout.ng {
-        for slab in ft_collect_group_slabs(comm, ctx, group) {
-            out.paste_slab(&slab);
-        }
-    }
-    // Reliable shutdown to every rank, dead or alive.
+fn ft_root(
+    comm: &mut Communicator,
+    ctx: &FtCtx,
+    ckpt: Option<FtCkpt>,
+) -> Result<Volume, ReconstructionError> {
+    let result = ft_root_inner(comm, ctx, ckpt);
+    // Reliable shutdown to every rank, dead or alive — also on the error
+    // paths (checkpoint failure, chaos kill), so the world always joins.
     for r in 1..comm.size() {
         comm.send_control(r, SHUTDOWN_TAG, vec![0]);
     }
-    out
+    result
+}
+
+fn ft_root_inner(
+    comm: &mut Communicator,
+    ctx: &FtCtx,
+    ckpt: Option<FtCkpt>,
+) -> Result<Volume, ReconstructionError> {
+    let mut store: Option<CheckpointStore> = None;
+    let mut committed: Vec<(usize, usize)> = Vec::new();
+    let (every, kill_after) = match ckpt {
+        Some((endpoint, spec, fp)) => {
+            let s = if spec.resume {
+                CheckpointStore::open_or_create(endpoint, &spec.dir, fp)?
+            } else {
+                CheckpointStore::create(endpoint, &spec.dir, fp)?
+            };
+            committed = s.manifest().committed_ranges();
+            store = Some(s);
+            (spec.every, spec.kill_after_saves)
+        }
+        None => (1, None),
+    };
+
+    let mut out = Volume::zeros(ctx.g.nx, ctx.g.ny, ctx.g.nz);
+    let mut pending: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+    for group in 0..ctx.layout.ng {
+        let ranges: Vec<(usize, usize)> = ctx
+            .group_decomp(group)
+            .tasks()
+            .iter()
+            .map(|t| (t.z_begin, t.z_begin + t.nz()))
+            .collect();
+
+        // Resume: a group whose slabs are all committed is loaded, not
+        // collected. Its ranks still compute and send — those messages
+        // sit in mailboxes until shutdown — so the fault replay under a
+        // given plan stays deterministic.
+        if let Some(s) = store
+            .as_ref()
+            .filter(|_| ranges.iter().all(|r| committed.contains(r)))
+        {
+            for z in ranges {
+                let payload = s.load_slab(z, Some(ctx.recovery))?;
+                out.paste_slab(&slab_from_bytes(ctx.g.nx, ctx.g.ny, z, &payload)?);
+            }
+            continue;
+        }
+
+        let slabs = if group == 0 {
+            // Rank 0 leads group 0 itself.
+            ft_collect_group_as_leader(comm, ctx, 0)
+                .expect("rank 0 must not be a fault target (it is the recovery coordinator)")
+        } else {
+            ft_collect_group_slabs(comm, ctx, group)
+        };
+        for slab in &slabs {
+            out.paste_slab(slab);
+            if let Some(s) = store.as_mut() {
+                let z0 = slab.z_offset();
+                pending.push((z0, z0 + slab.nz(), slab_to_bytes(slab)));
+                if pending.len() >= every {
+                    flush_saves(s, &mut pending, kill_after)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Durably commits the pending slabs one by one, checking the chaos kill
+/// switch after each commit — so a kill can land between a slab's commit
+/// and the next, exactly the crash window the resume path must cover.
+fn flush_saves(
+    store: &mut CheckpointStore,
+    pending: &mut Vec<(usize, usize, Vec<u8>)>,
+    kill_after: Option<usize>,
+) -> Result<(), ReconstructionError> {
+    for (z0, z1, payload) in pending.drain(..) {
+        store.save_slab(z0, z1, &payload)?;
+        if let Some(k) = kill_after {
+            if store.saves_this_run() >= k {
+                return Err(ReconstructionError::Interrupted {
+                    completed_slabs: store.saves_this_run(),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Root-side collection of one remote group's finished slabs, degrading
@@ -683,12 +863,29 @@ fn try_collect_slabs(
     for task in tasks {
         let mut attempt = 0u32;
         let data = loop {
-            match comm.recv_f32_timeout(
+            match comm.recv_f32_checked_timeout(
                 provider,
                 tag_base + task.z_begin as u64,
                 backoff(SLAB_TIMEOUT, attempt),
             ) {
                 Ok(d) => break d,
+                Err(CommError::IntegrityFailure { detail, .. }) => {
+                    attempt += 1;
+                    ctx.integrity_failures.inc();
+                    ctx.recovery.record(RecoveryEvent::CorruptionDetected {
+                        rank: 0,
+                        what: format!("slab z{} from rank {provider}: {detail}", task.z_begin),
+                        attempt,
+                    });
+                    if attempt >= MAX_ATTEMPTS {
+                        ctx.recovery.record(RecoveryEvent::RankDeclaredDead {
+                            group,
+                            rank: provider,
+                            detected_by: 0,
+                        });
+                        return None;
+                    }
+                }
                 Err(CommError::Timeout { .. }) => {
                     attempt += 1;
                     ctx.recovery.record(RecoveryEvent::MessageRetry {
@@ -832,6 +1029,95 @@ mod tests {
             .collect();
         assert_eq!(volumes[0], volumes[1], "dense vs hierarchical");
         assert_eq!(volumes[0], volumes[2], "dense vs segmented");
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_and_recovered_bitwise() {
+        let _serial = crate::TIMING_TEST_LOCK.lock();
+        let g = CbctGeometry::ideal(16, 16, 24, 20);
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let layout = RankLayout::new(2, 2, 2);
+        let cfg = FdkConfig::new(g)
+            .with_nc(2)
+            .with_reduce_mode(ReduceMode::Segmented);
+        let golden = fault_tolerant_reconstruct(&cfg, layout, &p, &FaultPlan::none())
+            .unwrap()
+            .volume;
+        // Corrupt the first sealed frame rank 1 sends: its leader detects
+        // the CRC mismatch, the retry times out (the frame was consumed),
+        // and the chunk is requeued — bitwise-identical recovery.
+        let plan = FaultPlan::from_events(vec![scalefbp_faults::FaultEvent {
+            rank: 1,
+            channel: scalefbp_faults::Channel::Corrupt,
+            op_index: 0,
+            kind: scalefbp_faults::FaultKind::BitFlip { seed: 7 },
+        }]);
+        let out =
+            fault_tolerant_reconstruct_observed(&cfg, layout, &p, &plan, MetricsRegistry::new())
+                .unwrap();
+        assert_eq!(out.volume.data(), golden.data());
+        assert!(
+            out.recovery
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::CorruptionDetected { .. })),
+            "no corruption recorded: {:?}",
+            out.recovery
+        );
+        let detected: u64 = (0..layout.num_ranks())
+            .filter_map(|r| out.metrics.counter("integrity.mpi.failures", Some(r)))
+            .sum();
+        assert!(detected >= 1, "integrity.mpi.failures not recorded");
+    }
+
+    #[test]
+    fn checkpointed_distributed_run_resumes_bitwise() {
+        let _serial = crate::TIMING_TEST_LOCK.lock();
+        let g = CbctGeometry::ideal(16, 16, 24, 20);
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let layout = RankLayout::new(2, 2, 2);
+        let cfg = FdkConfig::new(g)
+            .with_nc(2)
+            .with_reduce_mode(ReduceMode::Segmented);
+        let golden = fault_tolerant_reconstruct(&cfg, layout, &p, &FaultPlan::none())
+            .unwrap()
+            .volume;
+
+        let d = std::env::temp_dir().join(format!("scalefbp-ft-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        let ep = StorageEndpoint::local_nvme(Some(d));
+        // Kill after group 0's two slabs commit, mid-distributed-run.
+        let spec = CheckpointSpec::new("ck", 1).killing_after(2);
+        match fault_tolerant_reconstruct_checkpointed(
+            &cfg,
+            layout,
+            &p,
+            &FaultPlan::none(),
+            MetricsRegistry::new(),
+            &ep,
+            &spec,
+        ) {
+            Err(ReconstructionError::Interrupted { completed_slabs: 2 }) => {}
+            other => panic!("kill switch did not fire: {:?}", other.map(|_| ())),
+        }
+
+        let resume = CheckpointSpec::new("ck", 1).resuming();
+        let out = fault_tolerant_reconstruct_checkpointed(
+            &cfg,
+            layout,
+            &p,
+            &FaultPlan::none(),
+            MetricsRegistry::new(),
+            &ep,
+            &resume,
+        )
+        .unwrap();
+        assert_eq!(
+            out.volume.data(),
+            golden.data(),
+            "resumed distributed run must be bitwise identical"
+        );
+        let snap = ep.metrics_registry().snapshot();
+        assert_eq!(snap.counter("ckpt.resumed.slabs", None), Some(2));
     }
 
     #[test]

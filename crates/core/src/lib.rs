@@ -69,6 +69,7 @@
 pub(crate) static TIMING_TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
 
 pub mod baselines;
+pub mod checkpoint;
 mod config;
 mod distributed;
 mod fault_tolerant;
@@ -78,16 +79,19 @@ mod pipelined;
 pub mod shortscan;
 pub mod timing;
 
+pub use checkpoint::config_fingerprint;
 pub use config::{FdkConfig, FilterChoice, KernelChoice, ReconstructionError, ReduceMode};
 pub use distributed::{distributed_reconstruct, DistributedOutcome};
 pub use fault_tolerant::{
-    fault_tolerant_reconstruct, fault_tolerant_reconstruct_observed, FaultTolerantOutcome,
+    fault_tolerant_reconstruct, fault_tolerant_reconstruct_checkpointed,
+    fault_tolerant_reconstruct_observed, FaultTolerantOutcome,
 };
 pub use fdk::{
     fdk_reconstruct, fdk_reconstruct_configured, fdk_reconstruct_slab, fdk_reconstruct_with,
 };
 pub use outofcore::{OutOfCoreReconstructor, OutOfCoreReport};
 pub use pipelined::{PipelineReport, PipelinedReconstructor};
+pub use scalefbp_ckpt::{CheckpointSpec, CheckpointStore};
 pub use shortscan::fdk_reconstruct_short_scan;
 
 /// Re-exports of every substrate crate.

@@ -3,13 +3,16 @@
 use std::sync::Arc;
 
 use scalefbp_backproject::{KernelStats, TextureWindow};
+use scalefbp_ckpt::{resume_partition, CheckpointSpec, CheckpointStore};
 use scalefbp_faults::{FaultInject, NoFaults};
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, Volume, VolumeDecomposition};
 use scalefbp_gpusim::{Device, DeviceCounters};
+use scalefbp_iosim::StorageEndpoint;
 use scalefbp_obs::{MetricsRegistry, MetricsSnapshot};
 use scalefbp_pipeline::TraceCollector;
 
+use crate::checkpoint::{config_fingerprint, slab_from_bytes, slab_to_bytes};
 use crate::fdk::{run_filter, run_window_backprojection};
 use crate::{FdkConfig, ReconstructionError};
 
@@ -186,6 +189,30 @@ impl OutOfCoreReconstructor {
         &self,
         projections: &ProjectionStack,
     ) -> Result<(Volume, OutOfCoreReport), ReconstructionError> {
+        self.reconstruct_inner(projections, None)
+    }
+
+    /// [`reconstruct`](Self::reconstruct) with crash-consistent slab
+    /// checkpoints committed into `spec.dir` on `endpoint` every
+    /// `spec.every` slabs. With `spec.resume`, slabs already committed by
+    /// an earlier (interrupted) run are loaded instead of recomputed; the
+    /// resumed volume is bitwise identical to an uninterrupted run. The
+    /// chaos harness arms `spec.kill_after_saves` to abort mid-run with
+    /// [`ReconstructionError::Interrupted`].
+    pub fn reconstruct_checkpointed(
+        &self,
+        projections: &ProjectionStack,
+        endpoint: &StorageEndpoint,
+        spec: &CheckpointSpec,
+    ) -> Result<(Volume, OutOfCoreReport), ReconstructionError> {
+        self.reconstruct_inner(projections, Some((endpoint, spec)))
+    }
+
+    fn reconstruct_inner(
+        &self,
+        projections: &ProjectionStack,
+        ckpt: Option<(&StorageEndpoint, &CheckpointSpec)>,
+    ) -> Result<(Volume, OutOfCoreReport), ReconstructionError> {
         let g = &self.config.geometry;
         if projections.nv() != g.nv || projections.np() != g.np || projections.nu() != g.nu {
             return Err(ReconstructionError::ShapeMismatch(format!(
@@ -215,6 +242,26 @@ impl OutOfCoreReconstructor {
         let _window_buf = self.device.alloc(window_bytes)?;
         let mut window = TextureWindow::new(self.window_rows, g.np, g.nu, 0);
 
+        // Checkpoint store + resume partition. `done` holds indices of
+        // tasks whose slabs an earlier run already committed.
+        let mut store: Option<CheckpointStore> = None;
+        let mut done: Vec<usize> = Vec::new();
+        if let Some((endpoint, spec)) = ckpt {
+            let fp = config_fingerprint(&self.config, "outofcore");
+            let s = if spec.resume {
+                CheckpointStore::open_or_create(endpoint, &spec.dir, fp)?
+            } else {
+                CheckpointStore::create(endpoint, &spec.dir, fp)?
+            };
+            let ranges: Vec<(usize, usize)> = decomp
+                .tasks()
+                .iter()
+                .map(|t| (t.z_begin, t.z_begin + t.nz()))
+                .collect();
+            done = resume_partition(&ranges, &s.manifest().committed_ranges()).0;
+            store = Some(s);
+        }
+
         let mut out = Volume::zeros(g.nx, g.ny, g.nz);
         let mut batches = Vec::with_capacity(decomp.num_subvolumes());
         let mut kernel = KernelStats::default();
@@ -222,9 +269,36 @@ impl OutOfCoreReconstructor {
         let rows_loaded = self.registry.counter("ooc.rows.loaded");
         let kernel_updates = self.registry.counter("ooc.kernel.updates");
 
-        for task in decomp.tasks() {
+        // Whether the previous task's rows went through the normal compute
+        // path: only then does the differential `new_rows` load suffice.
+        // After a resumed (skipped) task the ring buffer is stale, so the
+        // next computed task reloads its full row range — back-projection
+        // reads only rows inside `task.rows`, which keeps the output
+        // bitwise identical to an uninterrupted run.
+        let mut prev_computed = false;
+        let mut pending: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+
+        for (i, task) in decomp.tasks().iter().enumerate() {
             let batch_start = std::time::Instant::now();
-            let r = task.new_rows;
+
+            if done.contains(&i) {
+                let z = (task.z_begin, task.z_begin + task.nz());
+                let payload = store.as_ref().unwrap().load_slab(z, None)?;
+                out.paste_slab(&slab_from_bytes(g.nx, g.ny, z, &payload)?);
+                prev_computed = false;
+                batches_done.inc();
+                batches.push(OocBatch {
+                    index: task.index,
+                    ..OocBatch::default()
+                });
+                continue;
+            }
+
+            let r = if prev_computed {
+                task.new_rows
+            } else {
+                task.rows
+            };
             let mut h2d_secs = 0.0;
             if !r.is_empty() {
                 h2d_secs = self.device.h2d((r.len() * g.np * g.nu * 4) as u64);
@@ -244,6 +318,23 @@ impl OutOfCoreReconstructor {
                 *v *= scale;
             }
             out.paste_slab(&slab);
+            prev_computed = true;
+
+            if let (Some(store), Some((_, spec))) = (store.as_mut(), ckpt) {
+                pending.push((task.z_begin, task.z_begin + task.nz(), slab_to_bytes(&slab)));
+                if pending.len() >= spec.every {
+                    for (z0, z1, payload) in pending.drain(..) {
+                        store.save_slab(z0, z1, &payload)?;
+                        if let Some(k) = spec.kill_after_saves {
+                            if store.saves_this_run() >= k {
+                                return Err(ReconstructionError::Interrupted {
+                                    completed_slabs: store.saves_this_run(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
 
             batches_done.inc();
             rows_loaded.add(r.len() as u64);
@@ -438,6 +529,91 @@ mod tests {
                 .counter("ooc.rows.loaded", None)
                 .map(|rows| rows * (g.np * g.nu * 4) as u64)
         );
+    }
+
+    fn ckpt_endpoint(tag: &str) -> StorageEndpoint {
+        let d =
+            std::env::temp_dir().join(format!("scalefbp-ooc-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        StorageEndpoint::local_nvme(Some(d))
+    }
+
+    #[test]
+    fn checkpointed_run_without_kill_matches_plain_run() {
+        let g = geom();
+        let p = projections(&g);
+        let cfg = tiny_device_config(&g, (g.projection_bytes() + g.volume_bytes()) as u64 / 3);
+        let rec = OutOfCoreReconstructor::new(cfg.clone()).unwrap();
+        let (plain, _) = rec.reconstruct(&p).unwrap();
+        let ep = ckpt_endpoint("clean");
+        let spec = CheckpointSpec::new("ck", 1);
+        let (vol, _) = rec.reconstruct_checkpointed(&p, &ep, &spec).unwrap();
+        assert_eq!(vol.data(), plain.data());
+        let snap = ep.metrics_registry().snapshot();
+        assert!(
+            snap.counter("ckpt.saves", None).unwrap() >= rec.plan().num_subvolumes() as u64 - 1
+        );
+    }
+
+    #[test]
+    fn killed_run_resumes_bitwise_identical() {
+        let g = geom();
+        let p = projections(&g);
+        let cfg = tiny_device_config(&g, (g.projection_bytes() + g.volume_bytes()) as u64 / 3);
+        let rec = OutOfCoreReconstructor::new(cfg).unwrap();
+        let n_tasks = rec.plan().num_subvolumes();
+        assert!(n_tasks >= 3, "need a few slabs to kill mid-run");
+        let (golden, _) = rec.reconstruct(&p).unwrap();
+
+        for kill_after in [1, n_tasks / 2, n_tasks - 1] {
+            let ep = ckpt_endpoint(&format!("kill{kill_after}"));
+            let spec = CheckpointSpec::new("ck", 1).killing_after(kill_after);
+            match rec.reconstruct_checkpointed(&p, &ep, &spec) {
+                Err(ReconstructionError::Interrupted { completed_slabs }) => {
+                    assert_eq!(completed_slabs, kill_after)
+                }
+                other => panic!("kill switch did not fire: {:?}", other.map(|_| ())),
+            }
+            let resume = CheckpointSpec::new("ck", 1).resuming();
+            let (vol, report) = rec.reconstruct_checkpointed(&p, &ep, &resume).unwrap();
+            assert_eq!(
+                vol.data(),
+                golden.data(),
+                "resume after kill@{kill_after} must be bitwise identical"
+            );
+            // The resumed run loaded (not recomputed) the committed slabs.
+            let resumed: usize = report
+                .batches
+                .iter()
+                .filter(|b| b.rows_loaded == 0 && b.bp_secs == 0.0)
+                .count();
+            assert_eq!(resumed, kill_after);
+            let snap = ep.metrics_registry().snapshot();
+            assert_eq!(
+                snap.counter("ckpt.resumed.slabs", None),
+                Some(kill_after as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn resume_with_mismatched_config_is_refused() {
+        let g = geom();
+        let p = projections(&g);
+        let cfg = tiny_device_config(&g, (g.projection_bytes() + g.volume_bytes()) as u64 / 3);
+        let ep = ckpt_endpoint("stale");
+        let rec = OutOfCoreReconstructor::new(cfg.clone()).unwrap();
+        let spec = CheckpointSpec::new("ck", 1).killing_after(1);
+        let _ = rec.reconstruct_checkpointed(&p, &ep, &spec);
+        // Same directory, different filter configuration: must refuse.
+        let other =
+            OutOfCoreReconstructor::new(cfg.with_filter(crate::FilterChoice::Fused)).unwrap();
+        match other.reconstruct_checkpointed(&p, &ep, &CheckpointSpec::new("ck", 1).resuming()) {
+            Err(ReconstructionError::Checkpoint(what)) => {
+                assert!(what.contains("stale"), "{what}")
+            }
+            other => panic!("stale checkpoint accepted: {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

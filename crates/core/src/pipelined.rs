@@ -5,12 +5,15 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use scalefbp_backproject::TextureWindow;
-use scalefbp_faults::{FaultInject, FaultInjector, FaultPlan, RecoveryEvent, RecoveryLog};
+use scalefbp_faults::{
+    retry_with_backoff, BackoffPolicy, FaultInject, FaultInjector, FaultPlan, RecoveryEvent,
+    RecoveryLog,
+};
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, SubVolumeTask, Volume};
 use scalefbp_gpusim::{Device, DeviceCounters};
 use scalefbp_iosim::StorageEndpoint;
-use scalefbp_obs::{MetricsRegistry, MetricsSnapshot};
+use scalefbp_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 use scalefbp_pipeline::{BoundedQueue, PipelineModel, TraceCollector};
 
 use crate::fdk::{run_filter, run_window_backprojection};
@@ -48,51 +51,74 @@ pub struct PipelineReport {
     pub metrics: MetricsSnapshot,
 }
 
-/// Retry budget for transient device/IO faults. Injected faults are
-/// one-shot per scheduled operation, so a retry normally succeeds on the
-/// second attempt; the cap catches a misconfigured plan that would spin.
-const IO_RETRY_BUDGET: u32 = 8;
+/// Cached `retry.backoff.*` counter handles shared by every transient
+/// retry loop of a run: total retry attempts and the accumulated
+/// deterministic model backoff delay (accounted, never slept).
+struct RetryCounters {
+    attempts: Counter,
+    delay_millis: Counter,
+}
 
-fn h2d_with_retry(device: &Device, bytes: u64, rank: usize, recovery: &RecoveryLog) -> f64 {
-    let mut attempt = 0u32;
-    loop {
-        match device.try_h2d(bytes) {
-            Ok(t) => return t,
-            Err(e) => {
-                attempt += 1;
-                recovery.record(RecoveryEvent::DeviceRetry {
-                    rank,
-                    op: "h2d".to_string(),
-                    attempt,
-                });
-                assert!(
-                    attempt <= IO_RETRY_BUDGET,
-                    "h2d retry budget exhausted: {e}"
-                );
-            }
+impl RetryCounters {
+    fn new(registry: &MetricsRegistry) -> Self {
+        RetryCounters {
+            attempts: registry.counter("retry.backoff.attempts"),
+            delay_millis: registry.counter("retry.backoff.delay_millis"),
         }
+    }
+
+    fn on_retry(&self, delay_millis: u64) {
+        self.attempts.inc();
+        self.delay_millis.add(delay_millis);
     }
 }
 
-fn d2h_with_retry(device: &Device, bytes: u64, rank: usize, recovery: &RecoveryLog) -> f64 {
-    let mut attempt = 0u32;
-    loop {
-        match device.try_d2h(bytes) {
-            Ok(t) => return t,
-            Err(e) => {
-                attempt += 1;
-                recovery.record(RecoveryEvent::DeviceRetry {
-                    rank,
-                    op: "d2h".to_string(),
-                    attempt,
-                });
-                assert!(
-                    attempt <= IO_RETRY_BUDGET,
-                    "d2h retry budget exhausted: {e}"
-                );
-            }
-        }
-    }
+/// Transient device/IO faults funnel through the shared
+/// [`BackoffPolicy::transient`] budget. Injected faults are one-shot per
+/// scheduled operation, so a retry normally succeeds on the second
+/// attempt; the budget catches a misconfigured plan that would spin.
+fn h2d_with_retry(
+    device: &Device,
+    bytes: u64,
+    rank: usize,
+    recovery: &RecoveryLog,
+    retries: &RetryCounters,
+) -> f64 {
+    retry_with_backoff(
+        BackoffPolicy::transient(),
+        |_| device.try_h2d(bytes),
+        |attempt, delay, _e| {
+            retries.on_retry(delay);
+            recovery.record(RecoveryEvent::DeviceRetry {
+                rank,
+                op: "h2d".to_string(),
+                attempt,
+            });
+        },
+    )
+    .unwrap_or_else(|e| panic!("h2d retry budget exhausted: {e}"))
+}
+
+fn d2h_with_retry(
+    device: &Device,
+    bytes: u64,
+    rank: usize,
+    recovery: &RecoveryLog,
+    retries: &RetryCounters,
+) -> f64 {
+    retry_with_backoff(
+        BackoffPolicy::transient(),
+        |_| device.try_d2h(bytes),
+        |attempt, delay, _e| {
+            retries.on_retry(delay);
+            recovery.record(RecoveryEvent::DeviceRetry {
+                rank,
+                op: "d2h".to_string(),
+                attempt,
+            });
+        },
+    )
+    .unwrap_or_else(|e| panic!("d2h retry budget exhausted: {e}"))
 }
 
 fn storage_read_with_retry(
@@ -100,25 +126,21 @@ fn storage_read_with_retry(
     bytes: u64,
     rank: usize,
     recovery: &RecoveryLog,
+    retries: &RetryCounters,
 ) -> f64 {
-    let mut attempt = 0u32;
-    loop {
-        match storage.try_record_read(bytes) {
-            Ok(t) => return t,
-            Err(e) => {
-                attempt += 1;
-                recovery.record(RecoveryEvent::IoRetry {
-                    rank,
-                    what: "projection batch".to_string(),
-                    attempt,
-                });
-                assert!(
-                    attempt <= IO_RETRY_BUDGET,
-                    "storage read retry budget exhausted: {e}"
-                );
-            }
-        }
-    }
+    retry_with_backoff(
+        BackoffPolicy::transient(),
+        |_| storage.try_record_read(bytes),
+        |attempt, delay, _e| {
+            retries.on_retry(delay);
+            recovery.record(RecoveryEvent::IoRetry {
+                rank,
+                what: "projection batch".to_string(),
+                attempt,
+            });
+        },
+    )
+    .unwrap_or_else(|e| panic!("storage read retry budget exhausted: {e}"))
 }
 
 /// The end-to-end threaded pipeline (Figure 9): one thread per stage,
@@ -223,6 +245,7 @@ impl PipelinedReconstructor {
         let t0 = Instant::now();
         let now = move || t0.elapsed().as_secs_f64();
 
+        let retry_counters = RetryCounters::new(&registry);
         let batches_done = registry.rank_counter("pipeline.batches", rank);
         let rows_loaded = registry.rank_counter("pipeline.rows.loaded", rank);
         let kernel_updates = registry.rank_counter("pipeline.kernel.updates", rank);
@@ -243,6 +266,7 @@ impl PipelinedReconstructor {
             let load_tasks = tasks.clone();
             let load_storage = storage.clone();
             let load_recovery = &recovery;
+            let load_retries = &retry_counters;
             let load_model = &model_secs;
             scope.spawn(move || {
                 for task in load_tasks {
@@ -251,7 +275,7 @@ impl PipelinedReconstructor {
                     let bytes = (r.len() * g.np * g.nu * 4) as u64;
                     let secs = if let Some(st) = &load_storage {
                         // Model (and fault-inject) the read from storage.
-                        storage_read_with_retry(st, bytes, rank, load_recovery)
+                        storage_read_with_retry(st, bytes, rank, load_recovery, load_retries)
                     } else {
                         bytes as f64 / MODEL_HOST_LOAD_BW
                     };
@@ -287,6 +311,7 @@ impl PipelinedReconstructor {
             let bp_trace = trace.clone();
             let bp_device = device.clone();
             let bp_recovery = &recovery;
+            let bp_retries = &retry_counters;
             let mats_ref = &mats;
             let window_rows = self.window_rows;
             let kernel_choice = self.config.kernel;
@@ -303,6 +328,7 @@ impl PipelinedReconstructor {
                             (r.len() * g.np * g.nu * 4) as u64,
                             rank,
                             bp_recovery,
+                            bp_retries,
                         );
                         tex.write_rows(rows.data(), r.begin, r.end);
                     }
@@ -310,8 +336,13 @@ impl PipelinedReconstructor {
                     let stats = run_window_backprojection(kernel_choice, &tex, mats_ref, &mut slab);
                     kernel_updates.add(stats.updates);
                     device_secs += bp_device.launch_backprojection(stats.updates);
-                    device_secs +=
-                        d2h_with_retry(&bp_device, (slab.len() * 4) as u64, rank, bp_recovery);
+                    device_secs += d2h_with_retry(
+                        &bp_device,
+                        (slab.len() * 4) as u64,
+                        rank,
+                        bp_recovery,
+                        bp_retries,
+                    );
                     for v in slab.data_mut() {
                         *v *= scale;
                     }

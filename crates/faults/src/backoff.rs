@@ -1,0 +1,139 @@
+//! The shared bounded exponential-backoff retry policy.
+//!
+//! Every transient-failure retry loop in the workspace (device OOM and
+//! transfer errors in the pipeline, storage reads in `iosim`, sealed
+//! message frames in `mpisim`, checkpoint reads in `ckpt`) funnels
+//! through one policy so retry behaviour is uniform and deterministic:
+//! attempt `a` (1-based) backs off `base_millis · 2^(a-1)` **model**
+//! milliseconds — accounted, never slept — and the attempt budget is a
+//! hard cap, after which the last error escalates to the caller's
+//! recovery path.
+
+/// Deterministic bounded exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Model delay before the first retry, in milliseconds.
+    pub base_millis: u64,
+    /// Total attempt budget (including the first attempt). Must be ≥ 1.
+    pub max_attempts: u32,
+}
+
+impl BackoffPolicy {
+    /// A policy with the given base delay and attempt budget.
+    pub const fn new(base_millis: u64, max_attempts: u32) -> Self {
+        BackoffPolicy {
+            base_millis,
+            max_attempts,
+        }
+    }
+
+    /// The policy for transient device/storage faults: the same budget
+    /// as the pre-existing immediate-retry loop (8 retries), now with
+    /// 1 ms-base exponential model delays.
+    pub const fn transient() -> Self {
+        BackoffPolicy::new(1, 9)
+    }
+
+    /// The policy for integrity (checksum) failures on storage reads:
+    /// corruption is transient in the fault model, so a short budget
+    /// suffices before escalating to recovery.
+    pub const fn integrity() -> Self {
+        BackoffPolicy::new(2, 4)
+    }
+
+    /// Model backoff delay before retrying after failed attempt
+    /// `attempt` (1-based): `base_millis · 2^(attempt-1)`, saturating.
+    pub fn delay_millis(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(62);
+        self.base_millis.saturating_mul(1u64 << shift)
+    }
+}
+
+/// Runs `op` under `policy`. `op` receives the 1-based attempt number;
+/// on failure of a non-final attempt, `on_retry(attempt, delay_millis,
+/// &err)` is called (record counters / recovery events there) and the
+/// next attempt follows. The final attempt's error is returned.
+pub fn retry_with_backoff<T, E>(
+    policy: BackoffPolicy,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+    mut on_retry: impl FnMut(u32, u64, &E),
+) -> Result<T, E> {
+    let budget = policy.max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt >= budget {
+                    return Err(e);
+                }
+                on_retry(attempt, policy.delay_millis(attempt), &e);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_and_saturate() {
+        let p = BackoffPolicy::new(3, 5);
+        assert_eq!(p.delay_millis(1), 3);
+        assert_eq!(p.delay_millis(2), 6);
+        assert_eq!(p.delay_millis(3), 12);
+        assert_eq!(p.delay_millis(4), 24);
+        // Huge attempt numbers saturate instead of overflowing.
+        assert!(p.delay_millis(200) >= p.delay_millis(64));
+    }
+
+    #[test]
+    fn succeeds_after_retries_with_recorded_delays() {
+        let mut fails = 3;
+        let mut seen = Vec::new();
+        let out = retry_with_backoff(
+            BackoffPolicy::new(1, 9),
+            |attempt| {
+                if fails > 0 {
+                    fails -= 1;
+                    Err(format!("boom {attempt}"))
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |attempt, delay, _e| seen.push((attempt, delay)),
+        )
+        .unwrap();
+        assert_eq!(out, 4); // succeeded on the 4th attempt
+        assert_eq!(seen, vec![(1, 1), (2, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_last_error() {
+        let mut calls = 0;
+        let err = retry_with_backoff(
+            BackoffPolicy::new(1, 3),
+            |attempt| -> Result<(), String> {
+                calls += 1;
+                Err(format!("fail {attempt}"))
+            },
+            |_, _, _| {},
+        )
+        .unwrap_err();
+        assert_eq!(calls, 3);
+        assert_eq!(err, "fail 3");
+    }
+
+    #[test]
+    fn zero_budget_still_runs_once() {
+        let err = retry_with_backoff(
+            BackoffPolicy::new(1, 0),
+            |_| -> Result<(), &str> { Err("once") },
+            |_, _, _| panic!("no retries expected"),
+        )
+        .unwrap_err();
+        assert_eq!(err, "once");
+    }
+}

@@ -1,0 +1,177 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
+//! sealing every binary frame and checkpoint slab in the workspace.
+//!
+//! Hand-rolled and table-driven so the workspace stays dependency-free;
+//! the table is built at compile time. The incremental [`Crc32`] state
+//! lets large slabs be checksummed chunk by chunk without staging a copy.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC-32 state: feed bytes with [`update`](Crc32::update),
+/// close with [`finish`](Crc32::finish).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh checksum (all-ones preset, per the IEEE convention).
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.state;
+        for &b in data {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The final (inverted) checksum value.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+/// Why a sealed frame failed to open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame is shorter than the 4-byte checksum header.
+    Truncated {
+        /// Actual frame length.
+        len: usize,
+    },
+    /// The payload checksum does not match the sealed header.
+    Mismatch {
+        /// Checksum the sealer recorded.
+        expected: u32,
+        /// Checksum of the payload as received.
+        actual: u32,
+    },
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Truncated { len } => {
+                write!(f, "sealed frame truncated ({len} B, need ≥ 4)")
+            }
+            FrameError::Mismatch { expected, actual } => write!(
+                f,
+                "sealed frame checksum mismatch (sealed {expected:#010x}, got {actual:#010x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Seals `payload` as `[crc32 u32-le][payload]` — the integrity frame
+/// used for mpisim data-plane messages and iosim shard/checkpoint files.
+pub fn seal_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Opens a sealed frame, returning the payload when the checksum holds.
+pub fn open_frame(frame: &[u8]) -> Result<&[u8], FrameError> {
+    if frame.len() < 4 {
+        return Err(FrameError::Truncated { len: frame.len() });
+    }
+    let expected = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]);
+    let payload = &frame[4..];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(FrameError::Mismatch { expected, actual });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let mut inc = Crc32::new();
+        for chunk in data.chunks(37) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn frames_round_trip_and_detect_flips() {
+        let payload: Vec<u8> = (0..200u8).collect();
+        let frame = seal_frame(&payload);
+        assert_eq!(frame.len(), payload.len() + 4);
+        assert_eq!(open_frame(&frame).unwrap(), &payload[..]);
+        // Any single-byte flip anywhere in the frame (header included)
+        // is detected.
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x10;
+            assert!(open_frame(&bad).is_err(), "flip at {i} undetected");
+        }
+        assert_eq!(open_frame(&[1, 2]), Err(FrameError::Truncated { len: 2 }));
+        // An empty payload still frames and opens.
+        assert_eq!(open_frame(&seal_frame(&[])).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn single_byte_flip_changes_checksum() {
+        let data: Vec<u8> = (0..128u8).collect();
+        let clean = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -22,6 +22,12 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+pub mod backoff;
+pub mod crc32;
+
+pub use backoff::{retry_with_backoff, BackoffPolicy};
+pub use crc32::{crc32, open_frame, seal_frame, Crc32, FrameError};
+
 /// Splitmix64: the only randomness source for plan generation.
 #[derive(Clone, Debug)]
 struct SplitMix64 {
@@ -60,16 +66,22 @@ pub enum Channel {
     DeviceTransfer,
     /// A storage read in `iosim`.
     StorageRead,
+    /// An integrity-sealed payload (a checksummed message frame in
+    /// `mpisim` or a sealed slab/shard read in `iosim`). Faults on this
+    /// channel flip bytes *after* the checksum is computed, so they are
+    /// detected — not silently absorbed — downstream.
+    Corrupt,
 }
 
 impl Channel {
     /// All channels, in canonical order.
-    pub const ALL: [Channel; 5] = [
+    pub const ALL: [Channel; 6] = [
         Channel::Send,
         Channel::Recv,
         Channel::DeviceAlloc,
         Channel::DeviceTransfer,
         Channel::StorageRead,
+        Channel::Corrupt,
     ];
 
     fn token(self) -> &'static str {
@@ -79,6 +91,7 @@ impl Channel {
             Channel::DeviceAlloc => "device-alloc",
             Channel::DeviceTransfer => "device-transfer",
             Channel::StorageRead => "storage-read",
+            Channel::Corrupt => "corrupt",
         }
     }
 
@@ -112,6 +125,15 @@ pub enum FaultKind {
     TransferError,
     /// The storage read fails transiently.
     ReadError,
+    /// A sealed payload has one deterministically-seeded byte flipped
+    /// after its checksum is computed; the consumer's CRC check detects
+    /// it. Valid only on [`Channel::Corrupt`].
+    BitFlip {
+        /// Seed selecting which byte/bit of the payload flips
+        /// (`SplitMix64(seed ^ len)` picks the position, so the same
+        /// event corrupts the same relative position in every run).
+        seed: u64,
+    },
 }
 
 impl FaultKind {
@@ -124,6 +146,7 @@ impl FaultKind {
             FaultKind::DeviceOom => &[Channel::DeviceAlloc],
             FaultKind::TransferError => &[Channel::DeviceTransfer],
             FaultKind::ReadError => &[Channel::StorageRead],
+            FaultKind::BitFlip { .. } => &[Channel::Corrupt],
         }
     }
 }
@@ -137,8 +160,23 @@ impl fmt::Display for FaultKind {
             FaultKind::DeviceOom => write!(f, "device-oom"),
             FaultKind::TransferError => write!(f, "transfer-error"),
             FaultKind::ReadError => write!(f, "read-error"),
+            FaultKind::BitFlip { seed } => write!(f, "bit-flip:{seed}"),
         }
     }
+}
+
+/// Flips one deterministically-chosen bit of `payload` in place — the
+/// effect of a fired [`FaultKind::BitFlip`]. The position depends only
+/// on `(seed, payload.len())`, so the same event corrupts the same
+/// offset on every run. Empty payloads are left untouched.
+pub fn apply_bit_flip(payload: &mut [u8], seed: u64) {
+    if payload.is_empty() {
+        return;
+    }
+    let mut rng = SplitMix64::new(seed ^ payload.len() as u64);
+    let byte = rng.below(payload.len() as u64) as usize;
+    let bit = rng.below(8) as u8;
+    payload[byte] ^= 1 << bit;
 }
 
 /// One scheduled fault: `kind` triggers on rank `rank`'s `op_index`-th
@@ -181,6 +219,9 @@ pub struct FaultScenario {
     pub device_faults: usize,
     /// Number of storage read-error events.
     pub io_faults: usize,
+    /// Number of sealed-payload corruption ([`FaultKind::BitFlip`])
+    /// events on [`Channel::Corrupt`].
+    pub corrupt_faults: usize,
     /// Exclusive upper bound on scheduled op indices.
     pub op_horizon: u64,
 }
@@ -195,6 +236,7 @@ impl FaultScenario {
             message_delays: 2,
             device_faults: 2,
             io_faults: 2,
+            corrupt_faults: 1,
             op_horizon: 24,
         }
     }
@@ -208,23 +250,51 @@ impl FaultScenario {
             message_delays: count,
             device_faults: 0,
             io_faults: 0,
+            corrupt_faults: 0,
+            op_horizon: 24,
+        }
+    }
+
+    /// A corruption-only scenario: every event is a seeded
+    /// [`FaultKind::BitFlip`] on a sealed payload, so runs exercise the
+    /// detect → retry → escalate integrity path in isolation.
+    pub fn corruption_only(world_size: usize, count: usize) -> Self {
+        FaultScenario {
+            world_size,
+            max_rank_failures: 0,
+            message_drops: 0,
+            message_delays: 0,
+            device_faults: 0,
+            io_faults: 0,
+            corrupt_faults: count,
             op_horizon: 24,
         }
     }
 }
 
-/// Error from [`FaultPlan::parse`].
+/// Error from [`FaultPlan::parse`], qualified with the source span of
+/// the offending token(s) so malformed plans are diagnosed in place.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlanParseError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// 1-based column range `[start, end)` of the offending token(s)
+    /// within the source line, when a specific token is at fault.
+    pub span: Option<(usize, usize)>,
     /// What was wrong with it.
     pub message: String,
 }
 
 impl fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fault plan line {}: {}", self.line, self.message)
+        match self.span {
+            Some((start, end)) => write!(
+                f,
+                "fault plan line {}, cols {}-{}: {}",
+                self.line, start, end, self.message
+            ),
+            None => write!(f, "fault plan line {}: {}", self.line, self.message),
+        }
     }
 }
 
@@ -337,37 +407,75 @@ impl FaultPlan {
                 kind: FaultKind::ReadError,
             });
         }
+        for _ in 0..scenario.corrupt_faults {
+            events.push(FaultEvent {
+                rank: pick_rank(&mut rng),
+                channel: Channel::Corrupt,
+                op_index: pick_op(&mut rng),
+                kind: FaultKind::BitFlip {
+                    seed: rng.next_u64(),
+                },
+            });
+        }
         FaultPlan::from_events(events)
     }
 
     /// Parses the text form produced by [`fmt::Display`]: one event per
     /// line, `rank <r> <channel> op <n> <kind>`, with `#` comments and
     /// blank lines ignored. Kinds: `rank-failure`, `drop`,
-    /// `delay:<millis>`, `device-oom`, `transfer-error`, `read-error`.
+    /// `delay:<millis>`, `device-oom`, `transfer-error`, `read-error`,
+    /// `bit-flip:<seed>`. Errors carry the line number and, where a
+    /// specific token is at fault, its column span.
     pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
         let mut events = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
-            let stripped = raw.split('#').next().unwrap_or("").trim();
-            if stripped.is_empty() {
+            let code = raw.split('#').next().unwrap_or("");
+            if code.trim().is_empty() {
                 continue;
             }
-            let err = |message: String| PlanParseError { line, message };
-            let toks: Vec<&str> = stripped.split_whitespace().collect();
-            if toks.len() != 6 || toks[0] != "rank" || toks[3] != "op" {
+            let err = |message: String| PlanParseError {
+                line,
+                span: None,
+                message,
+            };
+            // Tokens paired with their 0-based byte offsets in the
+            // source line, so diagnostics can point at the offender.
+            let toks: Vec<(usize, &str)> = {
+                let mut out = Vec::new();
+                let mut off = 0usize;
+                for part in code.split_whitespace() {
+                    let at = code[off..].find(part).unwrap() + off;
+                    out.push((at, part));
+                    off = at + part.len();
+                }
+                out
+            };
+            let span_of = |first: (usize, &str), last: (usize, &str)| {
+                Some((first.0 + 1, last.0 + 1 + last.1.len()))
+            };
+            let span_err = |tok: (usize, &str), message: String| PlanParseError {
+                line,
+                span: span_of(tok, tok),
+                message,
+            };
+            if toks.len() != 6 || toks[0].1 != "rank" || toks[3].1 != "op" {
                 return Err(err(format!(
-                    "expected `rank <r> <channel> op <n> <kind>`, got `{stripped}`"
+                    "expected `rank <r> <channel> op <n> <kind>`, got `{}`",
+                    code.trim()
                 )));
             }
             let rank: usize = toks[1]
+                .1
                 .parse()
-                .map_err(|_| err(format!("bad rank `{}`", toks[1])))?;
-            let channel = Channel::from_token(toks[2])
-                .ok_or_else(|| err(format!("unknown channel `{}`", toks[2])))?;
+                .map_err(|_| span_err(toks[1], format!("bad rank `{}`", toks[1].1)))?;
+            let channel = Channel::from_token(toks[2].1)
+                .ok_or_else(|| span_err(toks[2], format!("unknown channel `{}`", toks[2].1)))?;
             let op_index: u64 = toks[4]
+                .1
                 .parse()
-                .map_err(|_| err(format!("bad op index `{}`", toks[4])))?;
-            let kind = match toks[5] {
+                .map_err(|_| span_err(toks[4], format!("bad op index `{}`", toks[4].1)))?;
+            let kind = match toks[5].1 {
                 "rank-failure" => FaultKind::RankFailure,
                 "drop" => FaultKind::MessageDrop,
                 "device-oom" => FaultKind::DeviceOom,
@@ -378,15 +486,34 @@ impl FaultPlan {
                         FaultKind::MessageDelay {
                             millis: ms
                                 .parse()
-                                .map_err(|_| err(format!("bad delay `{other}`")))?,
+                                .map_err(|_| span_err(toks[5], format!("bad delay `{other}`")))?,
+                        }
+                    } else if let Some(seed) = other.strip_prefix("bit-flip:") {
+                        FaultKind::BitFlip {
+                            seed: seed.parse().map_err(|_| {
+                                span_err(toks[5], format!("bad bit-flip seed `{other}`"))
+                            })?,
                         }
                     } else {
-                        return Err(err(format!("unknown fault kind `{other}`")));
+                        return Err(span_err(toks[5], format!("unknown fault kind `{other}`")));
                     }
                 }
             };
             if !kind.valid_channels().contains(&channel) {
-                return Err(err(format!("fault `{kind}` cannot attach to `{channel}`")));
+                let valid = kind
+                    .valid_channels()
+                    .iter()
+                    .map(|c| format!("`{c}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                // The channel and kind tokens conspire: span both.
+                return Err(PlanParseError {
+                    line,
+                    span: span_of(toks[2], toks[5]),
+                    message: format!(
+                        "fault `{kind}` cannot attach to `{channel}` (valid: {valid})"
+                    ),
+                });
             }
             events.push(FaultEvent {
                 rank,
@@ -600,6 +727,16 @@ pub enum RecoveryEvent {
         /// The surviving rank now leading the group (world numbering).
         new_leader: usize,
     },
+    /// A checksum mismatch was detected on a sealed payload (message
+    /// frame, shard read or checkpoint slab) and the payload discarded.
+    CorruptionDetected {
+        /// Rank that detected the mismatch (world numbering).
+        rank: usize,
+        /// What was being opened.
+        what: String,
+        /// 1-based detection count for this payload (retries re-detect).
+        attempt: u32,
+    },
 }
 
 impl fmt::Display for RecoveryEvent {
@@ -647,6 +784,13 @@ impl fmt::Display for RecoveryEvent {
                 f,
                 "group {group}: leader {dead_leader} dead, degraded to leader {new_leader}"
             ),
+            RecoveryEvent::CorruptionDetected {
+                rank,
+                what,
+                attempt,
+            } => {
+                write!(f, "rank {rank}: checksum mismatch {attempt} opening {what}")
+            }
         }
     }
 }
@@ -746,6 +890,95 @@ mod tests {
     fn parse_rejects_mismatched_channel() {
         let err = FaultPlan::parse("rank 1 send op 3 device-oom").unwrap_err();
         assert!(err.message.contains("cannot attach"));
+        assert!(err.message.contains("valid: `device-alloc`"), "{err}");
+        // The span covers the conspiring channel and kind tokens.
+        assert_eq!(err.line, 1);
+        assert_eq!(err.span, Some((8, 28)));
+        assert!(err.to_string().contains("cols 8-28"), "{err}");
+    }
+
+    #[test]
+    fn parse_spans_point_at_offending_token() {
+        // Leading whitespace and comments shift nothing: columns are
+        // relative to the raw source line.
+        let err = FaultPlan::parse("# header\n  rank 1 warp op 3 drop").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.span, Some((10, 14)));
+        assert!(err.message.contains("unknown channel `warp`"));
+    }
+
+    #[test]
+    fn parse_rejects_each_malformed_case() {
+        for (text, needle) in [
+            ("rank x send op 3 drop", "bad rank `x`"),
+            ("rank 1 warp op 3 drop", "unknown channel `warp`"),
+            ("rank 1 send op x drop", "bad op index `x`"),
+            ("rank 1 send op 3 explode", "unknown fault kind `explode`"),
+            ("rank 1 send op 3 delay:ms", "bad delay `delay:ms`"),
+            ("rank 1 corrupt op 3 bit-flip:x", "bad bit-flip seed"),
+            ("rank 1 send op 3", "expected `rank"),
+            ("rank 1 send 3 op drop", "expected `rank"),
+            // Channel/kind mismatches, including the new channel.
+            ("rank 1 corrupt op 3 drop", "cannot attach"),
+            ("rank 1 send op 0 bit-flip:7", "cannot attach"),
+            ("rank 1 storage-read op 0 bit-flip:7", "cannot attach"),
+            ("rank 1 recv op 0 drop", "cannot attach"),
+            ("rank 1 device-alloc op 0 transfer-error", "cannot attach"),
+        ] {
+            let err = FaultPlan::parse(text).unwrap_err();
+            assert!(err.message.contains(needle), "`{text}` → {err}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_corrupt_channel() {
+        let plan = FaultPlan::parse("rank 2 corrupt op 4 bit-flip:99").unwrap();
+        assert_eq!(
+            plan.events(),
+            &[FaultEvent {
+                rank: 2,
+                channel: Channel::Corrupt,
+                op_index: 4,
+                kind: FaultKind::BitFlip { seed: 99 },
+            }]
+        );
+        // Display round-trips the new grammar.
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn bit_flip_is_deterministic_and_single_bit() {
+        let clean: Vec<u8> = (0..64u8).collect();
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        apply_bit_flip(&mut a, 1234);
+        apply_bit_flip(&mut b, 1234);
+        assert_eq!(a, b);
+        let flipped_bits: u32 = clean
+            .iter()
+            .zip(&a)
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(flipped_bits, 1);
+        // Different seeds pick (generally) different positions.
+        let mut c = clean.clone();
+        apply_bit_flip(&mut c, 5678);
+        assert_ne!(a, clean);
+        assert_ne!(c, clean);
+        // Empty payloads are untouched.
+        let mut empty: Vec<u8> = Vec::new();
+        apply_bit_flip(&mut empty, 1);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn generated_corruption_only_plans_target_the_corrupt_channel() {
+        let plan = FaultPlan::generate(11, &FaultScenario::corruption_only(4, 3));
+        assert!(!plan.is_empty());
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.channel == Channel::Corrupt && matches!(e.kind, FaultKind::BitFlip { .. })));
     }
 
     #[test]

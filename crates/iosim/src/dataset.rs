@@ -110,7 +110,9 @@ impl DatasetStore {
             }
             let band = projections.extract_window(begin, end, 0, geom.np);
             let file = format!("rows_{begin:06}_{end:06}.sfbp");
-            endpoint.write_file(&dir.join(&file), &encode_projections(&band))?;
+            // Binary shards are integrity-sealed and published atomically;
+            // the manifest and geometry sidecars stay human-editable text.
+            endpoint.write_file_sealed(&dir.join(&file), &encode_projections(&band))?;
             manifest.push_str(&format!("shard = {begin} {end} {file}\n"));
             shards.push(ShardInfo {
                 rows: (begin, end),
@@ -214,7 +216,11 @@ impl DatasetStore {
             if lo > covered {
                 return Err(DatasetError::WindowNotCovered { rows: (v0, v1) });
             }
-            let band = decode_projections(&self.endpoint.read_file(&self.dir.join(&shard.file))?)?;
+            let band = decode_projections(&self.endpoint.read_file_sealed_retrying(
+                &self.dir.join(&shard.file),
+                scalefbp_faults::BackoffPolicy::integrity(),
+                None,
+            )?)?;
             for v in lo..hi {
                 for s in s0..s1 {
                     out.row_mut(v - v0, s - s0)
@@ -327,6 +333,27 @@ mod tests {
         ));
         // A window inside a surviving shard still works.
         assert!(store.read_window(0, 4, 0, 2).is_ok());
+    }
+
+    #[test]
+    fn corrupted_shard_bytes_are_detected() {
+        let (endpoint, dir, geom, _) = setup("shardcrc", 2);
+        // Flip one payload byte of the first sealed shard on disk.
+        let shard_rel = dir.join(format!("rows_{:06}_{:06}.sfbp", 0, geom.nv / 2));
+        let abs = endpoint.resolve(&shard_rel);
+        let mut bytes = std::fs::read(&abs).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&abs, &bytes).unwrap();
+        let store = DatasetStore::open(&endpoint, &dir).unwrap();
+        match store.read_window(0, geom.nv, 0, geom.np) {
+            Err(DatasetError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "{e}")
+            }
+            other => panic!("corruption not detected: {other:?}"),
+        }
+        // Windows inside the intact shard still read fine.
+        assert!(store.read_window(geom.nv / 2, geom.nv, 0, 2).is_ok());
     }
 
     #[test]

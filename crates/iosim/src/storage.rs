@@ -5,12 +5,19 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use scalefbp_faults::{Channel, FaultInject, FaultKind, NoFaults};
+use scalefbp_faults::{
+    apply_bit_flip, open_frame, retry_with_backoff, seal_frame, BackoffPolicy, Channel,
+    FaultInject, FaultKind, NoFaults, RecoveryEvent, RecoveryLog,
+};
 use scalefbp_obs::{Counter, Histogram, MetricsRegistry};
 
 /// Latency-histogram bucket bounds in simulated nanoseconds: 1 µs, 100 µs,
 /// 10 ms, 1 s, 100 s — spanning single-row reads up to full-volume stores.
 const LATENCY_BOUNDS: [u64; 5] = [1_000, 100_000, 10_000_000, 1_000_000_000, 100_000_000_000];
+
+/// Modelled cost of one fsync barrier (the durable-ordering point of the
+/// atomic write protocol): a fixed device-flush latency.
+const FSYNC_MODEL_SECS: f64 = 1e-4;
 
 /// Traffic counters for one endpoint.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -37,6 +44,10 @@ struct StorageMetrics {
     written_bytes: Counter,
     reads: Counter,
     writes: Counter,
+    fsyncs: Counter,
+    renames: Counter,
+    /// Sealed reads whose CRC check failed (`integrity.io.<name>.failures`).
+    integrity_failures: Counter,
     read_latency: Histogram,
     write_latency: Histogram,
     /// Simulated-seconds accumulator stays `f64` for exact equality with
@@ -51,6 +62,9 @@ impl StorageMetrics {
             written_bytes: registry.counter(&format!("io.{name}.write.bytes")),
             reads: registry.counter(&format!("io.{name}.read.ops")),
             writes: registry.counter(&format!("io.{name}.write.ops")),
+            fsyncs: registry.counter(&format!("io.{name}.fsync.ops")),
+            renames: registry.counter(&format!("io.{name}.rename.ops")),
+            integrity_failures: registry.counter(&format!("integrity.io.{name}.failures")),
             read_latency: registry
                 .histogram(&format!("io.{name}.read.latency_nanos"), &LATENCY_BOUNDS),
             write_latency: registry
@@ -205,6 +219,9 @@ impl StorageEndpoint {
         m.written_bytes.reset();
         m.reads.reset();
         m.writes.reset();
+        m.fsyncs.reset();
+        m.renames.reset();
+        m.integrity_failures.reset();
         m.read_latency.reset();
         m.write_latency.reset();
         *m.secs.lock() = 0.0;
@@ -275,6 +292,136 @@ impl StorageEndpoint {
         f.read_to_end(&mut data)?;
         self.record_read(data.len() as u64);
         Ok(data)
+    }
+
+    /// Modelled fsync barrier on `rel`: the durable-ordering point of
+    /// the atomic write protocol. Syncs the real file and charges a
+    /// fixed model flush latency; returns simulated seconds.
+    pub fn fsync(&self, rel: &Path) -> std::io::Result<f64> {
+        std::fs::File::open(self.resolve(rel))?.sync_all()?;
+        let m = &self.inner.metrics;
+        m.fsyncs.inc();
+        *m.secs.lock() += FSYNC_MODEL_SECS;
+        Ok(FSYNC_MODEL_SECS)
+    }
+
+    /// Atomically renames `from` to `to` under the root (the publish
+    /// step of the atomic write protocol; a metadata operation, so no
+    /// bandwidth is charged).
+    pub fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(self.resolve(from), self.resolve(to))?;
+        self.inner.metrics.renames.inc();
+        Ok(())
+    }
+
+    /// The temp-file name the atomic write protocol stages `rel` under.
+    pub fn staging_name(rel: &Path) -> PathBuf {
+        let mut p = rel.as_os_str().to_owned();
+        p.push(".tmp");
+        PathBuf::from(p)
+    }
+
+    /// Crash-consistent write: `data` is staged in `<rel>.tmp`,
+    /// fsync-modelled, then renamed over `rel` — a reader can never
+    /// observe a torn `rel`, only the old file or the new one. Returns
+    /// simulated seconds.
+    pub fn write_file_atomic(&self, rel: &Path, data: &[u8]) -> std::io::Result<f64> {
+        let tmp = Self::staging_name(rel);
+        let mut secs = self.write_file(&tmp, data)?;
+        secs += self.fsync(&tmp)?;
+        self.rename(&tmp, rel)?;
+        Ok(secs)
+    }
+
+    /// Atomic, integrity-sealed write: `payload` is framed as
+    /// `[crc32][payload]` and written via the crash-consistent protocol.
+    pub fn write_file_sealed(&self, rel: &Path, payload: &[u8]) -> std::io::Result<f64> {
+        self.write_file_atomic(rel, &seal_frame(payload))
+    }
+
+    /// Reads and opens a sealed file. The injector's
+    /// [`Channel::Corrupt`] is consulted once per sealed read: a fired
+    /// [`FaultKind::BitFlip`] flips one seeded byte of the frame after
+    /// it leaves disk, and the CRC check then rejects it with an
+    /// `InvalidData` error (counted in `integrity.io.<name>.failures`).
+    /// The bytes were transferred either way, so the read is costed.
+    pub fn read_file_sealed(&self, rel: &Path) -> std::io::Result<Vec<u8>> {
+        let mut frame = self.read_file(rel)?;
+        if let Some(FaultKind::BitFlip { seed }) =
+            self.inner.injector.on_op(self.inner.rank, Channel::Corrupt)
+        {
+            apply_bit_flip(&mut frame, seed);
+        }
+        match open_frame(&frame) {
+            Ok(payload) => Ok(payload.to_vec()),
+            Err(e) => {
+                self.inner.metrics.integrity_failures.inc();
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{}: {e}", rel.display()),
+                ))
+            }
+        }
+    }
+
+    /// [`read_file_sealed`](Self::read_file_sealed) under the shared
+    /// bounded-backoff policy: transient faults (injected read errors,
+    /// checksum mismatches) are retried with deterministic model-time
+    /// delays counted in `retry.backoff.*`; corruption detections and
+    /// retries are recorded in `recovery` when given. Non-transient
+    /// errors (missing file, permissions) fail immediately.
+    pub fn read_file_sealed_retrying(
+        &self,
+        rel: &Path,
+        policy: BackoffPolicy,
+        recovery: Option<&RecoveryLog>,
+    ) -> std::io::Result<Vec<u8>> {
+        let attempts = self.inner.registry.counter("retry.backoff.attempts");
+        let delay_ms = self.inner.registry.counter("retry.backoff.delay_millis");
+        // Outer Err = transient (retried); Ok(Err) = terminal (returned
+        // as-is without consuming the attempt budget).
+        let result = retry_with_backoff(
+            policy,
+            |attempt| match self.read_file_sealed(rel) {
+                Ok(v) => Ok(Ok(v)),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::NotFound | std::io::ErrorKind::PermissionDenied
+                    ) =>
+                {
+                    Ok(Err(e))
+                }
+                Err(e) => {
+                    if let Some(log) = recovery {
+                        let what = rel.display().to_string();
+                        let event = if e.kind() == std::io::ErrorKind::InvalidData {
+                            RecoveryEvent::CorruptionDetected {
+                                rank: self.inner.rank,
+                                what,
+                                attempt,
+                            }
+                        } else {
+                            RecoveryEvent::IoRetry {
+                                rank: self.inner.rank,
+                                what,
+                                attempt,
+                            }
+                        };
+                        log.record(event);
+                    }
+                    Err(e)
+                }
+            },
+            |_attempt, delay, _e| {
+                attempts.inc();
+                delay_ms.add(delay);
+            },
+        );
+        match result {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) | Err(e) => Err(e),
+        }
     }
 }
 
@@ -394,6 +541,107 @@ mod tests {
         assert_eq!(
             reg.snapshot().counter("io.nvme.read.bytes", None),
             Some(300)
+        );
+    }
+
+    #[test]
+    fn sealed_roundtrip_is_atomic_and_checksummed() {
+        let dir = tmpdir("sealed");
+        let s = StorageEndpoint::new("t", 1e9, 1e9, Some(dir.clone()));
+        let rel = Path::new("ckpt/slab_000.bin");
+        let payload: Vec<u8> = (0..200u8).collect();
+        s.write_file_sealed(rel, &payload).unwrap();
+        // The staging temp is gone, the published file carries the frame.
+        assert!(!dir.join("ckpt/slab_000.bin.tmp").exists());
+        assert_eq!(s.read_file_sealed(rel).unwrap(), payload);
+        let snap = s.metrics_registry().snapshot();
+        assert_eq!(snap.counter("io.t.fsync.ops", None), Some(1));
+        assert_eq!(snap.counter("io.t.rename.ops", None), Some(1));
+        assert_eq!(snap.counter("integrity.io.t.failures", None), Some(0));
+        // A flipped byte on disk is detected as InvalidData.
+        let abs = dir.join("ckpt/slab_000.bin");
+        let mut bytes = std::fs::read(&abs).unwrap();
+        bytes[7] ^= 0x40;
+        std::fs::write(&abs, &bytes).unwrap();
+        let err = s.read_file_sealed(rel).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(
+            s.metrics_registry()
+                .snapshot()
+                .counter("integrity.io.t.failures", None),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_then_retried_to_success() {
+        use scalefbp_faults::{FaultEvent, FaultInjector, FaultPlan};
+        let dir = tmpdir("sealed-corrupt");
+        let base = StorageEndpoint::new("t", 1e9, 1e9, Some(dir));
+        let rel = Path::new("shard.bin");
+        base.write_file_sealed(rel, b"payload bytes").unwrap();
+        // The 2nd sealed read on rank 3 gets one flipped byte.
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            rank: 3,
+            channel: Channel::Corrupt,
+            op_index: 1,
+            kind: FaultKind::BitFlip { seed: 77 },
+        }]);
+        let s = base.with_fault_injector(FaultInjector::new(plan), 3);
+        assert_eq!(s.read_file_sealed(rel).unwrap(), b"payload bytes");
+        assert!(s.read_file_sealed(rel).is_err());
+        // Under the backoff policy the corruption is transient: detect,
+        // record, retry, succeed — with deterministic model delays.
+        let log = RecoveryLog::new();
+        let plan2 = FaultPlan::from_events(vec![FaultEvent {
+            rank: 3,
+            channel: Channel::Corrupt,
+            op_index: 0,
+            kind: FaultKind::BitFlip { seed: 78 },
+        }]);
+        let s2 = base.with_fault_injector(FaultInjector::new(plan2), 3);
+        let back = s2
+            .read_file_sealed_retrying(rel, BackoffPolicy::integrity(), Some(&log))
+            .unwrap();
+        assert_eq!(back, b"payload bytes");
+        let events = log.events();
+        assert!(
+            matches!(
+                events.as_slice(),
+                [RecoveryEvent::CorruptionDetected {
+                    rank: 3,
+                    attempt: 1,
+                    ..
+                }]
+            ),
+            "{events:?}"
+        );
+        let snap = base.metrics_registry().snapshot();
+        assert_eq!(snap.counter("retry.backoff.attempts", None), Some(1));
+        assert_eq!(
+            snap.counter("retry.backoff.delay_millis", None),
+            Some(BackoffPolicy::integrity().delay_millis(1))
+        );
+    }
+
+    #[test]
+    fn sealed_retry_does_not_spin_on_missing_files() {
+        let s = StorageEndpoint::new("t", 1e9, 1e9, Some(tmpdir("sealed-missing")));
+        let log = RecoveryLog::new();
+        let err = s
+            .read_file_sealed_retrying(
+                Path::new("gone.bin"),
+                BackoffPolicy::integrity(),
+                Some(&log),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        assert!(log.is_empty());
+        assert_eq!(
+            s.metrics_registry()
+                .snapshot()
+                .counter("retry.backoff.attempts", None),
+            Some(0)
         );
     }
 

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use scalefbp_faults::{Channel, FaultInject, FaultKind};
+use scalefbp_faults::{apply_bit_flip, open_frame, seal_frame, Channel, FaultInject, FaultKind};
 use scalefbp_obs::{Counter, MetricValue, MetricsRegistry};
 
 /// Communication failures surfaced to fault-aware callers.
@@ -23,6 +23,17 @@ pub enum CommError {
         /// What was wrong with the frame.
         detail: String,
     },
+    /// A checked frame arrived but its CRC-32 seal did not verify — the
+    /// payload was corrupted in flight. The frame has already been
+    /// consumed; the receiver must treat the message as lost.
+    IntegrityFailure {
+        /// Sender (local rank) of the corrupt frame.
+        from: usize,
+        /// Tag of the corrupt frame.
+        tag: u64,
+        /// Checksum mismatch detail.
+        detail: String,
+    },
     /// This rank hit an injected [`FaultKind::RankFailure`] — it must stop
     /// participating in the protocol.
     SelfFailed,
@@ -37,6 +48,9 @@ impl std::fmt::Display for CommError {
                 write!(f, "timed out waiting for rank {from} tag {tag}")
             }
             CommError::MalformedFrame { detail } => write!(f, "malformed frame: {detail}"),
+            CommError::IntegrityFailure { from, tag, detail } => {
+                write!(f, "corrupt frame from rank {from} tag {tag}: {detail}")
+            }
             CommError::SelfFailed => write!(f, "this rank was killed by fault injection"),
             CommError::Closed => write!(f, "network closed"),
         }
@@ -270,14 +284,15 @@ impl Communicator {
             return Ok(()); // the sender never learns — that is the point
         }
         let world_to = self.group[to];
-        self.network.senders[world_to]
-            .send(Envelope {
-                context: self.context,
-                from: self.local,
-                tag,
-                payload,
-            })
-            .expect("rank mailbox closed");
+        // A rank that has already returned (e.g. the root after resuming
+        // everything from a checkpoint) can never observe this message,
+        // so delivery and drop are indistinguishable — drop it.
+        let _ = self.network.senders[world_to].send(Envelope {
+            context: self.context,
+            from: self.local,
+            tag,
+            payload,
+        });
         Ok(())
     }
 
@@ -291,14 +306,13 @@ impl Communicator {
         self.counters.sent_bytes.add(payload.len() as u64);
         self.counters.sent_messages.inc();
         let world_to = self.group[to];
-        self.network.senders[world_to]
-            .send(Envelope {
-                context: self.context,
-                from: self.local,
-                tag,
-                payload,
-            })
-            .expect("rank mailbox closed");
+        // As in `try_send`: an already-exited peer makes this a no-op.
+        let _ = self.network.senders[world_to].send(Envelope {
+            context: self.context,
+            from: self.local,
+            tag,
+            payload,
+        });
     }
 
     /// Blocking selective receive from local rank `from` with `tag`.
@@ -441,6 +455,43 @@ impl Communicator {
     ) -> Result<Vec<f32>, CommError> {
         let bytes = self.recv_timeout(from, tag, timeout)?;
         decode_f32(&bytes)
+    }
+
+    /// Integrity-checked f32 send: seals the encoded payload in a CRC-32
+    /// frame before transmission. Injection on [`Channel::Corrupt`] flips
+    /// one seeded bit of the sealed frame *after* sealing, modelling
+    /// on-the-wire corruption the receiver's checksum must catch. Used by
+    /// the fault-tolerant data plane; the raw [`send_f32`](Self::send_f32)
+    /// path and the collectives keep their unsealed framing.
+    pub fn send_f32_checked(&self, to: usize, tag: u64, data: &[f32]) -> Result<(), CommError> {
+        let mut frame = seal_frame(&encode_f32(data));
+        let me = self.world_rank();
+        if let Some(FaultKind::BitFlip { seed }) = self.network.injector.on_op(me, Channel::Corrupt)
+        {
+            apply_bit_flip(&mut frame, seed);
+        }
+        self.try_send(to, tag, frame)
+    }
+
+    /// Integrity-checked f32 receive with a deadline. Verifies the CRC-32
+    /// seal before decoding; a mismatch is reported as
+    /// [`CommError::IntegrityFailure`] and the corrupt frame is consumed —
+    /// callers recover exactly as they would from a dropped message.
+    pub fn recv_f32_checked_timeout(
+        &mut self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f32>, CommError> {
+        let frame = self.recv_timeout(from, tag, timeout)?;
+        match open_frame(&frame) {
+            Ok(payload) => decode_f32(payload),
+            Err(e) => Err(CommError::IntegrityFailure {
+                from,
+                tag,
+                detail: e.to_string(),
+            }),
+        }
     }
 
     /// Broadcast from `root` to all ranks (binomial tree). Non-roots pass
@@ -927,6 +978,42 @@ mod tests {
         });
         assert_eq!(results[0], vec![-3.0, 2.5, 1.0]);
         assert_eq!(results[1], vec![1.0, 2.5, -3.0]);
+    }
+
+    #[test]
+    fn checked_frames_round_trip_and_catch_injected_corruption() {
+        use scalefbp_faults::{FaultEvent, FaultInjector, FaultPlan};
+        use std::time::Duration;
+        // Rank 0's first corrupt-channel op flips one seeded bit in the
+        // sealed frame; the resend (op 1) goes through clean.
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            rank: 0,
+            channel: Channel::Corrupt,
+            op_index: 0,
+            kind: FaultKind::BitFlip { seed: 41 },
+        }]);
+        let (results, _) = World::run_with_faults(2, FaultInjector::new(plan), |mut c| {
+            if c.rank() == 0 {
+                c.send_f32_checked(1, 7, &[1.0, -2.0, 3.5]).unwrap();
+                c.send_f32_checked(1, 7, &[1.0, -2.0, 3.5]).unwrap();
+                Ok(vec![])
+            } else {
+                let first = c.recv_f32_checked_timeout(0, 7, Duration::from_secs(2));
+                assert!(
+                    matches!(
+                        first,
+                        Err(CommError::IntegrityFailure {
+                            from: 0,
+                            tag: 7,
+                            ..
+                        })
+                    ),
+                    "corruption not caught: {first:?}"
+                );
+                c.recv_f32_checked_timeout(0, 7, Duration::from_secs(2))
+            }
+        });
+        assert_eq!(results[1].as_deref(), Ok(&[1.0, -2.0, 3.5][..]));
     }
 
     #[test]

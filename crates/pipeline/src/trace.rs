@@ -17,6 +17,7 @@ fn recovery_event_rank(ev: &RecoveryEvent) -> usize {
         RecoveryEvent::DeviceRetry { rank, .. } => *rank,
         RecoveryEvent::IoRetry { rank, .. } => *rank,
         RecoveryEvent::LeaderSetDegraded { new_leader, .. } => *new_leader,
+        RecoveryEvent::CorruptionDetected { rank, .. } => *rank,
     }
 }
 

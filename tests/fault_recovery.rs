@@ -382,6 +382,7 @@ fn generated_device_io_plans_are_deterministic_in_pipeline() {
         message_delays: 0,
         device_faults: 2,
         io_faults: 2,
+        corrupt_faults: 0,
         op_horizon: 8,
     };
     for seed in [7u64, 8] {
