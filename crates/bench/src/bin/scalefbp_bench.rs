@@ -17,7 +17,18 @@
 //!     -- scaling [--quick] [--out-dir DIR]
 //! cargo run --release -p scalefbp-bench --bin scalefbp-bench
 //!     -- chaos [--quick] [--out-dir DIR]
+//! cargo run --release -p scalefbp-bench --bin scalefbp-bench
+//!     -- serve [--quick] [--out-dir DIR]
 //! ```
+//!
+//! The `serve` subcommand is the reconstruction-as-a-service load
+//! generator: it sweeps seeded multi-tenant arrival rates from light
+//! load past fleet saturation through the `scalefbp-serve` scheduler,
+//! replays every rate twice to assert byte-identical schedules and
+//! metric exports, and emits `BENCH_serve.json` (latency/utilisation
+//! curves per rate, per-tenant rollups) plus `serve_metrics.json`
+//! (the full metrics snapshot of the heaviest point). See
+//! `docs/serving.md`.
 //!
 //! The `chaos` subcommand is the checkpoint/restart replay harness: it
 //! kills an out-of-core run and a segmented fault-tolerant distributed
@@ -46,7 +57,6 @@
 //! would show up immediately.
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
 use std::time::Instant;
 
 use scalefbp::substrates::backproject::{
@@ -67,7 +77,10 @@ use scalefbp::{
     ReduceMode,
 };
 use scalefbp_faults::{FaultPlan, FaultScenario};
+use scalefbp_integration::testsupport::{assert_bitwise, fresh_dir, kill_points};
 use scalefbp_iosim::StorageEndpoint;
+use scalefbp_serve::{generate, job_service_secs, Scheduler, ServeConfig, WorkloadSpec};
+use std::path::Path;
 
 /// Deterministic noise floor so the projections are not piecewise-smooth
 /// (keeps the bilinear fetches honest). Plain 64-bit LCG, fixed seed.
@@ -645,41 +658,6 @@ struct ChaosCell {
     recovery_events: usize,
 }
 
-/// Kill grid for a run of `slabs` durable commits: first commit, middle,
-/// and last-but-one (so the resume path covers nearly-empty and
-/// nearly-full checkpoints). `--quick` keeps only the middle point.
-fn kill_points(slabs: usize, quick: bool) -> Vec<usize> {
-    assert!(slabs >= 2, "chaos needs a multi-slab run, got {slabs}");
-    let mid = (slabs / 2).max(1);
-    let mut ks = if quick {
-        vec![mid]
-    } else {
-        vec![1, mid, slabs - 1]
-    };
-    ks.dedup();
-    ks
-}
-
-/// A clean checkpoint directory for one grid cell.
-fn fresh_dir(out_dir: &str, name: &str) -> PathBuf {
-    let d = PathBuf::from(out_dir).join(name);
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).expect("create chaos checkpoint dir");
-    d
-}
-
-fn assert_bitwise(golden: &Volume, got: &Volume, what: &str) {
-    assert!(
-        golden.data().len() == got.data().len()
-            && golden
-                .data()
-                .iter()
-                .zip(got.data())
-                .all(|(a, b)| a.to_bits() == b.to_bits()),
-        "{what}: resumed volume is not bitwise identical to the golden run"
-    );
-}
-
 fn emit_chaos_json(cells: &[ChaosCell], quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"benchmark\": \"chaos\",\n");
@@ -729,7 +707,7 @@ fn run_chaos(quick: bool, out_dir: &str) {
         kill_points(slabs, quick)
     );
     for k in kill_points(slabs, quick) {
-        let dir = fresh_dir(out_dir, &format!("chaos-ooc-{k}"));
+        let dir = fresh_dir(Path::new(out_dir), &format!("chaos-ooc-{k}"));
         let ep = StorageEndpoint::local_nvme(Some(dir));
         match rec.reconstruct_checkpointed(&p, &ep, &CheckpointSpec::new("", 1).killing_after(k)) {
             Err(ReconstructionError::Interrupted { completed_slabs }) => {
@@ -783,7 +761,7 @@ fn run_chaos(quick: bool, out_dir: &str) {
                 .expect("golden distributed run");
         // One full checkpointed run counts the durable slabs and checks
         // that checkpointing alone does not perturb the bits.
-        let dir = fresh_dir(out_dir, &format!("chaos-ft-{seed}-full"));
+        let dir = fresh_dir(Path::new(out_dir), &format!("chaos-ft-{seed}-full"));
         let ep = StorageEndpoint::local_nvme(Some(dir));
         let full = fault_tolerant_reconstruct_checkpointed(
             &cfg,
@@ -810,7 +788,7 @@ fn run_chaos(quick: bool, out_dir: &str) {
             kill_points(slabs, quick)
         );
         for k in kill_points(slabs, quick) {
-            let dir = fresh_dir(out_dir, &format!("chaos-ft-{seed}-{k}"));
+            let dir = fresh_dir(Path::new(out_dir), &format!("chaos-ft-{seed}-{k}"));
             let ep = StorageEndpoint::local_nvme(Some(dir));
             match fault_tolerant_reconstruct_checkpointed(
                 &cfg,
@@ -881,6 +859,210 @@ fn run_chaos(quick: bool, out_dir: &str) {
     );
 }
 
+/// One arrival-rate point of the serve sweep.
+struct ServePoint {
+    load_factor: f64,
+    rate_hz: f64,
+    jobs: usize,
+    completed: usize,
+    rejected: usize,
+    preemptions: u64,
+    migrations: u64,
+    p50_latency_nanos: u64,
+    p99_latency_nanos: u64,
+    mean_utilisation: f64,
+    makespan_nanos: u64,
+    queue_depth_peak: f64,
+    tenants: Vec<(usize, u64, u64)>, // (tenant, completed, p99 nanos)
+}
+
+fn emit_serve_json(
+    points: &[ServePoint],
+    seed: u64,
+    devices: usize,
+    tenants: usize,
+    quick: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"serve\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"devices\": {devices},");
+    let _ = writeln!(out, "  \"tenants\": {tenants},");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"load_factor\": {:.2}, \"rate_hz\": {:.6}, \"jobs\": {}, \"completed\": {}, \"rejected\": {},",
+            p.load_factor, p.rate_hz, p.jobs, p.completed, p.rejected
+        );
+        let _ = writeln!(
+            out,
+            "     \"preemptions\": {}, \"migrations\": {}, \"p50_latency_nanos\": {}, \"p99_latency_nanos\": {},",
+            p.preemptions, p.migrations, p.p50_latency_nanos, p.p99_latency_nanos
+        );
+        let _ = writeln!(
+            out,
+            "     \"mean_utilisation\": {:.6}, \"makespan_nanos\": {}, \"queue_depth_peak\": {:.1},",
+            p.mean_utilisation, p.makespan_nanos, p.queue_depth_peak
+        );
+        out.push_str("     \"tenants\": [\n");
+        for (ti, (t, done, p99)) in p.tenants.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "      {{\"tenant\": {t}, \"completed\": {done}, \"p99_latency_nanos\": {p99}}}{}",
+                if ti + 1 < p.tenants.len() { "," } else { "" }
+            );
+        }
+        out.push_str("     ]\n");
+        let _ = writeln!(out, "    }}{}", if i + 1 < points.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The `serve` subcommand: the multi-tenant scheduler load generator.
+///
+/// Sweeps seeded arrival rates from light load past saturation on a
+/// fixed simulated fleet. Each rate is run **twice** and the canonical
+/// schedule text plus the metrics export must be byte-identical across
+/// the two runs — the determinism contract — before the point is
+/// recorded. The saturation shape (p99 latency and utilisation both
+/// rising with load, utilisation never above 1) is asserted in-process
+/// before `BENCH_serve.json` is written; the full per-tenant metrics
+/// snapshot of the heaviest point lands in `serve_metrics.json`.
+fn run_serve(quick: bool, out_dir: &str) {
+    std::fs::create_dir_all(out_dir).expect("create out-dir");
+    let seed: u64 = 0x5EED_5E12;
+    let devices = 4;
+    let tenants = 3;
+    let device = DeviceSpec::tiny(300_000);
+    let jobs = if quick { 24 } else { 72 };
+    let load_factors: &[f64] = if quick {
+        &[0.3, 1.2, 2.4]
+    } else {
+        &[0.3, 0.6, 1.2, 2.4]
+    };
+
+    // Capacity estimate: mean modelled service seconds over the
+    // workload mix → the fleet saturates near `devices / mean_secs`.
+    let probe_cfg = ServeConfig::new(
+        devices,
+        device.clone(),
+        fresh_dir(Path::new(out_dir), "serve-ckpt-probe"),
+    );
+    let probe = generate(&WorkloadSpec::new(seed, tenants, 10, 1.0));
+    let mean_secs = probe
+        .iter()
+        .map(|j| job_service_secs(&probe_cfg, j))
+        .sum::<f64>()
+        / probe.len() as f64;
+    let capacity_hz = devices as f64 / mean_secs;
+    eprintln!(
+        "  fleet capacity ≈ {capacity_hz:.1} jobs/s (mean service {:.1} ms)",
+        mean_secs * 1e3
+    );
+
+    let mut points = Vec::new();
+    let mut heaviest_metrics_json = String::new();
+    for (ri, &lf) in load_factors.iter().enumerate() {
+        let rate = capacity_hz * lf;
+        let spec = WorkloadSpec::new(seed, tenants, jobs, rate);
+        let mut exports: Vec<String> = Vec::new();
+        let mut report = None;
+        for rep in 0..2 {
+            let root = fresh_dir(Path::new(out_dir), &format!("serve-ckpt-{ri}-{rep}"));
+            let cfg = ServeConfig::new(devices, device.clone(), root);
+            let r = Scheduler::new(cfg, MetricsRegistry::new()).run(generate(&spec));
+            exports.push(format!("{}{}", r.schedule_text(), r.metrics.to_json()));
+            report = Some(r);
+        }
+        assert_eq!(
+            exports[0], exports[1],
+            "serve sweep at load {lf}: replay is not byte-identical"
+        );
+        let r = report.unwrap();
+        assert!(
+            r.stranded.is_empty(),
+            "serve sweep at load {lf}: stranded jobs"
+        );
+        let per_tenant: Vec<(usize, u64, u64)> = (0..tenants)
+            .map(|t| {
+                (
+                    t,
+                    r.metrics
+                        .counter("serve.tenant.jobs.completed", Some(t))
+                        .unwrap_or(0),
+                    r.latency_quantile_nanos(0.99, Some(t)).unwrap_or(0),
+                )
+            })
+            .collect();
+        let point = ServePoint {
+            load_factor: lf,
+            rate_hz: rate,
+            jobs,
+            completed: r.jobs.len(),
+            rejected: r.rejections.len(),
+            preemptions: r.metrics.counter("serve.preemptions", None).unwrap_or(0),
+            migrations: r.metrics.counter("serve.migrations", None).unwrap_or(0),
+            p50_latency_nanos: r.latency_quantile_nanos(0.50, None).unwrap_or(0),
+            p99_latency_nanos: r.latency_quantile_nanos(0.99, None).unwrap_or(0),
+            mean_utilisation: r.mean_utilisation(),
+            makespan_nanos: r.makespan_nanos,
+            queue_depth_peak: r
+                .metrics
+                .gauge("serve.queue.depth.peak", None)
+                .unwrap_or(0.0),
+            tenants: per_tenant,
+        };
+        eprintln!(
+            "  load {lf:.1}× ({rate:.1} jobs/s): {} done, {} rejected, p99 {:.1} ms, util {:.2}",
+            point.completed,
+            point.rejected,
+            point.p99_latency_nanos as f64 / 1e6,
+            point.mean_utilisation
+        );
+        heaviest_metrics_json = r.metrics.to_json();
+        points.push(point);
+    }
+
+    // The saturation shape, asserted before anything is written.
+    let (lo, hi) = (points.first().unwrap(), points.last().unwrap());
+    assert!(
+        hi.p99_latency_nanos > lo.p99_latency_nanos,
+        "p99 did not rise with load ({} → {})",
+        lo.p99_latency_nanos,
+        hi.p99_latency_nanos
+    );
+    assert!(
+        hi.mean_utilisation > lo.mean_utilisation,
+        "utilisation did not rise with load ({} → {})",
+        lo.mean_utilisation,
+        hi.mean_utilisation
+    );
+    for p in &points {
+        assert!(
+            p.mean_utilisation <= 1.0 + 1e-9,
+            "utilisation above 1 at load {}",
+            p.load_factor
+        );
+        assert!(p.completed + p.rejected == p.jobs, "jobs lost in the run");
+    }
+
+    let json = emit_serve_json(&points, seed, devices, tenants, quick);
+    let json_path = format!("{out_dir}/BENCH_serve.json");
+    let metrics_path = format!("{out_dir}/serve_metrics.json");
+    std::fs::write(&json_path, &json).expect("write BENCH_serve.json");
+    std::fs::write(&metrics_path, &heaviest_metrics_json).expect("write serve_metrics.json");
+    eprintln!("wrote {json_path} and {metrics_path}");
+    println!(
+        "serve: {} rate points, deterministic replay, p99 {:.1} ms → {:.1} ms across the sweep",
+        points.len(),
+        points.first().unwrap().p99_latency_nanos as f64 / 1e6,
+        points.last().unwrap().p99_latency_nanos as f64 / 1e6
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -898,6 +1080,11 @@ fn main() {
     if args.first().map(String::as_str) == Some("chaos") {
         eprintln!("scalefbp-bench chaos: quick={quick}, out-dir {out_dir}");
         run_chaos(quick, &out_dir);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        eprintln!("scalefbp-bench serve: quick={quick}, out-dir {out_dir}");
+        run_serve(quick, &out_dir);
         return;
     }
     let reps: usize = args

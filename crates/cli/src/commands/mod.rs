@@ -657,6 +657,101 @@ pub fn slice(args: &mut Args) -> Result<String, CliError> {
     ))
 }
 
+/// `scalefbp serve`: run a seeded multi-tenant workload through the
+/// reconstruction-as-a-service scheduler and print the outcome.
+pub fn serve(args: &mut Args) -> Result<String, CliError> {
+    use scalefbp_serve::{generate, FleetFaultPlan, Scheduler, ServeConfig, WorkloadSpec};
+
+    let devices: usize = args.typed_or("devices", 4, "integer")?;
+    if devices == 0 {
+        return Err(CliError::Message("--devices must be positive".into()));
+    }
+    let device = parse_device(&args.opt("device").unwrap_or_else(|| "tiny:300000".into()))?;
+    let jobs: usize = args.typed_or("jobs", 24, "integer")?;
+    let tenants: usize = args.typed_or("tenants", 3, "integer")?;
+    let rate: f64 = args.typed_or("rate", 200.0, "number")?;
+    let seed: u64 = args.typed_or("seed", 42, "integer")?;
+    let ckpt_root = args.opt("ckpt-dir").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("scalefbp-serve-{}", std::process::id()))
+    });
+
+    let mut cfg = ServeConfig::new(devices, device, ckpt_root);
+    if let Some(fs) = args.opt("fault-seed") {
+        let fseed: u64 = fs
+            .parse()
+            .map_err(|_| CliError::Message(format!("bad --fault-seed `{fs}`")))?;
+        // Spread injected device kills over the expected arrival span.
+        let horizon = (jobs as f64 / rate * 1e9).round() as u64;
+        cfg = cfg.with_faults(FleetFaultPlan::generate(fseed, devices, horizon.max(1)));
+    }
+
+    let workload = WorkloadSpec::new(seed, tenants, jobs, rate);
+    let report = Scheduler::new(cfg, MetricsRegistry::new()).run(generate(&workload));
+
+    if let Some(path) = args.opt("schedule-out") {
+        std::fs::write(&path, report.schedule_text())
+            .map_err(|e| CliError::Message(format!("--schedule-out {path}: {e}")))?;
+    }
+    if let Some(path) = args.opt("metrics-out") {
+        std::fs::write(&path, report.metrics.to_json())
+            .map_err(|e| CliError::Message(format!("--metrics-out {path}: {e}")))?;
+    }
+
+    let mut out = format!(
+        "serve: {} devices, {tenants} tenants, {jobs} jobs at {rate:.1}/s (seed {seed})\n\
+         completed {} | rejected {} | stranded {}\n",
+        devices,
+        report.jobs.len(),
+        report.rejections.len(),
+        report.stranded.len()
+    );
+    let fmt_ms = |q: Option<u64>| match q {
+        Some(n) => format!("{:.2} ms", n as f64 / 1e6),
+        None => "n/a".to_string(),
+    };
+    out.push_str(&format!(
+        "latency p50 {} | p99 {} | makespan {:.2} ms\n",
+        fmt_ms(report.latency_quantile_nanos(0.50, None)),
+        fmt_ms(report.latency_quantile_nanos(0.99, None)),
+        report.makespan_nanos as f64 / 1e6
+    ));
+    let counter = |name: &str| report.metrics.counter(name, None).unwrap_or(0);
+    out.push_str(&format!(
+        "batches {} | preemptions {} | migrations {} | requeues {} | device kills {}\n",
+        counter("serve.batches"),
+        counter("serve.preemptions"),
+        counter("serve.migrations"),
+        counter("serve.requeues"),
+        counter("serve.device.kills"),
+    ));
+    for d in 0..devices {
+        out.push_str(&format!(
+            "device {d}: utilisation {:.2}{}\n",
+            report.utilisation(d),
+            if report.device_alive[d] {
+                ""
+            } else {
+                " (killed)"
+            }
+        ));
+    }
+    for t in 0..tenants {
+        let done = report
+            .metrics
+            .counter("serve.tenant.jobs.completed", Some(t))
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "tenant {t}: completed {done}, p99 {}\n",
+            fmt_ms(report.latency_quantile_nanos(0.99, Some(t)))
+        ));
+    }
+    if args.flag("stats") {
+        out.push('\n');
+        out.push_str(&report.metrics.render_table());
+    }
+    Ok(out)
+}
+
 /// `scalefbp model`.
 pub fn model(args: &mut Args) -> Result<String, CliError> {
     let preset = args.require("preset")?;

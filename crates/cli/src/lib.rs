@@ -102,6 +102,13 @@ COMMANDS:
   slice       --volume vol.sfbp --out img.pgm [--k K | --mip x|y|z]
   model       --preset NAME --gpus N --nr N [--nc 8] [--machine v100|a100]
               project the paper-scale runtime (Eq 17 + DES)
+  serve       [--devices 4] [--device v100|a100|tiny:BYTES] [--jobs 24]
+              [--tenants 3] [--rate HZ] [--seed N] [--fault-seed N]
+              [--ckpt-dir DIR] [--schedule-out F] [--metrics-out F] [--stats]
+              run a seeded multi-tenant workload through the
+              reconstruction-as-a-service scheduler: batched small jobs,
+              checkpoint-sliced long jobs that migrate across the fleet,
+              deterministic schedule/metrics exports (see docs/serving.md)
   help                          this text
 ";
 
@@ -120,6 +127,7 @@ pub fn run<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, CliError
         "trace-validate" => commands::trace_validate(&mut args)?,
         "slice" => commands::slice(&mut args)?,
         "model" => commands::model(&mut args)?,
+        "serve" => commands::serve(&mut args)?,
         other => return Err(CliError::UnknownCommand(other.to_string())),
     };
     args.finish()?;

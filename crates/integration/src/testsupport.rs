@@ -1,0 +1,106 @@
+//! Shared kill/resume helpers for the checkpoint/restart tests, the
+//! chaos-replay bench harness, and the serve scheduler tests.
+//!
+//! These used to be copy-pasted between `tests/checkpoint_restart.rs`
+//! and the `scalefbp-bench` chaos subcommand; they live here once so
+//! the bitwise-identity assertion and the kill-grid policy cannot
+//! drift between the harnesses.
+
+use std::path::{Path, PathBuf};
+
+use scalefbp_geom::Volume;
+use scalefbp_iosim::StorageEndpoint;
+
+/// Asserts `got` is bitwise identical to `golden` — the acceptance
+/// criterion every kill/resume and scheduler path must meet. Compares
+/// f32 bit patterns, so `-0.0` vs `0.0` or NaN payload drift fails.
+pub fn assert_bitwise(golden: &Volume, got: &Volume, what: &str) {
+    assert!(
+        golden.data().len() == got.data().len()
+            && golden
+                .data()
+                .iter()
+                .zip(got.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "{what}: not bitwise identical to the golden run"
+    );
+}
+
+/// A fresh scratch directory under the system temp dir, namespaced by
+/// tag and pid so parallel test binaries do not collide. Any previous
+/// contents are removed.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("scalefbp-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A local-NVMe storage endpoint rooted at a fresh scratch directory —
+/// the canonical checkpoint target of the kill/resume tests.
+pub fn scratch_endpoint(tag: &str) -> StorageEndpoint {
+    StorageEndpoint::local_nvme(Some(scratch_dir(tag)))
+}
+
+/// A clean subdirectory `name` under `root` (removed first if present),
+/// as the bench harnesses use below their `--out-dir`.
+pub fn fresh_dir(root: &Path, name: &str) -> PathBuf {
+    let d = root.join(name);
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create checkpoint dir");
+    d
+}
+
+/// Slabs the resume path loaded from the checkpoint instead of
+/// recomputing, read from the endpoint's `ckpt.resumed.slabs` counter.
+pub fn resumed_slabs(ep: &StorageEndpoint) -> u64 {
+    ep.metrics_registry()
+        .snapshot()
+        .counter("ckpt.resumed.slabs", None)
+        .unwrap_or(0)
+}
+
+/// Kill grid for a run of `slabs` durable commits: first commit, middle,
+/// and last-but-one (so the resume path covers nearly-empty and
+/// nearly-full checkpoints). `quick` keeps only the middle point.
+pub fn kill_points(slabs: usize, quick: bool) -> Vec<usize> {
+    assert!(
+        slabs >= 2,
+        "kill/resume needs a multi-slab run, got {slabs}"
+    );
+    let mid = (slabs / 2).max(1);
+    let mut ks = if quick {
+        vec![mid]
+    } else {
+        vec![1, mid, slabs - 1]
+    };
+    ks.dedup();
+    ks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_points_cover_edges_and_dedup() {
+        assert_eq!(kill_points(2, false), vec![1]);
+        assert_eq!(kill_points(6, false), vec![1, 3, 5]);
+        assert_eq!(kill_points(6, true), vec![3]);
+    }
+
+    #[test]
+    fn bitwise_assert_accepts_identical_volumes() {
+        let v = Volume::zeros(2, 2, 2);
+        assert_bitwise(&v, &v.clone(), "self");
+    }
+
+    #[test]
+    #[should_panic(expected = "not bitwise identical")]
+    fn bitwise_assert_rejects_negative_zero() {
+        let a = Volume::zeros(1, 1, 1);
+        let mut b = Volume::zeros(1, 1, 1);
+        b.data_mut()[0] = -0.0;
+        assert_bitwise(&a, &b, "signed zero");
+    }
+}

@@ -1,0 +1,151 @@
+//! Seeded fault plans against the *fleet*: permanent device kills and
+//! checkpoint-slab corruption.
+//!
+//! These complement the per-rank [`scalefbp_faults::FaultPlan`] used by
+//! the distributed drivers: a fleet fault removes a whole device from
+//! the scheduler (every job running there is requeued; long jobs resume
+//! from their last durable slab on another device), and a corruption
+//! fault flips a byte inside a committed slab file so the CRC seal must
+//! catch it on the next resume.
+//!
+//! Plans are pure data generated from a seed, so a run under a plan is
+//! exactly replayable — the same determinism contract as `FaultPlan`.
+
+/// Permanently kills one device at an absolute model time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceKill {
+    /// Fleet device index.
+    pub device: usize,
+    /// Model-time nanoseconds at which the device dies.
+    pub at_nanos: u64,
+}
+
+/// Flips one byte of a committed checkpoint slab of `job` right after
+/// its `after_slices`-th completed slice (1-based). The corruption is
+/// detected by the CRC seal on the next resume; the scheduler then
+/// restarts the job from scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorruptSlab {
+    /// Target job id.
+    pub job: usize,
+    /// Completed-slice count (1-based) after which the flip happens.
+    pub after_slices: usize,
+}
+
+/// A deterministic schedule of fleet-level faults.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetFaultPlan {
+    /// Device kills, any order; only the earliest kill per device
+    /// matters (death is permanent).
+    pub kills: Vec<DeviceKill>,
+    /// Checkpoint corruptions.
+    pub corruptions: Vec<CorruptSlab>,
+}
+
+impl FleetFaultPlan {
+    /// The empty plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A seeded plan that kills roughly half the fleet (never the whole
+    /// fleet — at least one device always survives so every requeued
+    /// job can finish) at times spread over the middle of `horizon_nanos`.
+    pub fn generate(seed: u64, devices: usize, horizon_nanos: u64) -> Self {
+        assert!(devices >= 1, "fleet must have at least one device");
+        let victims = devices / 2; // devices=1 → no kills
+        let mut state = seed ^ 0x5EED_F1EE_7C0F_FEE5;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let mut kills = Vec::with_capacity(victims);
+        let mut used = Vec::new();
+        while kills.len() < victims {
+            let device = (next() >> 33) as usize % devices;
+            if used.contains(&device) {
+                continue;
+            }
+            used.push(device);
+            // Somewhere in the middle half of the horizon, so work is
+            // both in flight before the kill and still pending after.
+            let span = (horizon_nanos / 2).max(1);
+            let at_nanos = horizon_nanos / 4 + (next() >> 33) % span;
+            kills.push(DeviceKill { device, at_nanos });
+        }
+        kills.sort_by_key(|k| (k.at_nanos, k.device));
+        FleetFaultPlan {
+            kills,
+            corruptions: Vec::new(),
+        }
+    }
+
+    /// Adds a checkpoint-corruption event.
+    pub fn with_corruption(mut self, job: usize, after_slices: usize) -> Self {
+        self.corruptions.push(CorruptSlab { job, after_slices });
+        self
+    }
+
+    /// The (earliest) time at which `device` dies, if any.
+    pub fn kill_time(&self, device: usize) -> Option<u64> {
+        self.kills
+            .iter()
+            .filter(|k| k.device == device)
+            .map(|k| k.at_nanos)
+            .min()
+    }
+
+    /// Whether `job`'s checkpoint is corrupted after its
+    /// `completed_slices`-th slice.
+    pub fn corrupts(&self, job: usize, completed_slices: usize) -> bool {
+        self.corruptions
+            .iter()
+            .any(|c| c.job == job && c.after_slices == completed_slices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_and_spares_a_device() {
+        let a = FleetFaultPlan::generate(7, 4, 1_000_000);
+        let b = FleetFaultPlan::generate(7, 4, 1_000_000);
+        assert_eq!(a, b);
+        assert_eq!(a.kills.len(), 2);
+        let victims: Vec<usize> = a.kills.iter().map(|k| k.device).collect();
+        assert!(victims.iter().all(|&d| d < 4));
+        assert!((0..4).any(|d| !victims.contains(&d)));
+        for k in &a.kills {
+            assert!(k.at_nanos >= 250_000 && k.at_nanos < 750_000);
+        }
+    }
+
+    #[test]
+    fn single_device_fleet_is_never_killed() {
+        let plan = FleetFaultPlan::generate(3, 1, 1_000);
+        assert!(plan.kills.is_empty());
+    }
+
+    #[test]
+    fn kill_time_picks_earliest() {
+        let plan = FleetFaultPlan {
+            kills: vec![
+                DeviceKill {
+                    device: 1,
+                    at_nanos: 500,
+                },
+                DeviceKill {
+                    device: 1,
+                    at_nanos: 100,
+                },
+            ],
+            corruptions: Vec::new(),
+        };
+        assert_eq!(plan.kill_time(1), Some(100));
+        assert_eq!(plan.kill_time(0), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Job descriptions submitted to the scheduler.
+
+use std::sync::Arc;
+
+use scalefbp_geom::{CbctGeometry, ProjectionStack};
+
+/// How the scheduler executes (and may interleave) a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobClass {
+    /// In-core reconstruction whose working set fits a device whole.
+    /// The scheduler may pack several consecutive small jobs into one
+    /// device dispatch to amortise the per-dispatch overhead; each job
+    /// in the batch is still reconstructed independently, so batched
+    /// and unbatched volumes are bitwise identical.
+    Small,
+    /// Out-of-core slab-streamed reconstruction, checkpointed after
+    /// every slab. The scheduler runs it in slices of `slice_slabs`
+    /// durable commits; between slices the job is preempted, requeued,
+    /// and may resume on a *different* device from its checkpoint.
+    Long {
+        /// The paper's `N_c` slab-count target for the out-of-core plan.
+        nc: usize,
+        /// Durable slab commits per scheduling slice (the preemption
+        /// quantum).
+        slice_slabs: usize,
+    },
+}
+
+impl JobClass {
+    /// The class name used in schedule exports and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobClass::Small => "small",
+            JobClass::Long { .. } => "long",
+        }
+    }
+}
+
+/// One scan-reconstruction request from a tenant.
+///
+/// The projection stack is shared (`Arc`) because load generators
+/// typically submit many jobs over the same synthetic scan; the
+/// scheduler never mutates it.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Submission-order identifier, unique within one workload.
+    pub id: usize,
+    /// Owning tenant index (the per-tenant metrics label).
+    pub tenant: usize,
+    /// Model-time arrival in integer nanoseconds.
+    pub arrival_nanos: u64,
+    /// Execution class.
+    pub class: JobClass,
+    /// Scan geometry to reconstruct.
+    pub geom: CbctGeometry,
+    /// Measured (or synthesized) projections.
+    pub projections: Arc<ProjectionStack>,
+}
+
+/// Why an arriving job was refused admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Admitting the job would push the fleet-wide backlog past the
+    /// global memory budget.
+    MemoryBudget {
+        /// Bytes the job would add to the backlog.
+        requested: u64,
+        /// Budget bytes still unclaimed.
+        available: u64,
+    },
+    /// The job cannot run on any fleet device even alone (its planned
+    /// working set exceeds a device's memory).
+    Unschedulable(String),
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::MemoryBudget {
+                requested,
+                available,
+            } => write!(
+                f,
+                "memory-budget requested={requested} available={available}"
+            ),
+            RejectReason::Unschedulable(why) => write!(f, "unschedulable: {why}"),
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Reconstruction-as-a-service: a deterministic multi-tenant job
+//! scheduler over the simulated GPU fleet.
+//!
+//! This crate turns the one-shot reconstruction pipeline into a
+//! long-running service model: many tenants submit scan jobs, the
+//! scheduler admits them against a global memory budget, packs small
+//! in-core jobs into batched device dispatches, time-slices long
+//! out-of-core jobs through the [`scalefbp-ckpt`](scalefbp_ckpt)
+//! checkpoint store (so a preempted job can migrate between devices),
+//! and survives injected device kills and checkpoint corruption by
+//! requeuing and resuming from the last durable slab.
+//!
+//! Everything runs in integer model time derived from the
+//! [`DeviceSpec`](scalefbp_gpusim::DeviceSpec) cost model — no wall
+//! clock reaches any exported number — so a seeded workload replays to
+//! byte-identical schedules, logs, and metric exports while every
+//! job's volume is computed for real and stays bitwise identical to a
+//! standalone run. See `docs/serving.md` for the full model.
+
+pub mod fleetfaults;
+pub mod job;
+pub mod loadgen;
+pub mod quantile;
+pub mod scheduler;
+
+pub use fleetfaults::{CorruptSlab, DeviceKill, FleetFaultPlan};
+pub use job::{JobClass, JobSpec, RejectReason};
+pub use loadgen::{generate, scan_geometry, WorkloadSpec};
+pub use quantile::{histogram_quantile, LATENCY_BOUNDS_NANOS};
+pub use scheduler::{
+    job_config, job_service_secs, JobRecord, Rejection, Scheduler, ServeConfig, ServeReport,
+};

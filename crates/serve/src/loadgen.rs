@@ -1,0 +1,179 @@
+//! Seeded, deterministic workload generation for the scheduler.
+//!
+//! Arrivals follow a Poisson process sampled from a fixed-seed LCG, so
+//! the same [`WorkloadSpec`] always produces byte-identical job streams
+//! — the load-gen half of the serving determinism contract.
+
+use std::sync::Arc;
+
+use scalefbp_geom::CbctGeometry;
+use scalefbp_phantom::{forward_project, uniform_ball};
+
+use crate::job::{JobClass, JobSpec};
+
+/// Parameters of one synthetic multi-tenant workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// RNG seed for arrival times and tenant assignment.
+    pub seed: u64,
+    /// Number of tenants; jobs are assigned round-robin-by-RNG.
+    pub tenants: usize,
+    /// Total jobs to generate.
+    pub jobs: usize,
+    /// Mean arrival rate in jobs per simulated second (all tenants).
+    pub arrival_rate_hz: f64,
+    /// Cube size `N` of the small in-core scan geometry.
+    pub small_n: usize,
+    /// Every `long_every`-th job (1-based) is a long out-of-core job;
+    /// 0 disables long jobs.
+    pub long_every: usize,
+    /// Cube size of the long-job geometry.
+    pub long_n: usize,
+    /// `N_c` slab-count target of the long jobs' out-of-core plan.
+    pub long_nc: usize,
+    /// Durable slab commits per scheduling slice of a long job.
+    pub long_slice_slabs: usize,
+}
+
+impl WorkloadSpec {
+    /// A small mixed workload with sane defaults for tests and CI.
+    pub fn new(seed: u64, tenants: usize, jobs: usize, arrival_rate_hz: f64) -> Self {
+        WorkloadSpec {
+            seed,
+            tenants,
+            jobs,
+            arrival_rate_hz,
+            small_n: 12,
+            long_every: 5,
+            long_n: 16,
+            long_nc: 6,
+            long_slice_slabs: 2,
+        }
+    }
+
+    /// Disables long jobs (pure small-job traffic).
+    pub fn small_only(mut self) -> Self {
+        self.long_every = 0;
+        self
+    }
+}
+
+/// The test-scale scan geometry for cube size `n`: `1.5n` projections
+/// of `1.5n × 1.5n` pixels, the repo's `ideal` convention.
+pub fn scan_geometry(n: usize) -> CbctGeometry {
+    CbctGeometry::ideal(n, n * 3 / 2, n * 3 / 2, n * 3 / 2)
+}
+
+/// Generates the job stream: seeded exponential inter-arrival gaps,
+/// seeded tenant assignment, and a fixed small/long mix. Projections
+/// are synthesized once per geometry and shared across jobs.
+pub fn generate(spec: &WorkloadSpec) -> Vec<JobSpec> {
+    assert!(spec.tenants >= 1, "need at least one tenant");
+    assert!(spec.arrival_rate_hz > 0.0, "arrival rate must be positive");
+    let small_geom = scan_geometry(spec.small_n);
+    let small_proj = Arc::new(forward_project(
+        &small_geom,
+        &uniform_ball(&small_geom, 0.5, 1.0),
+    ));
+    let long_geom = scan_geometry(spec.long_n);
+    let long_proj = if spec.long_every > 0 {
+        Some(Arc::new(forward_project(
+            &long_geom,
+            &uniform_ball(&long_geom, 0.55, 1.0),
+        )))
+    } else {
+        None
+    };
+
+    let mut state = spec.seed ^ 0x5EED_10AD_6E4E_0001;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    // Uniform in (0, 1): top 24 bits, offset by half a step so the
+    // logarithm below never sees zero.
+    let mut uniform = move || ((next() >> 40) as f64 + 0.5) / (1u64 << 24) as f64;
+
+    let mut arrival_secs = 0.0f64;
+    let mut jobs = Vec::with_capacity(spec.jobs);
+    for id in 0..spec.jobs {
+        arrival_secs += -uniform().ln() / spec.arrival_rate_hz;
+        let tenant = (uniform() * spec.tenants as f64) as usize % spec.tenants;
+        let long = spec.long_every > 0 && (id + 1) % spec.long_every == 0;
+        let (class, geom, projections) = if long {
+            (
+                JobClass::Long {
+                    nc: spec.long_nc,
+                    slice_slabs: spec.long_slice_slabs,
+                },
+                long_geom.clone(),
+                long_proj.clone().expect("long projections"),
+            )
+        } else {
+            (JobClass::Small, small_geom.clone(), small_proj.clone())
+        };
+        jobs.push(JobSpec {
+            id,
+            tenant,
+            arrival_nanos: (arrival_secs * 1e9).round() as u64,
+            class,
+            geom,
+            projections,
+        });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let spec = WorkloadSpec::new(42, 3, 20, 100.0);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_nanos, y.arrival_nanos);
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.class, y.class);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_rate_scaled() {
+        let slow = generate(&WorkloadSpec::new(1, 2, 40, 10.0));
+        let fast = generate(&WorkloadSpec::new(1, 2, 40, 1000.0));
+        assert!(slow
+            .windows(2)
+            .all(|w| w[0].arrival_nanos <= w[1].arrival_nanos));
+        assert!(
+            slow.last().unwrap().arrival_nanos > fast.last().unwrap().arrival_nanos,
+            "a 100× faster rate must compress the arrival span"
+        );
+    }
+
+    #[test]
+    fn long_job_mix_follows_long_every() {
+        let jobs = generate(&WorkloadSpec::new(9, 2, 10, 50.0));
+        let longs: Vec<usize> = jobs
+            .iter()
+            .filter(|j| matches!(j.class, JobClass::Long { .. }))
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(longs, vec![4, 9]);
+        let none = generate(&WorkloadSpec::new(9, 2, 10, 50.0).small_only());
+        assert!(none.iter().all(|j| j.class == JobClass::Small));
+    }
+
+    #[test]
+    fn tenants_all_get_traffic() {
+        let jobs = generate(&WorkloadSpec::new(4, 3, 60, 100.0));
+        for t in 0..3 {
+            assert!(jobs.iter().any(|j| j.tenant == t), "tenant {t} starved");
+        }
+    }
+}

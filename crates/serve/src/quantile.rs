@@ -1,0 +1,100 @@
+//! Quantile estimation over the fixed-bucket `obs` histograms.
+//!
+//! The scheduler records latencies into integer-nanosecond histograms
+//! with power-of-two bounds; a quantile is reported as the upper bound
+//! of the bucket containing it. That is coarse but exactly mergeable
+//! and deterministic — the properties the serving metrics contract
+//! requires (see `docs/serving.md`).
+
+use scalefbp_obs::{MetricKey, MetricValue, MetricsSnapshot};
+
+/// Latency/wait histogram bounds: 1 µs · 2^k for k = 0..31, i.e. from
+/// one microsecond to ~2147 simulated seconds.
+pub const LATENCY_BOUNDS_NANOS: [u64; 32] = {
+    let mut b = [0u64; 32];
+    let mut k = 0;
+    while k < 32 {
+        b[k] = 1_000u64 << k;
+        k += 1;
+    }
+    b
+};
+
+/// The `q`-quantile (0 < q ≤ 1) of a fixed-bucket histogram metric, as
+/// the upper bound of the bucket holding the quantile observation.
+/// Observations above the last bound report twice the last bound.
+/// Returns `None` if the metric is missing, not a histogram, or empty.
+pub fn histogram_quantile(
+    snapshot: &MetricsSnapshot,
+    name: &str,
+    rank: Option<usize>,
+    q: f64,
+) -> Option<u64> {
+    let value = snapshot.get(&MetricKey::new(name, rank))?;
+    let MetricValue::Histogram {
+        bounds,
+        buckets,
+        count,
+        ..
+    } = value
+    else {
+        return None;
+    };
+    if *count == 0 {
+        return None;
+    }
+    // Rank of the quantile observation, 1-based, clamped into range.
+    let target = ((q * *count as f64).ceil() as u64).clamp(1, *count);
+    let mut seen = 0u64;
+    for (i, n) in buckets.iter().enumerate() {
+        seen = seen.saturating_add(*n);
+        if seen >= target {
+            return Some(match bounds.get(i) {
+                Some(b) => *b,
+                // Overflow bucket: everything above the last bound.
+                None => bounds.last().map(|b| b.saturating_mul(2)).unwrap_or(0),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalefbp_obs::MetricsRegistry;
+
+    #[test]
+    fn bounds_are_strictly_increasing_powers_of_two() {
+        assert_eq!(LATENCY_BOUNDS_NANOS[0], 1_000);
+        assert!(LATENCY_BOUNDS_NANOS.windows(2).all(|w| w[1] == w[0] * 2));
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t.lat", &LATENCY_BOUNDS_NANOS);
+        // 99 fast observations, one slow one.
+        for _ in 0..99 {
+            h.observe(1_500); // second bucket (bound 2_000)
+        }
+        h.observe(3_000_000); // bucket bound 1000<<12 = 4_096_000
+        let snap = reg.snapshot();
+        assert_eq!(histogram_quantile(&snap, "t.lat", None, 0.50), Some(2_000));
+        assert_eq!(histogram_quantile(&snap, "t.lat", None, 0.99), Some(2_000));
+        assert_eq!(
+            histogram_quantile(&snap, "t.lat", None, 1.0),
+            Some(4_096_000)
+        );
+    }
+
+    #[test]
+    fn missing_or_empty_metric_yields_none() {
+        let reg = MetricsRegistry::new();
+        let snap = reg.snapshot();
+        assert_eq!(histogram_quantile(&snap, "nope", None, 0.5), None);
+        reg.histogram("empty", &LATENCY_BOUNDS_NANOS);
+        let snap = reg.snapshot();
+        assert_eq!(histogram_quantile(&snap, "empty", None, 0.5), None);
+    }
+}

@@ -18,40 +18,16 @@ use scalefbp::{
 use scalefbp_faults::{
     open_frame, seal_frame, Channel, FaultEvent, FaultKind, FaultPlan, FaultScenario, RecoveryEvent,
 };
-use scalefbp_geom::{CbctGeometry, RankLayout, Volume};
-use scalefbp_iosim::StorageEndpoint;
+use scalefbp_geom::{CbctGeometry, RankLayout};
+use scalefbp_integration::testsupport::{
+    assert_bitwise, kill_points, resumed_slabs, scratch_endpoint,
+};
 use scalefbp_phantom::{forward_project, uniform_ball};
 
 /// Failure detection in the distributed driver is timeout-based; two
 /// worlds racing on the same cores can push compute past a deadline and
 /// flip a detector. Serialise, as `tests/fault_recovery.rs` does.
 static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-fn ckpt_dir(tag: &str) -> StorageEndpoint {
-    let d = std::env::temp_dir().join(format!("scalefbp-ckpt-it-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    StorageEndpoint::local_nvme(Some(d))
-}
-
-fn assert_bitwise(golden: &Volume, got: &Volume, what: &str) {
-    assert!(
-        golden.data().len() == got.data().len()
-            && golden
-                .data()
-                .iter()
-                .zip(got.data())
-                .all(|(a, b)| a.to_bits() == b.to_bits()),
-        "{what}: not bitwise identical to the golden run"
-    );
-}
-
-fn resumed_slabs(ep: &StorageEndpoint) -> u64 {
-    ep.metrics_registry()
-        .snapshot()
-        .counter("ckpt.resumed.slabs", None)
-        .unwrap_or(0)
-}
 
 /// Out-of-core: kill mid-run at every interesting commit count, resume,
 /// compare bitwise. The tiny device forces a multi-slab decomposition.
@@ -66,8 +42,8 @@ fn killed_outofcore_run_resumes_bitwise() {
     let slabs = report.batches.len();
     assert!(slabs >= 3, "want a multi-slab run, got {slabs}");
 
-    for k in [1, slabs / 2, slabs - 1] {
-        let ep = ckpt_dir(&format!("ooc-{k}"));
+    for k in kill_points(slabs, false) {
+        let ep = scratch_endpoint(&format!("ckpt-ooc-{k}"));
         match rec.reconstruct_checkpointed(&p, &ep, &CheckpointSpec::new("", 1).killing_after(k)) {
             Err(ReconstructionError::Interrupted { completed_slabs }) => {
                 assert_eq!(completed_slabs, k)
@@ -105,7 +81,7 @@ fn killed_distributed_segmented_run_resumes_bitwise_under_faults() {
     .volume;
 
     let plan = FaultPlan::generate(21, &FaultScenario::mixed(layout.num_ranks()));
-    let ep = ckpt_dir("ft-seg");
+    let ep = scratch_endpoint("ckpt-ft-seg");
     match fault_tolerant_reconstruct_checkpointed(
         &cfg,
         layout,
@@ -192,7 +168,7 @@ fn stale_checkpoint_is_refused_by_both_drivers() {
     // Write an out-of-core checkpoint, then resume with the distributed
     // driver against the same directory: the driver tag alone must
     // change the fingerprint and refuse the resume.
-    let ep = ckpt_dir("stale-cross");
+    let ep = scratch_endpoint("ckpt-stale-cross");
     let cfg = FdkConfig::new(g.clone()).with_device(DeviceSpec::tiny(1_000_000));
     let rec = OutOfCoreReconstructor::new(cfg).unwrap();
     rec.reconstruct_checkpointed(&p, &ep, &CheckpointSpec::new("", 1))

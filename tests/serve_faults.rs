@@ -1,0 +1,122 @@
+//! Seeded fleet-fault plans against a running scheduler: device kills
+//! and checkpoint corruption must requeue/resume jobs with bitwise
+//! outputs and a fully deterministic recovery log (double-run log
+//! equality, the same contract `tests/checkpoint_restart.rs` enforces
+//! for single-job restarts).
+
+use std::sync::Arc;
+
+use scalefbp::{fdk_reconstruct_configured, MetricsRegistry};
+use scalefbp_gpusim::DeviceSpec;
+use scalefbp_integration::testsupport::{assert_bitwise, scratch_dir};
+use scalefbp_phantom::{forward_project, uniform_ball};
+use scalefbp_serve::{
+    generate, job_config, scan_geometry, FleetFaultPlan, JobClass, JobSpec, Scheduler, ServeConfig,
+    WorkloadSpec,
+};
+
+fn fleet(tag: &str, devices: usize) -> ServeConfig {
+    ServeConfig::new(devices, DeviceSpec::tiny(300_000), scratch_dir(tag))
+}
+
+fn long_job(nc: usize, slice_slabs: usize) -> JobSpec {
+    let geom = scan_geometry(16);
+    let projections = Arc::new(forward_project(&geom, &uniform_ball(&geom, 0.55, 1.0)));
+    JobSpec {
+        id: 0,
+        tenant: 0,
+        arrival_nanos: 0,
+        class: JobClass::Long { nc, slice_slabs },
+        geom,
+        projections,
+    }
+}
+
+#[test]
+fn seeded_device_kills_recover_deterministically() {
+    // Overload a four-device fleet, then kill two devices mid-run via a
+    // seeded plan. Every job must still complete (requeued onto the
+    // survivors), and the entire run — schedule, recovery log, metrics
+    // — must replay byte-for-byte.
+    let jobs = 16;
+    let rate = 800.0;
+    let horizon = (jobs as f64 / rate * 1e9) as u64;
+    let spec = WorkloadSpec::new(21, 3, jobs, rate);
+    let faults = FleetFaultPlan::generate(0xFA11, 4, horizon);
+    assert!(!faults.kills.is_empty(), "seeded plan produced no kills");
+
+    let runs: Vec<_> = ["serve-kill-a", "serve-kill-b"]
+        .iter()
+        .map(|tag| {
+            let cfg = fleet(tag, 4).with_faults(faults.clone()).keeping_volumes();
+            let report = Scheduler::new(cfg.clone(), MetricsRegistry::new()).run(generate(&spec));
+            (cfg, report)
+        })
+        .collect();
+
+    let (cfg, report) = &runs[0];
+    assert_eq!(report.jobs.len(), jobs, "kills must not lose jobs");
+    assert!(report.stranded.is_empty());
+    assert_eq!(
+        report.metrics.counter("serve.device.kills", None),
+        Some(faults.kills.len() as u64)
+    );
+    assert!(
+        report.metrics.counter("serve.requeues", None).unwrap_or(0) >= 1,
+        "expected at least one fault-driven requeue"
+    );
+    assert!(
+        report.log.iter().any(|l| l.contains("kill")),
+        "recovery log records no kill events:\n{}",
+        report.log.join("\n")
+    );
+
+    // Deterministic recovery: second run is byte-identical everywhere.
+    let (_, replay) = &runs[1];
+    assert_eq!(report.schedule_text(), replay.schedule_text());
+    assert_eq!(report.log, replay.log);
+    assert_eq!(report.metrics.to_json(), replay.metrics.to_json());
+
+    // And still numerically exact.
+    let inputs = generate(&spec);
+    for (id, volume) in &report.volumes {
+        let job = inputs.iter().find(|j| j.id == *id).unwrap();
+        let golden = fdk_reconstruct_configured(&job_config(cfg, job), &job.projections).unwrap();
+        assert_bitwise(&golden, volume, &format!("job {id} after device kills"));
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_slab_restarts_job_from_scratch() {
+    // Corrupt the first checkpoint slab of job 0 after its first slice
+    // commits. The CRC seal must catch it on resume; the scheduler
+    // wipes the store and restarts the job, still bitwise-correct.
+    let job = long_job(6, 2);
+    let faults = FleetFaultPlan::none().with_corruption(0, 1);
+
+    let run_once = |tag: &str| {
+        let cfg = fleet(tag, 1).with_faults(faults.clone()).keeping_volumes();
+        let report = Scheduler::new(cfg.clone(), MetricsRegistry::new()).run(vec![job.clone()]);
+        (cfg, report)
+    };
+    let (cfg, report) = run_once("serve-corrupt-a");
+
+    assert_eq!(report.jobs.len(), 1);
+    assert_eq!(
+        report.metrics.counter("serve.checkpoint.corruptions", None),
+        Some(1)
+    );
+    assert!(report.jobs[0].requeues >= 1);
+    assert!(
+        report.log.iter().any(|l| l.contains("corrupt")),
+        "log never mentions the corruption:\n{}",
+        report.log.join("\n")
+    );
+
+    let golden = fdk_reconstruct_configured(&job_config(&cfg, &job), &job.projections).unwrap();
+    assert_bitwise(&golden, &report.volumes[0].1, "job after corrupt slab");
+
+    let (_, replay) = run_once("serve-corrupt-b");
+    assert_eq!(report.schedule_text(), replay.schedule_text());
+    assert_eq!(report.log, replay.log);
+}

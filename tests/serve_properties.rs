@@ -1,0 +1,132 @@
+//! Property tests for the reconstruction-as-a-service scheduler.
+//!
+//! Three invariants over randomly seeded workloads:
+//!
+//! 1. **Safety** — every job is accounted for (completed or rejected),
+//!    no device's peak allocation ever exceeds its capacity, and
+//!    utilisation stays within [0, 1].
+//! 2. **No starvation** — under FIFO-with-aging a job may only be
+//!    overtaken while its queue wait is at most the aging limit, so any
+//!    job that starts after a later arrival must have been started
+//!    within `arrival + aging` of the job it overtook.
+//! 3. **Batching is numerics-neutral** — batched small jobs produce
+//!    the same volumes, bit for bit, as an unbatched run.
+
+use proptest::prelude::*;
+
+use scalefbp::MetricsRegistry;
+use scalefbp_gpusim::DeviceSpec;
+use scalefbp_integration::testsupport::{assert_bitwise, scratch_dir};
+use scalefbp_serve::{generate, Scheduler, ServeConfig, ServeReport, WorkloadSpec};
+
+fn fleet(tag: &str, devices: usize) -> ServeConfig {
+    ServeConfig::new(devices, DeviceSpec::tiny(300_000), scratch_dir(tag))
+}
+
+fn workload(seed: u64, tenants: usize, jobs: usize, rate: f64) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new(seed, tenants, jobs, rate);
+    spec.small_n = 8; // keep the per-case reconstructions cheap
+    spec
+}
+
+fn run(cfg: ServeConfig, spec: &WorkloadSpec) -> ServeReport {
+    Scheduler::new(cfg, MetricsRegistry::new()).run(generate(spec))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Safety: conservation of jobs, per-device memory capacity, and
+    /// utilisation bounds hold for arbitrary mixed workloads.
+    #[test]
+    fn fleet_invariants_hold(
+        seed in 0u64..10_000,
+        tenants in 1usize..4,
+        jobs in 4usize..12,
+        rate in 50.0f64..2000.0,
+    ) {
+        let devices = 3;
+        let cfg = fleet(&format!("serve-prop-{seed}-{jobs}"), devices);
+        let capacity = cfg.device.memory_bytes as f64;
+        let report = run(cfg, &workload(seed, tenants, jobs, rate));
+
+        prop_assert_eq!(report.jobs.len() + report.rejections.len(), jobs);
+        prop_assert!(report.stranded.is_empty());
+        for d in 0..devices {
+            if let Some(peak) = report.metrics.gauge("gpu.mem.peak_bytes", Some(d)) {
+                prop_assert!(
+                    peak <= capacity,
+                    "device {} peak {} exceeds capacity {}", d, peak, capacity
+                );
+            }
+            let u = report.utilisation(d);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "device {} utilisation {}", d, u);
+        }
+        for job in &report.jobs {
+            prop_assert!(job.arrival_nanos <= job.first_start_nanos);
+            prop_assert!(job.first_start_nanos < job.finish_nanos);
+        }
+    }
+
+    /// No starvation: whenever job `b` overtakes an earlier arrival
+    /// `a` (starts first despite arriving later), the overtake must
+    /// have happened while `a` was still inside its aging window —
+    /// i.e. `b` started no later than `a.arrival + aging`.
+    #[test]
+    fn fifo_aging_bounds_overtaking(
+        seed in 0u64..10_000,
+        jobs in 6usize..12,
+        rate in 200.0f64..5000.0,
+    ) {
+        let aging = 20_000_000u64; // 20 ms
+        let cfg = fleet(&format!("serve-age-{seed}-{jobs}"), 2).with_aging_nanos(aging);
+        let spec = workload(seed, 2, jobs, rate).small_only();
+        let report = run(cfg, &spec);
+        prop_assert_eq!(report.jobs.len(), jobs);
+
+        for a in &report.jobs {
+            for b in &report.jobs {
+                if b.arrival_nanos > a.arrival_nanos && b.first_start_nanos < a.first_start_nanos {
+                    prop_assert!(
+                        b.first_start_nanos <= a.arrival_nanos + aging,
+                        "job {} (arrived {}) overtook job {} (arrived {}) at {}, \
+                         past the {} ns aging window",
+                        b.id, b.arrival_nanos, a.id, a.arrival_nanos,
+                        b.first_start_nanos, aging
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batching small jobs amortises dispatch overhead but must not
+    /// change a single output bit relative to an unbatched run.
+    #[test]
+    fn batched_volumes_match_unbatched(
+        seed in 0u64..10_000,
+        jobs in 4usize..10,
+    ) {
+        let spec = workload(seed, 2, jobs, 800.0).small_only();
+        let batched = run(
+            fleet(&format!("serve-bat-{seed}-{jobs}"), 2)
+                .with_max_batch(8)
+                .keeping_volumes(),
+            &spec,
+        );
+        let solo = run(
+            fleet(&format!("serve-solo-{seed}-{jobs}"), 2)
+                .with_max_batch(1)
+                .keeping_volumes(),
+            &spec,
+        );
+        prop_assert_eq!(batched.volumes.len(), jobs);
+        prop_assert_eq!(solo.volumes.len(), jobs);
+        for (id, vol) in &batched.volumes {
+            let (_, other) = solo.volumes.iter().find(|(i, _)| i == id).unwrap();
+            assert_bitwise(vol, other, &format!("job {id} batched vs unbatched"));
+        }
+        for job in &solo.jobs {
+            prop_assert_eq!(job.batch_size, 1);
+        }
+    }
+}
