@@ -19,7 +19,16 @@
 //!     -- chaos [--quick] [--out-dir DIR]
 //! cargo run --release -p scalefbp-bench --bin scalefbp-bench
 //!     -- serve [--quick] [--out-dir DIR]
+//! cargo run --release -p scalefbp-bench --bin scalefbp-bench
+//!     -- iterative [--quick] [--out-dir DIR]
 //! ```
+//!
+//! The `iterative` subcommand is the distributed SIRT/MLEM conformance
+//! sweep: every (solver, ranks, reduce-mode) cell is asserted bitwise
+//! identical to the serial solver (volume *and* residual history), the
+//! segmented cells are asserted inside the chain-model traffic bound,
+//! and `BENCH_iterative.json` (wall-clock-free, hence byte-reproducible)
+//! records the grid. See `docs/iterative.md`.
 //!
 //! The `serve` subcommand is the reconstruction-as-a-service load
 //! generator: it sweeps seeded multi-tenant arrival rates from light
@@ -67,14 +76,15 @@ use scalefbp::substrates::filter::{FilterPipeline, FilterWindow};
 use scalefbp::substrates::geom::{
     CbctGeometry, DatasetPreset, ProjectionMatrix, ProjectionStack, RankLayout, Volume,
 };
+use scalefbp::substrates::iterative::{Mlem, RayMarchConfig, Sirt};
 use scalefbp::substrates::mpisim::CommCostModel;
 use scalefbp::substrates::perfmodel::{MachineParams, PerfModel, RunShape};
 use scalefbp::substrates::phantom::{forward_project, uniform_ball};
 use scalefbp::timing::simulate_distributed_with_mode;
 use scalefbp::{
-    fault_tolerant_reconstruct_checkpointed, fault_tolerant_reconstruct_observed, CheckpointSpec,
-    DeviceSpec, FdkConfig, MetricsRegistry, OutOfCoreReconstructor, ReconstructionError,
-    ReduceMode,
+    fault_tolerant_reconstruct_checkpointed, fault_tolerant_reconstruct_observed,
+    iterative_reconstruct_distributed, CheckpointSpec, DeviceSpec, FdkConfig, IterativeConfig,
+    IterativeSolver, MetricsRegistry, OutOfCoreReconstructor, ReconstructionError, ReduceMode,
 };
 use scalefbp_faults::{FaultPlan, FaultScenario};
 use scalefbp_integration::testsupport::{assert_bitwise, fresh_dir, kill_points};
@@ -1063,6 +1073,220 @@ fn run_serve(quick: bool, out_dir: &str) {
     );
 }
 
+/// One cell of the iterative conformance sweep: a (solver, ranks,
+/// reduce-mode) run compared bitwise against the serial solver.
+struct IterativeCell {
+    solver: &'static str,
+    ranks: usize,
+    mode: &'static str,
+    network_bytes: u64,
+    network_messages: u64,
+    /// Worst per-rank segmented-merge traffic per iteration (chain
+    /// through-traffic + finished owner segments, bytes); `None` for the
+    /// dense/hierarchical cells.
+    seg_recv_per_iter_max: Option<u64>,
+    /// The model bound on that quantity: 4·(n + max segment) bytes.
+    seg_recv_bound: Option<u64>,
+}
+
+fn emit_iterative_json(
+    geom: &CbctGeometry,
+    iters: usize,
+    goldens: &[(&'static str, &[f64])],
+    cells: &[IterativeCell],
+    quick: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"iterative\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(
+        out,
+        "  \"nx\": {}, \"ny\": {}, \"nz\": {}, \"np\": {}, \"nu\": {}, \"nv\": {},",
+        geom.nx, geom.ny, geom.nz, geom.np, geom.nu, geom.nv
+    );
+    let _ = writeln!(out, "  \"iterations\": {iters},");
+    out.push_str("  \"solvers\": [\n");
+    for (si, (name, residuals)) in goldens.iter().enumerate() {
+        let hist: Vec<String> = residuals.iter().map(|r| format!("{r:.12e}")).collect();
+        let _ = writeln!(
+            out,
+            "    {{\"solver\": \"{name}\", \"serial_residuals\": [{}]}}{}",
+            hist.join(", "),
+            if si + 1 < goldens.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let opt = |v: Option<u64>| v.map_or("null".to_string(), |b| b.to_string());
+        let _ = writeln!(
+            out,
+            "    {{\"solver\": \"{}\", \"ranks\": {}, \"mode\": \"{}\", \
+             \"bitwise_identical\": true, \"residuals_match\": true, \
+             \"network_bytes\": {}, \"network_messages\": {}, \
+             \"seg_recv_per_iter_max_bytes\": {}, \"seg_recv_bound_bytes\": {}}}{}",
+            c.solver,
+            c.ranks,
+            c.mode,
+            c.network_bytes,
+            c.network_messages,
+            opt(c.seg_recv_per_iter_max),
+            opt(c.seg_recv_bound),
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The `iterative` subcommand: the distributed SIRT/MLEM conformance
+/// sweep. Every (solver, ranks, reduce-mode) cell must reproduce the
+/// serial solver's iterate and residual history bit-for-bit, and the
+/// segmented cells must keep their worst per-rank merge traffic inside
+/// the `4·(n + max segment)` chain model — all asserted in-process
+/// before `BENCH_iterative.json` is written. The JSON carries no
+/// wall-clock fields, so back-to-back runs are byte-identical.
+fn run_iterative(quick: bool, out_dir: &str) {
+    use scalefbp::substrates::mpisim::segment_partition;
+
+    let (geom, iters) = if quick {
+        (CbctGeometry::ideal(12, 8, 20, 18), 3)
+    } else {
+        (CbctGeometry::ideal(16, 12, 28, 24), 5)
+    };
+    let b = forward_project(&geom, &uniform_ball(&geom, 0.55, 1.0));
+    let march = RayMarchConfig::default();
+    let n_vox = geom.nx * geom.ny * geom.nz;
+    let slice_len = geom.nx * geom.ny;
+
+    // Golden serial runs, once per solver.
+    let mut sirt = Sirt::new(&geom, march, 1.0);
+    let sirt_hist = sirt.run(&b, iters);
+    let mut mlem = Mlem::new(&geom, march);
+    let mlem_hist = mlem.run(&b, iters);
+    let goldens: Vec<(&'static str, IterativeSolver, &Volume, &[f64])> = vec![
+        (
+            "sirt",
+            IterativeSolver::Sirt { relaxation: 1.0 },
+            sirt.estimate(),
+            &sirt_hist,
+        ),
+        ("mlem", IterativeSolver::Mlem, mlem.estimate(), &mlem_hist),
+    ];
+
+    let rank_counts: &[usize] = &[1, 2, 4];
+    let modes = [
+        ("dense", ReduceMode::Dense),
+        ("hierarchical", ReduceMode::Hierarchical),
+        ("segmented", ReduceMode::Segmented),
+    ];
+    let mut cells = Vec::new();
+    for (name, kind, golden, hist) in &goldens {
+        let mut prev_seg_max: Option<u64> = None;
+        for &ranks in rank_counts {
+            for (mode_name, mode) in modes {
+                let mut cfg = IterativeConfig::new(*kind, iters);
+                cfg.ranks = ranks;
+                cfg.reduce_mode = mode;
+                let out = iterative_reconstruct_distributed(&geom, &b, &cfg)
+                    .expect("distributed iterative run");
+                assert_bitwise(
+                    golden,
+                    &out.volume,
+                    &format!("{name} p={ranks} {mode_name}"),
+                );
+                assert_eq!(
+                    hist.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                    out.residuals
+                        .iter()
+                        .map(|r| r.to_bits())
+                        .collect::<Vec<_>>(),
+                    "{name} p={ranks} {mode_name}: residual history diverged"
+                );
+                let (seg_max, seg_bound) = if mode == ReduceMode::Segmented {
+                    let max_seg = segment_partition(geom.nz, ranks)
+                        .iter()
+                        .map(|r| r.len() * slice_len)
+                        .max()
+                        .unwrap_or(0);
+                    let rank_bytes = |ctr: &str| {
+                        (0..ranks)
+                            .map(|r| out.metrics.counter(ctr, Some(r)).unwrap_or(0))
+                            .max()
+                            .unwrap_or(0)
+                            / iters as u64
+                    };
+                    let chain_max = rank_bytes("mpisim.segreduce.chain.bytes");
+                    let owner_max = rank_bytes("mpisim.segreduce.owner.bytes");
+                    let per_iter_max = chain_max + owner_max;
+                    let bound = 4 * (n_vox + max_seg) as u64;
+                    assert!(
+                        per_iter_max <= bound,
+                        "{name} p={ranks}: segmented per-rank merge traffic \
+                         {per_iter_max} B/iter exceeds the chain model bound {bound} B"
+                    );
+                    // The finished-segment traffic (the paper's Nz/p
+                    // quantity) must not grow as ranks are added; the
+                    // chain through-traffic stays O(n), constant in p —
+                    // unlike the dense root's (p−1)·n ingress. (p=1
+                    // merges locally and is no baseline: 0 bytes.)
+                    if ranks > 1 {
+                        if let Some(prev) = prev_seg_max {
+                            assert!(
+                                owner_max <= prev,
+                                "{name}: segmented owner-segment traffic grew with \
+                                 ranks ({prev} → {owner_max} B/iter at p={ranks})"
+                            );
+                        }
+                        prev_seg_max = Some(owner_max);
+                    }
+                    (Some(per_iter_max), Some(bound))
+                } else {
+                    (None, None)
+                };
+                eprintln!(
+                    "  {name} p={ranks} {mode_name}: bitwise OK, {:.2} MB network{}",
+                    out.network.bytes as f64 / 1e6,
+                    seg_max
+                        .map(|m| format!(", seg merge ≤ {:.1} KB/rank/iter", m as f64 / 1e3))
+                        .unwrap_or_default()
+                );
+                cells.push(IterativeCell {
+                    solver: name,
+                    ranks,
+                    mode: mode_name,
+                    network_bytes: out.network.bytes,
+                    network_messages: out.network.messages,
+                    seg_recv_per_iter_max: seg_max,
+                    seg_recv_bound: seg_bound,
+                });
+            }
+        }
+    }
+
+    // Convergence sanity on the goldens themselves.
+    assert!(
+        sirt_hist.windows(2).all(|w| w[1] <= w[0] * 1.001),
+        "SIRT residual history not non-increasing: {sirt_hist:?}"
+    );
+
+    let golden_hists: Vec<(&'static str, &[f64])> = goldens
+        .iter()
+        .map(|(name, _, _, hist)| (*name, *hist))
+        .collect();
+    let json = emit_iterative_json(&geom, iters, &golden_hists, &cells, quick);
+    std::fs::create_dir_all(out_dir).expect("create out-dir");
+    let path = format!("{out_dir}/BENCH_iterative.json");
+    std::fs::write(&path, &json).expect("write BENCH_iterative.json");
+    eprintln!("wrote {path}");
+    println!(
+        "iterative: {} conformance cells ({} solvers × {:?} ranks × 3 modes), all bitwise identical",
+        cells.len(),
+        goldens.len(),
+        rank_counts
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -1085,6 +1309,11 @@ fn main() {
     if args.first().map(String::as_str) == Some("serve") {
         eprintln!("scalefbp-bench serve: quick={quick}, out-dir {out_dir}");
         run_serve(quick, &out_dir);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("iterative") {
+        eprintln!("scalefbp-bench iterative: quick={quick}, out-dir {out_dir}");
+        run_iterative(quick, &out_dir);
         return;
     }
     let reps: usize = args

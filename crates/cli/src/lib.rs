@@ -97,6 +97,16 @@ COMMANDS:
               [--trace-out F] [--metrics-out F] [--stats]
               self-contained fault-tolerant distributed run exporting the
               recovery timeline and per-rank mergeable metrics
+  iterative   [--scan scan.sfbp | --ideal N] [--solver sirt|mlem]
+              [--iters N] [--relaxation F] [--ranks N]
+              [--reduce-mode dense|hierarchical|segmented]
+              [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+              [--out vol.sfbp] [--metrics-out F] [--stats]
+              distributed iterative reconstruction (SIRT/MLEM) with the
+              forward/back-projection pair sharded across ranks and the
+              per-iteration merge on the chosen collective — bitwise
+              identical to the serial solver for every rank count and
+              reduce mode (see docs/iterative.md)
   trace-validate --trace trace.json [--metrics metrics.json]
               check an exported trace/snapshot against the format invariants
   slice       --volume vol.sfbp --out img.pgm [--k K | --mip x|y|z]
@@ -124,6 +134,7 @@ pub fn run<I: IntoIterator<Item = String>>(tokens: I) -> Result<String, CliError
         "reconstruct" => commands::reconstruct(&mut args)?,
         "pipeline" => commands::pipeline(&mut args)?,
         "distributed" => commands::distributed(&mut args)?,
+        "iterative" => commands::iterative(&mut args)?,
         "trace-validate" => commands::trace_validate(&mut args)?,
         "slice" => commands::slice(&mut args)?,
         "model" => commands::model(&mut args)?,

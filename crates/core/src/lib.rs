@@ -74,6 +74,7 @@ mod config;
 mod distributed;
 mod fault_tolerant;
 mod fdk;
+mod iterative;
 mod outofcore;
 mod pipelined;
 pub mod shortscan;
@@ -89,6 +90,10 @@ pub use fault_tolerant::{
 pub use fdk::{
     fdk_reconstruct, fdk_reconstruct_configured, fdk_reconstruct_slab, fdk_reconstruct_with,
 };
+pub use iterative::{
+    iterative_fingerprint, iterative_reconstruct_distributed, IterativeConfig, IterativeOutcome,
+    IterativeSolver,
+};
 pub use outofcore::{OutOfCoreReconstructor, OutOfCoreReport};
 pub use pipelined::{PipelineReport, PipelinedReconstructor};
 pub use scalefbp_ckpt::{CheckpointSpec, CheckpointStore};
@@ -102,6 +107,7 @@ pub mod substrates {
     pub use scalefbp_geom as geom;
     pub use scalefbp_gpusim as gpusim;
     pub use scalefbp_iosim as iosim;
+    pub use scalefbp_iterative as iterative;
     pub use scalefbp_mpisim as mpisim;
     pub use scalefbp_obs as obs;
     pub use scalefbp_perfmodel as perfmodel;

@@ -24,11 +24,21 @@
 //! The `ir_vs_fbp` bench harness uses these to reproduce the paper's
 //! motivating claim: an FBP pass costs roughly what *one* SIRT iteration
 //! costs, while SIRT needs tens of iterations to reach comparable error.
+//!
+//! Both operators also come in range-sharded forms
+//! ([`forward_project_rows`], [`backproject_unfiltered_slabs`]) whose
+//! per-element arithmetic is shared with the full-range functions — the
+//! contract that lets the distributed driver in `scalefbp` keep its
+//! iterates bitwise identical to the serial solvers (see
+//! `docs/iterative.md`).
 
 mod mlem;
 mod operators;
 mod sirt;
 
-pub use mlem::Mlem;
-pub use operators::{backproject_unfiltered, forward_project_volume, RayMarchConfig};
+pub use mlem::{Mlem, FP_FLOOR, RATIO_CAP};
+pub use operators::{
+    backproject_unfiltered, backproject_unfiltered_slabs, forward_project_rows,
+    forward_project_volume, RayMarchConfig,
+};
 pub use sirt::Sirt;

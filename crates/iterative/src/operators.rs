@@ -75,19 +75,41 @@ fn ray_box(origin: &[f64; 3], dir: &[f64; 3], lo: &[f64; 3], hi: &[f64; 3]) -> O
     }
 }
 
-/// Ray-driven cone-beam forward projection of a voxel volume: the `A` of
-/// the iterative methods. Parallelised over detector rows; layout matches
-/// [`ProjectionStack`].
-pub fn forward_project_volume(
+/// Guard against silent NaN/Inf poisoning: iterative solvers amplify a
+/// single non-finite sample into a fully corrupt iterate within one
+/// projection pair, so both operators reject non-finite input up front.
+fn assert_finite(data: &[f32], what: &str) {
+    assert!(
+        data.iter().all(|x| x.is_finite()),
+        "{what} contains non-finite samples"
+    );
+}
+
+/// Ray-driven cone-beam forward projection of detector rows
+/// `v0..v1`: the row-range shard of `A` that the distributed driver
+/// assigns to one rank. Returns the rows contiguously in
+/// [`ProjectionStack`] layout (`v`-major, then `s`, then `u`), so
+/// concatenating every rank's shard in rank order reproduces
+/// [`forward_project_volume`] bit-for-bit — each pixel's arithmetic is
+/// identical, only the row loop bounds differ.
+pub fn forward_project_rows(
     geom: &CbctGeometry,
     vol: &Volume,
     cfg: RayMarchConfig,
-) -> ProjectionStack {
+    v0: usize,
+    v1: usize,
+) -> Vec<f32> {
     assert_eq!(
         (vol.nx(), vol.ny(), vol.nz()),
         (geom.nx, geom.ny, geom.nz),
         "volume shape must match the geometry"
     );
+    assert!(
+        v0 <= v1 && v1 <= geom.nv,
+        "row range {v0}..{v1} out of 0..{}",
+        geom.nv
+    );
+    assert_finite(vol.data(), "forward-projection input volume");
     let frames: Vec<SourceDetectorFrame> = (0..geom.np)
         .map(|s| SourceDetectorFrame::for_index(geom, s))
         .collect();
@@ -106,7 +128,6 @@ pub fn forward_project_volume(
         geom.voxel_z(geom.nz - 1) + 0.5 * geom.dz,
     ];
 
-    let mut stack = ProjectionStack::zeros(geom.nv, geom.np, geom.nu);
     let (np, nu) = (geom.np, geom.nu);
     let row_stride = np * nu;
     let half = [
@@ -114,11 +135,11 @@ pub fn forward_project_volume(
         0.5 * (geom.ny as f64 - 1.0),
         0.5 * (geom.nz as f64 - 1.0),
     ];
-    stack
-        .data_mut()
-        .par_chunks_mut(row_stride)
+    let mut rows = vec![0.0f32; (v1 - v0) * row_stride];
+    rows.par_chunks_mut(row_stride)
         .enumerate()
-        .for_each(|(v, row_block)| {
+        .for_each(|(dv, row_block)| {
+            let v = v0 + dv;
             for (s, frame) in frames.iter().enumerate() {
                 let row = &mut row_block[s * nu..(s + 1) * nu];
                 for (u, px) in row.iter_mut().enumerate() {
@@ -148,13 +169,34 @@ pub fn forward_project_volume(
                 }
             }
         });
-    stack
+    rows
 }
 
-/// Voxel-driven *unfiltered, unweighted* back-projection: the approximate
-/// adjoint `Aᵀ` (bilinear gather per projection, plain sum). Accumulates
-/// into `vol`.
-pub fn backproject_unfiltered(geom: &CbctGeometry, stack: &ProjectionStack, vol: &mut Volume) {
+/// Ray-driven cone-beam forward projection of a voxel volume: the `A` of
+/// the iterative methods. Parallelised over detector rows; layout matches
+/// [`ProjectionStack`].
+pub fn forward_project_volume(
+    geom: &CbctGeometry,
+    vol: &Volume,
+    cfg: RayMarchConfig,
+) -> ProjectionStack {
+    let rows = forward_project_rows(geom, vol, cfg, 0, geom.nv);
+    ProjectionStack::from_data(geom.nv, geom.np, geom.nu, rows)
+}
+
+/// Voxel-driven unfiltered back-projection of z-slices `z0..z1`: the
+/// slab shard of `Aᵀ` the distributed driver assigns to one rank.
+/// Accumulates into the corresponding slices of the full-size `vol` and
+/// leaves every other slice untouched, so each voxel's serial
+/// left-to-right sum over projections is identical to
+/// [`backproject_unfiltered`] — sharding only trims the slice loop.
+pub fn backproject_unfiltered_slabs(
+    geom: &CbctGeometry,
+    stack: &ProjectionStack,
+    vol: &mut Volume,
+    z0: usize,
+    z1: usize,
+) {
     assert_eq!(
         (stack.nv(), stack.np(), stack.nu()),
         (geom.nv, geom.np, geom.nu),
@@ -165,13 +207,20 @@ pub fn backproject_unfiltered(geom: &CbctGeometry, stack: &ProjectionStack, vol:
         (geom.nx, geom.ny, geom.nz),
         "volume shape must match the geometry"
     );
+    assert!(
+        z0 <= z1 && z1 <= geom.nz,
+        "slab range {z0}..{z1} out of 0..{}",
+        geom.nz
+    );
+    assert_finite(stack.data(), "back-projection input stack");
     let mats = ProjectionMatrix::full_scan(geom);
     let (nx, ny) = (geom.nx, geom.ny);
     let slice_len = nx * ny;
-    vol.data_mut()
+    vol.data_mut()[z0 * slice_len..z1 * slice_len]
         .par_chunks_mut(slice_len)
         .enumerate()
-        .for_each(|(k, slice)| {
+        .for_each(|(dk, slice)| {
+            let k = z0 + dk;
             for j in 0..ny {
                 for i in 0..nx {
                     let mut sum = 0.0f32;
@@ -186,6 +235,13 @@ pub fn backproject_unfiltered(geom: &CbctGeometry, stack: &ProjectionStack, vol:
                 }
             }
         });
+}
+
+/// Voxel-driven *unfiltered, unweighted* back-projection: the approximate
+/// adjoint `Aᵀ` (bilinear gather per projection, plain sum). Accumulates
+/// into `vol`.
+pub fn backproject_unfiltered(geom: &CbctGeometry, stack: &ProjectionStack, vol: &mut Volume) {
+    backproject_unfiltered_slabs(geom, stack, vol, 0, geom.nz);
 }
 
 #[cfg(test)]
@@ -335,5 +391,64 @@ mod tests {
         let g = geom();
         let vol = Volume::zeros(g.nx + 1, g.ny, g.nz);
         let _ = forward_project_volume(&g, &vol, RayMarchConfig::default());
+    }
+
+    #[test]
+    fn row_shards_concatenate_to_the_full_projection() {
+        let g = geom();
+        let vol = rasterize(&g, &uniform_ball(&g, 0.5, 1.0));
+        let full = forward_project_volume(&g, &vol, RayMarchConfig::default());
+        let mut cat = Vec::new();
+        for (v0, v1) in [(0, 5), (5, 6), (6, g.nv)] {
+            cat.extend(forward_project_rows(
+                &g,
+                &vol,
+                RayMarchConfig::default(),
+                v0,
+                v1,
+            ));
+        }
+        assert_eq!(cat.len(), full.len());
+        assert!(cat
+            .iter()
+            .zip(full.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn slab_shards_tile_the_full_backprojection() {
+        let g = geom();
+        let vol = rasterize(&g, &uniform_ball(&g, 0.5, 1.0));
+        let stack = forward_project_volume(&g, &vol, RayMarchConfig::default());
+        let mut full = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_unfiltered(&g, &stack, &mut full);
+        let mut tiled = Volume::zeros(g.nx, g.ny, g.nz);
+        for (z0, z1) in [(0, 7), (7, 8), (8, g.nz)] {
+            backproject_unfiltered_slabs(&g, &stack, &mut tiled, z0, z1);
+        }
+        assert!(tiled
+            .data()
+            .iter()
+            .zip(full.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_volume_rejected() {
+        let g = geom();
+        let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+        vol.data_mut()[3] = f32::NAN;
+        let _ = forward_project_volume(&g, &vol, RayMarchConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_stack_rejected() {
+        let g = geom();
+        let mut stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+        stack.data_mut()[1] = f32::INFINITY;
+        let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_unfiltered(&g, &stack, &mut vol);
     }
 }

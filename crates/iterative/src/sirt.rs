@@ -68,18 +68,34 @@ impl Sirt {
         self.iterations
     }
 
-    /// Performs one SIRT iteration against the measured sinogram `b`;
-    /// returns the RMS of the (row-normalised) residual before the update.
-    pub fn step(&mut self, b: &ProjectionStack) -> f64 {
+    /// Restores solver state from a checkpointed iterate — the resume
+    /// entry point of the distributed driver. The normalisations are
+    /// functions of the geometry alone, so they are recomputed by
+    /// [`Sirt::new`] rather than checkpointed.
+    pub fn restore(&mut self, x: Volume, iterations: usize) {
+        assert_eq!(
+            (x.nx(), x.ny(), x.nz()),
+            (self.geom.nx, self.geom.ny, self.geom.nz),
+            "restored volume shape mismatch"
+        );
+        self.x = x;
+        self.iterations = iterations;
+    }
+
+    /// Turns a freshly forward-projected stack `fp = A·x` into the
+    /// row-normalised residual `R ⊙ (b − fp)` in place and returns the
+    /// residual RMS. Elementwise — the distributed driver runs it
+    /// redundantly on every rank over the allgathered stack, so the
+    /// result (and the f64 reduction order of the RMS) is bitwise the
+    /// serial one.
+    pub fn weight_residual(&self, fp: &mut ProjectionStack, b: &ProjectionStack) -> f64 {
         assert_eq!(
             (b.nv(), b.np(), b.nu()),
             (self.geom.nv, self.geom.np, self.geom.nu),
             "sinogram shape mismatch"
         );
-        // r = R ⊙ (b − A x)
-        let mut r = forward_project_volume(&self.geom, &self.x, self.cfg);
         let mut rms = 0.0f64;
-        for ((rv, &bv), &w) in r
+        for ((rv, &bv), &w) in fp
             .data_mut()
             .iter_mut()
             .zip(b.data())
@@ -88,11 +104,14 @@ impl Sirt {
             *rv = (bv - *rv) * w;
             rms += (*rv as f64) * (*rv as f64);
         }
-        rms = (rms / b.len() as f64).sqrt();
+        (rms / b.len() as f64).sqrt()
+    }
 
-        // x += λ · C ⊙ Aᵀ r
-        let mut update = Volume::zeros(self.geom.nx, self.geom.ny, self.geom.nz);
-        backproject_unfiltered(&self.geom, &r, &mut update);
+    /// Applies the relaxed, column-normalised correction
+    /// `x += λ · C ⊙ update` and counts the iteration. Elementwise, like
+    /// [`Sirt::weight_residual`].
+    pub fn apply_correction(&mut self, update: &Volume) {
+        assert_eq!(update.len(), self.x.len(), "correction shape mismatch");
         for ((x, &u), &c) in self
             .x
             .data_mut()
@@ -103,6 +122,18 @@ impl Sirt {
             *x += self.relaxation * c * u;
         }
         self.iterations += 1;
+    }
+
+    /// Performs one SIRT iteration against the measured sinogram `b`;
+    /// returns the RMS of the (row-normalised) residual before the update.
+    pub fn step(&mut self, b: &ProjectionStack) -> f64 {
+        // r = R ⊙ (b − A x)
+        let mut r = forward_project_volume(&self.geom, &self.x, self.cfg);
+        let rms = self.weight_residual(&mut r, b);
+        // x += λ · C ⊙ Aᵀ r
+        let mut update = Volume::zeros(self.geom.nx, self.geom.ny, self.geom.nz);
+        backproject_unfiltered(&self.geom, &r, &mut update);
+        self.apply_correction(&update);
         rms
     }
 

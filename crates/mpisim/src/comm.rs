@@ -525,6 +525,67 @@ impl Communicator {
         }
     }
 
+    /// Typed broadcast of an f32 buffer: on return every rank's `buf`
+    /// holds the root's values bit-for-bit. All ranks must pass buffers
+    /// of the same length — unlike [`bcast`](Self::bcast), receivers keep
+    /// their allocation, which lets callers broadcast straight into a
+    /// sub-slice of a larger stack or volume (the row/segment allgathers
+    /// of the distributed iterative driver).
+    pub fn bcast_f32(&mut self, root: usize, buf: &mut [f32]) -> Result<(), CommError> {
+        let mut bytes = if self.local == root {
+            encode_f32(buf)
+        } else {
+            Vec::new()
+        };
+        self.bcast(root, &mut bytes);
+        if self.local != root {
+            let vals = decode_f32(&bytes)?;
+            if vals.len() != buf.len() {
+                return Err(CommError::MalformedFrame {
+                    detail: format!(
+                        "bcast_f32 length mismatch: got {}, expected {}",
+                        vals.len(),
+                        buf.len()
+                    ),
+                });
+            }
+            buf.copy_from_slice(&vals);
+        }
+        Ok(())
+    }
+
+    /// Allgather of rank-owned contiguous segments: rank `r` contributes
+    /// `mine` (exactly `counts[r]` values) and every rank returns the
+    /// concatenation of all segments in ascending rank order — pure
+    /// concatenation, no arithmetic, so the result is trivially
+    /// bit-identical across ranks. One broadcast per owner.
+    pub fn allgather_f32_segments(
+        &mut self,
+        mine: &[f32],
+        counts: &[usize],
+    ) -> Result<Vec<f32>, CommError> {
+        let p = self.size();
+        assert_eq!(counts.len(), p, "one segment count per rank");
+        assert_eq!(
+            mine.len(),
+            counts[self.local],
+            "segment length does not match this rank's count"
+        );
+        self.counters.collective_calls.inc();
+        let total: usize = counts.iter().sum();
+        let mut out = vec![0.0f32; total];
+        let mut begin = 0usize;
+        for (owner, &count) in counts.iter().enumerate() {
+            let seg = &mut out[begin..begin + count];
+            if owner == self.local {
+                seg.copy_from_slice(mine);
+            }
+            self.bcast_f32(owner, seg)?;
+            begin += count;
+        }
+        Ok(out)
+    }
+
     /// Gather every rank's buffer to `root`; returns `Some(vec)` (rank
     /// order) at the root, `None` elsewhere.
     pub fn gather(&mut self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
@@ -963,6 +1024,45 @@ pub fn hierarchical_reduce_sum_canonical(
 mod tests {
     use super::*;
     use crate::World;
+
+    #[test]
+    fn bcast_f32_delivers_root_bits_to_fixed_buffers() {
+        for p in [1, 2, 3, 5] {
+            let results = World::run(p, move |mut comm| {
+                let mut buf = if comm.rank() == 2 % p {
+                    vec![1.5f32, -0.0, f32::MIN_POSITIVE / 4.0, 7.25]
+                } else {
+                    vec![0.0f32; 4]
+                };
+                comm.bcast_f32(2 % p, &mut buf).unwrap();
+                buf
+            });
+            for r in &results {
+                assert_eq!(r[0].to_bits(), 1.5f32.to_bits());
+                assert_eq!(
+                    r[1].to_bits(),
+                    (-0.0f32).to_bits(),
+                    "signed zero must survive"
+                );
+                assert_eq!(r[2].to_bits(), (f32::MIN_POSITIVE / 4.0).to_bits());
+                assert_eq!(r[3].to_bits(), 7.25f32.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_segments_concatenates_in_rank_order() {
+        let counts = [3usize, 1, 0, 2];
+        let results = World::run(4, move |mut comm| {
+            let me = comm.rank();
+            let mine: Vec<f32> = (0..counts[me]).map(|i| (me * 10 + i) as f32).collect();
+            comm.allgather_f32_segments(&mine, &counts).unwrap()
+        });
+        let expected = vec![0.0f32, 1.0, 2.0, 10.0, 30.0, 31.0];
+        for r in &results {
+            assert_eq!(r, &expected);
+        }
+    }
 
     #[test]
     fn ping_pong_roundtrip() {

@@ -1,0 +1,207 @@
+//! Distributed iterative conformance grid: every (ranks, reduce-mode,
+//! solver) cell must reproduce the serial solver's iterate and residual
+//! history bit-for-bit, including after a mid-run kill/resume — and even
+//! when the resume happens on a different rank count and reduce mode
+//! than the kill (see docs/iterative.md).
+
+use scalefbp::{
+    iterative_reconstruct_distributed, CheckpointSpec, IterativeConfig, IterativeSolver,
+    ReconstructionError, ReduceMode,
+};
+use scalefbp_geom::{CbctGeometry, ProjectionStack, Volume};
+use scalefbp_integration::testsupport::{assert_bitwise, resumed_slabs, scratch_endpoint};
+use scalefbp_iterative::{Mlem, RayMarchConfig, Sirt};
+use scalefbp_phantom::{forward_project, uniform_ball};
+
+const ITERS: usize = 3;
+
+fn geom() -> CbctGeometry {
+    CbctGeometry::ideal(12, 8, 20, 18)
+}
+
+fn ball_scan(g: &CbctGeometry) -> ProjectionStack {
+    forward_project(g, &uniform_ball(g, 0.55, 1.0))
+}
+
+/// Serial golden: volume + residual history from the plain solver.
+fn serial_golden(
+    g: &CbctGeometry,
+    b: &ProjectionStack,
+    kind: IterativeSolver,
+) -> (Volume, Vec<f64>) {
+    match kind {
+        IterativeSolver::Sirt { relaxation } => {
+            let mut s = Sirt::new(g, RayMarchConfig::default(), relaxation);
+            let hist = s.run(b, ITERS);
+            (s.estimate().clone(), hist)
+        }
+        IterativeSolver::Mlem => {
+            let mut m = Mlem::new(g, RayMarchConfig::default());
+            let hist = m.run(b, ITERS);
+            (m.estimate().clone(), hist)
+        }
+    }
+}
+
+fn solvers() -> Vec<(&'static str, IterativeSolver)> {
+    vec![
+        ("sirt", IterativeSolver::Sirt { relaxation: 1.0 }),
+        ("mlem", IterativeSolver::Mlem),
+    ]
+}
+
+fn assert_residual_bits(golden: &[f64], got: &[f64], what: &str) {
+    assert_eq!(
+        golden.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+        got.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+        "{what}: residual history not bitwise identical"
+    );
+}
+
+#[test]
+fn every_rank_count_and_reduce_mode_matches_serial_bitwise() {
+    let g = geom();
+    let b = ball_scan(&g);
+    for (name, kind) in solvers() {
+        let (golden_vol, golden_hist) = serial_golden(&g, &b, kind);
+        for ranks in [1usize, 2, 3, 4] {
+            for mode in [
+                ReduceMode::Dense,
+                ReduceMode::Hierarchical,
+                ReduceMode::Segmented,
+            ] {
+                let mut cfg = IterativeConfig::new(kind, ITERS);
+                cfg.ranks = ranks;
+                cfg.reduce_mode = mode;
+                let out = iterative_reconstruct_distributed(&g, &b, &cfg)
+                    .expect("distributed run failed");
+                let what = format!("{name} p={ranks} {mode}");
+                assert_bitwise(&golden_vol, &out.volume, &what);
+                assert_residual_bits(&golden_hist, &out.residuals, &what);
+                // Every rank merged once per iteration.
+                for r in 0..ranks {
+                    assert_eq!(
+                        out.metrics.counter("iter.reduce.calls", Some(r)),
+                        Some(ITERS as u64),
+                        "{what}: rank {r} merge count"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kill_and_resume_is_bitwise_identical_to_uninterrupted() {
+    let g = geom();
+    let b = ball_scan(&g);
+    for (name, kind) in solvers() {
+        let (golden_vol, golden_hist) = serial_golden(&g, &b, kind);
+        let ep = scratch_endpoint(&format!("iter-kill-{name}"));
+        let mut cfg = IterativeConfig::new(kind, ITERS);
+        cfg.ranks = 2;
+        cfg.reduce_mode = ReduceMode::Segmented;
+        cfg.checkpoint = Some((ep.clone(), CheckpointSpec::new("", 1).killing_after(1)));
+        match iterative_reconstruct_distributed(&g, &b, &cfg) {
+            Err(ReconstructionError::Interrupted { completed_slabs }) => {
+                assert_eq!(completed_slabs, 1, "{name}: kill fired at the wrong commit")
+            }
+            other => panic!(
+                "{name}: expected an interrupted run, got {:?}",
+                other.map(|_| ())
+            ),
+        }
+        cfg.checkpoint = Some((ep.clone(), CheckpointSpec::new("", 1).resuming()));
+        let out = iterative_reconstruct_distributed(&g, &b, &cfg).expect("resume failed");
+        assert_eq!(out.resumed_iterations, 1, "{name}: wrong resume point");
+        assert_eq!(
+            resumed_slabs(&ep),
+            1,
+            "{name}: checkpoint not actually loaded"
+        );
+        assert_bitwise(&golden_vol, &out.volume, &format!("{name} kill/resume"));
+        assert_residual_bits(&golden_hist, &out.residuals, &format!("{name} kill/resume"));
+    }
+}
+
+#[test]
+fn resume_is_portable_across_rank_counts_and_reduce_modes() {
+    // The fingerprint deliberately excludes the rank count and reduce
+    // mode: the iterate is bitwise invariant to both, so a checkpoint
+    // written by a 4-rank segmented run may be finished by a 2-rank
+    // dense run — and the result must still match the serial solver.
+    let g = geom();
+    let b = ball_scan(&g);
+    let kind = IterativeSolver::Sirt { relaxation: 1.0 };
+    let (golden_vol, golden_hist) = serial_golden(&g, &b, kind);
+
+    let ep = scratch_endpoint("iter-cross-layout");
+    let mut cfg = IterativeConfig::new(kind, ITERS);
+    cfg.ranks = 4;
+    cfg.reduce_mode = ReduceMode::Segmented;
+    cfg.checkpoint = Some((ep.clone(), CheckpointSpec::new("", 1).killing_after(2)));
+    match iterative_reconstruct_distributed(&g, &b, &cfg) {
+        Err(ReconstructionError::Interrupted { completed_slabs }) => {
+            assert_eq!(completed_slabs, 2)
+        }
+        other => panic!("expected an interrupted run, got {:?}", other.map(|_| ())),
+    }
+
+    cfg.ranks = 2;
+    cfg.reduce_mode = ReduceMode::Dense;
+    cfg.checkpoint = Some((ep.clone(), CheckpointSpec::new("", 1).resuming()));
+    let out = iterative_reconstruct_distributed(&g, &b, &cfg).expect("cross-layout resume failed");
+    assert_eq!(out.resumed_iterations, 2);
+    assert_bitwise(&golden_vol, &out.volume, "cross-layout resume");
+    assert_residual_bits(&golden_hist, &out.residuals, "cross-layout resume");
+}
+
+#[test]
+fn resume_rejects_a_checkpoint_from_a_different_configuration() {
+    // Same directory, different relaxation → different fingerprint; the
+    // store must refuse rather than resume someone else's iterate.
+    let g = geom();
+    let b = ball_scan(&g);
+    let ep = scratch_endpoint("iter-mismatch");
+    let mut cfg = IterativeConfig::new(IterativeSolver::Sirt { relaxation: 1.0 }, ITERS);
+    cfg.checkpoint = Some((ep.clone(), CheckpointSpec::new("", 1)));
+    iterative_reconstruct_distributed(&g, &b, &cfg).expect("checkpointed run failed");
+
+    let mut cfg = IterativeConfig::new(IterativeSolver::Sirt { relaxation: 0.5 }, ITERS);
+    cfg.checkpoint = Some((ep.clone(), CheckpointSpec::new("", 1).resuming()));
+    match iterative_reconstruct_distributed(&g, &b, &cfg) {
+        Err(ReconstructionError::Checkpoint(msg)) => {
+            assert!(
+                msg.contains("config"),
+                "error does not name the config mismatch: {msg}"
+            );
+        }
+        other => panic!("expected a checkpoint error, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn completed_checkpoint_resumes_without_recomputation() {
+    // Resuming a finished run loads the final iterate and performs zero
+    // new iterations (and zero new saves).
+    let g = geom();
+    let b = ball_scan(&g);
+    let kind = IterativeSolver::Mlem;
+    let (golden_vol, golden_hist) = serial_golden(&g, &b, kind);
+    let ep = scratch_endpoint("iter-complete");
+    let mut cfg = IterativeConfig::new(kind, ITERS);
+    cfg.ranks = 2;
+    cfg.checkpoint = Some((ep.clone(), CheckpointSpec::new("", 1)));
+    iterative_reconstruct_distributed(&g, &b, &cfg).expect("checkpointed run failed");
+
+    cfg.checkpoint = Some((ep.clone(), CheckpointSpec::new("", 1).resuming()));
+    let out = iterative_reconstruct_distributed(&g, &b, &cfg).expect("no-op resume failed");
+    assert_eq!(out.resumed_iterations, ITERS);
+    assert_eq!(
+        out.metrics.counter("iter.iterations", None).unwrap_or(0),
+        0,
+        "a completed run should not recompute iterations"
+    );
+    assert_bitwise(&golden_vol, &out.volume, "no-op resume");
+    assert_residual_bits(&golden_hist, &out.residuals, "no-op resume");
+}

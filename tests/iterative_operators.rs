@@ -1,0 +1,237 @@
+//! Operator conformance suite for the iterative forward/back-projection
+//! pair: adjoint structure, zero fixed points, non-finite-input guards,
+//! and the bitwise range-sharding contract the distributed SIRT/MLEM
+//! driver is built on (see docs/iterative.md).
+
+use proptest::prelude::*;
+use scalefbp_geom::{CbctGeometry, ProjectionStack, Volume};
+use scalefbp_iterative::{
+    backproject_unfiltered, backproject_unfiltered_slabs, forward_project_rows,
+    forward_project_volume, RayMarchConfig,
+};
+use scalefbp_mpisim::segment_partition;
+
+fn geom() -> CbctGeometry {
+    CbctGeometry::ideal(10, 6, 16, 14)
+}
+
+fn lcg(state: &mut u64) -> f32 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// A strictly positive random volume in [0.5, 1.5): keeps every inner
+/// product large and positive, so the adjoint ratio below is
+/// well-conditioned.
+fn random_volume(g: &CbctGeometry, seed: u64) -> Volume {
+    let mut v = Volume::zeros(g.nx, g.ny, g.nz);
+    let mut s = seed.wrapping_mul(2654435761).max(1);
+    for x in v.data_mut() {
+        *x = 0.5 + lcg(&mut s);
+    }
+    v
+}
+
+fn random_stack(g: &CbctGeometry, seed: u64) -> ProjectionStack {
+    let mut p = ProjectionStack::zeros(g.nv, g.np, g.nu);
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    for x in p.data_mut() {
+        *x = 0.5 + lcg(&mut s);
+    }
+    p
+}
+
+fn dot_stack(a: &ProjectionStack, b: &ProjectionStack) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (*x as f64) * (*y as f64))
+        .sum()
+}
+
+fn dot_volume(a: &Volume, b: &Volume) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (*x as f64) * (*y as f64))
+        .sum()
+}
+
+/// ⟨A·x, y⟩ / ⟨x, Aᵀ·y⟩ for one (x, y) pair.
+fn adjoint_ratio(g: &CbctGeometry, x: &Volume, y: &ProjectionStack) -> f64 {
+    let ax = forward_project_volume(g, x, RayMarchConfig::default());
+    let mut aty = Volume::zeros(g.nx, g.ny, g.nz);
+    backproject_unfiltered(g, y, &mut aty);
+    let lhs = dot_stack(&ax, y);
+    let rhs = dot_volume(x, &aty);
+    assert!(lhs > 0.0 && rhs > 0.0, "degenerate inner products");
+    lhs / rhs
+}
+
+/// The geometry's adjoint scale constant, calibrated on the all-ones
+/// pair. `A` integrates along rays in mm (the `acc * dt` step), while
+/// `Aᵀ` is a plain per-projection bilinear gather, so the pair is an
+/// adjoint only up to this fixed length scale — which the SIRT row and
+/// column normalisations absorb.
+fn calibration_ratio(g: &CbctGeometry) -> f64 {
+    let mut ones_vol = Volume::zeros(g.nx, g.ny, g.nz);
+    ones_vol.data_mut().fill(1.0);
+    let mut ones_stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+    ones_stack.data_mut().fill(1.0);
+    adjoint_ratio(g, &ones_vol, &ones_stack)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ⟨A·x, y⟩ ≈ ⟨x, Aᵀ·y⟩ up to the calibrated geometry scale.
+    ///
+    /// Tolerance: ±25 % around the all-ones calibration ratio. The pair
+    /// is a *matched* but not *exact* transpose (ray-driven trilinear
+    /// marching vs voxel-driven bilinear gather), so the per-sample ratio
+    /// wobbles with the field's spatial frequency content; on strictly
+    /// positive fields the discretisation mismatch stays well inside
+    /// 25 % at this resolution, while a genuinely wrong pairing (e.g. a
+    /// transposed index or a dropped weight) lands far outside it.
+    #[test]
+    fn adjoint_inner_products_match_up_to_calibrated_scale(
+        vol_seed in 1u64..5000,
+        stack_seed in 1u64..5000,
+    ) {
+        let g = geom();
+        let c = calibration_ratio(&g);
+        prop_assert!(c.is_finite() && c > 0.0);
+        let x = random_volume(&g, vol_seed);
+        let y = random_stack(&g, stack_seed);
+        let r = adjoint_ratio(&g, &x, &y);
+        prop_assert!(
+            (r / c - 1.0).abs() < 0.25,
+            "adjoint ratio {r} strays more than 25% from calibration {c}"
+        );
+    }
+
+    /// Concatenating the row shards of any contiguous partition
+    /// reproduces the full forward projection bit-for-bit — the exact
+    /// contract the distributed driver's row allgather relies on.
+    #[test]
+    fn row_shards_are_bitwise_exact_for_any_partition(
+        seed in 1u64..5000,
+        parts in 1usize..6,
+    ) {
+        let g = geom();
+        let vol = random_volume(&g, seed);
+        let full = forward_project_volume(&g, &vol, RayMarchConfig::default());
+        let mut cat = Vec::with_capacity(full.len());
+        for r in segment_partition(g.nv, parts) {
+            cat.extend(forward_project_rows(
+                &g,
+                &vol,
+                RayMarchConfig::default(),
+                r.start,
+                r.end,
+            ));
+        }
+        prop_assert_eq!(cat.len(), full.len());
+        for (i, (a, b)) in cat.iter().zip(full.data()).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "pixel {} differs", i);
+        }
+    }
+
+    /// Back-projecting disjoint z-slabs into zeroed buffers and summing
+    /// them (in any order — the supports are disjoint) reproduces the
+    /// full back-projection bit-for-bit, and no shard ever produces a
+    /// `-0.0` voxel. Together these are the invariants that make the
+    /// driver's zero-padded correction merge canonical-fold-safe.
+    #[test]
+    fn slab_shards_merge_bitwise_and_are_negative_zero_free(
+        seed in 1u64..5000,
+        parts in 1usize..6,
+    ) {
+        let g = geom();
+        let stack = random_stack(&g, seed);
+        let mut full = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_unfiltered(&g, &stack, &mut full);
+        let mut merged = Volume::zeros(g.nx, g.ny, g.nz);
+        for r in segment_partition(g.nz, parts) {
+            let mut shard = Volume::zeros(g.nx, g.ny, g.nz);
+            backproject_unfiltered_slabs(&g, &stack, &mut shard, r.start, r.end);
+            for x in shard.data() {
+                prop_assert!(
+                    x.to_bits() != (-0.0f32).to_bits(),
+                    "shard produced -0.0 — the zero-padded merge would not be bitwise"
+                );
+            }
+            for (m, s) in merged.data_mut().iter_mut().zip(shard.data()) {
+                *m += s;
+            }
+        }
+        for (i, (a, b)) in merged.data().iter().zip(full.data()).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "voxel {} differs", i);
+        }
+    }
+}
+
+#[test]
+fn zero_is_a_fixed_point_of_both_operators() {
+    let g = geom();
+    let zero_vol = Volume::zeros(g.nx, g.ny, g.nz);
+    let p = forward_project_volume(&g, &zero_vol, RayMarchConfig::default());
+    assert!(
+        p.data().iter().all(|x| x.to_bits() == 0),
+        "A·0 is not exactly +0.0"
+    );
+    let zero_stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+    let mut v = Volume::zeros(g.nx, g.ny, g.nz);
+    backproject_unfiltered(&g, &zero_stack, &mut v);
+    assert!(
+        v.data().iter().all(|x| x.to_bits() == 0),
+        "Aᵀ·0 is not exactly +0.0"
+    );
+}
+
+#[test]
+#[should_panic(expected = "non-finite")]
+fn forward_projection_rejects_nan_volume() {
+    let g = geom();
+    let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+    vol.data_mut()[7] = f32::NAN;
+    let _ = forward_project_volume(&g, &vol, RayMarchConfig::default());
+}
+
+#[test]
+#[should_panic(expected = "non-finite")]
+fn forward_projection_rejects_infinite_volume() {
+    let g = geom();
+    let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+    vol.data_mut()[0] = f32::NEG_INFINITY;
+    let _ = forward_project_volume(&g, &vol, RayMarchConfig::default());
+}
+
+#[test]
+#[should_panic(expected = "non-finite")]
+fn backprojection_rejects_nan_stack() {
+    let g = geom();
+    let mut stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+    stack.data_mut()[5] = f32::NAN;
+    let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+    backproject_unfiltered(&g, &stack, &mut vol);
+}
+
+#[test]
+#[should_panic(expected = "row range")]
+fn out_of_range_row_shard_rejected() {
+    let g = geom();
+    let vol = Volume::zeros(g.nx, g.ny, g.nz);
+    let _ = forward_project_rows(&g, &vol, RayMarchConfig::default(), 0, g.nv + 1);
+}
+
+#[test]
+#[should_panic(expected = "slab range")]
+fn out_of_range_slab_shard_rejected() {
+    let g = geom();
+    let stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+    let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+    backproject_unfiltered_slabs(&g, &stack, &mut vol, 0, g.nz + 1);
+}
