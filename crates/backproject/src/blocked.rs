@@ -38,11 +38,16 @@ use crate::{KernelStats, TextureWindow};
 /// Truncate-and-adjust floor: `f32::floor` lowers to a libm call on the
 /// baseline x86-64 target (no SSE4.1 `roundss`), which dominates the
 /// per-sample cost of the straight kernels. The cast trick is bit-exact
-/// with `x.floor() as isize` for every finite input; non-finite inputs
-/// saturate to extreme indices that fail the interior bounds check, so
-/// they fall through to the guarded slow path either way.
+/// with `x.floor() as isize` for every finite input.
+///
+/// **Non-finite inputs are not handled here**: Rust's saturating cast maps
+/// `NaN as isize` to **0** — a perfectly valid index — so callers must
+/// reject non-finite coordinates *before* flooring. The interior guards in
+/// this module do that with float-domain comparisons (NaN and ±∞ fail
+/// every ordered comparison), which routes non-finite coordinates to the
+/// guarded `sub_pixel` slow path without adding a branch for finite ones.
 #[inline(always)]
-fn fast_floor(x: f32) -> isize {
+pub(crate) fn fast_floor(x: f32) -> isize {
     let t = x as isize;
     t.wrapping_sub((t as f32 > x) as isize)
 }
@@ -92,7 +97,15 @@ where
     let (nx, ny) = (vol.nx(), vol.ny());
     let z_offset = vol.z_offset();
     let slice_len = nx * ny;
-    let (bi, bj) = (tile.bi, tile.bj);
+    // Clamp the tile to the volume plane: an oversized tile would allocate
+    // its accumulator from the caller's shape rather than the volume's and
+    // degrade the loop to one degenerate-width pass per row. Any positive
+    // tile produces the same bits, so clamping is free of numerics.
+    let (bi, bj) = (tile.bi.min(nx.max(1)), tile.bj.min(ny.max(1)));
+    debug_assert!(
+        bi > 0 && bj > 0 && bi <= nx.max(1) && bj <= ny.max(1),
+        "clamped tile {bi}×{bj} must be positive and fit the {nx}×{ny} plane"
+    );
     let updates = AtomicU64::new(0);
     vol.data_mut()
         .par_chunks_mut(slice_len)
@@ -153,7 +166,7 @@ where
 
 /// Packs the kernel-facing f32 rows densely (48 B apiece, contiguous) so
 /// the blocked inner loops never stride through the full matrix records.
-fn pack_rows(mats: &[ProjectionMatrix]) -> Vec<[[f32; 4]; 3]> {
+pub(crate) fn pack_rows(mats: &[ProjectionMatrix]) -> Vec<[[f32; 4]; 3]> {
     mats.iter().map(|m| m.rows_f32).collect()
 }
 
@@ -190,24 +203,31 @@ pub fn backproject_blocked_with(
     let data = stack.data();
     let (nv, np, nu) = (stack.nv(), stack.np(), stack.nu());
     let pstride = np * nu;
+    // Interior bounds in the float domain. For finite `x` (and nu ≤ 2²⁴ so
+    // `nu - 1` is exact in f32), `x >= 0 && x < nu - 1` is exactly
+    // `floor(x) >= 0 && floor(x) + 1 < nu` — the integer test it replaces —
+    // while NaN and ±∞ fail the ordered comparisons and fall through to the
+    // guarded slow path. The old integer test ran `fast_floor` first, and
+    // `NaN as isize` saturates to 0 (not an extreme index), so a NaN
+    // coordinate passed the bounds check and blended NaN into the tile
+    // accumulator. Branch count on the finite interior path is unchanged.
+    let u_max = (nu.saturating_sub(1)) as f32;
+    let v_max = (nv.saturating_sub(1)) as f32;
     let updates = blocked_core(&rows, vol, tile, |s, x, y| {
         let y = y - v_offset;
-        let iu = fast_floor(x);
-        let iv = fast_floor(y);
-        if iu >= 0 && iv >= 0 {
-            let (u0, v0) = (iu as usize, iv as usize);
-            if u0 + 1 < nu && v0 + 1 < nv {
-                // Whole 2×2 footprint in-bounds: the same four taps and
-                // the same blend tree as `ProjectionStack::sub_pixel`,
-                // minus the four per-tap zero-pad guards.
-                let eu = x - iu as f32;
-                let ev = y - iv as f32;
-                let r0 = (v0 * np + s) * nu + u0;
-                let r1 = r0 + pstride;
-                let t1 = data[r0] * (1.0 - eu) + data[r0 + 1] * eu;
-                let t2 = data[r1] * (1.0 - eu) + data[r1 + 1] * eu;
-                return t1 * (1.0 - ev) + t2 * ev;
-            }
+        if x >= 0.0 && x < u_max && y >= 0.0 && y < v_max {
+            let u0 = fast_floor(x) as usize;
+            let v0 = fast_floor(y) as usize;
+            // Whole 2×2 footprint in-bounds: the same four taps and
+            // the same blend tree as `ProjectionStack::sub_pixel`,
+            // minus the four per-tap zero-pad guards.
+            let eu = x - u0 as f32;
+            let ev = y - v0 as f32;
+            let r0 = (v0 * np + s) * nu + u0;
+            let r1 = r0 + pstride;
+            let t1 = data[r0] * (1.0 - eu) + data[r0 + 1] * eu;
+            let t2 = data[r1] * (1.0 - eu) + data[r1 + 1] * eu;
+            return t1 * (1.0 - ev) + t2 * ev;
         }
         stack.sub_pixel(s, x, y)
     });
@@ -239,23 +259,30 @@ pub fn backproject_window_blocked_with(
     let data = window.data();
     let (h, np, nu) = (window.height(), window.np(), window.nu());
     let (v_lo, v_hi) = window.valid_rows();
+    // Float-domain interior bounds, as in `backproject_blocked_with`: exact
+    // for finite coordinates (detector extents are far below 2²⁴), while
+    // NaN/±∞ fail the ordered comparisons and fall through to the guarded
+    // `sub_pixel` — the pre-fix integer test floored first and `NaN as isize`
+    // is 0, which could pass the check. `hi_v` is computed in f32 so an
+    // empty window (`v_hi == 0`) yields -1.0 (no interior) rather than a
+    // usize underflow.
+    let u_max = (nu.saturating_sub(1)) as f32;
+    let lo_v = v_lo as f32;
+    let hi_v = v_hi as f32 - 1.0;
     let updates = blocked_core(&rows, vol, tile, |s, x, y| {
-        let iu = fast_floor(x);
-        let iv = fast_floor(y);
-        if iu >= 0 && iv >= v_lo as isize {
-            let (u0, v0) = (iu as usize, iv as usize);
-            if u0 + 1 < nu && v0 + 1 < v_hi {
-                // Both taps inside the valid ring rows: same modular slot
-                // lookups and blend tree as `TextureWindow::sub_pixel`,
-                // minus the per-tap window guards.
-                let eu = x - iu as f32;
-                let ev = y - iv as f32;
-                let r0 = ((v0 % h) * np + s) * nu + u0;
-                let r1 = (((v0 + 1) % h) * np + s) * nu + u0;
-                let t1 = data[r0] * (1.0 - eu) + data[r0 + 1] * eu;
-                let t2 = data[r1] * (1.0 - eu) + data[r1 + 1] * eu;
-                return t1 * (1.0 - ev) + t2 * ev;
-            }
+        if x >= 0.0 && x < u_max && y >= lo_v && y < hi_v {
+            let u0 = fast_floor(x) as usize;
+            let v0 = fast_floor(y) as usize;
+            // Both taps inside the valid ring rows: same modular slot
+            // lookups and blend tree as `TextureWindow::sub_pixel`,
+            // minus the per-tap window guards.
+            let eu = x - u0 as f32;
+            let ev = y - v0 as f32;
+            let r0 = ((v0 % h) * np + s) * nu + u0;
+            let r1 = (((v0 + 1) % h) * np + s) * nu + u0;
+            let t1 = data[r0] * (1.0 - eu) + data[r0 + 1] * eu;
+            let t2 = data[r1] * (1.0 - eu) + data[r1 + 1] * eu;
+            return t1 * (1.0 - ev) + t2 * ev;
         }
         window.sub_pixel(s, x, y)
     });

@@ -34,8 +34,10 @@
 //! without hardware counters.
 
 mod blocked;
+pub mod contracts;
 mod counters;
 mod kernels;
+mod simd;
 mod texture;
 
 pub use blocked::{
@@ -45,5 +47,11 @@ pub use blocked::{
 pub use counters::{KernelStats, FLOPS_PER_UPDATE};
 pub use kernels::{
     backproject_incremental, backproject_parallel, backproject_reference, backproject_window,
+};
+pub use simd::{
+    backproject_simd, backproject_simd_batched, backproject_simd_with,
+    backproject_simd_with_backend, backproject_window_simd, backproject_window_simd_batched,
+    backproject_window_simd_with, backproject_window_simd_with_backend, detected_cpu_features,
+    simd_backend, SimdBackend, SimdTuning, MAX_SIMD_BATCH,
 };
 pub use texture::TextureWindow;

@@ -189,9 +189,15 @@ impl TextureWindow {
     /// Bilinear fetch at sub-pixel `(x, y)` with `y` a **global** detector
     /// row coordinate — the `devSubPixel` of Listing 1 (which subtracts
     /// `offset_proj_y` before the modular lookup; here the modular lookup
-    /// absorbs the offset directly).
+    /// absorbs the offset directly). Non-finite coordinates return zero:
+    /// `NaN as isize` saturates to 0, a valid index, so without the guard a
+    /// NaN coordinate would poison the blend (`0 · NaN = NaN`) through the
+    /// weights even when every tap reads in bounds.
     #[inline]
     pub fn sub_pixel(&self, s_local: usize, x: f32, y: f32) -> f32 {
+        if !(x.is_finite() && y.is_finite()) {
+            return 0.0;
+        }
         let iu = x.floor() as isize;
         let iv = y.floor() as isize;
         let eu = x - iu as f32;

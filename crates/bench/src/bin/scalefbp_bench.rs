@@ -1,12 +1,16 @@
 //! `scalefbp-bench` — the reproducible kernel benchmark harness.
 //!
 //! Runs fixed phantom workloads through every back-projection kernel
-//! (reference / parallel / incremental / blocked) and both filtering
-//! strategies (two-pass / fused), then emits machine-readable JSON:
+//! (reference / parallel / incremental / blocked / simd / simd-batched)
+//! and both filtering strategies (two-pass / fused), then emits
+//! machine-readable JSON:
 //!
 //! * `BENCH_backproject.json` — per-workload, per-kernel wall seconds,
-//!   performed updates, GUPS, and the headline
-//!   `speedup_blocked_vs_parallel`.
+//!   performed updates, GUPS, the headline speedups
+//!   (`speedup_blocked_vs_parallel`, `speedup_simd_vs_blocked`,
+//!   `speedup_simd_batched_vs_blocked`), the SIMD backend and CPU
+//!   features the run detected, and the drift-contract bounds the
+//!   non-bitwise kernels were asserted against in-process.
 //! * `BENCH_filter.json` — per-workload row-filtering throughput for the
 //!   two strategies and `speedup_fused_vs_two_pass`.
 //!
@@ -68,9 +72,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use scalefbp::substrates::backproject::contracts::{
+    DriftStats, DRIFT_SIGNIFICANCE, INCREMENTAL_REL_ABS_BOUND, INCREMENTAL_REL_RMSE_BOUND,
+    SIMD_BATCHED_REL_ABS_BOUND, SIMD_BATCHED_ULP_BOUND,
+};
 use scalefbp::substrates::backproject::{
     backproject_blocked, backproject_incremental, backproject_parallel, backproject_reference,
-    KernelStats,
+    backproject_simd, backproject_simd_batched, detected_cpu_features, simd_backend, KernelStats,
 };
 use scalefbp::substrates::filter::{FilterPipeline, FilterWindow};
 use scalefbp::substrates::geom::{
@@ -147,6 +155,9 @@ struct KernelRun {
     secs: f64,
     stats: KernelStats,
     bit_identical_to_parallel: Option<bool>,
+    /// Drift vs the parallel kernel for the non-bitwise kernels
+    /// (`incremental`, `simd-batched`); `None` for the bitwise family.
+    drift: Option<DriftStats>,
 }
 
 /// Best-of-`reps` timing of one kernel; returns the volume of the last
@@ -184,6 +195,7 @@ fn bench_backproject(w: &Workload, reps: usize) -> Vec<KernelRun> {
             secs,
             stats,
             bit_identical_to_parallel: Some(vol.data() == par_vol.data()),
+            drift: None,
         });
     }
     runs.push(KernelRun {
@@ -191,14 +203,27 @@ fn bench_backproject(w: &Workload, reps: usize) -> Vec<KernelRun> {
         secs: par_secs,
         stats: par_stats,
         bit_identical_to_parallel: None,
+        drift: None,
     });
     let (inc_secs, inc_stats, inc_vol) =
         time_kernel(reps, g, |v| backproject_incremental(stack, mats, v));
+    let inc_drift = DriftStats::measure(par_vol.data(), inc_vol.data(), DRIFT_SIGNIFICANCE);
+    assert!(
+        inc_drift.rel_abs() <= INCREMENTAL_REL_ABS_BOUND
+            && inc_drift.rel_rmse() <= INCREMENTAL_REL_RMSE_BOUND,
+        "{}: incremental kernel drift (rel_abs {:.3e}, rel_rmse {:.3e}) exceeds the \
+         contract ({INCREMENTAL_REL_ABS_BOUND:.0e}, {INCREMENTAL_REL_RMSE_BOUND:.0e}) — \
+         refusing to report its timing",
+        w.name,
+        inc_drift.rel_abs(),
+        inc_drift.rel_rmse()
+    );
     runs.push(KernelRun {
         kernel: "incremental",
         secs: inc_secs,
         stats: inc_stats,
         bit_identical_to_parallel: Some(inc_vol.data() == par_vol.data()),
+        drift: Some(inc_drift),
     });
     let (blk_secs, blk_stats, blk_vol) =
         time_kernel(reps, g, |v| backproject_blocked(stack, mats, v));
@@ -213,6 +238,42 @@ fn bench_backproject(w: &Workload, reps: usize) -> Vec<KernelRun> {
         secs: blk_secs,
         stats: blk_stats,
         bit_identical_to_parallel: Some(true),
+        drift: None,
+    });
+    let (simd_secs, simd_stats, simd_vol) =
+        time_kernel(reps, g, |v| backproject_simd(stack, mats, v));
+    assert_eq!(
+        simd_vol.data(),
+        par_vol.data(),
+        "{}: simd kernel ({} backend) diverged from parallel — refusing to report its timing",
+        w.name,
+        simd_backend().name()
+    );
+    runs.push(KernelRun {
+        kernel: "simd",
+        secs: simd_secs,
+        stats: simd_stats,
+        bit_identical_to_parallel: Some(true),
+        drift: None,
+    });
+    let (sb_secs, sb_stats, sb_vol) =
+        time_kernel(reps, g, |v| backproject_simd_batched(stack, mats, v));
+    let sb_drift = DriftStats::measure(par_vol.data(), sb_vol.data(), DRIFT_SIGNIFICANCE);
+    assert!(
+        sb_drift.within(SIMD_BATCHED_ULP_BOUND, SIMD_BATCHED_REL_ABS_BOUND),
+        "{}: simd-batched drift ({} ULP, rel_abs {:.3e}) exceeds the contract \
+         ({SIMD_BATCHED_ULP_BOUND} ULP, {SIMD_BATCHED_REL_ABS_BOUND:.0e}) — \
+         refusing to report its timing",
+        w.name,
+        sb_drift.max_ulp_significant,
+        sb_drift.rel_abs()
+    );
+    runs.push(KernelRun {
+        kernel: "simd-batched",
+        secs: sb_secs,
+        stats: sb_stats,
+        bit_identical_to_parallel: Some(sb_vol.data() == par_vol.data()),
+        drift: Some(sb_drift),
     });
     runs
 }
@@ -279,6 +340,33 @@ fn emit_backproject_json(results: &[(&Workload, Vec<KernelRun>)], quick: bool) -
     let mut out = String::new();
     out.push_str("{\n  \"benchmark\": \"backproject\",\n");
     let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"simd_backend\": \"{}\",", simd_backend().name());
+    let features: Vec<String> = detected_cpu_features()
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect();
+    let _ = writeln!(out, "  \"detected_features\": [{}],", features.join(", "));
+    // The drift contracts the non-bitwise numbers above were asserted
+    // against before being written (see the backproject contracts module).
+    out.push_str("  \"contracts\": {\n");
+    let _ = writeln!(out, "    \"drift_significance\": {DRIFT_SIGNIFICANCE},");
+    let _ = writeln!(
+        out,
+        "    \"simd_batched_ulp_bound\": {SIMD_BATCHED_ULP_BOUND},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"simd_batched_rel_abs_bound\": {SIMD_BATCHED_REL_ABS_BOUND:e},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"incremental_rel_abs_bound\": {INCREMENTAL_REL_ABS_BOUND:e},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"incremental_rel_rmse_bound\": {INCREMENTAL_REL_RMSE_BOUND:e}"
+    );
+    out.push_str("  },\n");
     out.push_str("  \"workloads\": [\n");
     for (wi, (w, runs)) in results.iter().enumerate() {
         out.push_str("    {\n");
@@ -290,24 +378,42 @@ fn emit_backproject_json(results: &[(&Workload, Vec<KernelRun>)], quick: bool) -
                 Some(b) => b.to_string(),
                 None => "null".to_string(),
             };
+            let drift = match &r.drift {
+                Some(d) => format!(
+                    ", \"drift_ulp_significant\": {}, \"drift_rel_abs\": {:.3e}, \"drift_rel_rmse\": {:.3e}",
+                    d.max_ulp_significant,
+                    d.rel_abs(),
+                    d.rel_rmse()
+                ),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "        {{\"kernel\": \"{}\", \"secs\": {:.6}, \"updates\": {}, \"gups\": {:.4}, \"bit_identical_to_parallel\": {}}}{}",
+                "        {{\"kernel\": \"{}\", \"secs\": {:.6}, \"updates\": {}, \"gups\": {:.4}, \"bit_identical_to_parallel\": {}{}}}{}",
                 r.kernel,
                 r.secs,
                 r.stats.updates,
                 gups,
                 bit,
+                drift,
                 if i + 1 < runs.len() { "," } else { "" }
             );
         }
         out.push_str("      ],\n");
         let secs_of = |name: &str| runs.iter().find(|r| r.kernel == name).map(|r| r.secs);
-        let speedup = match (secs_of("parallel"), secs_of("blocked")) {
-            (Some(p), Some(b)) => p / b.max(1e-12),
+        let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+            (Some(n), Some(d)) => n / d.max(1e-12),
             _ => 0.0,
         };
-        let _ = writeln!(out, "      \"speedup_blocked_vs_parallel\": {speedup:.4}");
+        let blocked = ratio(secs_of("parallel"), secs_of("blocked"));
+        let simd = ratio(secs_of("blocked"), secs_of("simd"));
+        let batched = ratio(secs_of("blocked"), secs_of("simd-batched"));
+        let _ = writeln!(out, "      \"speedup_blocked_vs_parallel\": {blocked:.4},");
+        let _ = writeln!(out, "      \"speedup_simd_vs_blocked\": {simd:.4},");
+        let _ = writeln!(
+            out,
+            "      \"speedup_simd_batched_vs_blocked\": {batched:.4}"
+        );
         let _ = writeln!(
             out,
             "    }}{}",
@@ -1378,7 +1484,18 @@ fn main() {
     for (w, runs) in &bp_results {
         let secs_of = |name: &str| runs.iter().find(|r| r.kernel == name).map(|r| r.secs);
         if let (Some(p), Some(b)) = (secs_of("parallel"), secs_of("blocked")) {
-            println!("{}: blocked {:.2}x vs parallel", w.name, p / b.max(1e-12));
+            let simd = secs_of("simd")
+                .map(|s| format!(", simd {:.2}x vs blocked", b / s.max(1e-12)))
+                .unwrap_or_default();
+            let batched = secs_of("simd-batched")
+                .map(|s| format!(", simd-batched {:.2}x vs blocked", b / s.max(1e-12)))
+                .unwrap_or_default();
+            println!(
+                "{}: blocked {:.2}x vs parallel{simd}{batched} ({} backend)",
+                w.name,
+                p / b.max(1e-12),
+                simd_backend().name()
+            );
         }
     }
 }

@@ -64,7 +64,7 @@ COMMANDS:
   reconstruct --scan scan.sfbp --geom scan.geom --out vol.sfbp
               [--window ramlak|shepplogan|cosine|hamming|hann]
               [--mode incore|outofcore|pipeline|distributed]
-              [--kernel reference|parallel|incremental|blocked]
+              [--kernel reference|parallel|incremental|blocked|simd|simd-batched]
               [--filter-mode two-pass|fused]
                   pick the back-projection kernel and filtering strategy
                   (see docs/performance.md; defaults reproduce the

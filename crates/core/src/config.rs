@@ -76,9 +76,10 @@ impl From<scalefbp_ckpt::CheckpointError> for ReconstructionError {
 /// Which back-projection kernel the drivers run.
 ///
 /// All variants produce bit-identical volumes for the in-core and streaming
-/// paths except [`Incremental`](KernelChoice::Incremental), whose affine
-/// increments round differently (validated to small RMSE in the
-/// backproject crate).
+/// paths except [`Incremental`](KernelChoice::Incremental) and
+/// [`SimdBatched`](KernelChoice::SimdBatched), whose reassociated f32
+/// arithmetic drifts within the explicit bounds pinned in the backproject
+/// crate's `contracts` module (see `docs/performance.md`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum KernelChoice {
     /// Algorithm 1 verbatim: the serial quadruple loop. Slow; the ground
@@ -93,15 +94,25 @@ pub enum KernelChoice {
     /// Cache-blocked hot path: `(i, j)` tiles with projection-outer
     /// iteration and hoisted row constants. Bit-identical to `Parallel`.
     Blocked,
+    /// Explicit f32x8 SIMD over the blocked tiles (AVX2 with runtime
+    /// detection, portable scalar twin otherwise). Bit-identical to
+    /// `Parallel` on either backend.
+    Simd,
+    /// The SIMD kernel with projection batching: `P` projections
+    /// accumulate in a register partial per voxel pass. Fastest; drift vs
+    /// `Parallel` is ULP-bounded, *not* bitwise.
+    SimdBatched,
 }
 
 impl KernelChoice {
     /// All selectable kernels, in benchmark display order.
-    pub const ALL: [KernelChoice; 4] = [
+    pub const ALL: [KernelChoice; 6] = [
         KernelChoice::Reference,
         KernelChoice::Parallel,
         KernelChoice::Incremental,
         KernelChoice::Blocked,
+        KernelChoice::Simd,
+        KernelChoice::SimdBatched,
     ];
 
     /// Stable lowercase name (used in CLI flags and BENCH JSON).
@@ -111,6 +122,8 @@ impl KernelChoice {
             KernelChoice::Parallel => "parallel",
             KernelChoice::Incremental => "incremental",
             KernelChoice::Blocked => "blocked",
+            KernelChoice::Simd => "simd",
+            KernelChoice::SimdBatched => "simd-batched",
         }
     }
 }
@@ -129,8 +142,10 @@ impl std::str::FromStr for KernelChoice {
             "parallel" => Ok(KernelChoice::Parallel),
             "incremental" => Ok(KernelChoice::Incremental),
             "blocked" => Ok(KernelChoice::Blocked),
+            "simd" => Ok(KernelChoice::Simd),
+            "simd-batched" => Ok(KernelChoice::SimdBatched),
             other => Err(format!(
-                "unknown kernel '{other}' (expected reference|parallel|incremental|blocked)"
+                "unknown kernel '{other}' (expected reference|parallel|incremental|blocked|simd|simd-batched)"
             )),
         }
     }

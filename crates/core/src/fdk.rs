@@ -2,7 +2,8 @@
 
 use scalefbp_backproject::{
     backproject_blocked, backproject_incremental, backproject_parallel, backproject_reference,
-    backproject_window, backproject_window_blocked, KernelStats, TextureWindow,
+    backproject_simd, backproject_simd_batched, backproject_window, backproject_window_blocked,
+    backproject_window_simd, backproject_window_simd_batched, KernelStats, TextureWindow,
 };
 use scalefbp_filter::{FilterPipeline, FilterWindow};
 use scalefbp_geom::{compute_ab, CbctGeometry, ProjectionMatrix, ProjectionStack, Volume};
@@ -33,14 +34,16 @@ pub(crate) fn run_backprojection(
         KernelChoice::Parallel => backproject_parallel(stack, mats, vol),
         KernelChoice::Incremental => backproject_incremental(stack, mats, vol),
         KernelChoice::Blocked => backproject_blocked(stack, mats, vol),
+        KernelChoice::Simd => backproject_simd(stack, mats, vol),
+        KernelChoice::SimdBatched => backproject_simd_batched(stack, mats, vol),
     }
 }
 
-/// Dispatches the streaming (ring-buffer) back-projection kernel. Only the
-/// blocked kernel has a dedicated windowed variant; the other choices all
-/// stream through `backproject_window`, which is already the bit-exact
-/// equivalent of `Reference`/`Parallel` (`Incremental` has no streaming
-/// form, so it falls back too).
+/// Dispatches the streaming (ring-buffer) back-projection kernel. The
+/// blocked and SIMD kernels have dedicated windowed variants; the other
+/// choices all stream through `backproject_window`, which is already the
+/// bit-exact equivalent of `Reference`/`Parallel` (`Incremental` has no
+/// streaming form, so it falls back too).
 pub(crate) fn run_window_backprojection(
     choice: KernelChoice,
     window: &TextureWindow,
@@ -49,6 +52,8 @@ pub(crate) fn run_window_backprojection(
 ) -> KernelStats {
     match choice {
         KernelChoice::Blocked => backproject_window_blocked(window, mats, vol),
+        KernelChoice::Simd => backproject_window_simd(window, mats, vol),
+        KernelChoice::SimdBatched => backproject_window_simd_batched(window, mats, vol),
         _ => backproject_window(window, mats, vol),
     }
 }

@@ -189,8 +189,14 @@ impl ProjectionStack {
     ///
     /// `x` indexes the U axis, `y` the (local) V axis. Samples outside the
     /// held window contribute zero, the standard zero-padded detector
-    /// boundary condition.
+    /// boundary condition. Non-finite coordinates also return zero: a NaN
+    /// coordinate would otherwise poison the blend (`0 · NaN = NaN`) even
+    /// though every tap individually lands out of bounds, because
+    /// `NaN as isize` saturates to 0 — a valid index.
     pub fn sub_pixel(&self, s: usize, x: f32, y: f32) -> f32 {
+        if !(x.is_finite() && y.is_finite()) {
+            return 0.0;
+        }
         let iu = x.floor() as isize;
         let iv = y.floor() as isize;
         let eu = x - iu as f32;

@@ -1,0 +1,322 @@
+//! Cross-crate tests for the SIMD back-projection kernels and the
+//! non-finite-coordinate regression.
+//!
+//! Two families of guarantees:
+//!
+//! * **Bitwise**: `simd` (either backend, any tile/zslab tuning, batch 1)
+//!   reproduces `blocked` — and therefore `parallel` — bit for bit, on
+//!   arbitrary volume shapes including non-multiple-of-8 widths, volume
+//!   slabs and partial detector windows.
+//! * **Bounded drift**: `simd-batched` and `incremental` sit inside the
+//!   explicit contracts of the backproject crate's `contracts` module.
+//!
+//! Plus the regression that motivated this work: a projection matrix with
+//! a non-finite detector row (NaN `x`-row, ±∞ `y`-row) used to slip past
+//! the blocked fast path's integer-domain bounds check — Rust's
+//! saturating cast maps `NaN as isize` to 0, a valid index — and poison
+//! tile accumulators with NaN. Every kernel must now produce fully finite
+//! volumes from such matrices, and the bitwise family must still agree.
+
+use proptest::prelude::*;
+use scalefbp_backproject::contracts::{
+    DriftStats, DRIFT_SIGNIFICANCE, INCREMENTAL_REL_ABS_BOUND, INCREMENTAL_REL_RMSE_BOUND,
+    SIMD_BATCHED_REL_ABS_BOUND, SIMD_BATCHED_ULP_BOUND,
+};
+use scalefbp_backproject::{
+    backproject_blocked, backproject_blocked_with, backproject_incremental, backproject_parallel,
+    backproject_reference, backproject_simd, backproject_simd_batched, backproject_simd_with,
+    backproject_simd_with_backend, backproject_window_blocked, backproject_window_simd_with,
+    simd_backend, SimdBackend, SimdTuning, TextureWindow, TileShape, MAX_SIMD_BATCH,
+};
+use scalefbp_geom::{CbctGeometry, ProjectionMatrix, ProjectionStack, Volume, VolumeDecomposition};
+
+fn lcg(state: &mut u64) -> f32 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 40) as f32 / (1u64 << 23) as f32) - 0.5
+}
+
+fn noisy_stack(g: &CbctGeometry, seed: u64) -> ProjectionStack {
+    let mut stack = ProjectionStack::zeros(g.nv, g.np, g.nu);
+    let mut state = seed | 1;
+    for px in stack.data_mut() {
+        *px = lcg(&mut state);
+    }
+    stack
+}
+
+/// Runs every selectable kernel on the given (possibly corrupted)
+/// matrices and returns the volumes in a fixed order.
+fn all_kernels(
+    g: &CbctGeometry,
+    stack: &ProjectionStack,
+    mats: &[ProjectionMatrix],
+) -> Vec<(&'static str, Volume)> {
+    let mut out = Vec::new();
+    for name in [
+        "reference",
+        "parallel",
+        "incremental",
+        "blocked",
+        "simd",
+        "simd-batched",
+    ] {
+        let mut vol = Volume::zeros(g.nx, g.ny, g.nz);
+        match name {
+            "reference" => backproject_reference(stack, mats, &mut vol),
+            "parallel" => backproject_parallel(stack, mats, &mut vol),
+            "incremental" => backproject_incremental(stack, mats, &mut vol),
+            "blocked" => backproject_blocked(stack, mats, &mut vol),
+            "simd" => backproject_simd(stack, mats, &mut vol),
+            "simd-batched" => backproject_simd_batched(stack, mats, &mut vol),
+            _ => unreachable!(),
+        };
+        out.push((name, vol));
+    }
+    out
+}
+
+/// The regression: a NaN detector `x`-row with a healthy depth row passes
+/// the `z > 0` guard, so the sampling coordinate itself is NaN. The old
+/// blocked fast path floored it to index 0 and blended NaN into the tile
+/// accumulator; now every kernel must route it to the guarded slow path
+/// and keep the volume finite — and the bitwise family must still agree.
+#[test]
+fn nan_coordinate_row_never_poisons_any_kernel() {
+    let g = CbctGeometry::ideal(18, 12, 28, 24);
+    let stack = noisy_stack(&g, 0xBAD_C0FFEE);
+    let mut mats = ProjectionMatrix::full_scan(&g);
+    mats[3].rows_f32[0] = [f32::NAN; 4];
+
+    let vols = all_kernels(&g, &stack, &mats);
+    for (name, vol) in &vols {
+        assert!(
+            vol.data().iter().all(|v| v.is_finite()),
+            "{name}: NaN x-row leaked a non-finite voxel"
+        );
+    }
+    let reference = &vols[0].1;
+    for (name, vol) in &vols[1..] {
+        if *name == "incremental" || *name == "simd-batched" {
+            continue; // drift-bounded, checked finite above
+        }
+        assert_eq!(
+            reference.data(),
+            vol.data(),
+            "{name} diverged from reference on the NaN-row scan"
+        );
+    }
+}
+
+/// Same regression with ±∞: an infinite `y`-row produces `y = ±∞`, which
+/// the old integer-domain guard saturated to a huge (rejected) or tiny
+/// (accepted!) index depending on sign. All kernels must stay finite.
+#[test]
+fn infinite_coordinate_row_never_poisons_any_kernel() {
+    let g = CbctGeometry::ideal(18, 12, 28, 24);
+    let stack = noisy_stack(&g, 0xBAD_C0FFEE);
+    for inf in [f32::INFINITY, f32::NEG_INFINITY] {
+        let mut mats = ProjectionMatrix::full_scan(&g);
+        mats[5].rows_f32[1] = [inf; 4];
+        let vols = all_kernels(&g, &stack, &mats);
+        for (name, vol) in &vols {
+            assert!(
+                vol.data().iter().all(|v| v.is_finite()),
+                "{name}: {inf} y-row leaked a non-finite voxel"
+            );
+        }
+        let reference = &vols[0].1;
+        for (name, vol) in &vols[1..] {
+            if *name == "incremental" || *name == "simd-batched" {
+                continue;
+            }
+            assert_eq!(
+                reference.data(),
+                vol.data(),
+                "{name} diverged from reference on the {inf}-row scan"
+            );
+        }
+    }
+}
+
+/// Both SIMD backends must agree bitwise — the scalar twin executes the
+/// identical operation sequence, so this holds on every machine where
+/// AVX2 is detected (and is vacuously skipped elsewhere).
+#[test]
+fn avx2_and_scalar_backends_are_bit_identical() {
+    if simd_backend() != SimdBackend::Avx2 {
+        eprintln!("skipping: AVX2 not detected (or disabled via SCALEFBP_SIMD)");
+        return;
+    }
+    let g = CbctGeometry::ideal(21, 10, 30, 26);
+    let stack = noisy_stack(&g, 0x51D_BEEF);
+    let mats = ProjectionMatrix::full_scan(&g);
+    for tuning in [SimdTuning::EXACT, SimdTuning::BATCHED] {
+        let mut a = Volume::zeros(g.nx, g.ny, g.nz);
+        let mut b = Volume::zeros(g.nx, g.ny, g.nz);
+        let sa = backproject_simd_with_backend(&stack, &mats, &mut a, tuning, SimdBackend::Avx2);
+        let sb = backproject_simd_with_backend(&stack, &mats, &mut b, tuning, SimdBackend::Scalar);
+        assert_eq!(
+            a.data(),
+            b.data(),
+            "batch {}: backends diverged",
+            tuning.batch
+        );
+        assert_eq!(sa, sb, "batch {}: kernel stats diverged", tuning.batch);
+    }
+}
+
+/// The incremental kernel's coordinate drift on a worst-case noise scan
+/// sits inside the pinned magnitude-relative contract.
+#[test]
+fn incremental_drift_honours_contract_on_noise() {
+    let g = CbctGeometry::ideal(24, 16, 36, 32);
+    let stack = noisy_stack(&g, 0xD21F7);
+    let mats = ProjectionMatrix::full_scan(&g);
+    let mut par = Volume::zeros(g.nx, g.ny, g.nz);
+    backproject_parallel(&stack, &mats, &mut par);
+    let mut inc = Volume::zeros(g.nx, g.ny, g.nz);
+    backproject_incremental(&stack, &mats, &mut inc);
+    let d = DriftStats::measure(par.data(), inc.data(), DRIFT_SIGNIFICANCE);
+    assert!(
+        d.rel_abs() <= INCREMENTAL_REL_ABS_BOUND,
+        "rel_abs {:.3e} above the {INCREMENTAL_REL_ABS_BOUND:.0e} contract",
+        d.rel_abs()
+    );
+    assert!(
+        d.rel_rmse() <= INCREMENTAL_REL_RMSE_BOUND,
+        "rel_rmse {:.3e} above the {INCREMENTAL_REL_RMSE_BOUND:.0e} contract",
+        d.rel_rmse()
+    );
+}
+
+proptest! {
+    // Each case runs two full (small) back-projections.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `simd` with batch 1 is bit-identical to `blocked` for every volume
+    /// width (including non-multiples of 8, which exercise the masked
+    /// tail lanes), tile shape, z-slab depth, volume-slab offset and
+    /// partial detector window — with matching update counts.
+    #[test]
+    fn simd_bit_identical_across_shapes_tiles_slabs_and_windows(
+        nx in 1usize..22,
+        ny in 1usize..18,
+        bi in 1usize..40,
+        bj in 1usize..24,
+        zslab in 1usize..9,
+        z_begin in 0usize..16,
+        dz in 1usize..9,
+        v_cut in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut g = CbctGeometry::ideal(20, 14, 32, 28);
+        g.nx = nx;
+        g.ny = ny;
+        let stack = noisy_stack(&g, seed);
+        let mats = ProjectionMatrix::full_scan(&g);
+
+        let z0 = z_begin.min(g.nz - 1);
+        let z1 = (z0 + dz).min(g.nz);
+        let v0 = v_cut.min(g.nv / 4);
+        let part = stack.extract_window(v0, g.nv - v0, 0, g.np);
+
+        let tile = TileShape::new(bi, bj);
+        let mut blocked = Volume::zeros_slab(g.nx, g.ny, z1 - z0, z0);
+        let mut simd = blocked.clone();
+        let sb = backproject_blocked_with(&part, &mats, &mut blocked, tile);
+        let ss = backproject_simd_with(
+            &part,
+            &mats,
+            &mut simd,
+            SimdTuning { tile, batch: 1, zslab },
+        );
+        prop_assert_eq!(
+            blocked.data(),
+            simd.data(),
+            "{}×{} volume, tile {}×{}, zslab {}, slab [{}, {}), rows [{}, {})",
+            nx, ny, bi, bj, zslab, z0, z1, v0, g.nv - v0
+        );
+        prop_assert_eq!(sb, ss, "kernel stats diverged");
+    }
+
+    /// Projection batching regroups only the per-voxel sum: for every
+    /// batch size the result stays inside the simd-batched drift contract,
+    /// and the extreme batch (all projections in one partial) is as far
+    /// as the regrouping can go.
+    #[test]
+    fn simd_batched_drift_bounded_for_every_batch_size(
+        batch in 2usize..=MAX_SIMD_BATCH,
+        seed in any::<u64>(),
+    ) {
+        let g = CbctGeometry::ideal(14, 12, 24, 20);
+        let stack = noisy_stack(&g, seed);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let mut exact = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_simd(&stack, &mats, &mut exact);
+        let mut batched = Volume::zeros(g.nx, g.ny, g.nz);
+        backproject_simd_with(
+            &stack,
+            &mats,
+            &mut batched,
+            SimdTuning { batch, ..SimdTuning::EXACT },
+        );
+        let d = DriftStats::measure(exact.data(), batched.data(), DRIFT_SIGNIFICANCE);
+        prop_assert!(
+            d.within(SIMD_BATCHED_ULP_BOUND, SIMD_BATCHED_REL_ABS_BOUND),
+            "batch {}: {} ULP / rel_abs {:.3e} outside the contract",
+            batch, d.max_ulp_significant, d.rel_abs()
+        );
+    }
+
+    /// The streaming (ring-buffer window) SIMD kernel reproduces the
+    /// streaming blocked kernel bit for bit across arbitrary slab batch
+    /// sizes — the contract that lets the out-of-core and pipelined
+    /// drivers dispatch it.
+    #[test]
+    fn window_simd_bit_identical_across_decompositions(
+        nb in 1usize..8,
+        bi in 1usize..24,
+        zslab in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = CbctGeometry::ideal(15, 10, 26, 22);
+        let stack = noisy_stack(&g, seed);
+        let mats = ProjectionMatrix::full_scan(&g);
+        let decomp = VolumeDecomposition::full(&g, nb);
+        let h = decomp.max_rows();
+
+        let run = |simd: bool| {
+            let mut window = TextureWindow::new(h, g.np, g.nu, 0);
+            let mut assembled = Volume::zeros(g.nx, g.ny, g.nz);
+            for task in decomp.tasks() {
+                let r = task.new_rows;
+                if !r.is_empty() {
+                    window.write_rows(stack.rows_block(r.begin, r.end), r.begin, r.end);
+                }
+                let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
+                if simd {
+                    backproject_window_simd_with(
+                        &window,
+                        &mats,
+                        &mut slab,
+                        SimdTuning { tile: TileShape::new(bi, 8), batch: 1, zslab },
+                    );
+                } else {
+                    backproject_window_blocked(&window, &mats, &mut slab);
+                }
+                assembled.paste_slab(&slab);
+            }
+            assembled
+        };
+        let blocked = run(false);
+        let simd = run(true);
+        prop_assert_eq!(
+            blocked.data(),
+            simd.data(),
+            "nb {}, tile bi {}, zslab {}",
+            nb, bi, zslab
+        );
+    }
+}
