@@ -34,6 +34,10 @@ def main() -> None:
 
     bp = json.load(open(f"{out_dir}/BENCH_backproject.json"))
     assert bp["benchmark"] == "backproject"
+    # The executor backend the timings were measured on. The harness
+    # refuses to emit the file unless the sim backend agreed bitwise
+    # with this one in-process, so "cpu" here certifies conformance.
+    assert bp["backend"] == "cpu", bp.get("backend")
     assert bp["simd_backend"] in ("avx2", "scalar"), bp["simd_backend"]
     if expect_backend is not None:
         assert bp["simd_backend"] == expect_backend, (

@@ -80,6 +80,7 @@ use scalefbp::substrates::backproject::{
     backproject_blocked, backproject_incremental, backproject_parallel, backproject_reference,
     backproject_simd, backproject_simd_batched, detected_cpu_features, simd_backend, KernelStats,
 };
+use scalefbp::substrates::exec::{CpuExecutor, Executor, KernelChoice, SimExecutor};
 use scalefbp::substrates::filter::{FilterPipeline, FilterWindow};
 use scalefbp::substrates::geom::{
     CbctGeometry, DatasetPreset, ProjectionMatrix, ProjectionStack, RankLayout, Volume,
@@ -179,10 +180,33 @@ where
     (best, stats, vol)
 }
 
+/// Gate before any timing is reported: the `sim` and `cpu` executor
+/// backends must agree bit for bit on this workload's back-projection.
+/// The wall-clock numbers below are measured on the native host path
+/// (the `cpu` backend's compute), so a sim/cpu divergence would make
+/// the recorded `backend` field a lie — refuse to report instead.
+fn assert_backend_agreement(w: &Workload) {
+    let g = &w.geom;
+    let sim = SimExecutor::new(DeviceSpec::v100_16gb());
+    let cpu = CpuExecutor::new();
+    let mut sim_vol = Volume::zeros(g.nx, g.ny, g.nz);
+    let mut cpu_vol = Volume::zeros(g.nx, g.ny, g.nz);
+    sim.backproject(KernelChoice::Parallel, &w.filtered, &w.mats, &mut sim_vol)
+        .expect("sim backend back-projection");
+    cpu.backproject(KernelChoice::Parallel, &w.filtered, &w.mats, &mut cpu_vol)
+        .expect("cpu backend back-projection");
+    assert_bitwise(
+        &sim_vol,
+        &cpu_vol,
+        &format!("{}: sim vs cpu executor backends", w.name),
+    );
+}
+
 fn bench_backproject(w: &Workload, reps: usize) -> Vec<KernelRun> {
     let g = &w.geom;
     let stack = &w.filtered;
     let mats = &w.mats;
+    assert_backend_agreement(w);
 
     let (par_secs, par_stats, par_vol) =
         time_kernel(reps, g, |v| backproject_parallel(stack, mats, v));
@@ -340,6 +364,10 @@ fn emit_backproject_json(results: &[(&Workload, Vec<KernelRun>)], quick: bool) -
     let mut out = String::new();
     out.push_str("{\n  \"benchmark\": \"backproject\",\n");
     let _ = writeln!(out, "  \"quick\": {quick},");
+    // The executor backend the wall-clock timings run on. Always `cpu`
+    // (native host kernels); the harness asserts sim/cpu bitwise
+    // agreement in-process before any timing is reported.
+    let _ = writeln!(out, "  \"backend\": \"cpu\",");
     let _ = writeln!(out, "  \"simd_backend\": \"{}\",", simd_backend().name());
     let features: Vec<String> = detected_cpu_features()
         .iter()

@@ -6,9 +6,9 @@ use rand::SeedableRng;
 use scalefbp::{
     fault_tolerant_reconstruct_checkpointed, fault_tolerant_reconstruct_observed,
     fdk_reconstruct_configured, fdk_reconstruct_slab, iterative_reconstruct_distributed,
-    CheckpointSpec, DeviceSpec, FdkConfig, FilterChoice, FilterWindow, IterativeConfig,
-    IterativeSolver, KernelChoice, MetricsRegistry, MetricsSnapshot, OutOfCoreReconstructor,
-    PipelinedReconstructor, RankLayout, ReduceMode,
+    BackendChoice, CheckpointSpec, DeviceSpec, FdkConfig, FilterChoice, FilterWindow,
+    IterativeConfig, IterativeSolver, KernelChoice, MetricsRegistry, MetricsSnapshot,
+    OutOfCoreReconstructor, PipelinedReconstructor, RankLayout, ReduceMode,
 };
 use scalefbp_faults::{FaultPlan, FaultScenario, RecoveryEvent};
 use scalefbp_geom::{CbctGeometry, DatasetPreset, ProjectionStack};
@@ -347,6 +347,11 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
         .unwrap_or_else(|| "two-pass".into())
         .parse()
         .map_err(CliError::Message)?;
+    let backend: BackendChoice = args
+        .opt("backend")
+        .unwrap_or_else(|| "sim".into())
+        .parse()
+        .map_err(CliError::Message)?;
     let reduce_mode = parse_reduce_mode(args)?;
     let checkpoint = parse_checkpoint_spec(args)?;
     if checkpoint.is_some() && mode != "outofcore" && mode != "distributed" {
@@ -383,12 +388,13 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                 let cfg = FdkConfig::new(geom.clone())
                     .with_window(window)
                     .with_kernel(kernel)
-                    .with_filter(filter_mode);
+                    .with_filter(filter_mode)
+                    .with_backend(backend);
                 let v = fdk_reconstruct_configured(&cfg, &projections)
                     .map_err(|e| CliError::Message(e.to_string()))?;
                 (
                     v,
-                    format!("in-core, {kernel} kernel, {filter_mode} filter"),
+                    format!("in-core, {kernel} kernel, {filter_mode} filter, {backend} backend"),
                     chrome_trace_json(&[]),
                     MetricsRegistry::new().snapshot(),
                 )
@@ -398,7 +404,8 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                     .with_window(window)
                     .with_device(device)
                     .with_kernel(kernel)
-                    .with_filter(filter_mode);
+                    .with_filter(filter_mode)
+                    .with_backend(backend);
                 let rec = OutOfCoreReconstructor::with_observability(cfg, MetricsRegistry::new())
                     .map_err(|e| CliError::Message(e.to_string()))?;
                 let (v, report) = match &checkpoint {
@@ -422,7 +429,8 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                     .with_window(window)
                     .with_device(device)
                     .with_kernel(kernel)
-                    .with_filter(filter_mode);
+                    .with_filter(filter_mode)
+                    .with_backend(backend);
                 let rec = PipelinedReconstructor::new(cfg)
                     .map_err(|e| CliError::Message(e.to_string()))?;
                 let registry = MetricsRegistry::new();
@@ -465,6 +473,9 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                     .unwrap_or_else(FaultPlan::none);
                 let cfg = FdkConfig::new(geom.clone())
                     .with_window(window)
+                    .with_kernel(kernel)
+                    .with_filter(filter_mode)
+                    .with_backend(backend)
                     .with_reduce_mode(reduce_mode);
                 let layout = RankLayout::new(nr, ng, 2);
                 let out = match &checkpoint {
@@ -524,11 +535,17 @@ pub fn pipeline(args: &mut Args) -> Result<String, CliError> {
     let (geom, projections, source) = load_or_synthesize(args)?;
     let window = parse_window(&args.opt("window").unwrap_or_else(|| "ramlak".into()))?;
     let device = parse_device(&args.opt("device").unwrap_or_else(|| "v100".into()))?;
+    let backend: BackendChoice = args
+        .opt("backend")
+        .unwrap_or_else(|| "sim".into())
+        .parse()
+        .map_err(CliError::Message)?;
     let plan = parse_fault_plan(args, &single_rank_scenario())?.unwrap_or_else(FaultPlan::none);
 
     let cfg = FdkConfig::new(geom.clone())
         .with_window(window)
-        .with_device(device);
+        .with_device(device)
+        .with_backend(backend);
     let rec = PipelinedReconstructor::new(cfg).map_err(|e| CliError::Message(e.to_string()))?;
     let registry = MetricsRegistry::new();
     let nvme =
@@ -568,11 +585,17 @@ pub fn distributed(args: &mut Args) -> Result<String, CliError> {
     let nr: usize = args.typed_or("nr", 2, "integer")?;
     let ng: usize = args.typed_or("ng", 2, "integer")?;
     let reduce_mode = parse_reduce_mode(args)?;
+    let backend: BackendChoice = args
+        .opt("backend")
+        .unwrap_or_else(|| "sim".into())
+        .parse()
+        .map_err(CliError::Message)?;
     let plan =
         parse_fault_plan(args, &FaultScenario::mixed(nr * ng))?.unwrap_or_else(FaultPlan::none);
 
     let cfg = FdkConfig::new(geom.clone())
         .with_window(window)
+        .with_backend(backend)
         .with_reduce_mode(reduce_mode);
     let out = fault_tolerant_reconstruct_observed(
         &cfg,
@@ -733,7 +756,13 @@ pub fn serve(args: &mut Args) -> Result<String, CliError> {
         std::env::temp_dir().join(format!("scalefbp-serve-{}", std::process::id()))
     });
 
-    let mut cfg = ServeConfig::new(devices, device, ckpt_root);
+    let backend: BackendChoice = args
+        .opt("backend")
+        .unwrap_or_else(|| "sim".into())
+        .parse()
+        .map_err(CliError::Message)?;
+
+    let mut cfg = ServeConfig::new(devices, device, ckpt_root).with_backend(backend);
     if let Some(fs) = args.opt("fault-seed") {
         let fseed: u64 = fs
             .parse()

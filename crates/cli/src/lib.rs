@@ -69,6 +69,11 @@ COMMANDS:
                   pick the back-projection kernel and filtering strategy
                   (see docs/performance.md; defaults reproduce the
                   bit-exact reference behaviour)
+              [--backend sim|cpu]
+                  compute backend behind the executor seam: `sim` charges
+                  the gpusim cost model, `cpu` runs natively with zero
+                  modelled time; volumes are bitwise identical on both
+                  (see docs/backends.md)
               [--device v100|a100|tiny:BYTES] [--slab Z0:Z1]
               [--nr N --ng N]           (distributed rank layout)
               [--reduce-mode dense|hierarchical|segmented]
@@ -87,12 +92,13 @@ COMMANDS:
                   export the deterministic chrome trace / metrics snapshot
                   (see docs/observability.md); --stats prints the table
   pipeline    [--scan scan.sfbp | --ideal N] [--device SPEC] [--window W]
+              [--backend sim|cpu]
               [--fault-seed N | --fault-plan FILE] [--out vol.sfbp]
               [--trace-out F] [--metrics-out F] [--stats]
               self-contained threaded-pipeline run (synthesized ball scan
               by default) exporting the model trace and metrics
   distributed [--scan scan.sfbp | --ideal N] [--nr N --ng N] [--window W]
-              [--reduce-mode dense|hierarchical|segmented]
+              [--reduce-mode dense|hierarchical|segmented] [--backend sim|cpu]
               [--fault-seed N | --fault-plan FILE] [--out vol.sfbp]
               [--trace-out F] [--metrics-out F] [--stats]
               self-contained fault-tolerant distributed run exporting the
@@ -114,6 +120,7 @@ COMMANDS:
               project the paper-scale runtime (Eq 17 + DES)
   serve       [--devices 4] [--device v100|a100|tiny:BYTES] [--jobs 24]
               [--tenants 3] [--rate HZ] [--seed N] [--fault-seed N]
+              [--backend sim|cpu]
               [--ckpt-dir DIR] [--schedule-out F] [--metrics-out F] [--stats]
               run a seeded multi-tenant workload through the
               reconstruction-as-a-service scheduler: batched small jobs,

@@ -1,9 +1,15 @@
 //! Top-level configuration and errors.
 
+use std::sync::Arc;
+
+use scalefbp_exec::{CpuExecutor, ExecError, Executor, SimExecutor};
+use scalefbp_faults::FaultInject;
 use scalefbp_filter::FilterWindow;
 use scalefbp_geom::{CbctGeometry, GeometryError};
 use scalefbp_gpusim::{DeviceError, DeviceSpec};
+use scalefbp_obs::MetricsRegistry;
 
+pub use scalefbp_exec::{BackendChoice, FilterChoice, KernelChoice};
 pub use scalefbp_mpisim::ReduceMode;
 
 /// Errors from the reconstruction drivers.
@@ -32,6 +38,10 @@ pub enum ReconstructionError {
         /// Slab checkpoints this run committed before dying.
         completed_slabs: usize,
     },
+    /// The configured compute backend refused the run (e.g. the
+    /// wgpu-stub validates launches but cannot compute), or an
+    /// executor operation failed outside the device error model.
+    Backend(String),
 }
 
 impl std::fmt::Display for ReconstructionError {
@@ -49,6 +59,7 @@ impl std::fmt::Display for ReconstructionError {
                 f,
                 "run interrupted by chaos kill switch after {completed_slabs} checkpointed slab(s)"
             ),
+            ReconstructionError::Backend(what) => write!(f, "backend error: {what}"),
         }
     }
 }
@@ -73,123 +84,18 @@ impl From<scalefbp_ckpt::CheckpointError> for ReconstructionError {
     }
 }
 
-/// Which back-projection kernel the drivers run.
-///
-/// All variants produce bit-identical volumes for the in-core and streaming
-/// paths except [`Incremental`](KernelChoice::Incremental) and
-/// [`SimdBatched`](KernelChoice::SimdBatched), whose reassociated f32
-/// arithmetic drifts within the explicit bounds pinned in the backproject
-/// crate's `contracts` module (see `docs/performance.md`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum KernelChoice {
-    /// Algorithm 1 verbatim: the serial quadruple loop. Slow; the ground
-    /// truth for equivalence testing.
-    Reference,
-    /// Register-accumulating slice-parallel kernel (Section 4.3.1).
-    #[default]
-    Parallel,
-    /// The affine-increment kernel — fastest per-update arithmetic, *not*
-    /// bit-identical. Streaming drivers fall back to the windowed kernel.
-    Incremental,
-    /// Cache-blocked hot path: `(i, j)` tiles with projection-outer
-    /// iteration and hoisted row constants. Bit-identical to `Parallel`.
-    Blocked,
-    /// Explicit f32x8 SIMD over the blocked tiles (AVX2 with runtime
-    /// detection, portable scalar twin otherwise). Bit-identical to
-    /// `Parallel` on either backend.
-    Simd,
-    /// The SIMD kernel with projection batching: `P` projections
-    /// accumulate in a register partial per voxel pass. Fastest; drift vs
-    /// `Parallel` is ULP-bounded, *not* bitwise.
-    SimdBatched,
-}
-
-impl KernelChoice {
-    /// All selectable kernels, in benchmark display order.
-    pub const ALL: [KernelChoice; 6] = [
-        KernelChoice::Reference,
-        KernelChoice::Parallel,
-        KernelChoice::Incremental,
-        KernelChoice::Blocked,
-        KernelChoice::Simd,
-        KernelChoice::SimdBatched,
-    ];
-
-    /// Stable lowercase name (used in CLI flags and BENCH JSON).
-    pub fn name(self) -> &'static str {
-        match self {
-            KernelChoice::Reference => "reference",
-            KernelChoice::Parallel => "parallel",
-            KernelChoice::Incremental => "incremental",
-            KernelChoice::Blocked => "blocked",
-            KernelChoice::Simd => "simd",
-            KernelChoice::SimdBatched => "simd-batched",
+impl From<ExecError> for ReconstructionError {
+    fn from(e: ExecError) -> Self {
+        match e {
+            ExecError::Device(d) => ReconstructionError::Device(d),
+            other => ReconstructionError::Backend(other.to_string()),
         }
     }
 }
 
-impl std::fmt::Display for KernelChoice {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-impl std::str::FromStr for KernelChoice {
-    type Err = String;
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "reference" => Ok(KernelChoice::Reference),
-            "parallel" => Ok(KernelChoice::Parallel),
-            "incremental" => Ok(KernelChoice::Incremental),
-            "blocked" => Ok(KernelChoice::Blocked),
-            "simd" => Ok(KernelChoice::Simd),
-            "simd-batched" => Ok(KernelChoice::SimdBatched),
-            other => Err(format!(
-                "unknown kernel '{other}' (expected reference|parallel|incremental|blocked|simd|simd-batched)"
-            )),
-        }
-    }
-}
-
-/// How the ramp-filtering stage is executed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum FilterChoice {
-    /// Weight+convolve, then a second scaling pass (the original shape).
-    #[default]
-    TwoPass,
-    /// Single fused pass with the scale folded into the frequency response
-    /// and zero per-row allocations. Matches TwoPass to a few f32 ULP.
-    Fused,
-}
-
-impl FilterChoice {
-    /// Stable lowercase name (used in CLI flags and BENCH JSON).
-    pub fn name(self) -> &'static str {
-        match self {
-            FilterChoice::TwoPass => "two-pass",
-            FilterChoice::Fused => "fused",
-        }
-    }
-}
-
-impl std::fmt::Display for FilterChoice {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-impl std::str::FromStr for FilterChoice {
-    type Err = String;
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "two-pass" | "twopass" => Ok(FilterChoice::TwoPass),
-            "fused" => Ok(FilterChoice::Fused),
-            other => Err(format!(
-                "unknown filter mode '{other}' (expected two-pass|fused)"
-            )),
-        }
-    }
-}
+// `KernelChoice`, `FilterChoice` and `BackendChoice` are defined in
+// `scalefbp-exec` (the executors dispatch on them) and re-exported above
+// unchanged, so the pre-executor public API is preserved.
 
 /// Configuration of a reconstruction run.
 #[derive(Clone, Debug)]
@@ -210,6 +116,11 @@ pub struct FdkConfig {
     /// ([`ReduceMode::Hierarchical`]) reproduces the pre-existing
     /// tree-reduce behaviour bit-for-bit; see `docs/communication.md`.
     pub reduce_mode: ReduceMode,
+    /// Compute backend the drivers execute on. The default
+    /// ([`BackendChoice::Sim`]) reproduces the pre-executor `gpusim`
+    /// accounting exactly; `Cpu` produces bitwise-identical volumes
+    /// with zero modelled time (see `docs/backends.md`).
+    pub backend: BackendChoice,
 }
 
 impl FdkConfig {
@@ -224,6 +135,7 @@ impl FdkConfig {
             kernel: KernelChoice::default(),
             filter: FilterChoice::default(),
             reduce_mode: ReduceMode::default(),
+            backend: BackendChoice::default(),
         }
     }
 
@@ -264,10 +176,45 @@ impl FdkConfig {
         self
     }
 
+    /// Builder: compute backend.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), ReconstructionError> {
         self.geometry.validate()?;
         Ok(())
+    }
+
+    /// Builds the configured compute backend: `sim` wraps a simulated
+    /// device of [`self.device`](FdkConfig::device) that consults
+    /// `injector` (as `rank`) and records rank-labelled `gpu.*` metrics
+    /// into `registry`; `cpu` records byte-domain metrics only. The
+    /// wgpu stub validates launches but cannot compute, so asking a
+    /// driver to run on it fails here with
+    /// [`ReconstructionError::Backend`].
+    pub fn build_executor(
+        &self,
+        injector: Arc<dyn FaultInject>,
+        rank: usize,
+        registry: MetricsRegistry,
+    ) -> Result<Arc<dyn Executor>, ReconstructionError> {
+        match self.backend {
+            BackendChoice::Sim => Ok(Arc::new(SimExecutor::with_observability(
+                self.device.clone(),
+                injector,
+                rank,
+                registry,
+            ))),
+            BackendChoice::Cpu => Ok(Arc::new(CpuExecutor::with_observability(rank, registry))),
+            BackendChoice::WgpuStub => Err(ReconstructionError::Backend(
+                "the wgpu-stub backend validates launch descriptors but cannot compute; \
+                 select backend sim or cpu for reconstruction"
+                    .to_string(),
+            )),
+        }
     }
 }
 

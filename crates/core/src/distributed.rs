@@ -2,12 +2,16 @@
 //! substrate: rank groups, per-group sub-volume batches, and the
 //! hierarchical segmented reduction.
 
-use scalefbp_backproject::{backproject_parallel, KernelStats};
+use std::sync::Arc;
+
+use scalefbp_backproject::KernelStats;
+use scalefbp_faults::NoFaults;
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, RankLayout, Volume, VolumeDecomposition};
 use scalefbp_mpisim::{
     hierarchical_reduce_sum, segment_partition, NetworkStats, ReduceMode, World,
 };
+use scalefbp_obs::MetricsRegistry;
 
 use crate::{FdkConfig, ReconstructionError};
 
@@ -71,6 +75,12 @@ pub fn distributed_reconstruct(
 
     let window = config.window;
     let reduce_mode = config.reduce_mode;
+    let kernel_choice = config.kernel;
+    let filter_choice = config.filter;
+    // One executor shared by every rank closure: the compute dispatch is
+    // identical per rank, and the kernels are pure functions of their
+    // inputs, so sharing changes nothing observable.
+    let exec = config.build_executor(Arc::new(NoFaults), 0, MetricsRegistry::new())?;
     let (results, network) = World::run_with_stats(layout.num_ranks(), |mut comm| {
         let assign = layout.assignment(g, comm.rank());
         let filter = FilterPipeline::new(g, window);
@@ -95,10 +105,13 @@ pub fn distributed_reconstruct(
                 assign.s_begin,
                 assign.s_end,
             );
-            filter.filter_stack(&mut part);
+            exec.filter_stack(&filter, filter_choice, &mut part)
+                .expect("filter stage failed");
 
             let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
-            let stats = backproject_parallel(&part, my_mats, &mut slab);
+            let stats = exec
+                .backproject(kernel_choice, &part, my_mats, &mut slab)
+                .expect("back-projection failed");
             kernel.merge(&stats);
 
             match reduce_mode {
@@ -334,6 +347,22 @@ mod tests {
         let out = run_mode(RankLayout::new(4, 1, 2), 2, ReduceMode::Segmented);
         // Chain through-traffic is at least one group slab per batch hop.
         assert!(out.network.bytes > 0);
+    }
+
+    /// Backend selection never changes a distributed volume: every
+    /// reduce mode is bitwise identical between sim and cpu.
+    #[test]
+    fn cpu_backend_is_bitwise_identical_across_reduce_modes() {
+        let g = geom();
+        let p = projections(&g);
+        for mode in ReduceMode::ALL {
+            let layout = RankLayout::new(2, 2, 2);
+            let sim_cfg = FdkConfig::new(g.clone()).with_nc(2).with_reduce_mode(mode);
+            let cpu_cfg = sim_cfg.clone().with_backend(crate::BackendChoice::Cpu);
+            let sim = distributed_reconstruct(&sim_cfg, layout, &p, 2).unwrap();
+            let cpu = distributed_reconstruct(&cpu_cfg, layout, &p, 2).unwrap();
+            assert_eq!(sim.volume.data(), cpu.volume.data(), "{mode}");
+        }
     }
 
     #[test]

@@ -35,9 +35,11 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 
-use scalefbp_backproject::backproject_parallel;
 use scalefbp_ckpt::{CheckpointSpec, CheckpointStore};
-use scalefbp_faults::{FaultInject, FaultInjector, FaultPlan, RecoveryEvent, RecoveryLog};
+use scalefbp_exec::{Executor, FilterChoice, KernelChoice};
+use scalefbp_faults::{
+    FaultInject, FaultInjector, FaultPlan, NoFaults, RecoveryEvent, RecoveryLog,
+};
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{
     CbctGeometry, ProjectionMatrix, ProjectionStack, RankLayout, SubVolumeTask, Volume,
@@ -131,6 +133,12 @@ struct FtCtx<'a> {
     mats: &'a [ProjectionMatrix],
     recovery: &'a RecoveryLog,
     scale: f32,
+    /// The compute backend every chunk runs on, with the configured
+    /// kernel and filter strategy. Dispatch is pure, so any rank can
+    /// recompute any chunk bit for bit on any backend.
+    exec: &'a dyn Executor,
+    kernel: KernelChoice,
+    filter_mode: FilterChoice,
     /// Wire format of the worker→leader data plane:
     /// [`ReduceMode::Segmented`] ships per-segment pieces, everything
     /// else one message per chunk. The summation order never changes, so
@@ -158,9 +166,18 @@ impl FtCtx<'_> {
         let mut part =
             self.projections
                 .extract_window(task.rows.begin, task.rows.end, a.s_begin, a.s_end);
-        self.filter.filter_stack(&mut part);
+        self.exec
+            .filter_stack(self.filter, self.filter_mode, &mut part)
+            .expect("filter stage failed");
         let mut slab = Volume::zeros_slab(self.g.nx, self.g.ny, task.nz(), task.z_begin);
-        backproject_parallel(&part, &self.mats[a.s_begin..a.s_end], &mut slab);
+        self.exec
+            .backproject(
+                self.kernel,
+                &part,
+                &self.mats[a.s_begin..a.s_end],
+                &mut slab,
+            )
+            .expect("back-projection failed");
         slab
     }
 
@@ -279,6 +296,11 @@ fn ft_run(
     let injector = FaultInjector::new(plan.clone());
     let recovery = RecoveryLog::new();
     let window = config.window;
+    // One compute backend shared by every rank: dispatch is pure, and
+    // its accounting stays out of the run's registry (as before the
+    // executor refactor, the FT protocol records no `gpu.*` metrics).
+    let exec = config.build_executor(Arc::new(NoFaults), 0, MetricsRegistry::new())?;
+    let exec_ref = &exec;
     let recovery_ref = &recovery;
     let registry_ref = &registry;
     let (results, network) = World::run_with_observability(
@@ -296,6 +318,9 @@ fn ft_run(
                 mats: &mats,
                 recovery: recovery_ref,
                 scale: filter.backprojection_scale() as f32,
+                exec: exec_ref.as_ref(),
+                kernel: config.kernel,
+                filter_mode: config.filter,
                 reduce_mode: config.reduce_mode,
                 chunks_computed: registry_ref.rank_counter("ft.chunks.computed", comm.rank()),
                 integrity_failures: registry_ref

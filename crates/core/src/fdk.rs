@@ -1,62 +1,14 @@
 //! One-call in-core FDK reconstruction.
 
-use scalefbp_backproject::{
-    backproject_blocked, backproject_incremental, backproject_parallel, backproject_reference,
-    backproject_simd, backproject_simd_batched, backproject_window, backproject_window_blocked,
-    backproject_window_simd, backproject_window_simd_batched, KernelStats, TextureWindow,
-};
+use std::sync::Arc;
+
+use scalefbp_backproject::backproject_parallel;
+use scalefbp_faults::NoFaults;
 use scalefbp_filter::{FilterPipeline, FilterWindow};
 use scalefbp_geom::{compute_ab, CbctGeometry, ProjectionMatrix, ProjectionStack, Volume};
+use scalefbp_obs::MetricsRegistry;
 
-use crate::{FdkConfig, FilterChoice, KernelChoice, ReconstructionError};
-
-/// Runs the filtering stage through the configured strategy.
-pub(crate) fn run_filter(
-    pipeline: &FilterPipeline,
-    choice: FilterChoice,
-    stack: &mut ProjectionStack,
-) {
-    match choice {
-        FilterChoice::TwoPass => pipeline.filter_stack(stack),
-        FilterChoice::Fused => pipeline.filter_stack_fused(stack),
-    }
-}
-
-/// Dispatches the configured in-core back-projection kernel.
-pub(crate) fn run_backprojection(
-    choice: KernelChoice,
-    stack: &ProjectionStack,
-    mats: &[ProjectionMatrix],
-    vol: &mut Volume,
-) -> KernelStats {
-    match choice {
-        KernelChoice::Reference => backproject_reference(stack, mats, vol),
-        KernelChoice::Parallel => backproject_parallel(stack, mats, vol),
-        KernelChoice::Incremental => backproject_incremental(stack, mats, vol),
-        KernelChoice::Blocked => backproject_blocked(stack, mats, vol),
-        KernelChoice::Simd => backproject_simd(stack, mats, vol),
-        KernelChoice::SimdBatched => backproject_simd_batched(stack, mats, vol),
-    }
-}
-
-/// Dispatches the streaming (ring-buffer) back-projection kernel. The
-/// blocked and SIMD kernels have dedicated windowed variants; the other
-/// choices all stream through `backproject_window`, which is already the
-/// bit-exact equivalent of `Reference`/`Parallel` (`Incremental` has no
-/// streaming form, so it falls back too).
-pub(crate) fn run_window_backprojection(
-    choice: KernelChoice,
-    window: &TextureWindow,
-    mats: &[ProjectionMatrix],
-    vol: &mut Volume,
-) -> KernelStats {
-    match choice {
-        KernelChoice::Blocked => backproject_window_blocked(window, mats, vol),
-        KernelChoice::Simd => backproject_window_simd(window, mats, vol),
-        KernelChoice::SimdBatched => backproject_window_simd_batched(window, mats, vol),
-        _ => backproject_window(window, mats, vol),
-    }
-}
+use crate::{FdkConfig, ReconstructionError};
 
 /// Reconstructs the full volume in memory with the Ram-Lak window:
 /// filtering (Eq 2) → back-projection (Algorithm 1) → FDK normalisation.
@@ -106,9 +58,11 @@ pub fn fdk_reconstruct_with(
 }
 
 /// [`fdk_reconstruct`] honouring the full [`FdkConfig`]: apodisation
-/// window, back-projection [`KernelChoice`] and [`FilterChoice`]. With the
-/// default config this is bit-identical to [`fdk_reconstruct`]; the
-/// `Blocked`/`Fused` fast paths are validated against it in the workspace
+/// window, back-projection [`KernelChoice`](crate::KernelChoice),
+/// [`FilterChoice`](crate::FilterChoice) and compute
+/// [`BackendChoice`](crate::BackendChoice). With the default config this
+/// is bit-identical to [`fdk_reconstruct`]; the `Blocked`/`Fused` fast
+/// paths and the `cpu` backend are validated against it in the workspace
 /// property tests.
 pub fn fdk_reconstruct_configured(
     config: &FdkConfig,
@@ -128,13 +82,15 @@ pub fn fdk_reconstruct_configured(
         )));
     }
 
+    let exec = config.build_executor(Arc::new(NoFaults), 0, MetricsRegistry::new())?;
+
     let pipeline = FilterPipeline::new(geom, config.window);
     let mut filtered = projections.clone();
-    run_filter(&pipeline, config.filter, &mut filtered);
+    exec.filter_stack(&pipeline, config.filter, &mut filtered)?;
 
     let mats = ProjectionMatrix::full_scan(geom);
     let mut vol = Volume::zeros(geom.nx, geom.ny, geom.nz);
-    run_backprojection(config.kernel, &filtered, &mats, &mut vol);
+    exec.backproject(config.kernel, &filtered, &mats, &mut vol)?;
 
     let scale = pipeline.backprojection_scale() as f32;
     for v in vol.data_mut() {
@@ -388,6 +344,27 @@ mod tests {
         )
         .unwrap();
         assert_eq!(baseline.data(), blocked.data());
+    }
+
+    #[test]
+    fn cpu_backend_is_bit_identical_and_stub_refuses_to_compute() {
+        let g = geom();
+        let ball = uniform_ball(&g, 0.5, 1.0);
+        let p = forward_project(&g, &ball);
+        let sim = fdk_reconstruct_configured(&FdkConfig::new(g.clone()), &p).unwrap();
+        let cpu = fdk_reconstruct_configured(
+            &FdkConfig::new(g.clone()).with_backend(crate::BackendChoice::Cpu),
+            &p,
+        )
+        .unwrap();
+        assert_eq!(sim.data(), cpu.data());
+        assert!(matches!(
+            fdk_reconstruct_configured(
+                &FdkConfig::new(g).with_backend(crate::BackendChoice::WgpuStub),
+                &p,
+            ),
+            Err(ReconstructionError::Backend(_))
+        ));
     }
 
     #[test]

@@ -81,7 +81,9 @@ pub mod shortscan;
 pub mod timing;
 
 pub use checkpoint::config_fingerprint;
-pub use config::{FdkConfig, FilterChoice, KernelChoice, ReconstructionError, ReduceMode};
+pub use config::{
+    BackendChoice, FdkConfig, FilterChoice, KernelChoice, ReconstructionError, ReduceMode,
+};
 pub use distributed::{distributed_reconstruct, DistributedOutcome};
 pub use fault_tolerant::{
     fault_tolerant_reconstruct, fault_tolerant_reconstruct_checkpointed,
@@ -102,6 +104,7 @@ pub use shortscan::fdk_reconstruct_short_scan;
 /// Re-exports of every substrate crate.
 pub mod substrates {
     pub use scalefbp_backproject as backproject;
+    pub use scalefbp_exec as exec;
     pub use scalefbp_fft as fft;
     pub use scalefbp_filter as filter;
     pub use scalefbp_geom as geom;

@@ -4,16 +4,16 @@ use std::sync::Arc;
 
 use scalefbp_backproject::{KernelStats, TextureWindow};
 use scalefbp_ckpt::{resume_partition, CheckpointSpec, CheckpointStore};
-use scalefbp_faults::{FaultInject, NoFaults};
+use scalefbp_exec::{Executor, LaunchDescriptor};
+use scalefbp_faults::NoFaults;
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, Volume, VolumeDecomposition};
-use scalefbp_gpusim::{Device, DeviceCounters};
+use scalefbp_gpusim::DeviceCounters;
 use scalefbp_iosim::StorageEndpoint;
 use scalefbp_obs::{MetricsRegistry, MetricsSnapshot};
 use scalefbp_pipeline::TraceCollector;
 
 use crate::checkpoint::{config_fingerprint, slab_from_bytes, slab_to_bytes};
-use crate::fdk::{run_filter, run_window_backprojection};
 use crate::{FdkConfig, ReconstructionError};
 
 /// Per-batch record of one out-of-core run (a row of Table 5, per batch).
@@ -99,7 +99,7 @@ impl OutOfCoreReport {
 /// volumes on a 16 GB V100).
 pub struct OutOfCoreReconstructor {
     config: FdkConfig,
-    device: Device,
+    exec: Arc<dyn Executor>,
     registry: MetricsRegistry,
     nb: usize,
     window_rows: usize,
@@ -121,6 +121,9 @@ impl OutOfCoreReconstructor {
     ) -> Result<Self, ReconstructionError> {
         config.validate()?;
         let g = &config.geometry;
+        // Planning always follows the configured device spec, whatever
+        // backend executes: the slab plan, streaming pattern and byte
+        // counters stay backend-invariant (the conformance contract).
         let capacity = config.device.memory_bytes;
         let mats_bytes = (g.np * 12 * 4) as u64;
 
@@ -134,13 +137,9 @@ impl OutOfCoreReconstructor {
             let slab_bytes = (g.nx * g.ny * nb * 4) as u64;
             let needed = window_bytes + slab_bytes + mats_bytes;
             if needed <= capacity {
+                let exec = config.build_executor(Arc::new(NoFaults), 0, registry.clone())?;
                 return Ok(OutOfCoreReconstructor {
-                    device: Device::with_observability(
-                        config.device.clone(),
-                        Arc::new(NoFaults) as Arc<dyn FaultInject>,
-                        0,
-                        registry.clone(),
-                    ),
+                    exec,
                     config,
                     registry,
                     nb,
@@ -164,9 +163,9 @@ impl OutOfCoreReconstructor {
         self.window_rows
     }
 
-    /// The device (for inspecting counters mid-run).
-    pub fn device(&self) -> &Device {
-        &self.device
+    /// The compute backend (for inspecting counters mid-run).
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        &self.exec
     }
 
     /// The registry this reconstructor reports into.
@@ -230,16 +229,17 @@ impl OutOfCoreReconstructor {
         // Filter stage (the paper's CPU-side thread).
         let pipeline = FilterPipeline::new(g, self.config.window);
         let mut filtered = projections.clone();
-        run_filter(&pipeline, self.config.filter, &mut filtered);
+        self.exec
+            .filter_stack(&pipeline, self.config.filter, &mut filtered)?;
         let scale = pipeline.backprojection_scale() as f32;
 
         let mats = ProjectionMatrix::full_scan(g);
         let decomp = self.plan();
 
         // Device-resident working set.
-        let _mat_buf = self.device.alloc((g.np * 12 * 4) as u64)?;
+        let mat_buf = self.exec.alloc((g.np * 12 * 4) as u64)?;
         let window_bytes = (self.window_rows * g.np * g.nu * 4) as u64;
-        let _window_buf = self.device.alloc(window_bytes)?;
+        let window_buf = self.exec.alloc(window_bytes)?;
         let mut window = TextureWindow::new(self.window_rows, g.np, g.nu, 0);
 
         // Checkpoint store + resume partition. `done` holds indices of
@@ -301,18 +301,26 @@ impl OutOfCoreReconstructor {
             };
             let mut h2d_secs = 0.0;
             if !r.is_empty() {
-                h2d_secs = self.device.h2d((r.len() * g.np * g.nu * 4) as u64);
+                h2d_secs = self
+                    .exec
+                    .h2d(Some(window_buf.id()), (r.len() * g.np * g.nu * 4) as u64)?;
                 window.write_rows(filtered.rows_block(r.begin, r.end), r.begin, r.end);
             }
 
             let slab_bytes = (g.nx * g.ny * task.nz() * 4) as u64;
-            let _slab_buf = self.device.alloc(slab_bytes)?;
+            let slab_buf = self.exec.alloc(slab_bytes)?;
             let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
-            let stats = run_window_backprojection(self.config.kernel, &window, &mats, &mut slab);
+            let stats =
+                self.exec
+                    .backproject_window(self.config.kernel, &window, &mats, &mut slab)?;
             kernel.merge(&stats);
             kernel_updates.add(stats.updates);
-            let bp_secs = self.device.launch_backprojection(stats.updates);
-            let d2h_secs = self.device.d2h(slab_bytes);
+            let bp_secs = self.exec.launch(
+                &LaunchDescriptor::backprojection(stats.updates)
+                    .with_inputs(vec![mat_buf.id(), window_buf.id()])
+                    .with_output(slab_buf.id()),
+            )?;
+            let d2h_secs = self.exec.d2h(Some(slab_buf.id()), slab_bytes)?;
 
             for v in slab.data_mut() {
                 *v *= scale;
@@ -352,7 +360,7 @@ impl OutOfCoreReconstructor {
             nb: self.nb,
             window_rows: self.window_rows,
             batches,
-            device: self.device.counters(),
+            device: self.exec.counters(),
             kernel,
             wall_secs: run_start.elapsed().as_secs_f64(),
             metrics: self.registry.snapshot(),
@@ -460,6 +468,32 @@ mod tests {
             Some(report.kernel.updates)
         );
         assert_eq!(report.kernel.updates, g.voxel_updates() as u64);
+    }
+
+    #[test]
+    fn cpu_backend_streams_bit_identically_with_zero_model_time() {
+        let g = geom();
+        let p = projections(&g);
+        let full_bytes = (g.projection_bytes() + g.volume_bytes()) as u64;
+        let cfg = tiny_device_config(&g, full_bytes / 3);
+        let sim = OutOfCoreReconstructor::new(cfg.clone()).unwrap();
+        let cpu = OutOfCoreReconstructor::new(cfg.with_backend(crate::BackendChoice::Cpu)).unwrap();
+        // The plan follows the configured device spec, not the backend.
+        assert_eq!(sim.nb(), cpu.nb());
+        assert_eq!(sim.window_rows(), cpu.window_rows());
+        let (vol_sim, rep_sim) = sim.reconstruct(&p).unwrap();
+        let (vol_cpu, rep_cpu) = cpu.reconstruct(&p).unwrap();
+        assert_eq!(vol_sim.data(), vol_cpu.data());
+        // Byte/call/update counters agree; only modelled time differs.
+        assert_eq!(rep_sim.device.h2d_bytes, rep_cpu.device.h2d_bytes);
+        assert_eq!(rep_sim.device.d2h_bytes, rep_cpu.device.d2h_bytes);
+        assert_eq!(rep_sim.device.kernel_updates, rep_cpu.device.kernel_updates);
+        assert_eq!(
+            rep_sim.device.kernel_launches,
+            rep_cpu.device.kernel_launches
+        );
+        assert!(rep_sim.simulated_gpu_secs() > 0.0);
+        assert_eq!(rep_cpu.simulated_gpu_secs(), 0.0);
     }
 
     #[test]

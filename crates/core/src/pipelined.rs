@@ -5,18 +5,18 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use scalefbp_backproject::TextureWindow;
+use scalefbp_exec::{Executor, LaunchDescriptor};
 use scalefbp_faults::{
     retry_with_backoff, BackoffPolicy, FaultInject, FaultInjector, FaultPlan, RecoveryEvent,
     RecoveryLog,
 };
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{ProjectionMatrix, ProjectionStack, SubVolumeTask, Volume};
-use scalefbp_gpusim::{Device, DeviceCounters};
+use scalefbp_gpusim::DeviceCounters;
 use scalefbp_iosim::StorageEndpoint;
 use scalefbp_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 use scalefbp_pipeline::{BoundedQueue, PipelineModel, TraceCollector};
 
-use crate::fdk::{run_filter, run_window_backprojection};
 use crate::{FdkConfig, OutOfCoreReconstructor, ReconstructionError};
 
 /// Modelled host bandwidths feeding the deterministic timing model
@@ -78,7 +78,7 @@ impl RetryCounters {
 /// scheduled operation, so a retry normally succeeds on the second
 /// attempt; the budget catches a misconfigured plan that would spin.
 fn h2d_with_retry(
-    device: &Device,
+    exec: &dyn Executor,
     bytes: u64,
     rank: usize,
     recovery: &RecoveryLog,
@@ -86,7 +86,7 @@ fn h2d_with_retry(
 ) -> f64 {
     retry_with_backoff(
         BackoffPolicy::transient(),
-        |_| device.try_h2d(bytes),
+        |_| exec.h2d(None, bytes),
         |attempt, delay, _e| {
             retries.on_retry(delay);
             recovery.record(RecoveryEvent::DeviceRetry {
@@ -100,7 +100,7 @@ fn h2d_with_retry(
 }
 
 fn d2h_with_retry(
-    device: &Device,
+    exec: &dyn Executor,
     bytes: u64,
     rank: usize,
     recovery: &RecoveryLog,
@@ -108,7 +108,7 @@ fn d2h_with_retry(
 ) -> f64 {
     retry_with_backoff(
         BackoffPolicy::transient(),
-        |_| device.try_d2h(bytes),
+        |_| exec.d2h(None, bytes),
         |attempt, delay, _e| {
             retries.on_retry(delay);
             recovery.record(RecoveryEvent::DeviceRetry {
@@ -227,12 +227,11 @@ impl PipelinedReconstructor {
 
         let injector = FaultInjector::new(plan.clone());
         let recovery = RecoveryLog::new();
-        let device = Device::with_observability(
-            self.config.device.clone(),
+        let exec = self.config.build_executor(
             injector.clone() as Arc<dyn FaultInject>,
             rank,
             registry.clone(),
-        );
+        )?;
         let storage =
             storage.map(|s| s.with_fault_injector(injector as Arc<dyn FaultInject>, rank));
         let filter = FilterPipeline::new(g, self.config.window);
@@ -293,11 +292,14 @@ impl PipelinedReconstructor {
             let filter_trace = trace.clone();
             let filter_ref = &filter;
             let filter_choice = self.config.filter;
+            let filter_exec = Arc::clone(&exec);
             let filter_model = &model_secs;
             scope.spawn(move || {
                 while let Ok((task, mut window)) = q1_rx.pop() {
                     let start = now();
-                    run_filter(filter_ref, filter_choice, &mut window);
+                    filter_exec
+                        .filter_stack(filter_ref, filter_choice, &mut window)
+                        .unwrap_or_else(|e| panic!("filter stage failed: {e}"));
                     let bytes = (window.nv() * window.np() * window.nu() * 4) as f64;
                     filter_model.lock().unwrap()[task.index][1] = bytes / MODEL_FILTER_BW;
                     filter_trace.record("filter", task.index, start, now());
@@ -309,7 +311,7 @@ impl PipelinedReconstructor {
 
             // Back-projection thread (the simulated GPU).
             let bp_trace = trace.clone();
-            let bp_device = device.clone();
+            let bp_exec = Arc::clone(&exec);
             let bp_recovery = &recovery;
             let bp_retries = &retry_counters;
             let mats_ref = &mats;
@@ -324,7 +326,7 @@ impl PipelinedReconstructor {
                     let mut device_secs = 0.0;
                     if !r.is_empty() {
                         device_secs += h2d_with_retry(
-                            &bp_device,
+                            bp_exec.as_ref(),
                             (r.len() * g.np * g.nu * 4) as u64,
                             rank,
                             bp_recovery,
@@ -333,11 +335,15 @@ impl PipelinedReconstructor {
                         tex.write_rows(rows.data(), r.begin, r.end);
                     }
                     let mut slab = Volume::zeros_slab(g.nx, g.ny, task.nz(), task.z_begin);
-                    let stats = run_window_backprojection(kernel_choice, &tex, mats_ref, &mut slab);
+                    let stats = bp_exec
+                        .backproject_window(kernel_choice, &tex, mats_ref, &mut slab)
+                        .unwrap_or_else(|e| panic!("back-projection stage failed: {e}"));
                     kernel_updates.add(stats.updates);
-                    device_secs += bp_device.launch_backprojection(stats.updates);
+                    device_secs += bp_exec
+                        .launch(&LaunchDescriptor::backprojection(stats.updates))
+                        .unwrap_or_else(|e| panic!("back-projection launch rejected: {e}"));
                     device_secs += d2h_with_retry(
-                        &bp_device,
+                        bp_exec.as_ref(),
                         (slab.len() * 4) as u64,
                         rank,
                         bp_recovery,
@@ -392,7 +398,7 @@ impl PipelinedReconstructor {
             overlap_efficiency: trace.overlap_efficiency(),
             trace,
             model_trace,
-            device: device.counters(),
+            device: exec.counters(),
             wall_secs: t0.elapsed().as_secs_f64(),
             recovery: recovery.events(),
             metrics: registry.snapshot(),
@@ -510,6 +516,21 @@ mod tests {
             pipe_report.device.kernel_updates,
             ooc_report.device.kernel_updates
         );
+    }
+
+    #[test]
+    fn cpu_backend_pipeline_is_bit_identical() {
+        let g = geom();
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let reference = fdk_reconstruct(&g, &p).unwrap();
+        let rec =
+            PipelinedReconstructor::new(FdkConfig::new(g).with_backend(crate::BackendChoice::Cpu))
+                .unwrap();
+        let (vol, report) = rec.reconstruct(&p).unwrap();
+        assert_eq!(vol.data(), reference.data());
+        assert!(report.device.h2d_bytes > 0);
+        assert_eq!(report.device.transfer_secs, 0.0);
+        assert_eq!(report.device.kernel_secs, 0.0);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! [`WgpuStubExecutor`]: the compile-ready seam for a real GPU backend.
+//!
+//! The stub owns a buffer-lifetime table and validates every transfer
+//! and launch descriptor against it — exactly the bookkeeping a wgpu
+//! implementation needs before it records commands into a queue — but
+//! computes nothing: the host-dispatch methods return
+//! [`ExecError::Unsupported`]. Property tests drive random operation
+//! sequences against it and assert the verdicts match an independent
+//! model of the invariants.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use scalefbp_backproject::{KernelStats, TextureWindow};
+use scalefbp_filter::FilterPipeline;
+use scalefbp_geom::{ProjectionMatrix, ProjectionStack, Volume};
+use scalefbp_gpusim::DeviceCounters;
+
+use crate::executor::{BufferGuard, ExecBuffer};
+use crate::sim::next_buffer_id;
+use crate::{
+    BackendChoice, BufferId, ExecError, Executor, FilterChoice, KernelChoice, LaunchDescriptor,
+};
+
+#[derive(Default)]
+struct Table {
+    /// Live allocations: id → size in bytes. Dropped buffers are
+    /// removed, so a stale id simply misses.
+    live: BTreeMap<u64, u64>,
+    allocated: u64,
+    peak: u64,
+    h2d_bytes: u64,
+    h2d_calls: u64,
+    d2h_bytes: u64,
+    d2h_calls: u64,
+    launches: u64,
+    rejected: u64,
+}
+
+/// Removes the allocation from the stub's lifetime table on drop.
+pub(crate) struct StubAllocGuard {
+    table: Arc<Mutex<Table>>,
+    id: u64,
+    bytes: u64,
+}
+
+impl Drop for StubAllocGuard {
+    fn drop(&mut self) {
+        let mut t = self.table.lock();
+        t.live.remove(&self.id);
+        t.allocated -= self.bytes;
+    }
+}
+
+/// The validating no-compute backend. Cheap to clone (shared table).
+#[derive(Clone, Default)]
+pub struct WgpuStubExecutor {
+    table: Arc<Mutex<Table>>,
+}
+
+impl WgpuStubExecutor {
+    /// A stub with an empty lifetime table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of currently live buffers.
+    pub fn live_buffers(&self) -> usize {
+        self.table.lock().live.len()
+    }
+
+    /// Launch descriptors that passed validation.
+    pub fn validated_launches(&self) -> u64 {
+        self.table.lock().launches
+    }
+
+    /// Operations rejected with [`ExecError::InvalidLaunch`].
+    pub fn rejected_ops(&self) -> u64 {
+        self.table.lock().rejected
+    }
+
+    fn reject(&self, t: &mut Table, what: String) -> ExecError {
+        t.rejected += 1;
+        ExecError::InvalidLaunch(what)
+    }
+
+    fn check_transfer(
+        &self,
+        t: &mut Table,
+        op: &str,
+        buf: Option<BufferId>,
+        bytes: u64,
+    ) -> Result<(), ExecError> {
+        if bytes == 0 {
+            return Err(self.reject(t, format!("{op}: zero-byte transfer")));
+        }
+        if let Some(id) = buf {
+            match t.live.get(&id.0) {
+                None => return Err(self.reject(t, format!("{op}: {id} is not a live buffer"))),
+                Some(&size) if bytes > size => {
+                    return Err(
+                        self.reject(t, format!("{op}: {bytes} B exceeds {id} size {size} B"))
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Executor for WgpuStubExecutor {
+    fn backend(&self) -> BackendChoice {
+        BackendChoice::WgpuStub
+    }
+
+    fn alloc(&self, bytes: u64) -> Result<ExecBuffer, ExecError> {
+        let mut t = self.table.lock();
+        if bytes == 0 {
+            return Err(self.reject(&mut t, "alloc: zero-byte allocation".to_string()));
+        }
+        let id = next_buffer_id();
+        t.live.insert(id.0, bytes);
+        t.allocated += bytes;
+        t.peak = t.peak.max(t.allocated);
+        drop(t);
+        Ok(ExecBuffer {
+            id,
+            bytes,
+            guard: BufferGuard::Stub(StubAllocGuard {
+                table: Arc::clone(&self.table),
+                id: id.0,
+                bytes,
+            }),
+        })
+    }
+
+    fn h2d(&self, dst: Option<BufferId>, bytes: u64) -> Result<f64, ExecError> {
+        let mut t = self.table.lock();
+        self.check_transfer(&mut t, "h2d", dst, bytes)?;
+        t.h2d_bytes += bytes;
+        t.h2d_calls += 1;
+        Ok(0.0)
+    }
+
+    fn d2h(&self, src: Option<BufferId>, bytes: u64) -> Result<f64, ExecError> {
+        let mut t = self.table.lock();
+        self.check_transfer(&mut t, "d2h", src, bytes)?;
+        t.d2h_bytes += bytes;
+        t.d2h_calls += 1;
+        Ok(0.0)
+    }
+
+    fn launch(&self, desc: &LaunchDescriptor) -> Result<f64, ExecError> {
+        let mut t = self.table.lock();
+        if desc.work_items == 0 {
+            return Err(self.reject(&mut t, format!("{}: zero work items", desc.label)));
+        }
+        for id in &desc.inputs {
+            if !t.live.contains_key(&id.0) {
+                return Err(self.reject(
+                    &mut t,
+                    format!("{}: input {id} is not a live buffer", desc.label),
+                ));
+            }
+        }
+        if let Some(out) = desc.output {
+            if !t.live.contains_key(&out.0) {
+                return Err(self.reject(
+                    &mut t,
+                    format!("{}: output {out} is not a live buffer", desc.label),
+                ));
+            }
+            if desc.inputs.contains(&out) {
+                return Err(self.reject(
+                    &mut t,
+                    format!("{}: output {out} aliases an input", desc.label),
+                ));
+            }
+        }
+        t.launches += 1;
+        Ok(0.0)
+    }
+
+    fn counters(&self) -> DeviceCounters {
+        let t = self.table.lock();
+        DeviceCounters {
+            h2d_bytes: t.h2d_bytes,
+            d2h_bytes: t.d2h_bytes,
+            h2d_calls: t.h2d_calls,
+            d2h_calls: t.d2h_calls,
+            kernel_updates: 0,
+            kernel_launches: t.launches,
+            transfer_secs: 0.0,
+            kernel_secs: 0.0,
+            peak_allocated: t.peak,
+        }
+    }
+
+    fn filter_stack(
+        &self,
+        _pipeline: &FilterPipeline,
+        _choice: FilterChoice,
+        _stack: &mut ProjectionStack,
+    ) -> Result<(), ExecError> {
+        Err(ExecError::Unsupported("wgpu-stub cannot filter"))
+    }
+
+    fn backproject(
+        &self,
+        _choice: KernelChoice,
+        _stack: &ProjectionStack,
+        _mats: &[ProjectionMatrix],
+        _vol: &mut Volume,
+    ) -> Result<KernelStats, ExecError> {
+        Err(ExecError::Unsupported("wgpu-stub cannot back-project"))
+    }
+
+    fn backproject_window(
+        &self,
+        _choice: KernelChoice,
+        _window: &TextureWindow,
+        _mats: &[ProjectionMatrix],
+        _vol: &mut Volume,
+    ) -> Result<KernelStats, ExecError> {
+        Err(ExecError::Unsupported("wgpu-stub cannot back-project"))
+    }
+}

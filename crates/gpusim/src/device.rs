@@ -15,7 +15,9 @@ pub const FLOPS_PER_UPDATE: u64 = 42;
 
 /// Bucket bounds (bytes) for the transfer-size histogram: 64 KiB to 4 GiB
 /// in 16× steps, spanning single-row slabs up to whole sub-volumes.
-const TRANSFER_SIZE_BOUNDS: [u64; 5] = [
+/// Public so alternative executors record `gpu.transfer.bytes` with the
+/// identical bucketing (a cross-backend conformance requirement).
+pub const TRANSFER_SIZE_BOUNDS: [u64; 5] = [
     64 * 1024,
     1024 * 1024,
     16 * 1024 * 1024,

@@ -28,7 +28,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use scalefbp::{
-    fdk_reconstruct_configured, FdkConfig, OutOfCoreReconstructor, ReconstructionError,
+    fdk_reconstruct_configured, BackendChoice, FdkConfig, OutOfCoreReconstructor,
+    ReconstructionError,
 };
 use scalefbp_faults::{crc32, NoFaults};
 use scalefbp_geom::{CbctGeometry, Volume, VolumeDecomposition};
@@ -77,6 +78,11 @@ pub struct ServeConfig {
     pub keep_volumes: bool,
     /// Fleet-level fault plan (device kills, slab corruption).
     pub faults: FleetFaultPlan,
+    /// Compute backend every job's numerics run on. Scheduling always
+    /// uses the [`DeviceSpec`] cost model, so the schedule, logs and
+    /// metric exports are identical on both compute backends — only
+    /// the executor behind each job changes (see `docs/backends.md`).
+    pub backend: BackendChoice,
 }
 
 impl ServeConfig {
@@ -94,6 +100,7 @@ impl ServeConfig {
             checkpoint_root: checkpoint_root.into(),
             keep_volumes: false,
             faults: FleetFaultPlan::none(),
+            backend: BackendChoice::default(),
         }
     }
 
@@ -134,6 +141,12 @@ impl ServeConfig {
         self
     }
 
+    /// Selects the compute backend jobs execute on.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The effective global memory budget.
     pub fn budget_bytes(&self) -> u64 {
         self.memory_budget_bytes
@@ -145,7 +158,9 @@ impl ServeConfig {
 /// exposed so tests can reproduce any job standalone and compare
 /// volumes bitwise.
 pub fn job_config(cfg: &ServeConfig, job: &JobSpec) -> FdkConfig {
-    let c = FdkConfig::new(job.geom.clone()).with_device(cfg.device.clone());
+    let c = FdkConfig::new(job.geom.clone())
+        .with_device(cfg.device.clone())
+        .with_backend(cfg.backend);
     match job.class {
         JobClass::Small => c,
         JobClass::Long { nc, .. } => c.with_nc(nc),

@@ -1,0 +1,655 @@
+//! Cross-backend conformance suite for the executor seam (ROADMAP
+//! item 2, PR 9 tentpole).
+//!
+//! Three contracts, asserted over a differential grid of
+//! backend × kernel × filter-mode × driver cells (including the
+//! out-of-core and checkpoint/resume drivers):
+//!
+//! 1. **Numerics** — the `sim` and `cpu` backends produce bitwise
+//!    identical volumes in every cell, and both match the pre-refactor
+//!    direct call path (filter pipeline + kernel function, no executor).
+//! 2. **Accounting invariance** — the `sim` backend reproduces the
+//!    pre-refactor `gpusim` charges exactly: golden `gpu.*` counter and
+//!    modelled-seconds snapshots captured *before* the executor refactor
+//!    are pinned bit for bit, as are the `PerfModel` charges.
+//! 3. **Lifetimes** — random launch sequences against the wgpu stub
+//!    never violate the buffer-lifetime/alias/size invariants: the
+//!    stub's verdicts match an independent model of the rules.
+//!
+//! Cross-backend metric snapshots are compared with
+//! [`TIME_DOMAIN_METRICS`] excluded — modelled time is the *only*
+//! legitimate difference between the computing backends (see
+//! docs/backends.md).
+
+use proptest::prelude::*;
+
+use scalefbp::substrates::phantom::{forward_project, uniform_ball};
+use scalefbp::{
+    fault_tolerant_reconstruct_observed, fdk_reconstruct, fdk_reconstruct_configured,
+    BackendChoice, CbctGeometry, CheckpointSpec, DeviceSpec, FdkConfig, FilterChoice, KernelChoice,
+    MetricsRegistry, MetricsSnapshot, OutOfCoreReconstructor, PipelinedReconstructor, RankLayout,
+    ReconstructionError, Volume,
+};
+use scalefbp_backproject::{
+    backproject_blocked, backproject_incremental, backproject_parallel, backproject_reference,
+    backproject_simd, backproject_simd_batched,
+};
+use scalefbp_exec::{
+    ExecError, Executor, KernelKind, LaunchDescriptor, WgpuStubExecutor, TIME_DOMAIN_METRICS,
+};
+use scalefbp_faults::FaultPlan;
+use scalefbp_filter::FilterPipeline;
+use scalefbp_geom::{ProjectionMatrix, ProjectionStack};
+use scalefbp_integration::testsupport::{
+    assert_bitwise, assert_snapshots_match, resumed_slabs, scratch_endpoint, SimdEnvGuard,
+};
+
+/// Serialises the tests that spawn rank worlds: failure detection is
+/// timeout-based, so a machine saturated by a sibling test could turn a
+/// live rank into a spurious "dead" verdict.
+static WORLD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// The canonical golden workload: the geometry/phantom pair whose
+/// pre-refactor counters and volume fingerprints are pinned below.
+fn golden_scan() -> (CbctGeometry, ProjectionStack) {
+    let g = CbctGeometry::ideal(32, 48, 64, 56);
+    let p = forward_project(&g, &uniform_ball(&g, 0.55, 1.0));
+    (g, p)
+}
+
+/// The tiny device that forces the golden workload out of core
+/// (multi-slab, windowed rows).
+fn golden_device(g: &CbctGeometry) -> DeviceSpec {
+    DeviceSpec::tiny((g.projection_bytes() + g.volume_bytes()) as u64 / 3)
+}
+
+/// FNV-1a over the volume's f32 little-endian bytes: the compact
+/// fingerprint the pre-refactor golden volumes were captured with.
+fn fnv(v: &Volume) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for x in v.data() {
+        for b in x.to_le_bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
+/// The pre-refactor direct call path: filter pipeline plus the kernel
+/// function, no executor anywhere. This is byte-for-byte what
+/// `fdk_reconstruct_configured` did before the seam existed, and the
+/// reference every (backend, kernel, filter) cell must reproduce.
+fn direct_reconstruct(
+    geom: &CbctGeometry,
+    projections: &ProjectionStack,
+    kernel: KernelChoice,
+    filter: FilterChoice,
+) -> Volume {
+    let pipeline = FilterPipeline::new(geom, scalefbp::FilterWindow::RamLak);
+    let mut filtered = projections.clone();
+    match filter {
+        FilterChoice::TwoPass => pipeline.filter_stack(&mut filtered),
+        FilterChoice::Fused => pipeline.filter_stack_fused(&mut filtered),
+    }
+    let mats = ProjectionMatrix::full_scan(geom);
+    let mut vol = Volume::zeros(geom.nx, geom.ny, geom.nz);
+    match kernel {
+        KernelChoice::Reference => backproject_reference(&filtered, &mats, &mut vol),
+        KernelChoice::Parallel => backproject_parallel(&filtered, &mats, &mut vol),
+        KernelChoice::Incremental => backproject_incremental(&filtered, &mats, &mut vol),
+        KernelChoice::Blocked => backproject_blocked(&filtered, &mats, &mut vol),
+        KernelChoice::Simd => backproject_simd(&filtered, &mats, &mut vol),
+        KernelChoice::SimdBatched => backproject_simd_batched(&filtered, &mats, &mut vol),
+    };
+    let scale = pipeline.backprojection_scale() as f32;
+    for v in vol.data_mut() {
+        *v *= scale;
+    }
+    vol
+}
+
+// ---------------------------------------------------------------------
+// The differential grid: backend × kernel × filter-mode × driver.
+// ---------------------------------------------------------------------
+
+/// In-core cells: every kernel × filter combination is bitwise
+/// identical across the computing backends *and* to the pre-refactor
+/// direct path.
+#[test]
+fn incore_grid_is_bitwise_identical_across_backends() {
+    // SIMD kernels read `SCALEFBP_SIMD` per call: pin the ambient state
+    // so a concurrent override cannot flip a cell mid-grid.
+    let _env = SimdEnvGuard::cleared();
+    let g = CbctGeometry::ideal(16, 24, 24, 24);
+    let p = forward_project(&g, &uniform_ball(&g, 0.55, 1.0));
+    for kernel in KernelChoice::ALL {
+        for filter in [FilterChoice::TwoPass, FilterChoice::Fused] {
+            let direct = direct_reconstruct(&g, &p, kernel, filter);
+            for backend in BackendChoice::COMPUTE {
+                let cfg = FdkConfig::new(g.clone())
+                    .with_kernel(kernel)
+                    .with_filter(filter)
+                    .with_backend(backend);
+                let got = fdk_reconstruct_configured(&cfg, &p).unwrap();
+                assert_bitwise(
+                    &direct,
+                    &got,
+                    &format!("incore {backend}/{kernel}/{filter}"),
+                );
+            }
+        }
+    }
+}
+
+/// Out-of-core cells: same plan (`N_b`, window height), bitwise
+/// volumes, equal byte/call/update counters, and metric snapshots equal
+/// outside the time domain. The cpu backend must model zero time.
+#[test]
+fn outofcore_grid_matches_across_backends_and_kernels() {
+    let _env = SimdEnvGuard::cleared();
+    let (g, p) = golden_scan();
+    for kernel in [
+        KernelChoice::Parallel,
+        KernelChoice::Blocked,
+        KernelChoice::Simd,
+    ] {
+        let mut runs = Vec::new();
+        for backend in BackendChoice::COMPUTE {
+            let cfg = FdkConfig::new(g.clone())
+                .with_device(golden_device(&g))
+                .with_kernel(kernel)
+                .with_backend(backend);
+            let rec =
+                OutOfCoreReconstructor::with_observability(cfg, MetricsRegistry::new()).unwrap();
+            runs.push(rec.reconstruct(&p).unwrap());
+        }
+        let (sim_vol, sim_rep) = &runs[0];
+        let (cpu_vol, cpu_rep) = &runs[1];
+        assert_bitwise(sim_vol, cpu_vol, &format!("outofcore {kernel}"));
+        assert_eq!(
+            (sim_rep.nb, sim_rep.window_rows),
+            (cpu_rep.nb, cpu_rep.window_rows)
+        );
+        let (s, c) = (&sim_rep.device, &cpu_rep.device);
+        assert_eq!(
+            (s.h2d_bytes, s.d2h_bytes, s.h2d_calls, s.d2h_calls),
+            (c.h2d_bytes, c.d2h_bytes, c.h2d_calls, c.d2h_calls)
+        );
+        assert_eq!(
+            (s.kernel_updates, s.kernel_launches, s.peak_allocated),
+            (c.kernel_updates, c.kernel_launches, c.peak_allocated)
+        );
+        assert!(
+            s.transfer_secs > 0.0 && s.kernel_secs > 0.0,
+            "sim models time"
+        );
+        assert_eq!(
+            (c.transfer_secs, c.kernel_secs),
+            (0.0, 0.0),
+            "cpu models none"
+        );
+        assert_snapshots_match(
+            &sim_rep.metrics,
+            &cpu_rep.metrics,
+            TIME_DOMAIN_METRICS,
+            &format!("outofcore {kernel} snapshots"),
+        );
+    }
+}
+
+/// Pipelined-driver cells: the four-thread pipeline is bitwise
+/// identical and snapshot-equal (modulo modelled time) across backends.
+#[test]
+fn pipelined_driver_matches_across_backends() {
+    let (g, p) = golden_scan();
+    let mut runs = Vec::new();
+    for backend in BackendChoice::COMPUTE {
+        let cfg = FdkConfig::new(g.clone()).with_backend(backend);
+        let rec = PipelinedReconstructor::new(cfg).unwrap();
+        let registry = MetricsRegistry::new();
+        runs.push(
+            rec.reconstruct_observed(&p, &FaultPlan::none(), 0, None, registry)
+                .unwrap(),
+        );
+    }
+    let (sim_vol, sim_rep) = &runs[0];
+    let (cpu_vol, cpu_rep) = &runs[1];
+    assert_bitwise(sim_vol, cpu_vol, "pipelined driver");
+    assert_eq!(sim_rep.device.h2d_bytes, cpu_rep.device.h2d_bytes);
+    assert_eq!(
+        sim_rep.device.kernel_launches,
+        cpu_rep.device.kernel_launches
+    );
+    assert_eq!(cpu_rep.device.transfer_secs, 0.0);
+    assert_snapshots_match(
+        &sim_rep.metrics,
+        &cpu_rep.metrics,
+        TIME_DOMAIN_METRICS,
+        "pipelined snapshots",
+    );
+}
+
+/// Distributed (fault-tolerant) cells: rank worlds on both backends
+/// produce bitwise identical volumes and identical snapshots — the FT
+/// protocol records no `gpu.*` metrics, so nothing is excluded here
+/// beyond the time domain.
+#[test]
+fn distributed_driver_matches_across_backends() {
+    let _serial = WORLD_LOCK.lock().unwrap();
+    let g = CbctGeometry::ideal(16, 16, 24, 20);
+    let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+    let mut outs = Vec::new();
+    for backend in BackendChoice::COMPUTE {
+        let cfg = FdkConfig::new(g.clone()).with_nc(2).with_backend(backend);
+        outs.push(
+            fault_tolerant_reconstruct_observed(
+                &cfg,
+                RankLayout::new(2, 2, 2),
+                &p,
+                &FaultPlan::none(),
+                MetricsRegistry::new(),
+            )
+            .unwrap(),
+        );
+    }
+    assert_bitwise(&outs[0].volume, &outs[1].volume, "distributed driver");
+    assert_snapshots_match(
+        &outs[0].metrics,
+        &outs[1].metrics,
+        TIME_DOMAIN_METRICS,
+        "distributed snapshots",
+    );
+}
+
+/// Checkpoint/resume cells: a run killed mid-stream on either backend
+/// resumes to the uninterrupted `sim` volume bit for bit, actually
+/// loading (not recomputing) the checkpointed slabs.
+#[test]
+fn checkpoint_resume_is_bitwise_identical_on_both_backends() {
+    let (g, p) = golden_scan();
+    let golden = {
+        let cfg = FdkConfig::new(g.clone()).with_device(golden_device(&g));
+        OutOfCoreReconstructor::new(cfg)
+            .unwrap()
+            .reconstruct(&p)
+            .unwrap()
+    };
+    let slabs = golden.1.batches.len();
+    let k = (slabs / 2).max(1);
+    for backend in BackendChoice::COMPUTE {
+        let cfg = FdkConfig::new(g.clone())
+            .with_device(golden_device(&g))
+            .with_backend(backend);
+        let rec = OutOfCoreReconstructor::new(cfg).unwrap();
+        let ep = scratch_endpoint(&format!("backend-ckpt-{backend}"));
+        match rec.reconstruct_checkpointed(&p, &ep, &CheckpointSpec::new("", 1).killing_after(k)) {
+            Err(ReconstructionError::Interrupted { completed_slabs }) => {
+                assert_eq!(completed_slabs, k)
+            }
+            other => panic!("expected Interrupted, got {:?}", other.map(|_| ())),
+        }
+        let (resumed, _) = rec
+            .reconstruct_checkpointed(&p, &ep, &CheckpointSpec::new("", 1).resuming())
+            .unwrap();
+        assert_bitwise(&golden.0, &resumed, &format!("ckpt resume on {backend}"));
+        assert_eq!(
+            resumed_slabs(&ep),
+            k as u64,
+            "{backend} must load, not recompute"
+        );
+    }
+}
+
+/// The stub backend is rejected up front by every reconstruction
+/// driver — it validates, it does not compute.
+#[test]
+fn stub_backend_is_rejected_by_the_drivers() {
+    let g = CbctGeometry::ideal(8, 10, 12, 12);
+    let p = ProjectionStack::zeros(g.nv, g.np, g.nu);
+    let cfg = FdkConfig::new(g).with_backend(BackendChoice::WgpuStub);
+    assert!(matches!(
+        fdk_reconstruct_configured(&cfg, &p),
+        Err(ReconstructionError::Backend(_))
+    ));
+    assert!(matches!(
+        OutOfCoreReconstructor::new(cfg).map(|_| ()),
+        Err(ReconstructionError::Backend(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Golden pins: sim accounting is invariant under the refactor. Every
+// number below was captured from a pre-refactor run of the same
+// workload (raw `gpusim::Device` calls inline in the drivers).
+// ---------------------------------------------------------------------
+
+/// Out-of-core golden: plan, traffic, modelled seconds (exact bits),
+/// `gpu.*`/`ooc.*` metric values, and the volume fingerprint.
+#[test]
+fn ooc_sim_accounting_matches_pre_refactor_golden() {
+    let (g, p) = golden_scan();
+    let cfg = FdkConfig::new(g.clone()).with_device(golden_device(&g));
+    let rec = OutOfCoreReconstructor::with_observability(cfg, MetricsRegistry::new()).unwrap();
+    let (vol, rep) = rec.reconstruct(&p).unwrap();
+
+    assert_eq!((rep.nb, rep.window_rows), (4, 13), "plan");
+    let d = &rep.device;
+    assert_eq!(d.h2d_bytes, 663_552);
+    assert_eq!(d.d2h_bytes, 131_072);
+    assert_eq!((d.h2d_calls, d.d2h_calls), (8, 8));
+    assert_eq!(d.kernel_updates, 1_572_864);
+    assert_eq!(d.kernel_launches, 8);
+    assert_eq!(d.peak_allocated, 178_432);
+    assert_eq!(
+        d.transfer_secs.to_bits(),
+        0x3f3a_09ca_0bda_dd3a,
+        "transfer secs"
+    );
+    assert_eq!(
+        d.kernel_secs.to_bits(),
+        0x3f24_9da7_e361_ce4c,
+        "kernel secs"
+    );
+
+    let m = &rep.metrics;
+    assert_eq!(m.counter("ooc.batches", None), Some(8));
+    assert_eq!(m.counter("ooc.rows.loaded", None), Some(54));
+    assert_eq!(m.counter("gpu.h2d.bytes", Some(0)), Some(663_552));
+    assert_eq!(m.counter("gpu.d2h.bytes", Some(0)), Some(131_072));
+    assert_eq!(m.counter("gpu.kernel.updates", Some(0)), Some(1_572_864));
+    assert_eq!(m.counter("gpu.kernel.flops", Some(0)), Some(66_060_288));
+    assert_eq!(m.counter("gpu.transfer.nanos", Some(0)), Some(397_312));
+    assert_eq!(m.counter("gpu.kernel.nanos", Some(0)), Some(157_288));
+
+    assert_eq!(fnv(&vol), 0xdca9_a5ea, "volume fingerprint");
+}
+
+/// Pipelined golden: the four-thread driver's device charges and batch
+/// count, plus the volume fingerprint (bitwise equal to out-of-core).
+#[test]
+fn pipeline_sim_accounting_matches_pre_refactor_golden() {
+    let (g, p) = golden_scan();
+    let rec = PipelinedReconstructor::new(FdkConfig::new(g)).unwrap();
+    let (vol, rep) = rec
+        .reconstruct_observed(&p, &FaultPlan::none(), 0, None, MetricsRegistry::new())
+        .unwrap();
+
+    let d = &rep.device;
+    assert_eq!(d.h2d_bytes, 663_552);
+    assert_eq!(d.d2h_bytes, 131_072);
+    assert_eq!((d.h2d_calls, d.d2h_calls), (8, 8));
+    assert_eq!(d.kernel_updates, 1_572_864);
+    assert_eq!(d.kernel_launches, 8);
+    assert_eq!(
+        d.transfer_secs.to_bits(),
+        0x3f11_5bdc_07e7_3e25,
+        "transfer secs"
+    );
+    assert_eq!(
+        d.kernel_secs.to_bits(),
+        0x3eec_aed3_529e_56ae,
+        "kernel secs"
+    );
+    assert_eq!(rep.metrics.counter("pipeline.batches", Some(0)), Some(8));
+    assert_eq!(fnv(&vol), 0xdca9_a5ea, "volume fingerprint");
+}
+
+/// In-core golden: the default configured path still produces the
+/// pre-refactor bits.
+#[test]
+fn incore_default_volume_matches_pre_refactor_golden() {
+    let (g, p) = golden_scan();
+    let vol = fdk_reconstruct_configured(&FdkConfig::new(g), &p).unwrap();
+    assert_eq!(fnv(&vol), 0xdca9_a5ea, "volume fingerprint");
+}
+
+/// The analytic performance model is untouched by the refactor: Eq 17's
+/// projected runtime and GUPS for a paper-scale shape, exact bits.
+#[test]
+fn perfmodel_charges_are_unchanged() {
+    use scalefbp_perfmodel::{MachineParams, PerfModel, RunShape};
+    let model = PerfModel::new(MachineParams::abci_v100());
+    let shape = RunShape {
+        geom: CbctGeometry::ideal(256, 512, 512, 512),
+        layout: RankLayout::new(4, 8, 8),
+    };
+    assert_eq!(
+        model.runtime(&shape).to_bits(),
+        0x3fc1_f271_43fd_1ab7,
+        "runtime"
+    );
+    assert_eq!(model.gups(&shape).to_bits(), 0x404e_a1d2_4675_635e, "gups");
+}
+
+// ---------------------------------------------------------------------
+// Property tests.
+// ---------------------------------------------------------------------
+
+/// One mirror-model operation against the stub executor.
+#[derive(Clone, Debug)]
+enum StubOp {
+    /// Allocate `bytes` into pool slot `slot` (freeing any previous
+    /// occupant first — its id goes stale).
+    Alloc {
+        slot: usize,
+        bytes: u64,
+    },
+    /// Drop the buffer in `slot`, if any. Its id goes stale.
+    Free {
+        slot: usize,
+    },
+    /// Transfer `bytes` against `slot`'s *last-ever* id (possibly
+    /// stale), or against no buffer if the slot never allocated.
+    H2d {
+        slot: usize,
+        bytes: u64,
+    },
+    D2h {
+        slot: usize,
+        bytes: u64,
+    },
+    /// Launch with inputs from `input_slots`' last ids and optionally
+    /// `output_slot`'s last id.
+    Launch {
+        input_slots: Vec<usize>,
+        output_slot: Option<usize>,
+        work: u64,
+    },
+}
+
+const POOL: usize = 5;
+
+/// Decodes one random word into an operation. Zero sizes/work and
+/// stale-id references are deliberately reachable — they are the
+/// rejection cases the invariants are about.
+fn decode_op(word: u64) -> StubOp {
+    let slot = ((word >> 8) % POOL as u64) as usize;
+    let bytes = (word >> 16) % 400;
+    match word % 5 {
+        0 => StubOp::Alloc {
+            slot,
+            bytes: bytes % 300,
+        },
+        1 => StubOp::Free { slot },
+        2 => StubOp::H2d { slot, bytes },
+        3 => StubOp::D2h { slot, bytes },
+        _ => StubOp::Launch {
+            input_slots: (0..(word >> 32) % 3)
+                .map(|i| ((word >> (34 + 3 * i)) % POOL as u64) as usize)
+                .collect(),
+            output_slot: ((word >> 44) & 1 == 1).then(|| ((word >> 45) % POOL as u64) as usize),
+            work: (word >> 48) % 50,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random operation sequences: the stub's accept/reject verdicts
+    /// match an independent model of the lifetime/alias/size rules, and
+    /// its live-buffer table never drifts from the model's.
+    #[test]
+    fn stub_never_violates_lifetime_invariants(
+        words in proptest::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let ops: Vec<StubOp> = words.into_iter().map(decode_op).collect();
+        let stub = WgpuStubExecutor::new();
+        // The mirror: live buffers we hold, sizes of live ids, and the
+        // last id each slot ever produced (stale after free/realloc).
+        let mut held: Vec<Option<scalefbp_exec::ExecBuffer>> = (0..POOL).map(|_| None).collect();
+        let mut last_id: Vec<Option<scalefbp_exec::BufferId>> = vec![None; POOL];
+        let mut expected_rejects = 0u64;
+        let mut expected_launches = 0u64;
+
+        let live = |held: &Vec<Option<scalefbp_exec::ExecBuffer>>,
+                    id: scalefbp_exec::BufferId|
+         -> Option<u64> {
+            held.iter()
+                .flatten()
+                .find(|b| b.id() == id)
+                .map(|b| b.bytes())
+        };
+
+        for op in &ops {
+            match op {
+                StubOp::Alloc { slot, bytes } => {
+                    held[*slot] = None; // old id (if any) goes stale
+                    match stub.alloc(*bytes) {
+                        Ok(buf) => {
+                            prop_assert!(*bytes > 0, "zero-byte alloc must be rejected");
+                            last_id[*slot] = Some(buf.id());
+                            held[*slot] = Some(buf);
+                        }
+                        Err(ExecError::InvalidLaunch(_)) => {
+                            prop_assert_eq!(*bytes, 0, "only zero-byte allocs may be rejected");
+                            expected_rejects += 1;
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+                    }
+                }
+                StubOp::Free { slot } => {
+                    held[*slot] = None;
+                }
+                StubOp::H2d { slot, bytes } | StubOp::D2h { slot, bytes } => {
+                    let id = last_id[*slot];
+                    let valid = *bytes > 0
+                        && match id {
+                            None => true,
+                            Some(id) => live(&held, id).is_some_and(|size| *bytes <= size),
+                        };
+                    let got = match op {
+                        StubOp::H2d { .. } => stub.h2d(id, *bytes),
+                        _ => stub.d2h(id, *bytes),
+                    };
+                    prop_assert_eq!(got.is_ok(), valid, "transfer verdict for {:?}", op);
+                    if !valid {
+                        expected_rejects += 1;
+                    }
+                }
+                StubOp::Launch { input_slots, output_slot, work } => {
+                    let inputs: Vec<_> =
+                        input_slots.iter().filter_map(|&s| last_id[s]).collect();
+                    let output = output_slot.and_then(|s| last_id[s]);
+                    let valid = *work > 0
+                        && inputs.iter().all(|&id| live(&held, id).is_some())
+                        && output.is_none_or(|out| {
+                            live(&held, out).is_some() && !inputs.contains(&out)
+                        });
+                    let mut desc = LaunchDescriptor {
+                        kind: KernelKind::BackProject,
+                        label: "prop-bp",
+                        inputs,
+                        output: None,
+                        work_items: *work,
+                    };
+                    desc.output = output;
+                    prop_assert_eq!(
+                        stub.launch(&desc).is_ok(),
+                        valid,
+                        "launch verdict for {:?}",
+                        op
+                    );
+                    if valid {
+                        expected_launches += 1;
+                    } else {
+                        expected_rejects += 1;
+                    }
+                }
+            }
+            let model_live = held.iter().flatten().count();
+            prop_assert_eq!(stub.live_buffers(), model_live, "live-table drift");
+        }
+        prop_assert_eq!(stub.rejected_ops(), expected_rejects);
+        prop_assert_eq!(stub.validated_launches(), expected_launches);
+    }
+
+    /// Random (shape, kernel, filter, backend) cells: the configured
+    /// path agrees bitwise with the pre-refactor direct call path on
+    /// both computing backends; with the default cell it also matches
+    /// the plain `fdk_reconstruct` quickstart path.
+    #[test]
+    fn random_cells_match_the_direct_path(
+        n in 4usize..10,
+        np_extra in 0usize..6,
+        kernel_idx in 0usize..KernelChoice::ALL.len(),
+        fused in any::<bool>(),
+    ) {
+        let _env = SimdEnvGuard::cleared();
+        let kernel = KernelChoice::ALL[kernel_idx];
+        let filter = if fused { FilterChoice::Fused } else { FilterChoice::TwoPass };
+        let g = CbctGeometry::ideal(2 * n, 2 * n + np_extra, 2 * n + 2, 2 * n + 2);
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let direct = direct_reconstruct(&g, &p, kernel, filter);
+        for backend in BackendChoice::COMPUTE {
+            let cfg = FdkConfig::new(g.clone())
+                .with_kernel(kernel)
+                .with_filter(filter)
+                .with_backend(backend);
+            let got = fdk_reconstruct_configured(&cfg, &p).unwrap();
+            prop_assert!(
+                direct.data().iter().zip(got.data()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{} {} {} diverged from the direct path", backend, kernel, filter
+            );
+        }
+        if kernel == KernelChoice::Parallel && filter == FilterChoice::TwoPass {
+            let plain = fdk_reconstruct(&g, &p).unwrap();
+            prop_assert_eq!(plain.data(), direct.data());
+        }
+    }
+
+    /// Sim accounting invariants over random out-of-core shapes: the
+    /// counters follow the driver's arithmetic (updates = voxels ×
+    /// projections, one launch and one row-window upload per batch,
+    /// exactly the volume read back), and the `gpu.*` metric snapshot
+    /// agrees with the `DeviceCounters` report entry for entry.
+    #[test]
+    fn sim_ooc_accounting_follows_the_plan(n in 8usize..14, denom in 2u64..5) {
+        let g = CbctGeometry::ideal(n * 2, n * 3, n * 4, n * 3);
+        let p = forward_project(&g, &uniform_ball(&g, 0.5, 1.0));
+        let spec = DeviceSpec::tiny(
+            ((g.projection_bytes() + g.volume_bytes()) as u64 / denom).max(64 * 1024),
+        );
+        let cfg = FdkConfig::new(g.clone()).with_device(spec);
+        let rec = OutOfCoreReconstructor::with_observability(cfg, MetricsRegistry::new()).unwrap();
+        let (_, rep) = rec.reconstruct(&p).unwrap();
+
+        let batches = rep.batches.len() as u64;
+        let d = &rep.device;
+        prop_assert_eq!(d.kernel_updates, (g.nx * g.ny * g.nz * g.np) as u64);
+        prop_assert_eq!(d.kernel_launches, batches);
+        // Differential row loading may skip the upload for a batch whose
+        // window is already resident, so calls ≤ batches but the bytes
+        // are exactly the loaded rows.
+        prop_assert!(d.h2d_calls <= batches, "h2d {} > batches {}", d.h2d_calls, batches);
+        let rows_loaded = rep.metrics.counter("ooc.rows.loaded", None).unwrap();
+        prop_assert_eq!(d.h2d_bytes, rows_loaded * (g.np * g.nu * 4) as u64);
+        prop_assert_eq!(d.d2h_bytes, g.volume_bytes() as u64);
+        let m: &MetricsSnapshot = &rep.metrics;
+        prop_assert_eq!(m.counter("gpu.h2d.bytes", Some(0)), Some(d.h2d_bytes));
+        prop_assert_eq!(m.counter("gpu.d2h.bytes", Some(0)), Some(d.d2h_bytes));
+        prop_assert_eq!(m.counter("gpu.kernel.updates", Some(0)), Some(d.kernel_updates));
+        prop_assert_eq!(m.counter("ooc.batches", None), Some(batches));
+    }
+}

@@ -14,6 +14,7 @@ use scalefbp::{
 };
 use scalefbp_cli::run;
 use scalefbp_faults::FaultPlan;
+use scalefbp_integration::testsupport::assert_snapshots_match;
 use scalefbp_iosim::StorageEndpoint;
 use scalefbp_obs::{parse_json, validate_chrome_trace, validate_metrics_json, JsonValue};
 
@@ -182,7 +183,7 @@ fn distributed_snapshot_equals_merge_of_rank_views() {
         .iter()
         .map(|&r| global.rank_view(r))
         .fold(global.unranked_view(), |acc, v| acc.merge(&v));
-    assert_eq!(merged.to_json(), global.to_json());
+    assert_snapshots_match(global, &merged, &[], "rank-view merge");
     assert_eq!(
         merged.aggregate().counter("mpi.send.bytes", None),
         Some(out.network.bytes)

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use scalefbp::{fdk_reconstruct_configured, MetricsRegistry};
 use scalefbp_gpusim::DeviceSpec;
-use scalefbp_integration::testsupport::{assert_bitwise, scratch_dir};
+use scalefbp_integration::testsupport::{assert_bitwise, assert_snapshots_match, scratch_dir};
 use scalefbp_phantom::{forward_project, uniform_ball};
 use scalefbp_serve::{
     generate, job_config, scan_geometry, DeviceKill, FleetFaultPlan, JobClass, JobSpec,
@@ -44,6 +44,9 @@ fn same_seed_replays_to_byte_identical_exports() {
         export(&b),
         "same seed must replay byte-identically"
     );
+    // The shared helper gives a metric-level diff on regression, where
+    // the byte compare above only says "something differed".
+    assert_snapshots_match(&a.metrics, &b.metrics, &[], "seeded replay");
     assert_eq!(a.jobs.len(), 20);
     assert!(a.rejections.is_empty() && a.stranded.is_empty());
 
