@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validates BENCH_straggler.json against the schema CI relies on.
+
+Usage: check_straggler_schema.py OUT_DIR
+
+The bench harness asserts the straggler-economics contracts in-process
+(speculation never loses, segmented wastes less than global, hedging
+never worsens the makespan) before writing the file; this script is the
+trust-but-verify layer that the recorded fields actually say so, plus
+shape checks so a silently dropped field fails loudly.
+"""
+
+import json
+import sys
+
+POINT_KEYS = (
+    "slow_factor", "wait_wall_secs", "speculative_wall_secs", "speedup",
+    "wasted_gpu_secs_segmented", "wasted_gpu_secs_global",
+)
+CELL_KEYS = (
+    "hedging", "completed", "makespan_nanos", "p99_latency_nanos",
+    "stragglers", "hedges_issued", "hedges_won", "hedges_wasted",
+)
+
+
+def main() -> None:
+    out_dir = sys.argv[1]
+    doc = json.load(open(f"{out_dir}/BENCH_straggler.json"))
+    assert doc["benchmark"] == "straggler"
+    assert isinstance(doc["quick"], bool)
+
+    dist = doc["distributed"]
+    assert dist["dataset"] == "coffee_bean"
+    assert dist["machine"] == "abci_v100"
+    for key in ("nr", "ng", "nc"):
+        assert dist[key] >= 1, f"bad layout {key}: {dist[key]}"
+    assert dist["timeout_scale"] > 0
+
+    points = dist["points"]
+    assert len(points) >= 3, "need a slow-factor sweep, not a point"
+    for p in points:
+        for key in POINT_KEYS:
+            assert key in p, f"point missing {key}"
+        # First result wins: speculation can never lose to waiting.
+        assert p["speculative_wall_secs"] <= p["wait_wall_secs"] + 1e-9, p
+        assert p["speedup"] >= 1.0 - 1e-9, p
+        # The paper's segmented decomposition strands one group, not
+        # the whole machine, while a straggler is recomputed.
+        assert p["wasted_gpu_secs_segmented"] < p["wasted_gpu_secs_global"], p
+    factors = [p["slow_factor"] for p in points]
+    assert factors == sorted(factors) and len(set(factors)) == len(factors)
+    waits = [p["wait_wall_secs"] for p in points]
+    assert all(b >= a - 1e-9 for a, b in zip(waits, waits[1:])), (
+        "wait-it-out wall must degrade with the slow factor"
+    )
+    # Past detection-plus-one-recompute, speculation must strictly win.
+    cap = dist["timeout_scale"] + 1.0
+    for p in points:
+        if p["slow_factor"] > cap:
+            assert p["speculative_wall_secs"] < p["wait_wall_secs"], p
+
+    serve = doc["serve"]
+    assert serve["devices"] >= 2 and serve["jobs"] >= 1
+    assert serve["aging_nanos"] > 0
+    cells = {c["hedging"]: c for c in serve["cells"]}
+    assert set(cells) == {True, False}, "need a hedged and an unhedged cell"
+    for c in cells.values():
+        for key in CELL_KEYS:
+            assert key in c, f"cell missing {key}"
+        assert c["completed"] == serve["jobs"], "stragglers must not lose jobs"
+        assert c["stragglers"] >= 1, "slow devices were never detected"
+    hedged, waited = cells[True], cells[False]
+    assert hedged["hedges_issued"] >= 1, "hedging on but no hedges issued"
+    assert hedged["hedges_won"] >= 1, "no hedge ever beat its original"
+    assert hedged["hedges_won"] <= hedged["hedges_issued"]
+    for key in ("hedges_issued", "hedges_won", "hedges_wasted"):
+        assert waited[key] == 0, f"hedging off but {key} nonzero"
+    assert hedged["makespan_nanos"] <= waited["makespan_nanos"], (
+        "hedging worsened the makespan"
+    )
+
+    best = max(p["speedup"] for p in points)
+    print(f"straggler JSON schema OK ({len(points)} distributed points, "
+          f"speculation up to {best:.2f}x, "
+          f"{hedged['hedges_won']}/{hedged['hedges_issued']} hedges won)")
+
+
+if __name__ == "__main__":
+    main()

@@ -237,6 +237,49 @@ fn parse_checkpoint_spec(
     Ok(Some((endpoint, spec)))
 }
 
+/// Resolves `--straggler-seed` / `--stragglers` / `--slow-factor` into
+/// seeded slow-device events appended to `plan`. Stragglers compose with
+/// any other fault schedule: the events live on a disjoint channel
+/// (compute) and never target rank 0.
+fn apply_straggler_plan(
+    args: &mut Args,
+    plan: FaultPlan,
+    world_size: usize,
+) -> Result<FaultPlan, CliError> {
+    let Some(ss) = args.opt("straggler-seed") else {
+        return Ok(plan);
+    };
+    let sseed: u64 = ss
+        .parse()
+        .map_err(|_| CliError::Message(format!("bad --straggler-seed `{ss}`")))?;
+    let count: usize = args.typed_or("stragglers", 1, "integer")?;
+    let factor: u32 = args.typed_or("slow-factor", 4, "integer")?;
+    let mut events = plan.events().to_vec();
+    events.extend(
+        FaultPlan::stragglers(sseed, world_size, count, factor)
+            .events()
+            .iter()
+            .cloned(),
+    );
+    Ok(FaultPlan::from_events(events))
+}
+
+/// Resolves `--timeout-scale` (default 2.0) for the fault-tolerant
+/// distributed driver's derived failure-detection deadlines.
+fn parse_timeout_scale(args: &mut Args) -> Result<f64, CliError> {
+    let Some(ts) = args.opt("timeout-scale") else {
+        return Ok(2.0);
+    };
+    ts.parse::<f64>()
+        .ok()
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .ok_or_else(|| {
+            CliError::Message(format!(
+                "bad --timeout-scale `{ts}` (want a positive number)"
+            ))
+        })
+}
+
 /// Fault scenario for a single-rank pipeline run: only device and
 /// storage faults are meaningful for a generated plan.
 fn single_rank_scenario() -> FaultScenario {
@@ -471,12 +514,15 @@ pub fn reconstruct(args: &mut Args) -> Result<String, CliError> {
                 let ng: usize = args.typed_or("ng", 2, "integer")?;
                 let plan = parse_fault_plan(args, &FaultScenario::mixed(nr * ng))?
                     .unwrap_or_else(FaultPlan::none);
+                let plan = apply_straggler_plan(args, plan, nr * ng)?;
+                let timeout_scale = parse_timeout_scale(args)?;
                 let cfg = FdkConfig::new(geom.clone())
                     .with_window(window)
                     .with_kernel(kernel)
                     .with_filter(filter_mode)
                     .with_backend(backend)
-                    .with_reduce_mode(reduce_mode);
+                    .with_reduce_mode(reduce_mode)
+                    .with_timeout_scale(timeout_scale);
                 let layout = RankLayout::new(nr, ng, 2);
                 let out = match &checkpoint {
                     Some((ep, spec)) => fault_tolerant_reconstruct_checkpointed(
@@ -592,11 +638,14 @@ pub fn distributed(args: &mut Args) -> Result<String, CliError> {
         .map_err(CliError::Message)?;
     let plan =
         parse_fault_plan(args, &FaultScenario::mixed(nr * ng))?.unwrap_or_else(FaultPlan::none);
+    let plan = apply_straggler_plan(args, plan, nr * ng)?;
+    let timeout_scale = parse_timeout_scale(args)?;
 
     let cfg = FdkConfig::new(geom.clone())
         .with_window(window)
         .with_backend(backend)
-        .with_reduce_mode(reduce_mode);
+        .with_reduce_mode(reduce_mode)
+        .with_timeout_scale(timeout_scale);
     let out = fault_tolerant_reconstruct_observed(
         &cfg,
         RankLayout::new(nr, ng, 2),
@@ -771,9 +820,34 @@ pub fn serve(args: &mut Args) -> Result<String, CliError> {
         let horizon = (jobs as f64 / rate * 1e9).round() as u64;
         cfg = cfg.with_faults(FleetFaultPlan::generate(fseed, devices, horizon.max(1)));
     }
+    if let Some(ss) = args.opt("straggler-seed") {
+        let sseed: u64 = ss
+            .parse()
+            .map_err(|_| CliError::Message(format!("bad --straggler-seed `{ss}`")))?;
+        let count: usize = args.typed_or("stragglers", 1, "integer")?;
+        let factor: u32 = args.typed_or("slow-factor", 4, "integer")?;
+        let horizon = (jobs as f64 / rate * 1e9).round() as u64;
+        let mut plan = cfg.faults.clone();
+        plan.slowdowns.extend(
+            FleetFaultPlan::generate_stragglers(sseed, devices, count, factor, horizon.max(1))
+                .slowdowns,
+        );
+        cfg = cfg.with_faults(plan);
+    }
+    if args.flag("no-hedging") {
+        cfg = cfg.with_hedging(false);
+    }
+    if let Some(a) = args.opt("aging-nanos") {
+        let nanos: u64 = a
+            .parse()
+            .map_err(|_| CliError::Message(format!("bad --aging-nanos `{a}`")))?;
+        cfg = cfg.with_aging_nanos(nanos);
+    }
 
     let workload = WorkloadSpec::new(seed, tenants, jobs, rate);
-    let report = Scheduler::new(cfg, MetricsRegistry::new()).run(generate(&workload));
+    let report = Scheduler::new(cfg, MetricsRegistry::new())
+        .run(generate(&workload))
+        .map_err(|e| CliError::Message(e.to_string()))?;
 
     if let Some(path) = args.opt("schedule-out") {
         std::fs::write(&path, report.schedule_text())
@@ -810,6 +884,13 @@ pub fn serve(args: &mut Args) -> Result<String, CliError> {
         counter("serve.migrations"),
         counter("serve.requeues"),
         counter("serve.device.kills"),
+    ));
+    out.push_str(&format!(
+        "stragglers {} | hedges issued {} won {} wasted {}\n",
+        counter("serve.stragglers"),
+        counter("serve.hedges.issued"),
+        counter("serve.hedges.won"),
+        counter("serve.hedges.wasted"),
     ));
     for d in 0..devices {
         out.push_str(&format!(

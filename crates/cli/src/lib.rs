@@ -83,6 +83,14 @@ COMMANDS:
               [--fault-seed N | --fault-plan FILE]
                   inject a deterministic fault schedule (pipeline and
                   distributed modes) and recover; prints the recovery log
+              [--straggler-seed N] [--stragglers N] [--slow-factor F]
+                  additionally slow seeded worker devices (distributed
+                  mode); the driver detects the stragglers and
+                  speculatively re-executes their chunks on healthy peers
+              [--timeout-scale F]
+                  patience multiplier on the perf-model-derived failure
+                  detection deadlines (distributed mode, default 2.0;
+                  see docs/fault-model.md)
               [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                   crash-consistent slab checkpoints (outofcore and
                   distributed modes); --resume picks up from the latest
@@ -100,9 +108,13 @@ COMMANDS:
   distributed [--scan scan.sfbp | --ideal N] [--nr N --ng N] [--window W]
               [--reduce-mode dense|hierarchical|segmented] [--backend sim|cpu]
               [--fault-seed N | --fault-plan FILE] [--out vol.sfbp]
+              [--straggler-seed N] [--stragglers N] [--slow-factor F]
+              [--timeout-scale F]
               [--trace-out F] [--metrics-out F] [--stats]
               self-contained fault-tolerant distributed run exporting the
-              recovery timeline and per-rank mergeable metrics
+              recovery timeline and per-rank mergeable metrics; straggler
+              flags slow seeded worker devices, recovered by speculative
+              re-execution (see docs/fault-model.md)
   iterative   [--scan scan.sfbp | --ideal N] [--solver sirt|mlem]
               [--iters N] [--relaxation F] [--ranks N]
               [--reduce-mode dense|hierarchical|segmented]
@@ -120,6 +132,13 @@ COMMANDS:
               project the paper-scale runtime (Eq 17 + DES)
   serve       [--devices 4] [--device v100|a100|tiny:BYTES] [--jobs 24]
               [--tenants 3] [--rate HZ] [--seed N] [--fault-seed N]
+              [--straggler-seed N] [--stragglers N] [--slow-factor F]
+              [--no-hedging] [--aging-nanos N]
+                  slow seeded devices mid-run; the scheduler detects the
+                  stragglers and hedges their stuck small-job batches
+                  onto idle healthy devices (disable with --no-hedging);
+                  --aging-nanos overrides the FIFO-aging limit that also
+                  gates hedge eligibility (default 50 ms)
               [--backend sim|cpu]
               [--ckpt-dir DIR] [--schedule-out F] [--metrics-out F] [--stats]
               run a seeded multi-tenant workload through the

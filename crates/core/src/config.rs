@@ -121,6 +121,14 @@ pub struct FdkConfig {
     /// accounting exactly; `Cpu` produces bitwise-identical volumes
     /// with zero modelled time (see `docs/backends.md`).
     pub backend: BackendChoice,
+    /// Multiplier applied to the perf-model batch estimate when the
+    /// fault-tolerant driver derives its failure-detection deadlines
+    /// (see [`derive_deadlines`](crate::derive_deadlines)): a deadline
+    /// is `timeout_scale ×` the modelled time of the awaited work,
+    /// floored at the legacy constants so tiny problems keep their old
+    /// detection latency. Larger values tolerate slower stragglers
+    /// before speculating; must be finite and positive.
+    pub timeout_scale: f64,
 }
 
 impl FdkConfig {
@@ -136,6 +144,7 @@ impl FdkConfig {
             filter: FilterChoice::default(),
             reduce_mode: ReduceMode::default(),
             backend: BackendChoice::default(),
+            timeout_scale: 2.0,
         }
     }
 
@@ -179,6 +188,16 @@ impl FdkConfig {
     /// Builder: compute backend.
     pub fn with_backend(mut self, backend: BackendChoice) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Builder: deadline multiplier for the fault-tolerant driver.
+    pub fn with_timeout_scale(mut self, timeout_scale: f64) -> Self {
+        assert!(
+            timeout_scale.is_finite() && timeout_scale > 0.0,
+            "timeout scale must be finite and positive"
+        );
+        self.timeout_scale = timeout_scale;
         self
     }
 
@@ -231,6 +250,7 @@ mod tests {
         assert_eq!(c.kernel, KernelChoice::Parallel);
         assert_eq!(c.filter, FilterChoice::TwoPass);
         assert_eq!(c.reduce_mode, ReduceMode::Hierarchical);
+        assert_eq!(c.timeout_scale, 2.0);
         c.validate().unwrap();
     }
 
@@ -281,5 +301,11 @@ mod tests {
     #[should_panic(expected = "batch count must be positive")]
     fn zero_nc_rejected() {
         let _ = FdkConfig::new(CbctGeometry::ideal(32, 16, 48, 48)).with_nc(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout scale must be finite and positive")]
+    fn non_positive_timeout_scale_rejected() {
+        let _ = FdkConfig::new(CbctGeometry::ideal(32, 16, 48, 48)).with_timeout_scale(0.0);
     }
 }

@@ -31,6 +31,7 @@
 //! runs. Rank 0 is the recovery coordinator and must not be targeted by
 //! rank-failure events ([`FaultPlan::generate`] never does).
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
@@ -38,7 +39,8 @@ use std::time::Duration;
 use scalefbp_ckpt::{CheckpointSpec, CheckpointStore};
 use scalefbp_exec::{Executor, FilterChoice, KernelChoice};
 use scalefbp_faults::{
-    FaultInject, FaultInjector, FaultPlan, NoFaults, RecoveryEvent, RecoveryLog,
+    BackoffPolicy, Channel, FaultInject, FaultInjector, FaultKind, FaultPlan, NoFaults,
+    RecoveryEvent, RecoveryLog,
 };
 use scalefbp_filter::FilterPipeline;
 use scalefbp_geom::{
@@ -50,6 +52,7 @@ use scalefbp_mpisim::{
     segment_partition, CommError, Communicator, NetworkStats, ReduceMode, World,
 };
 use scalefbp_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use scalefbp_perfmodel::{MachineParams, PerfModel, RunShape};
 use scalefbp_pipeline::TraceCollector;
 
 use crate::checkpoint::{config_fingerprint, slab_from_bytes, slab_to_bytes};
@@ -57,7 +60,11 @@ use crate::{FdkConfig, ReconstructionError};
 
 /// Worker → leader partial sub-volume, tag + batch index.
 const CHUNK_TAG: u64 = 20_000;
-/// Recomputed chunk (survivor → leader), tag + batch index.
+/// Recomputed chunk (survivor → leader), tag + `b·nr + j` — the tag
+/// encodes *which* rank's chunk was recomputed, so a late speculative
+/// reply for `(b, j)` can never satisfy a wait for a different chunk of
+/// the same batch. Duplicates on one tag are bitwise-identical pure
+/// recomputes, so consuming either copy yields the same fold.
 const RECHUNK_TAG: u64 = 30_000;
 /// Leader → worker recompute request.
 const CTRL_TAG: u64 = 40_000;
@@ -76,21 +83,149 @@ const TAKEOVER_SLAB_TAG: u64 = 50_000;
 /// and recovery resends are always whole chunks ([`RECHUNK_TAG`]).
 const SEGPIECE_TAG: u64 = 60_000;
 
-/// First deadline when a leader awaits a chunk. Must dwarf both one
-/// chunk's compute time and any injected straggler delay, so a timeout
-/// deterministically means the chunk is never coming.
+/// Floor of the first deadline when a leader awaits a chunk. The actual
+/// deadline is derived from the perf-model batch estimate (see
+/// [`derive_deadlines`]); this constant only keeps tiny problems — whose
+/// modelled batch time is microseconds — at the legacy detection
+/// latency. It is **not** a valid deadline on its own: a large volume's
+/// honest chunk takes far longer than 500 ms, and waiting a fixed 500 ms
+/// would declare every healthy rank dead.
 const CHUNK_TIMEOUT: Duration = Duration::from_millis(500);
-/// First deadline when the root awaits a leader's slab. Must exceed a
-/// leader's worst-case recovery stall (chunk detection + requeue), so a
-/// slow-but-alive leader is never declared dead.
+/// Floor of the first deadline when the root awaits a leader's slab;
+/// the derived deadline scales with the modelled time of the *whole
+/// group's* work, and is additionally kept above twice the chunk
+/// deadline so a leader mid-recovery is never declared dead.
 const SLAB_TIMEOUT: Duration = Duration::from_secs(4);
 /// Attempts before a peer is declared dead; deadline doubles per attempt.
 const MAX_ATTEMPTS: u32 = 2;
-/// Poll interval of the worker serve loop.
+/// Poll interval of the worker serve loop and of the leader's
+/// alternating original/speculative polls.
 const POLL: Duration = Duration::from_millis(20);
 
-fn backoff(base: Duration, attempt: u32) -> Duration {
-    base * 2u32.pow(attempt)
+/// Per-attempt receive deadline: the derived base deadline doubled per
+/// attempt (the legacy exponential ladder), plus deterministic seeded
+/// jitter salted by the awaited peer so leaders that share a fault do
+/// not re-fire their detectors in lockstep. Jitter only *lengthens* a
+/// deadline (bounded at +50%), so delay-only plans stay timeout-free
+/// and the ladder's worst case is unchanged in order of magnitude.
+fn attempt_deadline(base: Duration, attempt: u32, peer: usize) -> Duration {
+    let policy = BackoffPolicy::new(base.as_millis() as u64, MAX_ATTEMPTS);
+    Duration::from_millis(policy.delay_millis_jittered(attempt + 1, peer as u64))
+}
+
+/// The failure detector's first-attempt deadlines, derived from the
+/// performance model instead of hard-coded: the legacy constants were
+/// silently wrong for large volumes (an honest 500 ms chunk deadline
+/// against a multi-second modelled chunk declares every rank dead).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FtDeadlines {
+    /// First deadline when a leader awaits one worker chunk.
+    pub chunk: Duration,
+    /// First deadline when the root awaits one finished group slab.
+    pub slab: Duration,
+}
+
+/// Derives the fault-tolerant driver's deadlines from the perf-model
+/// batch estimate for this `(config, layout)`: the chunk deadline is
+/// `timeout_scale ×` the worst modelled batch steady-state cost, the
+/// slab deadline `timeout_scale ×` the modelled cost of the whole
+/// group's batches (a leader cannot ship a slab before collecting every
+/// chunk of it), both floored at the legacy constants so tiny problems
+/// keep their historical detection latency. Pure — no clock, no I/O —
+/// so the same config always detects at the same model-derived points.
+pub fn derive_deadlines(config: &FdkConfig, layout: RankLayout) -> FtDeadlines {
+    let shape = RunShape {
+        geom: config.geometry.clone(),
+        layout,
+    };
+    let model = PerfModel::new(MachineParams::abci_v100());
+    let batches = model.batch_times_for_mode(&shape, config.reduce_mode);
+    let worst = batches
+        .iter()
+        .map(|b| b.steady_max())
+        .fold(0.0_f64, f64::max);
+    let group_total: f64 = batches.iter().map(|b| b.steady_max()).sum();
+    let chunk = CHUNK_TIMEOUT.max(Duration::from_secs_f64(worst * config.timeout_scale));
+    let slab = SLAB_TIMEOUT
+        .max(Duration::from_secs_f64(group_total * config.timeout_scale))
+        .max(chunk * 2);
+    FtDeadlines { chunk, slab }
+}
+
+/// Per-group chunk ledger: one slot per `(batch, rank-in-group)`. The
+/// first copy offered to a slot wins; later duplicates — a straggler's
+/// late original after a speculative win, or a twin recompute — are
+/// discarded. Every copy of a chunk is a bitwise-identical pure
+/// recompute, so offer order can never change the fixed-order fold.
+pub struct ChunkLedger {
+    nr: usize,
+    slots: Vec<Option<Vec<f32>>>,
+    duplicates: u64,
+}
+
+impl ChunkLedger {
+    /// An empty ledger for `batches × nr` chunk slots.
+    pub fn new(batches: usize, nr: usize) -> Self {
+        ChunkLedger {
+            nr,
+            slots: vec![None; batches * nr],
+            duplicates: 0,
+        }
+    }
+
+    /// Offers one copy of chunk `(b, j)`. Returns `true` if the copy was
+    /// accepted (first arrival) and `false` if the slot was already
+    /// filled and the duplicate discarded.
+    pub fn offer(&mut self, b: usize, j: usize, data: Vec<f32>) -> bool {
+        let slot = &mut self.slots[b * self.nr + j];
+        if slot.is_some() {
+            self.duplicates += 1;
+            return false;
+        }
+        *slot = Some(data);
+        true
+    }
+
+    /// True once chunk `(b, j)` holds a copy.
+    pub fn has(&self, b: usize, j: usize) -> bool {
+        self.slots[b * self.nr + j].is_some()
+    }
+
+    /// Duplicate copies discarded so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Fixed-rank-order fold of batch `b`'s chunks into a scaled slab.
+    /// Panics if a slot is still empty — phase 2 guarantees it is not.
+    pub fn fold_batch(
+        &self,
+        b: usize,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        z_begin: usize,
+        scale: f32,
+    ) -> Volume {
+        let mut slab = Volume::zeros_slab(nx, ny, nz, z_begin);
+        for j in 0..self.nr {
+            let data = self.slots[b * self.nr + j]
+                .as_ref()
+                .expect("every chunk was recovered");
+            for (acc, v) in slab.data_mut().iter_mut().zip(data) {
+                *acc += *v;
+            }
+        }
+        for v in slab.data_mut() {
+            *v *= scale;
+        }
+        slab
+    }
+}
+
+/// The recompute-reply tag for chunk `(b, j)` in a group of `nr` ranks.
+fn rechunk_tag(b: usize, j: usize, nr: usize) -> u64 {
+    RECHUNK_TAG + (b * nr + j) as u64
 }
 
 /// Result of a fault-tolerant distributed run.
@@ -128,6 +263,18 @@ impl FaultTolerantOutcome {
 struct FtCtx<'a> {
     g: &'a CbctGeometry,
     layout: RankLayout,
+    /// This rank (world numbering) — the identity its compute-channel
+    /// faults are pinned to.
+    me: usize,
+    /// The run's fault injector, consulted once per chunk computation on
+    /// [`Channel::Compute`] — the slow-device straggler channel.
+    injector: Arc<dyn FaultInject>,
+    /// Sticky slow-device factor: once a [`FaultKind::SlowDevice`]
+    /// fires, this rank's device stays degraded for the rest of the run
+    /// (1 = healthy).
+    slow_factor: Cell<u32>,
+    /// Model-derived failure-detection deadlines for this run.
+    deadlines: FtDeadlines,
     projections: &'a ProjectionStack,
     filter: &'a FilterPipeline,
     mats: &'a [ProjectionMatrix],
@@ -150,6 +297,9 @@ struct FtCtx<'a> {
     /// `integrity.mpi.failures`, labelled with this rank — every sealed
     /// frame whose CRC failed to verify on receive.
     integrity_failures: Counter,
+    /// `ft.chunks.deduped`, labelled with this rank — every duplicate
+    /// chunk copy discarded by the ledger (speculation twins).
+    chunk_duplicates: Counter,
 }
 
 /// Checkpoint wiring handed to the root: storage endpoint, spec, and the
@@ -162,6 +312,24 @@ impl FtCtx<'_> {
     /// slab. Pure — any rank can recompute any chunk, bit for bit.
     fn compute_chunk(&self, group: usize, task: &SubVolumeTask, j: usize) -> Volume {
         self.chunks_computed.inc();
+        // Straggler channel: one compute op per chunk. A fired
+        // SlowDevice sticks — this rank's device stays slow for the
+        // rest of the run (its onset is pinned by the plan's op index).
+        if let Some(FaultKind::SlowDevice { factor, .. }) =
+            self.injector.on_op(self.me, Channel::Compute)
+        {
+            self.slow_factor
+                .set(self.slow_factor.get().max(factor.max(1)));
+        }
+        if self.slow_factor.get() > 1 {
+            // Bounded wall-clock realisation of the degraded rate:
+            // stall past the leader's first chunk deadline (so the
+            // straggler is detected and speculated against) but well
+            // inside the second, doubled window (so a slow-but-alive
+            // rank's late original still arrives and is deduplicated
+            // rather than the rank being declared dead).
+            std::thread::sleep((self.deadlines.chunk * 2).min(Duration::from_secs(3)));
+        }
         let a = self.layout.assignment(self.g, group * self.layout.nr + j);
         let mut part =
             self.projections
@@ -296,6 +464,7 @@ fn ft_run(
     let injector = FaultInjector::new(plan.clone());
     let recovery = RecoveryLog::new();
     let window = config.window;
+    let deadlines = derive_deadlines(config, layout);
     // One compute backend shared by every rank: dispatch is pure, and
     // its accounting stays out of the run's registry (as before the
     // executor refactor, the FT protocol records no `gpu.*` metrics).
@@ -303,6 +472,7 @@ fn ft_run(
     let exec_ref = &exec;
     let recovery_ref = &recovery;
     let registry_ref = &registry;
+    let injector_ref = &injector;
     let (results, network) = World::run_with_observability(
         layout.num_ranks(),
         injector.clone() as Arc<dyn FaultInject>,
@@ -313,6 +483,10 @@ fn ft_run(
             let ctx = FtCtx {
                 g,
                 layout,
+                me: comm.rank(),
+                injector: injector_ref.clone() as Arc<dyn FaultInject>,
+                slow_factor: Cell::new(1),
+                deadlines,
                 projections,
                 filter: &filter,
                 mats: &mats,
@@ -325,6 +499,7 @@ fn ft_run(
                 chunks_computed: registry_ref.rank_counter("ft.chunks.computed", comm.rank()),
                 integrity_failures: registry_ref
                     .rank_counter("integrity.mpi.failures", comm.rank()),
+                chunk_duplicates: registry_ref.rank_counter("ft.chunks.deduped", comm.rank()),
             };
             let assign = layout.assignment(g, comm.rank());
             if comm.rank() == 0 {
@@ -386,7 +561,8 @@ fn ft_worker(comm: &mut Communicator, ctx: &FtCtx) {
             Ok(payload) => {
                 let (b, j) = decode_ctrl(&payload);
                 let chunk = ctx.compute_chunk(assign.group, &decomp.tasks()[b], j);
-                let _ = comm.send_f32_checked(leader, RECHUNK_TAG + b as u64, chunk.data());
+                let _ =
+                    comm.send_f32_checked(leader, rechunk_tag(b, j, ctx.layout.nr), chunk.data());
                 if comm.self_failed() {
                     return dead_wait(comm);
                 }
@@ -492,10 +668,204 @@ fn ft_takeover(comm: &mut Communicator, ctx: &FtCtx, group: usize) {
     }
 }
 
+/// Phase-1 wait for rank `j`'s chunk `b` with straggler speculation. On
+/// the *first* missed deadline the sender is suspected slow — not yet
+/// dead — and the chunk is speculatively requeued onto a healthy
+/// survivor ([`speculation_target`]; the leader itself when the group
+/// has no third rank). From then on the leader alternates short polls
+/// across both sources: the first copy to land wins the slot, and the
+/// loser's twin is discarded by the ledger on arrival (every copy is a
+/// bitwise-identical pure recompute, so either yields the same fold).
+/// A sender whose original arrives late is slow, not dead; only a
+/// sender that misses the whole doubled ladder is declared dead.
+/// `Err(())` means this leader was itself killed mid-collection.
+#[allow(clippy::too_many_arguments)]
+fn await_chunk_speculatively(
+    comm: &mut Communicator,
+    ctx: &FtCtx,
+    group: usize,
+    b: usize,
+    task: &SubVolumeTask,
+    j: usize,
+    dead: &mut BTreeSet<usize>,
+    ledger: &mut ChunkLedger,
+) -> Result<(), ()> {
+    let me = comm.rank();
+    let nr = ctx.layout.nr;
+    let from = group * nr + j;
+    // Segmented mode: pieces received before a timeout survive the
+    // retry, so only missing pieces are re-awaited.
+    let mut pieces: Vec<Option<Vec<f32>>> = match ctx.reduce_mode {
+        ReduceMode::Segmented => vec![None; nr],
+        _ => Vec::new(),
+    };
+    let mut spec_from: Option<usize> = None; // world rank owing the speculative copy
+    let mut attempt = 0u32;
+
+    loop {
+        let window = attempt_deadline(ctx.deadlines.chunk, attempt, from);
+        if spec_from.is_none() {
+            let received = match ctx.reduce_mode {
+                ReduceMode::Segmented => {
+                    recv_chunk_pieces(comm, ctx, from, b, task, &mut pieces, window)
+                }
+                _ => comm.recv_f32_checked_timeout(from, CHUNK_TAG + b as u64, window),
+            };
+            match received {
+                Ok(data) => {
+                    ledger.offer(b, j, data);
+                    return Ok(());
+                }
+                // A corrupt frame was consumed and discarded — from here
+                // on it is indistinguishable from a dropped message, so
+                // it shares the timeout bookkeeping.
+                Err(CommError::IntegrityFailure { detail, .. }) => {
+                    attempt += 1;
+                    ctx.integrity_failures.inc();
+                    ctx.recovery.record(RecoveryEvent::CorruptionDetected {
+                        rank: me,
+                        what: format!("chunk {b} from rank {from}: {detail}"),
+                        attempt,
+                    });
+                }
+                Err(CommError::Timeout { .. }) => {
+                    attempt += 1;
+                    ctx.recovery.record(RecoveryEvent::MessageRetry {
+                        rank: me,
+                        peer: from,
+                        attempt,
+                    });
+                    // First deadline miss: suspect a straggler and
+                    // requeue the chunk speculatively instead of just
+                    // waiting the sender out.
+                    ctx.recovery.record(RecoveryEvent::StragglerDetected {
+                        group,
+                        rank: from,
+                        chunk: b,
+                    });
+                    match speculation_target(j, nr, dead) {
+                        Some(t) => {
+                            let target = group * nr + t;
+                            ctx.recovery.record(RecoveryEvent::WorkRequeued {
+                                group,
+                                from_rank: from,
+                                to_rank: target,
+                                chunk: b,
+                            });
+                            comm.send(target, CTRL_TAG, encode_ctrl(b, j));
+                            spec_from = Some(target);
+                        }
+                        None => {
+                            // No healthy third rank: the leader is the
+                            // speculative executor itself.
+                            ctx.recovery.record(RecoveryEvent::WorkRequeued {
+                                group,
+                                from_rank: from,
+                                to_rank: me,
+                                chunk: b,
+                            });
+                            ledger.offer(b, j, ctx.compute_chunk(group, task, j).data().to_vec());
+                            ctx.recovery.record(RecoveryEvent::SpeculativeWin {
+                                group,
+                                chunk: b,
+                                winner: me,
+                            });
+                            spec_from = Some(me);
+                        }
+                    }
+                }
+                Err(_) => return Err(()),
+            }
+        } else {
+            // Speculation in flight: alternate short polls across the
+            // original and the speculative reply for one doubled
+            // window. First arrival wins; the twin is deduplicated.
+            let rounds = (window.as_millis() / (2 * POLL.as_millis())).max(1);
+            let mut original_landed = false;
+            'window: for _ in 0..rounds {
+                let received = match ctx.reduce_mode {
+                    ReduceMode::Segmented => {
+                        recv_chunk_pieces(comm, ctx, from, b, task, &mut pieces, POLL)
+                    }
+                    _ => comm.recv_f32_checked_timeout(from, CHUNK_TAG + b as u64, POLL),
+                };
+                match received {
+                    Ok(data) => {
+                        if !ledger.offer(b, j, data) {
+                            // Late original after a speculative win:
+                            // consumed and discarded, same bits.
+                            ctx.chunk_duplicates.inc();
+                        }
+                        original_landed = true;
+                        break 'window;
+                    }
+                    Err(CommError::Timeout { .. }) => {}
+                    Err(CommError::IntegrityFailure { detail, .. }) => {
+                        ctx.integrity_failures.inc();
+                        ctx.recovery.record(RecoveryEvent::CorruptionDetected {
+                            rank: me,
+                            what: format!("chunk {b} from rank {from}: {detail}"),
+                            attempt: attempt + 1,
+                        });
+                    }
+                    Err(_) => return Err(()),
+                }
+                if let Some(target) = spec_from.filter(|&t| t != me) {
+                    if !ledger.has(b, j) {
+                        match comm.recv_f32_checked_timeout(target, rechunk_tag(b, j, nr), POLL) {
+                            Ok(data) => {
+                                ledger.offer(b, j, data);
+                                ctx.recovery.record(RecoveryEvent::SpeculativeWin {
+                                    group,
+                                    chunk: b,
+                                    winner: target,
+                                });
+                            }
+                            Err(CommError::Timeout { .. }) => {}
+                            Err(CommError::IntegrityFailure { detail, .. }) => {
+                                ctx.integrity_failures.inc();
+                                ctx.recovery.record(RecoveryEvent::CorruptionDetected {
+                                    rank: me,
+                                    what: format!(
+                                        "speculative chunk {b} from rank {target}: {detail}"
+                                    ),
+                                    attempt: attempt + 1,
+                                });
+                            }
+                            Err(_) => return Err(()),
+                        }
+                    }
+                }
+            }
+            if original_landed {
+                // Slow but alive: no death declaration, ever.
+                return Ok(());
+            }
+            attempt += 1;
+            ctx.recovery.record(RecoveryEvent::MessageRetry {
+                rank: me,
+                peer: from,
+                attempt,
+            });
+        }
+        if attempt >= MAX_ATTEMPTS {
+            dead.insert(j);
+            ctx.recovery.record(RecoveryEvent::RankDeclaredDead {
+                group,
+                rank: from,
+                detected_by: me,
+            });
+            // If the speculative copy landed the slot is already
+            // filled; otherwise phase 2 requeues it.
+            return Ok(());
+        }
+    }
+}
+
 /// Group-leader collection: gather every batch's chunks from the group's
-/// workers (detecting dead ones), requeue missing chunks onto survivors,
-/// then sum in fixed rank order and scale. `None` means this leader was
-/// itself killed mid-collection.
+/// workers (speculating against stragglers, detecting dead ones),
+/// requeue missing chunks onto survivors, then sum in fixed rank order
+/// and scale. `None` means this leader was itself killed mid-collection.
 fn ft_collect_group_as_leader(
     comm: &mut Communicator,
     ctx: &FtCtx,
@@ -505,101 +875,31 @@ fn ft_collect_group_as_leader(
     let nr = ctx.layout.nr;
     let decomp = ctx.group_decomp(group);
     let tasks = decomp.tasks();
-    let mut chunks: Vec<Vec<Option<Vec<f32>>>> = vec![vec![None; nr]; tasks.len()];
+    let mut ledger = ChunkLedger::new(tasks.len(), nr);
     let mut dead: BTreeSet<usize> = BTreeSet::new();
 
-    // Phase 1: own chunks + collection with failure detection.
+    // Phase 1: own chunks + collection with straggler speculation and
+    // failure detection.
     for (b, task) in tasks.iter().enumerate() {
-        for (j, slot) in chunks[b].iter_mut().enumerate() {
-            if j == 0 {
-                *slot = Some(ctx.compute_chunk(group, task, 0).data().to_vec());
-                continue;
-            }
+        ledger.offer(b, 0, ctx.compute_chunk(group, task, 0).data().to_vec());
+        for j in 1..nr {
             if dead.contains(&j) {
                 continue; // requeued in phase 2
             }
-            let from = group * nr + j;
-            let mut attempt = 0u32;
-            // Segmented mode: pieces received before a timeout survive
-            // the retry, so only missing pieces are re-awaited.
-            let mut pieces: Vec<Option<Vec<f32>>> = match ctx.reduce_mode {
-                ReduceMode::Segmented => vec![None; nr],
-                _ => Vec::new(),
-            };
-            loop {
-                let received = match ctx.reduce_mode {
-                    ReduceMode::Segmented => recv_chunk_pieces(
-                        comm,
-                        ctx,
-                        from,
-                        b,
-                        task,
-                        &mut pieces,
-                        backoff(CHUNK_TIMEOUT, attempt),
-                    ),
-                    _ => comm.recv_f32_checked_timeout(
-                        from,
-                        CHUNK_TAG + b as u64,
-                        backoff(CHUNK_TIMEOUT, attempt),
-                    ),
-                };
-                match received {
-                    Ok(data) => {
-                        *slot = Some(data);
-                        break;
-                    }
-                    // A corrupt frame was consumed and discarded — from
-                    // here on it is indistinguishable from a dropped
-                    // message, so it shares the timeout bookkeeping: the
-                    // retry waits for a resend that never comes, and the
-                    // sender is declared dead and its work requeued.
-                    Err(CommError::IntegrityFailure { detail, .. }) => {
-                        attempt += 1;
-                        ctx.integrity_failures.inc();
-                        ctx.recovery.record(RecoveryEvent::CorruptionDetected {
-                            rank: me,
-                            what: format!("chunk {b} from rank {from}: {detail}"),
-                            attempt,
-                        });
-                        if attempt >= MAX_ATTEMPTS {
-                            dead.insert(j);
-                            ctx.recovery.record(RecoveryEvent::RankDeclaredDead {
-                                group,
-                                rank: from,
-                                detected_by: me,
-                            });
-                            break;
-                        }
-                    }
-                    Err(CommError::Timeout { .. }) => {
-                        attempt += 1;
-                        ctx.recovery.record(RecoveryEvent::MessageRetry {
-                            rank: me,
-                            peer: from,
-                            attempt,
-                        });
-                        if attempt >= MAX_ATTEMPTS {
-                            dead.insert(j);
-                            ctx.recovery.record(RecoveryEvent::RankDeclaredDead {
-                                group,
-                                rank: from,
-                                detected_by: me,
-                            });
-                            break;
-                        }
-                    }
-                    Err(_) => return None,
-                }
+            if await_chunk_speculatively(comm, ctx, group, b, task, j, &mut dead, &mut ledger)
+                .is_err()
+            {
+                return None;
             }
         }
     }
 
-    // Phase 2: requeue every missing chunk onto a surviving rank of the
-    // group — the next live worker after the dead one in cyclic order,
-    // falling back to this leader.
+    // Phase 2: requeue every still-missing chunk onto a surviving rank
+    // of the group — the next live worker after the dead one in cyclic
+    // order, falling back to this leader.
     for (b, task) in tasks.iter().enumerate() {
-        for (j, slot) in chunks[b].iter_mut().enumerate().skip(1) {
-            if slot.is_some() {
+        for j in 1..nr {
+            if ledger.has(b, j) {
                 continue;
             }
             let from_world = group * nr + j;
@@ -617,8 +917,8 @@ fn ft_collect_group_as_leader(
                 loop {
                     match comm.recv_f32_checked_timeout(
                         target,
-                        RECHUNK_TAG + b as u64,
-                        backoff(CHUNK_TIMEOUT, attempt),
+                        rechunk_tag(b, j, nr),
+                        attempt_deadline(ctx.deadlines.chunk, attempt, target),
                     ) {
                         Ok(d) => {
                             data = Some(d);
@@ -674,27 +974,33 @@ fn ft_collect_group_as_leader(
                 });
                 ctx.compute_chunk(group, task, j).data().to_vec()
             });
-            *slot = Some(data);
+            if !ledger.offer(b, j, data) {
+                ctx.chunk_duplicates.inc();
+            }
         }
     }
 
     // Phase 3: fixed-order summation + scaling. The order never depends
     // on arrival or recovery history, so results are bitwise stable.
-    let mut finished = Vec::with_capacity(tasks.len());
-    for (b, task) in tasks.iter().enumerate() {
-        let mut slab = Volume::zeros_slab(ctx.g.nx, ctx.g.ny, task.nz(), task.z_begin);
-        for chunk in &chunks[b] {
-            let data = chunk.as_ref().expect("every chunk was recovered");
-            for (acc, v) in slab.data_mut().iter_mut().zip(data) {
-                *acc += *v;
-            }
-        }
-        for v in slab.data_mut() {
-            *v *= ctx.scale;
-        }
-        finished.push(slab);
-    }
-    Some(finished)
+    Some(
+        tasks
+            .iter()
+            .enumerate()
+            .map(|(b, task)| {
+                ledger.fold_batch(b, ctx.g.nx, ctx.g.ny, task.nz(), task.z_begin, ctx.scale)
+            })
+            .collect(),
+    )
+}
+
+/// The speculative executor for rank `j`'s chunk: the next healthy
+/// worker after `j` in cyclic group order — never `j` itself (it is the
+/// suspected straggler) and never the leader, who is the explicit local
+/// fallback when the group has no healthy third rank.
+fn speculation_target(j: usize, nr: usize, dead: &BTreeSet<usize>) -> Option<usize> {
+    (1..nr)
+        .map(|step| 1 + (j - 1 + step) % (nr - 1))
+        .find(|&t| t != j && !dead.contains(&t))
 }
 
 /// The next surviving worker after `j` in cyclic group order (never the
@@ -891,7 +1197,7 @@ fn try_collect_slabs(
             match comm.recv_f32_checked_timeout(
                 provider,
                 tag_base + task.z_begin as u64,
-                backoff(SLAB_TIMEOUT, attempt),
+                attempt_deadline(ctx.deadlines.slab, attempt, provider),
             ) {
                 Ok(d) => break d,
                 Err(CommError::IntegrityFailure { detail, .. }) => {
@@ -1153,5 +1459,94 @@ mod tests {
         let all: BTreeSet<usize> = [1, 2, 3].into_iter().collect();
         assert_eq!(next_survivor(1, 4, &all), None);
         assert_eq!(next_survivor(1, 1, &BTreeSet::new()), None);
+    }
+
+    #[test]
+    fn speculation_target_skips_suspect_and_dead() {
+        let none = BTreeSet::new();
+        // nr = 4: the next worker after the suspect, cyclically.
+        assert_eq!(speculation_target(1, 4, &none), Some(2));
+        assert_eq!(speculation_target(3, 4, &none), Some(1));
+        // Dead ranks are skipped.
+        let dead: BTreeSet<usize> = [2].into_iter().collect();
+        assert_eq!(speculation_target(1, 4, &dead), Some(3));
+        // nr = 2: the only other worker IS the suspect — leader-local.
+        assert_eq!(speculation_target(1, 2, &none), None);
+        // Everyone else dead — leader-local.
+        let all: BTreeSet<usize> = [2, 3].into_iter().collect();
+        assert_eq!(speculation_target(1, 4, &all), None);
+    }
+
+    /// Regression for the silent failure mode the hard-coded timeouts
+    /// had: a large volume's honest chunk takes longer than the fixed
+    /// 500 ms deadline, so every healthy rank would have been declared
+    /// dead. Derived deadlines must scale with the modelled work and
+    /// with `timeout_scale`, while tiny problems keep the legacy floors.
+    #[test]
+    fn derived_deadlines_scale_with_problem_size_and_timeout_scale() {
+        let layout = RankLayout::new(2, 2, 2);
+
+        // Tiny problem: modelled batch time is microseconds, so the
+        // legacy floors win — detection latency unchanged.
+        let tiny = FdkConfig::new(CbctGeometry::ideal(16, 16, 24, 20)).with_nc(2);
+        let d_tiny = derive_deadlines(&tiny, layout);
+        assert_eq!(d_tiny.chunk, CHUNK_TIMEOUT);
+        assert_eq!(d_tiny.slab, SLAB_TIMEOUT);
+
+        // Paper-scale problem: the modelled batch cost dwarfs 500 ms,
+        // and the old constants would misdetect every honest rank.
+        let large = FdkConfig::new(CbctGeometry::ideal(2048, 2048, 2048, 4096));
+        let d_large = derive_deadlines(&large, layout);
+        assert!(
+            d_large.chunk > CHUNK_TIMEOUT,
+            "large-volume chunk deadline stuck at the floor: {:?}",
+            d_large.chunk
+        );
+        assert!(
+            d_large.slab > SLAB_TIMEOUT,
+            "large-volume slab deadline stuck at the floor: {:?}",
+            d_large.slab
+        );
+        // The slab wait covers a whole group's chunks, so it dominates.
+        assert!(d_large.slab >= d_large.chunk * 2);
+
+        // Monotone in timeout_scale: a more patient config waits longer.
+        let patient = derive_deadlines(&large.clone().with_timeout_scale(8.0), layout);
+        assert!(patient.chunk > d_large.chunk);
+        assert!(patient.slab > d_large.slab);
+
+        // Pure: same inputs, same deadlines.
+        assert_eq!(derive_deadlines(&large, layout), d_large);
+    }
+
+    /// Deadlines depend on the reduce mode's modelled communication
+    /// pattern — each mode derives from its own batch estimate, and all
+    /// stay at or above the floors.
+    #[test]
+    fn derived_deadlines_cover_all_reduce_modes() {
+        let layout = RankLayout::new(3, 2, 2);
+        for mode in ReduceMode::ALL {
+            let cfg = FdkConfig::new(CbctGeometry::ideal(16, 16, 24, 20))
+                .with_nc(2)
+                .with_reduce_mode(mode);
+            let d = derive_deadlines(&cfg, layout);
+            assert!(d.chunk >= CHUNK_TIMEOUT, "{mode:?}: {:?}", d.chunk);
+            assert!(d.slab >= SLAB_TIMEOUT, "{mode:?}: {:?}", d.slab);
+            assert!(d.slab >= d.chunk * 2, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_ledger_first_copy_wins_and_folds_in_rank_order() {
+        let mut ledger = ChunkLedger::new(1, 2);
+        assert!(!ledger.has(0, 1));
+        assert!(ledger.offer(0, 1, vec![1.0; 4]));
+        assert!(ledger.has(0, 1));
+        // The duplicate (bitwise twin in real runs) is discarded.
+        assert!(!ledger.offer(0, 1, vec![2.0; 4]));
+        assert_eq!(ledger.duplicates(), 1);
+        assert!(ledger.offer(0, 0, vec![0.5; 4]));
+        let slab = ledger.fold_batch(0, 2, 2, 1, 0, 2.0);
+        assert_eq!(slab.data(), &[3.0; 4]);
     }
 }

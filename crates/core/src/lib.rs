@@ -86,8 +86,8 @@ pub use config::{
 };
 pub use distributed::{distributed_reconstruct, DistributedOutcome};
 pub use fault_tolerant::{
-    fault_tolerant_reconstruct, fault_tolerant_reconstruct_checkpointed,
-    fault_tolerant_reconstruct_observed, FaultTolerantOutcome,
+    derive_deadlines, fault_tolerant_reconstruct, fault_tolerant_reconstruct_checkpointed,
+    fault_tolerant_reconstruct_observed, ChunkLedger, FaultTolerantOutcome, FtDeadlines,
 };
 pub use fdk::{
     fdk_reconstruct, fdk_reconstruct_configured, fdk_reconstruct_slab, fdk_reconstruct_with,

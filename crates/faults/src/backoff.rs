@@ -47,6 +47,45 @@ impl BackoffPolicy {
         let shift = attempt.saturating_sub(1).min(62);
         self.base_millis.saturating_mul(1u64 << shift)
     }
+
+    /// [`Self::delay_millis`] plus deterministic seeded jitter, so
+    /// callers sharing a fault do not retry in lockstep: without jitter,
+    /// every rank that saw the same transient failure backs off by the
+    /// identical exponential schedule and re-collides on each attempt.
+    ///
+    /// The jitter is a pure hash of `(salt, attempt)` — callers pass
+    /// their rank (or any stable identity) as `salt` — bounded to at
+    /// most half of the exponential delay, so schedules stay within the
+    /// same order of magnitude and are model-time reproducible: the same
+    /// `(policy, attempt, salt)` yields the same delay on every run.
+    pub fn delay_millis_jittered(&self, attempt: u32, salt: u64) -> u64 {
+        let base = self.delay_millis(attempt);
+        if base == 0 {
+            return 0;
+        }
+        // SplitMix64 finalizer over the (salt, attempt) coordinate.
+        let mut z = salt
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        base.saturating_add(z % (base / 2 + 1))
+    }
+}
+
+/// [`retry_with_backoff`] with per-caller jittered delays: identical
+/// except that `on_retry` receives [`BackoffPolicy::delay_millis_jittered`]
+/// of `(attempt, salt)` instead of the bare exponential delay.
+pub fn retry_with_backoff_salted<T, E>(
+    policy: BackoffPolicy,
+    salt: u64,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+    mut on_retry: impl FnMut(u32, u64, &E),
+) -> Result<T, E> {
+    retry_with_backoff(policy, &mut op, |attempt, _delay, e| {
+        on_retry(attempt, policy.delay_millis_jittered(attempt, salt), e)
+    })
 }
 
 /// Runs `op` under `policy`. `op` receives the 1-based attempt number;
@@ -124,6 +163,60 @@ mod tests {
         .unwrap_err();
         assert_eq!(calls, 3);
         assert_eq!(err, "fail 3");
+    }
+
+    #[test]
+    fn jittered_schedules_of_two_ranks_diverge_but_replay_identically() {
+        let p = BackoffPolicy::new(8, 6);
+        let schedule =
+            |salt: u64| -> Vec<u64> { (1..=5).map(|a| p.delay_millis_jittered(a, salt)).collect() };
+        let rank1 = schedule(1);
+        let rank2 = schedule(2);
+        // Lockstep is broken: the two ranks' schedules differ...
+        assert_ne!(rank1, rank2, "jitter must de-synchronise ranks");
+        // ...but each rank's schedule is a pure function of (attempt,
+        // salt): replays are bit-identical (model-time reproducible).
+        assert_eq!(rank1, schedule(1));
+        assert_eq!(rank2, schedule(2));
+        // Jitter is bounded: within [delay, 1.5·delay].
+        for (a, &d) in rank1.iter().enumerate() {
+            let bare = p.delay_millis(a as u32 + 1);
+            assert!(
+                d >= bare && d <= bare + bare / 2,
+                "attempt {a}: {d} vs {bare}"
+            );
+        }
+        // Zero base stays zero.
+        assert_eq!(BackoffPolicy::new(0, 3).delay_millis_jittered(1, 7), 0);
+    }
+
+    #[test]
+    fn salted_retry_reports_jittered_delays() {
+        let p = BackoffPolicy::new(4, 4);
+        let mut fails = 2;
+        let mut seen = Vec::new();
+        let out = retry_with_backoff_salted(
+            p,
+            3,
+            |attempt| {
+                if fails > 0 {
+                    fails -= 1;
+                    Err("boom")
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |attempt, delay, _e| seen.push((attempt, delay)),
+        )
+        .unwrap();
+        assert_eq!(out, 3);
+        assert_eq!(
+            seen,
+            vec![
+                (1, p.delay_millis_jittered(1, 3)),
+                (2, p.delay_millis_jittered(2, 3)),
+            ]
+        );
     }
 
     #[test]

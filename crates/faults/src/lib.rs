@@ -25,7 +25,7 @@ use std::sync::{Arc, Mutex};
 pub mod backoff;
 pub mod crc32;
 
-pub use backoff::{retry_with_backoff, BackoffPolicy};
+pub use backoff::{retry_with_backoff, retry_with_backoff_salted, BackoffPolicy};
 pub use crc32::{crc32, open_frame, seal_frame, Crc32, FrameError};
 
 /// Splitmix64: the only randomness source for plan generation.
@@ -71,17 +71,24 @@ pub enum Channel {
     /// channel flip bytes *after* the checksum is computed, so they are
     /// detected — not silently absorbed — downstream.
     Corrupt,
+    /// A kernel launch in `gpusim` (or a chunk computation in the
+    /// fault-tolerant driver). Faults on this channel degrade the
+    /// *rate* of compute — the device stays alive but slow — which is
+    /// the straggler model: results are never perturbed, only model
+    /// time and scheduling.
+    Compute,
 }
 
 impl Channel {
     /// All channels, in canonical order.
-    pub const ALL: [Channel; 6] = [
+    pub const ALL: [Channel; 7] = [
         Channel::Send,
         Channel::Recv,
         Channel::DeviceAlloc,
         Channel::DeviceTransfer,
         Channel::StorageRead,
         Channel::Corrupt,
+        Channel::Compute,
     ];
 
     fn token(self) -> &'static str {
@@ -92,6 +99,7 @@ impl Channel {
             Channel::DeviceTransfer => "device-transfer",
             Channel::StorageRead => "storage-read",
             Channel::Corrupt => "corrupt",
+            Channel::Compute => "compute",
         }
     }
 
@@ -134,6 +142,19 @@ pub enum FaultKind {
         /// event corrupts the same relative position in every run).
         seed: u64,
     },
+    /// The rank's device degrades to `1/factor` of its healthy compute
+    /// rate once its accumulated modelled kernel time passes
+    /// `from_nanos` — a slow-but-alive straggler. Valid only on
+    /// [`Channel::Compute`]. The degradation scales model time (and, in
+    /// the fault-tolerant driver, a small bounded wall delay per chunk);
+    /// computed bits are never touched.
+    SlowDevice {
+        /// Integer slowdown multiplier (≥ 1; 1 is a no-op).
+        factor: u32,
+        /// Accumulated modelled kernel nanoseconds after which the
+        /// slowdown takes effect (0 = degraded from the start).
+        from_nanos: u64,
+    },
 }
 
 impl FaultKind {
@@ -147,6 +168,7 @@ impl FaultKind {
             FaultKind::TransferError => &[Channel::DeviceTransfer],
             FaultKind::ReadError => &[Channel::StorageRead],
             FaultKind::BitFlip { .. } => &[Channel::Corrupt],
+            FaultKind::SlowDevice { .. } => &[Channel::Compute],
         }
     }
 }
@@ -161,6 +183,9 @@ impl fmt::Display for FaultKind {
             FaultKind::TransferError => write!(f, "transfer-error"),
             FaultKind::ReadError => write!(f, "read-error"),
             FaultKind::BitFlip { seed } => write!(f, "bit-flip:{seed}"),
+            FaultKind::SlowDevice { factor, from_nanos } => {
+                write!(f, "slow:{factor}:{from_nanos}")
+            }
         }
     }
 }
@@ -420,12 +445,49 @@ impl FaultPlan {
         FaultPlan::from_events(events)
     }
 
+    /// Generates a straggler-only plan: `count` seeded
+    /// [`FaultKind::SlowDevice`] events on [`Channel::Compute`], each on
+    /// a distinct non-root rank, firing on that rank's first compute op.
+    /// The slowdown factor is drawn from `2..=max_factor` and
+    /// `from_nanos` is 0 (degraded from the start), so the plan models
+    /// devices that were slow when the job landed on them. Identical
+    /// `(seed, world_size, count, max_factor)` always yield identical
+    /// plans.
+    pub fn stragglers(seed: u64, world_size: usize, count: usize, max_factor: u32) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x57AA_661E_5057_AA66);
+        let mut events = Vec::new();
+        let mut slowed: Vec<usize> = Vec::new();
+        let candidates = world_size.saturating_sub(1);
+        let max_factor = max_factor.max(2);
+        for _ in 0..count.min(candidates) {
+            // Distinct ranks so a plan never stacks two slowdowns.
+            let rank = loop {
+                let r = 1 + rng.below(candidates.max(1) as u64) as usize;
+                if !slowed.contains(&r) {
+                    break r;
+                }
+            };
+            slowed.push(rank);
+            events.push(FaultEvent {
+                rank,
+                channel: Channel::Compute,
+                op_index: 0,
+                kind: FaultKind::SlowDevice {
+                    factor: 2 + rng.below((max_factor - 1) as u64) as u32,
+                    from_nanos: 0,
+                },
+            });
+        }
+        FaultPlan::from_events(events)
+    }
+
     /// Parses the text form produced by [`fmt::Display`]: one event per
     /// line, `rank <r> <channel> op <n> <kind>`, with `#` comments and
     /// blank lines ignored. Kinds: `rank-failure`, `drop`,
     /// `delay:<millis>`, `device-oom`, `transfer-error`, `read-error`,
-    /// `bit-flip:<seed>`. Errors carry the line number and, where a
-    /// specific token is at fault, its column span.
+    /// `bit-flip:<seed>`, `slow:<factor>:<from_nanos>`. Errors carry the
+    /// line number and, where a specific token is at fault, its column
+    /// span.
     pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
         let mut events = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
@@ -494,6 +556,20 @@ impl FaultPlan {
                                 span_err(toks[5], format!("bad bit-flip seed `{other}`"))
                             })?,
                         }
+                    } else if let Some(rest) = other.strip_prefix("slow:") {
+                        let bad = || span_err(toks[5], format!("bad slow-device fault `{other}`"));
+                        let (factor, from_nanos) = rest.split_once(':').ok_or_else(bad)?;
+                        let factor: u32 = factor.parse().map_err(|_| bad())?;
+                        if factor == 0 {
+                            return Err(span_err(
+                                toks[5],
+                                format!("slow-device factor must be >= 1 in `{other}`"),
+                            ));
+                        }
+                        FaultKind::SlowDevice {
+                            factor,
+                            from_nanos: from_nanos.parse().map_err(|_| bad())?,
+                        }
                     } else {
                         return Err(span_err(toks[5], format!("unknown fault kind `{other}`")));
                     }
@@ -542,6 +618,15 @@ impl FaultPlan {
         self.events
             .iter()
             .all(|e| matches!(e.kind, FaultKind::MessageDelay { .. }))
+    }
+
+    /// True when every scheduled fault is a [`FaultKind::SlowDevice`]
+    /// straggler (another class that must leave results bit-for-bit
+    /// identical — only scheduling and model time are perturbed).
+    pub fn stragglers_only(&self) -> bool {
+        self.events
+            .iter()
+            .all(|e| matches!(e.kind, FaultKind::SlowDevice { .. }))
     }
 }
 
@@ -737,6 +822,29 @@ pub enum RecoveryEvent {
         /// 1-based detection count for this payload (retries re-detect).
         attempt: u32,
     },
+    /// A rank fell past the straggler deadline for one chunk and a
+    /// speculative copy was requested from a survivor. Fields are
+    /// scheduling-insensitive (no durations) so double runs under the
+    /// same plan produce identical logs.
+    StragglerDetected {
+        /// Group whose collection stalled.
+        group: usize,
+        /// The slow (but alive) rank, world numbering.
+        rank: usize,
+        /// Chunk index within the group that was past deadline.
+        chunk: usize,
+    },
+    /// A speculatively re-executed chunk copy was the first to arrive;
+    /// the original (still owed by the straggler) is deduplicated on
+    /// arrival. Bits are identical either way.
+    SpeculativeWin {
+        /// Group the chunk belongs to.
+        group: usize,
+        /// Chunk index within the group.
+        chunk: usize,
+        /// Rank whose speculative copy won, world numbering.
+        winner: usize,
+    },
 }
 
 impl fmt::Display for RecoveryEvent {
@@ -791,6 +899,18 @@ impl fmt::Display for RecoveryEvent {
             } => {
                 write!(f, "rank {rank}: checksum mismatch {attempt} opening {what}")
             }
+            RecoveryEvent::StragglerDetected { group, rank, chunk } => write!(
+                f,
+                "group {group}: rank {rank} straggling on chunk {chunk}, speculating"
+            ),
+            RecoveryEvent::SpeculativeWin {
+                group,
+                chunk,
+                winner,
+            } => write!(
+                f,
+                "group {group}: speculative copy of chunk {chunk} from rank {winner} won"
+            ),
         }
     }
 }
@@ -924,6 +1044,13 @@ mod tests {
             ("rank 1 storage-read op 0 bit-flip:7", "cannot attach"),
             ("rank 1 recv op 0 drop", "cannot attach"),
             ("rank 1 device-alloc op 0 transfer-error", "cannot attach"),
+            // Slow-device grammar and channel gating.
+            ("rank 1 compute op 0 slow:x:0", "bad slow-device fault"),
+            ("rank 1 compute op 0 slow:3", "bad slow-device fault"),
+            ("rank 1 compute op 0 slow:0:0", "factor must be >= 1"),
+            ("rank 1 send op 0 slow:3:0", "cannot attach"),
+            ("rank 1 compute op 0 drop", "cannot attach"),
+            ("rank 1 compute op 0 delay:5", "cannot attach"),
         ] {
             let err = FaultPlan::parse(text).unwrap_err();
             assert!(err.message.contains(needle), "`{text}` → {err}");
@@ -1065,6 +1192,51 @@ mod tests {
             attempt: 1,
         });
         assert_eq!(log.events(), other.events());
+    }
+
+    #[test]
+    fn parse_accepts_compute_channel_slow_device() {
+        let plan = FaultPlan::parse("rank 2 compute op 0 slow:4:1500").unwrap();
+        assert_eq!(
+            plan.events(),
+            &[FaultEvent {
+                rank: 2,
+                channel: Channel::Compute,
+                op_index: 0,
+                kind: FaultKind::SlowDevice {
+                    factor: 4,
+                    from_nanos: 1500,
+                },
+            }]
+        );
+        assert!(plan.stragglers_only());
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn straggler_plans_are_seeded_distinct_and_never_rank_zero() {
+        let a = FaultPlan::stragglers(9, 6, 3, 8);
+        let b = FaultPlan::stragglers(9, 6, 3, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 3);
+        assert!(a.stragglers_only() && !a.delays_only());
+        let mut ranks: Vec<_> = a.events().iter().map(|e| e.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert_eq!(ranks.len(), 3, "slowdowns must land on distinct ranks");
+        assert!(ranks.iter().all(|&r| r != 0));
+        for e in a.events() {
+            match e.kind {
+                FaultKind::SlowDevice { factor, from_nanos } => {
+                    assert!((2..=8).contains(&factor));
+                    assert_eq!(from_nanos, 0);
+                }
+                other => panic!("unexpected kind {other:?}"),
+            }
+        }
+        // A two-rank world has one candidate: count clamps, no spin.
+        assert_eq!(FaultPlan::stragglers(1, 2, 5, 4).events().len(), 1);
+        assert_ne!(a, FaultPlan::stragglers(10, 6, 3, 8));
     }
 
     #[test]

@@ -96,6 +96,13 @@ struct Inner {
     /// callers assert exact equality with the per-call returns.
     transfer_secs: f64,
     kernel_secs: f64,
+    /// Persistent compute-rate degradation from a fired
+    /// [`FaultKind::SlowDevice`]: kernel durations are multiplied by
+    /// `slow_factor` once accumulated kernel time reaches
+    /// `slow_from_nanos`. `1.0` (the `NoFaults` value) leaves the
+    /// modelled times bit-identical to an uninstrumented device.
+    slow_factor: f64,
+    slow_from_nanos: u64,
 }
 
 /// Cached registry handles for one device — registered at construction,
@@ -219,6 +226,8 @@ impl Device {
                 allocated: 0,
                 transfer_secs: 0.0,
                 kernel_secs: 0.0,
+                slow_factor: 1.0,
+                slow_from_nanos: 0,
             })),
             metrics: Arc::new(DeviceMetrics::new(&registry, rank)),
             registry,
@@ -339,9 +348,30 @@ impl Device {
 
     /// Records a back-projection launch of `updates` voxel updates; returns
     /// the simulated duration (s).
+    ///
+    /// The launch consults the fault injector on [`Channel::Compute`]: a
+    /// fired [`FaultKind::SlowDevice`] permanently degrades this device's
+    /// compute rate (modelled time only — the computed bits are produced
+    /// elsewhere and are never touched). Under `NoFaults` the arithmetic
+    /// is exactly the healthy path: `secs` is the same `f64` an
+    /// uninstrumented device would return.
     pub fn launch_backprojection(&self, updates: u64) -> f64 {
+        if let Some(FaultKind::SlowDevice { factor, from_nanos }) =
+            self.injector.on_op(self.rank, Channel::Compute)
+        {
+            let mut inner = self.inner.lock();
+            inner.slow_factor = inner.slow_factor.max(factor.max(1) as f64);
+            inner.slow_from_nanos = from_nanos;
+        }
         let mut inner = self.inner.lock();
-        let secs = inner.spec.backprojection_secs(updates);
+        let honest = inner.spec.backprojection_secs(updates);
+        let degraded = inner.slow_factor > 1.0
+            && (inner.kernel_secs * 1e9).round() as u64 >= inner.slow_from_nanos;
+        let secs = if degraded {
+            honest * inner.slow_factor
+        } else {
+            honest
+        };
         inner.kernel_secs += secs;
         drop(inner);
         self.metrics.kernel_updates.add(updates);
@@ -351,6 +381,12 @@ impl Device {
             .add(updates.saturating_mul(FLOPS_PER_UPDATE));
         self.metrics.kernel_nanos.add((secs * 1e9).round() as u64);
         secs
+    }
+
+    /// The device's current compute slowdown multiplier: `1.0` while
+    /// healthy, the fired [`FaultKind::SlowDevice`] factor once degraded.
+    pub fn slow_factor(&self) -> f64 {
+        self.inner.lock().slow_factor
     }
 
     /// Snapshot of the counters (assembled from the registry-backed
@@ -501,6 +537,43 @@ mod tests {
         // Failed transfers never pollute the counters.
         assert_eq!(d.counters().d2h_calls, 1);
         assert_eq!(d.counters().d2h_bytes, 20);
+    }
+
+    #[test]
+    fn injected_slow_device_degrades_kernel_time_after_threshold() {
+        use scalefbp_faults::{FaultEvent, FaultInjector, FaultPlan};
+        let spec = DeviceSpec::tiny(1 << 20);
+        let healthy = Device::new(spec.clone());
+        let h1 = healthy.launch_backprojection(1_000_000);
+        // Slowdown ×3 once 1 launch worth of kernel nanos has accrued:
+        // the first launch runs at full rate, later ones degraded.
+        let from_nanos = (h1 * 1e9).round() as u64;
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            rank: 5,
+            channel: Channel::Compute,
+            op_index: 0,
+            kind: FaultKind::SlowDevice {
+                factor: 3,
+                from_nanos,
+            },
+        }]);
+        let d = Device::with_injector(spec, FaultInjector::new(plan), 5);
+        assert_eq!(d.slow_factor(), 1.0);
+        let t1 = d.launch_backprojection(1_000_000);
+        assert_eq!(t1.to_bits(), h1.to_bits(), "pre-threshold launch is honest");
+        assert_eq!(d.slow_factor(), 3.0);
+        let t2 = d.launch_backprojection(1_000_000);
+        assert_eq!(t2.to_bits(), (h1 * 3.0).to_bits(), "degraded launch is ×3");
+        // Model time is deterministic: a replay is bit-identical.
+        let d2 = Device::with_injector(
+            d.spec(),
+            FaultInjector::new(
+                FaultPlan::parse(&format!("rank 5 compute op 0 slow:3:{from_nanos}")).unwrap(),
+            ),
+            5,
+        );
+        assert_eq!(d2.launch_backprojection(1_000_000).to_bits(), t1.to_bits());
+        assert_eq!(d2.launch_backprojection(1_000_000).to_bits(), t2.to_bits());
     }
 
     #[test]

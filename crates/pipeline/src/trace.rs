@@ -18,6 +18,8 @@ fn recovery_event_rank(ev: &RecoveryEvent) -> usize {
         RecoveryEvent::IoRetry { rank, .. } => *rank,
         RecoveryEvent::LeaderSetDegraded { new_leader, .. } => *new_leader,
         RecoveryEvent::CorruptionDetected { rank, .. } => *rank,
+        RecoveryEvent::StragglerDetected { rank, .. } => *rank,
+        RecoveryEvent::SpeculativeWin { winner, .. } => *winner,
     }
 }
 

@@ -32,6 +32,21 @@ pub struct CorruptSlab {
     pub after_slices: usize,
 }
 
+/// Permanently degrades one device's compute rate from an absolute model
+/// time onward — the fleet analogue of
+/// `scalefbp_faults::FaultKind::SlowDevice`. Dispatches *started* at or
+/// after `from_nanos` on the device take `factor`× their healthy
+/// modelled duration; results are never perturbed, only model time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceSlow {
+    /// Fleet device index.
+    pub device: usize,
+    /// Integer slowdown multiplier (≥ 2 to be meaningful).
+    pub factor: u32,
+    /// Model-time nanoseconds from which dispatches run degraded.
+    pub from_nanos: u64,
+}
+
 /// A deterministic schedule of fleet-level faults.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FleetFaultPlan {
@@ -40,6 +55,9 @@ pub struct FleetFaultPlan {
     pub kills: Vec<DeviceKill>,
     /// Checkpoint corruptions.
     pub corruptions: Vec<CorruptSlab>,
+    /// Compute-rate slowdowns; only the strongest factor per device
+    /// matters once its `from_nanos` has passed.
+    pub slowdowns: Vec<DeviceSlow>,
 }
 
 impl FleetFaultPlan {
@@ -79,6 +97,49 @@ impl FleetFaultPlan {
         FleetFaultPlan {
             kills,
             corruptions: Vec::new(),
+            slowdowns: Vec::new(),
+        }
+    }
+
+    /// A seeded straggler plan: no kills or corruption, just `count`
+    /// distinct devices degraded to `1/factor` of their healthy compute
+    /// rate, each from a time in the first half of `horizon_nanos` (so a
+    /// meaningful share of the workload runs degraded). At least one
+    /// device always stays at full rate.
+    pub fn generate_stragglers(
+        seed: u64,
+        devices: usize,
+        count: usize,
+        factor: u32,
+        horizon_nanos: u64,
+    ) -> Self {
+        assert!(devices >= 1, "fleet must have at least one device");
+        let count = count.min(devices.saturating_sub(1));
+        let mut state = seed ^ 0x57AA_661E_F1EE_7C0F;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let mut slowdowns: Vec<DeviceSlow> = Vec::with_capacity(count);
+        while slowdowns.len() < count {
+            let device = (next() >> 33) as usize % devices;
+            if slowdowns.iter().any(|s| s.device == device) {
+                continue;
+            }
+            let span = (horizon_nanos / 2).max(1);
+            slowdowns.push(DeviceSlow {
+                device,
+                factor: factor.max(2),
+                from_nanos: (next() >> 33) % span,
+            });
+        }
+        slowdowns.sort_by_key(|s| (s.from_nanos, s.device));
+        FleetFaultPlan {
+            kills: Vec::new(),
+            corruptions: Vec::new(),
+            slowdowns,
         }
     }
 
@@ -86,6 +147,28 @@ impl FleetFaultPlan {
     pub fn with_corruption(mut self, job: usize, after_slices: usize) -> Self {
         self.corruptions.push(CorruptSlab { job, after_slices });
         self
+    }
+
+    /// Adds a compute-rate slowdown event.
+    pub fn with_slowdown(mut self, device: usize, factor: u32, from_nanos: u64) -> Self {
+        self.slowdowns.push(DeviceSlow {
+            device,
+            factor,
+            from_nanos,
+        });
+        self
+    }
+
+    /// The slowdown factor in force on `device` at model time `at_nanos`
+    /// (the strongest one whose `from_nanos` has passed), or 1 if the
+    /// device runs at full rate.
+    pub fn slow_factor_at(&self, device: usize, at_nanos: u64) -> u32 {
+        self.slowdowns
+            .iter()
+            .filter(|s| s.device == device && s.from_nanos <= at_nanos)
+            .map(|s| s.factor.max(1))
+            .max()
+            .unwrap_or(1)
     }
 
     /// The (earliest) time at which `device` dies, if any.
@@ -143,9 +226,41 @@ mod tests {
                     at_nanos: 100,
                 },
             ],
-            corruptions: Vec::new(),
+            ..Default::default()
         };
         assert_eq!(plan.kill_time(1), Some(100));
         assert_eq!(plan.kill_time(0), None);
+    }
+
+    #[test]
+    fn straggler_plans_are_deterministic_and_spare_a_device() {
+        let a = FleetFaultPlan::generate_stragglers(9, 4, 2, 3, 1_000_000);
+        assert_eq!(
+            a,
+            FleetFaultPlan::generate_stragglers(9, 4, 2, 3, 1_000_000)
+        );
+        assert!(a.kills.is_empty() && a.corruptions.is_empty());
+        assert_eq!(a.slowdowns.len(), 2);
+        let slowed: Vec<usize> = a.slowdowns.iter().map(|s| s.device).collect();
+        assert!((0..4).any(|d| !slowed.contains(&d)));
+        for s in &a.slowdowns {
+            assert_eq!(s.factor, 3);
+            assert!(s.from_nanos < 500_000);
+        }
+        // A single-device fleet is never degraded.
+        assert!(FleetFaultPlan::generate_stragglers(9, 1, 2, 3, 1_000)
+            .slowdowns
+            .is_empty());
+    }
+
+    #[test]
+    fn slow_factor_respects_onset_time_and_takes_the_strongest() {
+        let plan = FleetFaultPlan::none()
+            .with_slowdown(2, 3, 1_000)
+            .with_slowdown(2, 5, 2_000);
+        assert_eq!(plan.slow_factor_at(2, 0), 1);
+        assert_eq!(plan.slow_factor_at(2, 1_000), 3);
+        assert_eq!(plan.slow_factor_at(2, 2_500), 5);
+        assert_eq!(plan.slow_factor_at(0, 9_999), 1);
     }
 }

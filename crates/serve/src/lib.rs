@@ -23,10 +23,11 @@ pub mod loadgen;
 pub mod quantile;
 pub mod scheduler;
 
-pub use fleetfaults::{CorruptSlab, DeviceKill, FleetFaultPlan};
+pub use fleetfaults::{CorruptSlab, DeviceKill, DeviceSlow, FleetFaultPlan};
 pub use job::{JobClass, JobSpec, RejectReason};
 pub use loadgen::{generate, scan_geometry, WorkloadSpec};
 pub use quantile::{histogram_quantile, LATENCY_BOUNDS_NANOS};
 pub use scheduler::{
-    job_config, job_service_secs, JobRecord, Rejection, Scheduler, ServeConfig, ServeReport,
+    job_config, job_service_secs, JobRecord, Rejection, Scheduler, ServeConfig, ServeError,
+    ServeReport,
 };

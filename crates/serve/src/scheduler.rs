@@ -44,6 +44,14 @@ use crate::quantile::{histogram_quantile, LATENCY_BOUNDS_NANOS};
 /// Bytes of the per-projection 3×4 f32 matrix table per projection.
 const MATS_BYTES_PER_PROJ: u64 = 12 * 4;
 
+/// Overrun margin before a dispatch's device is declared a straggler:
+/// a dispatch still running at `start + margin × healthy_duration` is
+/// evidence the device is degraded. 5/4 keeps detection well before a
+/// ×2 slowdown completes while never firing on a healthy device (whose
+/// dispatches finish exactly at 1× the healthy duration).
+const STRAGGLER_MARGIN_NUM: u64 = 5;
+const STRAGGLER_MARGIN_DEN: u64 = 4;
+
 /// Converts simulated seconds to integer model-time nanoseconds.
 fn nanos(secs: f64) -> u64 {
     debug_assert!(secs.is_finite() && secs >= 0.0);
@@ -76,8 +84,15 @@ pub struct ServeConfig {
     /// Keep every completed volume in the report (tests); benches
     /// leave this off and rely on the recorded CRCs.
     pub keep_volumes: bool,
-    /// Fleet-level fault plan (device kills, slab corruption).
+    /// Fleet-level fault plan (device kills, slab corruption, compute
+    /// slowdowns).
     pub faults: FleetFaultPlan,
+    /// Hedge small-job batches stuck on a detected-slow device by
+    /// duplicating them onto an idle healthy device (first completion
+    /// wins; the duplicate is deduplicated). Inert without slowdowns in
+    /// the fault plan — a healthy fleet never triggers detection.
+    /// Disable for a wait-it-out baseline.
+    pub hedging: bool,
     /// Compute backend every job's numerics run on. Scheduling always
     /// uses the [`DeviceSpec`] cost model, so the schedule, logs and
     /// metric exports are identical on both compute backends — only
@@ -100,6 +115,7 @@ impl ServeConfig {
             checkpoint_root: checkpoint_root.into(),
             keep_volumes: false,
             faults: FleetFaultPlan::none(),
+            hedging: true,
             backend: BackendChoice::default(),
         }
     }
@@ -138,6 +154,13 @@ impl ServeConfig {
     /// Installs a fleet fault plan.
     pub fn with_faults(mut self, faults: FleetFaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables or disables hedged dispatch (on by default; disabling
+    /// gives the wait-it-out straggler baseline).
+    pub fn with_hedging(mut self, hedging: bool) -> Self {
+        self.hedging = hedging;
         self
     }
 
@@ -251,6 +274,65 @@ pub fn job_service_secs(cfg: &ServeConfig, job: &JobSpec) -> f64 {
         }
     }
 }
+
+/// A structured scheduler failure. These replace the panicking
+/// `expect()`s that used to sit on the admission/dispatch path: a
+/// degraded fleet (reservation pressure, a failing reconstruction, an
+/// unwritable checkpoint store) now surfaces an error the caller can
+/// handle instead of aborting the whole scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A device-memory reservation failed for work the admission check
+    /// had already sized against capacity.
+    Reservation {
+        /// Fleet device the reservation was attempted on.
+        device: usize,
+        /// Job whose working set could not be reserved.
+        job: usize,
+        /// The underlying device error.
+        detail: String,
+    },
+    /// An admitted job's reconstruction failed at completion time.
+    Reconstruction {
+        /// The failing job.
+        job: usize,
+        /// The underlying reconstruction error.
+        detail: String,
+    },
+    /// A checkpoint-store filesystem operation failed.
+    CheckpointIo {
+        /// The job whose store was being touched.
+        job: usize,
+        /// What failed.
+        detail: String,
+    },
+    /// An internal scheduling invariant broke (a bug, not a fault).
+    Scheduling(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Reservation {
+                device,
+                job,
+                detail,
+            } => write!(
+                f,
+                "device {device} reservation for job {job} failed: {detail}"
+            ),
+            ServeError::Reconstruction { job, detail } => {
+                write!(f, "reconstruction of job {job} failed: {detail}")
+            }
+            ServeError::CheckpointIo { job, detail } => {
+                write!(f, "checkpoint I/O for job {job} failed: {detail}")
+            }
+            ServeError::Scheduling(msg) => write!(f, "scheduler invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// A rejected admission.
 #[derive(Clone, Debug)]
@@ -428,6 +510,7 @@ fn volume_crc(v: &Volume) -> u32 {
 // Internal engine state.
 // ---------------------------------------------------------------------
 
+#[derive(Clone)]
 struct JobState {
     spec: JobSpec,
     ws_bytes: u64,
@@ -472,15 +555,40 @@ enum WorkKind {
 struct Running {
     start_nanos: u64,
     finish_nanos: u64,
+    /// Pending straggler-detection event: `Some(t)` when the dispatch
+    /// runs degraded and the overrun becomes observable at `t` (the
+    /// healthy completion time plus margin); cleared once processed.
+    detect_nanos: Option<u64>,
+    /// The overrun was confirmed: the dispatch outlived its healthy
+    /// model estimate, so it is eligible for hedging.
+    overrun: bool,
+    /// A hedge duplicate has been issued for this dispatch.
+    hedged: bool,
+    /// This dispatch *is* a hedge duplicate.
+    is_hedge: bool,
     kind: WorkKind,
     /// RAII memory reservations on the fleet device.
     _reservations: Vec<DeviceBuffer>,
+}
+
+impl Running {
+    fn job_ids(&self) -> Vec<usize> {
+        match &self.kind {
+            WorkKind::Batch(jobs) => jobs.iter().map(|j| j.spec.id).collect(),
+            WorkKind::Slice { job, .. } => vec![job.spec.id],
+        }
+    }
 }
 
 struct FleetDevice {
     device: Device,
     alive: bool,
     kill_at: Option<u64>,
+    /// Set once a dispatch on this device overran its healthy model
+    /// estimate: the device is treated as degraded from then on —
+    /// dispatch placement deprioritises it (so requeued checkpoint
+    /// slices migrate off) and its small batches become hedgeable.
+    detected_slow: bool,
 }
 
 struct Tallies {
@@ -495,6 +603,10 @@ struct Tallies {
     requeues: Counter,
     device_kills: Counter,
     corruptions: Counter,
+    stragglers: Counter,
+    hedges_issued: Counter,
+    hedges_won: Counter,
+    hedges_wasted: Counter,
     queue_peak: Gauge,
     latency: Histogram,
     wait: Histogram,
@@ -519,8 +631,10 @@ impl Scheduler {
     }
 
     /// Runs `jobs` (any order; sorted by arrival internally) to
-    /// completion and returns the report.
-    pub fn run(&self, jobs: Vec<JobSpec>) -> ServeReport {
+    /// completion and returns the report, or the structured error that
+    /// stopped the run (a failed reservation, reconstruction, or
+    /// checkpoint I/O — see [`ServeError`]).
+    pub fn run(&self, jobs: Vec<JobSpec>) -> Result<ServeReport, ServeError> {
         let mut engine = Engine::new(&self.cfg, self.registry.clone());
         engine.run(jobs)
     }
@@ -547,6 +661,10 @@ struct Engine<'a> {
     /// wiped job restarts from scratch it passes the same slice count
     /// again, and re-corrupting would loop the job forever.
     corruptions_applied: std::collections::HashSet<(usize, usize)>,
+    /// Jobs whose numerics have completed — the hedging dedup set: a
+    /// duplicate dispatch arriving second finds its jobs here and is
+    /// discarded (its time counts as wasted, never its results twice).
+    completed_ids: std::collections::HashSet<usize>,
 }
 
 impl<'a> Engine<'a> {
@@ -561,6 +679,7 @@ impl<'a> Engine<'a> {
                 ),
                 alive: true,
                 kill_at: cfg.faults.kill_time(d),
+                detected_slow: false,
             })
             .collect();
         let tallies = Tallies {
@@ -575,6 +694,10 @@ impl<'a> Engine<'a> {
             requeues: registry.counter("serve.requeues"),
             device_kills: registry.counter("serve.device.kills"),
             corruptions: registry.counter("serve.checkpoint.corruptions"),
+            stragglers: registry.counter("serve.stragglers"),
+            hedges_issued: registry.counter("serve.hedges.issued"),
+            hedges_won: registry.counter("serve.hedges.won"),
+            hedges_wasted: registry.counter("serve.hedges.wasted"),
             queue_peak: registry.gauge("serve.queue.depth.peak"),
             latency: registry.histogram("serve.job.latency.nanos", &LATENCY_BOUNDS_NANOS),
             wait: registry.histogram("serve.queue.wait.nanos", &LATENCY_BOUNDS_NANOS),
@@ -596,17 +719,19 @@ impl<'a> Engine<'a> {
             volumes: Vec::new(),
             log: Vec::new(),
             corruptions_applied: std::collections::HashSet::new(),
+            completed_ids: std::collections::HashSet::new(),
         }
     }
 
-    fn run(&mut self, mut jobs: Vec<JobSpec>) -> ServeReport {
+    fn run(&mut self, mut jobs: Vec<JobSpec>) -> Result<ServeReport, ServeError> {
         jobs.sort_by_key(|j| (j.arrival_nanos, j.id));
         let mut arrivals = jobs.into_iter().peekable();
 
         loop {
             // Next event: the earliest of (a) the next arrival, (b) a
             // running dispatch finishing, (c) a running dispatch's
-            // device being killed mid-flight.
+            // device being killed mid-flight, (d) a straggling dispatch
+            // overrunning its healthy model estimate.
             let next_arrival = arrivals.peek().map(|j| j.arrival_nanos);
             let next_device = (0..self.devices.len())
                 .filter_map(|d| self.device_event_nanos(d))
@@ -622,13 +747,17 @@ impl<'a> Engine<'a> {
             // before same-instant arrivals are admitted), ascending
             // device index; a kill at the same instant as a completion
             // wins — the crash happened before the result was read.
+            // Straggler detections come after both: an overrun is only
+            // meaningful on a dispatch that is still in flight.
             for d in 0..self.devices.len() {
                 if self.running[d].is_some() {
                     let kill = self.pending_kill(d);
                     if kill == Some(t) {
                         self.kill_device(d, t);
                     } else if self.running[d].as_ref().unwrap().finish_nanos == t {
-                        self.complete(d);
+                        self.complete(d)?;
+                    } else if self.running[d].as_ref().unwrap().detect_nanos == Some(t) {
+                        self.detect_straggler(d, t);
                     }
                 }
             }
@@ -643,7 +772,7 @@ impl<'a> Engine<'a> {
                 let job = arrivals.next().unwrap();
                 self.admit(job);
             }
-            self.dispatch();
+            self.dispatch()?;
         }
 
         let stranded: Vec<usize> = self.queue.iter().map(|j| j.spec.id).collect();
@@ -651,7 +780,7 @@ impl<'a> Engine<'a> {
             self.push_log(format!("t={} job {id} stranded: no device alive", self.now));
         }
 
-        ServeReport {
+        Ok(ServeReport {
             jobs: std::mem::take(&mut self.jobs_out),
             rejections: std::mem::take(&mut self.rejections),
             stranded,
@@ -662,17 +791,20 @@ impl<'a> Engine<'a> {
             device_alive: self.devices.iter().map(|d| d.alive).collect(),
             metrics: self.registry.snapshot(),
             volumes: std::mem::take(&mut self.volumes),
-        }
+        })
     }
 
     /// The model time of the next event on device `d`, if it is busy:
-    /// its dispatch completion, cut short by a pending kill.
+    /// its dispatch completion or pending straggler detection, cut
+    /// short by a pending kill.
     fn device_event_nanos(&self, d: usize) -> Option<u64> {
         let r = self.running[d].as_ref()?;
-        let finish = r.finish_nanos;
+        let next = r
+            .detect_nanos
+            .map_or(r.finish_nanos, |t| t.min(r.finish_nanos));
         Some(match self.pending_kill(d) {
-            Some(k) if k <= finish => k,
-            _ => finish,
+            Some(k) if k <= next => k,
+            _ => next,
         })
     }
 
@@ -773,23 +905,107 @@ impl<'a> Engine<'a> {
 
     // -- dispatch -----------------------------------------------------
 
-    fn idle_device(&self) -> Option<usize> {
-        (0..self.devices.len()).find(|&d| {
-            self.devices[d].alive
-                && self.running[d].is_none()
-                && self.devices[d].kill_at.is_none_or(|k| self.now < k)
-        })
+    fn device_ready(&self, d: usize) -> bool {
+        self.devices[d].alive
+            && self.running[d].is_none()
+            && self.devices[d].kill_at.is_none_or(|k| self.now < k)
     }
 
-    fn dispatch(&mut self) {
+    /// The next device to place work on: healthy devices first, so
+    /// requeued checkpoint slices and fresh batches migrate *off* a
+    /// detected-slow device whenever a full-rate one is free.
+    fn idle_device(&self) -> Option<usize> {
+        (0..self.devices.len())
+            .find(|&d| self.device_ready(d) && !self.devices[d].detected_slow)
+            .or_else(|| (0..self.devices.len()).find(|&d| self.device_ready(d)))
+    }
+
+    fn dispatch(&mut self) -> Result<(), ServeError> {
         while let Some(d) = self.idle_device() {
             if self.queue.is_empty() {
                 break;
             }
             match self.queue[0].spec.class {
-                JobClass::Small => self.start_batch(d),
-                JobClass::Long { .. } => self.start_slice(d),
+                JobClass::Small => self.start_batch(d)?,
+                JobClass::Long { .. } => self.start_slice(d)?,
             }
+        }
+        if self.cfg.hedging {
+            self.issue_hedges();
+        }
+        Ok(())
+    }
+
+    /// Hedged dispatch: a small-job batch stuck on a detected-slow
+    /// device — its overrun confirmed and at least one of its jobs past
+    /// the aging limit — is duplicated onto an idle healthy device.
+    /// First completion wins; the loser is deduplicated by job id and
+    /// its span counted as wasted. Long-job slices are never hedged:
+    /// two dispatches of the same slice would race on the one
+    /// checkpoint store.
+    fn issue_hedges(&mut self) {
+        loop {
+            let Some(target) = (0..self.devices.len())
+                .find(|&d| self.device_ready(d) && !self.devices[d].detected_slow)
+            else {
+                return;
+            };
+            let aged =
+                |j: &JobState| self.now.saturating_sub(j.enqueue_nanos) > self.cfg.aging_nanos;
+            let Some(src) = (0..self.devices.len()).find(|&d| {
+                self.devices[d].detected_slow
+                    && self.running[d].as_ref().is_some_and(|r| {
+                        r.overrun
+                            && !r.hedged
+                            && !r.is_hedge
+                            && match &r.kind {
+                                WorkKind::Batch(jobs) => jobs.iter().any(aged),
+                                WorkKind::Slice { .. } => false,
+                            }
+                    })
+            }) else {
+                return;
+            };
+            let mut hedge_jobs: Vec<JobState> = match &self.running[src].as_ref().unwrap().kind {
+                WorkKind::Batch(jobs) => jobs.clone(),
+                WorkKind::Slice { .. } => return,
+            };
+            let mut reservations = Vec::with_capacity(hedge_jobs.len());
+            for job in &hedge_jobs {
+                match self.devices[target].device.alloc(job.ws_bytes) {
+                    Ok(buf) => reservations.push(buf),
+                    // Hedging is opportunistic: a target without room
+                    // simply declines, the original keeps running.
+                    Err(_) => return,
+                }
+            }
+            let mut secs = self.cfg.dispatch_overhead_secs;
+            for job in &mut hedge_jobs {
+                secs += small_secs(&self.cfg.device, &job.spec.geom);
+                job.devices.push(target);
+            }
+            let factor = self.cfg.faults.slow_factor_at(target, self.now);
+            let finish = self.now + nanos(secs * factor as f64);
+            let detect = (factor > 1)
+                .then(|| self.now + nanos(secs) * STRAGGLER_MARGIN_NUM / STRAGGLER_MARGIN_DEN);
+            self.running[src].as_mut().unwrap().hedged = true;
+            self.tallies.hedges_issued.inc();
+            let ids: Vec<String> = hedge_jobs.iter().map(|j| j.spec.id.to_string()).collect();
+            self.push_log(format!(
+                "t={} hedge dev {src} -> dev {target} batch [{}] finish {finish}",
+                self.now,
+                ids.join(",")
+            ));
+            self.running[target] = Some(Running {
+                start_nanos: self.now,
+                finish_nanos: finish,
+                detect_nanos: detect,
+                overrun: false,
+                hedged: true,
+                is_hedge: true,
+                kind: WorkKind::Batch(hedge_jobs),
+                _reservations: reservations,
+            });
         }
     }
 
@@ -798,7 +1014,7 @@ impl<'a> Engine<'a> {
     /// pass over a job (a long job, or a small one that no longer
     /// fits) only while that job's wait is within the aging limit;
     /// an aged job is a barrier — nothing younger may overtake it.
-    fn start_batch(&mut self, d: usize) {
+    fn start_batch(&mut self, d: usize) -> Result<(), ServeError> {
         let mut picked: Vec<usize> = Vec::new();
         let mut free = self.cfg.device.memory_bytes;
         for (qi, job) in self.queue.iter().enumerate() {
@@ -823,19 +1039,21 @@ impl<'a> Engine<'a> {
         let mut reservations = Vec::with_capacity(batch.len());
         let mut secs = self.cfg.dispatch_overhead_secs;
         for job in &mut batch {
-            reservations.push(
-                self.devices[d]
-                    .device
-                    .alloc(job.ws_bytes)
-                    .expect("batch reservation within checked capacity"),
-            );
+            let buf = self.devices[d].device.alloc(job.ws_bytes).map_err(|e| {
+                ServeError::Reservation {
+                    device: d,
+                    job: job.spec.id,
+                    detail: e.to_string(),
+                }
+            })?;
+            reservations.push(buf);
             secs += small_secs(&self.cfg.device, &job.spec.geom);
             job.first_start.get_or_insert(self.now);
             job.devices.push(d);
         }
         self.tallies.batches.inc();
         self.tallies.batch_jobs.add(batch.len() as u64);
-        let finish = self.now + nanos(secs);
+        let (finish, detect) = self.dispatch_window(d, secs);
         let ids: Vec<String> = batch.iter().map(|j| j.spec.id.to_string()).collect();
         self.push_log(format!(
             "t={} dispatch dev {d} batch [{}] finish {finish}",
@@ -845,22 +1063,47 @@ impl<'a> Engine<'a> {
         self.running[d] = Some(Running {
             start_nanos: self.now,
             finish_nanos: finish,
+            detect_nanos: detect,
+            overrun: false,
+            hedged: false,
+            is_hedge: false,
             kind: WorkKind::Batch(batch),
             _reservations: reservations,
         });
+        Ok(())
+    }
+
+    /// The completion and straggler-detection times of a dispatch of
+    /// healthy duration `secs` started now on device `d`. Under a
+    /// fault-plan slowdown the dispatch takes `factor ×` its healthy
+    /// duration, and the overrun becomes observable at the healthy
+    /// finish time plus margin; at factor 1 the duration is bit-exact
+    /// (`secs * 1.0` is the identity) and no detection event exists, so
+    /// a fault-free run's schedule is byte-identical to before.
+    fn dispatch_window(&self, d: usize, secs: f64) -> (u64, Option<u64>) {
+        let factor = self.cfg.faults.slow_factor_at(d, self.now);
+        let finish = self.now + nanos(secs * factor as f64);
+        let detect = (factor > 1)
+            .then(|| self.now + nanos(secs) * STRAGGLER_MARGIN_NUM / STRAGGLER_MARGIN_DEN);
+        (finish, detect)
     }
 
     /// Dispatches the next slice of the long job at the queue head.
-    fn start_slice(&mut self, d: usize) {
+    fn start_slice(&mut self, d: usize) -> Result<(), ServeError> {
         let mut job = self.queue.remove(0);
         let from = job.slabs_done;
         let to = (from + job.slice_slabs()).min(job.total_slabs());
         let secs = self.cfg.dispatch_overhead_secs
             + slice_secs(&self.cfg.device, &job.task_costs, from, to);
-        let reservation = self.devices[d]
-            .device
-            .alloc(job.ws_bytes)
-            .expect("slice reservation within checked capacity");
+        let reservation =
+            self.devices[d]
+                .device
+                .alloc(job.ws_bytes)
+                .map_err(|e| ServeError::Reservation {
+                    device: d,
+                    job: job.spec.id,
+                    detail: e.to_string(),
+                })?;
         if let Some(&prev) = job.devices.last() {
             if prev != d {
                 self.tallies.migrations.inc();
@@ -872,7 +1115,7 @@ impl<'a> Engine<'a> {
         }
         job.first_start.get_or_insert(self.now);
         job.devices.push(d);
-        let finish = self.now + nanos(secs);
+        let (finish, detect) = self.dispatch_window(d, secs);
         self.push_log(format!(
             "t={} dispatch dev {d} job {} slice slabs {from}..{to} finish {finish}",
             self.now, job.spec.id
@@ -880,6 +1123,10 @@ impl<'a> Engine<'a> {
         self.running[d] = Some(Running {
             start_nanos: self.now,
             finish_nanos: finish,
+            detect_nanos: detect,
+            overrun: false,
+            hedged: false,
+            is_hedge: false,
             kind: WorkKind::Slice {
                 job: Box::new(job),
                 from,
@@ -887,9 +1134,28 @@ impl<'a> Engine<'a> {
             },
             _reservations: vec![reservation],
         });
+        Ok(())
     }
 
     // -- events -------------------------------------------------------
+
+    /// A dispatch on device `d` has outlived its healthy model estimate
+    /// by the detection margin: mark the dispatch overrun (making it
+    /// hedgeable) and the device detected-slow (deprioritising it for
+    /// future placement).
+    fn detect_straggler(&mut self, d: usize, t: u64) {
+        if let Some(r) = self.running[d].as_mut() {
+            r.detect_nanos = None;
+            r.overrun = true;
+        }
+        if !self.devices[d].detected_slow {
+            self.devices[d].detected_slow = true;
+            self.tallies.stragglers.inc();
+        }
+        self.push_log(format!(
+            "t={t} device {d} straggler detected (dispatch overran healthy estimate)"
+        ));
+    }
 
     fn mark_dead(&mut self, d: usize, at: u64) {
         self.devices[d].alive = false;
@@ -912,6 +1178,28 @@ impl<'a> Engine<'a> {
             WorkKind::Slice { job, .. } => vec![*job],
         };
         for mut job in jobs {
+            let id = job.spec.id;
+            // A job covered by a hedge twin — already completed, or
+            // still running as a duplicate dispatch elsewhere — is not
+            // requeued: the twin delivers (or delivered) its result.
+            if self.completed_ids.contains(&id) {
+                self.push_log(format!(
+                    "t={t} job {id} duplicate lost with device {d} (already complete)"
+                ));
+                continue;
+            }
+            let twin_running = (0..self.running.len()).any(|o| {
+                o != d
+                    && self.running[o]
+                        .as_ref()
+                        .is_some_and(|r| r.job_ids().contains(&id))
+            });
+            if twin_running {
+                self.push_log(format!(
+                    "t={t} job {id} not requeued (twin dispatch still in flight)"
+                ));
+                continue;
+            }
             job.requeues += 1;
             job.enqueue_nanos = t;
             self.tallies.requeues.inc();
@@ -927,26 +1215,61 @@ impl<'a> Engine<'a> {
     /// computation to the completion event keeps killed dispatches
     /// side-effect-free, so the checkpoint state on disk always equals
     /// what the model says was durably committed.
-    fn complete(&mut self, d: usize) {
-        let r = self.running[d].take().expect("completion of a busy device");
+    fn complete(&mut self, d: usize) -> Result<(), ServeError> {
+        let r = self.running[d]
+            .take()
+            .ok_or_else(|| ServeError::Scheduling(format!("completion on idle device {d}")))?;
         let span = r.finish_nanos - r.start_nanos;
-        self.busy[d] += span;
-        self.registry
-            .rank_counter("serve.device.busy.nanos", d)
-            .add(span);
         match r.kind {
             WorkKind::Batch(jobs) => {
                 let batch_size = jobs.len();
-                for job in jobs {
+                // Hedging dedup: jobs already delivered by a twin
+                // dispatch are dropped here — first completion won.
+                let fresh: Vec<JobState> = jobs
+                    .into_iter()
+                    .filter(|j| !self.completed_ids.contains(&j.spec.id))
+                    .collect();
+                if fresh.is_empty() {
+                    self.wasted[d] += span;
+                    self.registry
+                        .rank_counter("serve.device.wasted.nanos", d)
+                        .add(span);
+                    self.tallies.hedges_wasted.inc();
+                    self.push_log(format!(
+                        "t={} dev {d} duplicate batch discarded (twin won)",
+                        self.now
+                    ));
+                    return Ok(());
+                }
+                self.busy[d] += span;
+                self.registry
+                    .rank_counter("serve.device.busy.nanos", d)
+                    .add(span);
+                if r.is_hedge {
+                    self.tallies.hedges_won.inc();
+                    self.push_log(format!("t={} dev {d} hedge won", self.now));
+                }
+                for job in fresh {
+                    self.completed_ids.insert(job.spec.id);
                     let cfg_job = job_config(self.cfg, &job.spec);
                     let volume = fdk_reconstruct_configured(&cfg_job, &job.spec.projections)
-                        .expect("in-core reconstruction of an admitted job");
+                        .map_err(|e| ServeError::Reconstruction {
+                            job: job.spec.id,
+                            detail: e.to_string(),
+                        })?;
                     self.mirror_small(d, &job.spec.geom);
                     self.finish_job(job, d, batch_size, 1, volume);
                 }
             }
-            WorkKind::Slice { job, from, to } => self.complete_slice(d, *job, from, to),
+            WorkKind::Slice { job, from, to } => {
+                self.busy[d] += span;
+                self.registry
+                    .rank_counter("serve.device.busy.nanos", d)
+                    .add(span);
+                self.complete_slice(d, *job, from, to)?;
+            }
         }
+        Ok(())
     }
 
     /// Mirrors a small job's traffic onto the fleet device so the
@@ -959,13 +1282,23 @@ impl<'a> Engine<'a> {
         let _ = dev.d2h(d2h);
     }
 
-    fn complete_slice(&mut self, d: usize, mut job: JobState, from: usize, to: usize) {
+    fn complete_slice(
+        &mut self,
+        d: usize,
+        mut job: JobState,
+        from: usize,
+        to: usize,
+    ) -> Result<(), ServeError> {
         let is_final = to == job.total_slabs();
-        self.ensure_ckpt(&mut job);
-        let endpoint = job.ckpt.clone().expect("checkpoint endpoint");
+        self.ensure_ckpt(&mut job)?;
+        let endpoint = job.ckpt.clone().ok_or_else(|| {
+            ServeError::Scheduling(format!("job {} has no checkpoint endpoint", job.spec.id))
+        })?;
         let cfg_job = job_config(self.cfg, &job.spec);
-        let rec =
-            OutOfCoreReconstructor::new(cfg_job).expect("out-of-core plan of an admitted job");
+        let rec = OutOfCoreReconstructor::new(cfg_job).map_err(|e| ServeError::Reconstruction {
+            job: job.spec.id,
+            detail: e.to_string(),
+        })?;
         let mut spec = scalefbp::CheckpointSpec::new("ck", 1);
         if from > 0 {
             spec = spec.resuming();
@@ -1009,7 +1342,7 @@ impl<'a> Engine<'a> {
                     job.total_slabs(),
                     job.slices_done
                 ));
-                self.maybe_corrupt(&mut job);
+                self.maybe_corrupt(&mut job)?;
                 job.enqueue_nanos = self.now;
                 self.enqueue(job);
             }
@@ -1017,6 +1350,7 @@ impl<'a> Engine<'a> {
                 job.slabs_done = to;
                 job.slices_done += 1;
                 let slices = job.slices_done;
+                self.completed_ids.insert(job.spec.id);
                 self.finish_job(job, d, 1, slices, volume);
             }
             Err(e) => {
@@ -1035,7 +1369,10 @@ impl<'a> Engine<'a> {
                 ));
                 if let Some(dir) = &job.ckpt_dir {
                     let _ = std::fs::remove_dir_all(dir);
-                    std::fs::create_dir_all(dir).expect("recreate checkpoint dir");
+                    std::fs::create_dir_all(dir).map_err(|e| ServeError::CheckpointIo {
+                        job: job.spec.id,
+                        detail: format!("recreate {}: {e}", dir.display()),
+                    })?;
                 }
                 job.ckpt = job
                     .ckpt_dir
@@ -1047,48 +1384,70 @@ impl<'a> Engine<'a> {
                 job.enqueue_nanos = self.now;
                 self.enqueue(job);
             }
-            Ok(_) => unreachable!("non-final slice must interrupt"),
-            // (Interrupted on a final slice cannot happen: no kill switch.)
+            Ok(_) => {
+                // (Interrupted on a final slice cannot happen: no kill
+                // switch is installed there.)
+                return Err(ServeError::Scheduling(format!(
+                    "non-final slice of job {} completed without interrupting",
+                    job.spec.id
+                )));
+            }
         }
+        Ok(())
     }
 
-    fn ensure_ckpt(&mut self, job: &mut JobState) {
+    fn ensure_ckpt(&mut self, job: &mut JobState) -> Result<(), ServeError> {
         if job.ckpt.is_some() {
-            return;
+            return Ok(());
         }
         let dir = self
             .cfg
             .checkpoint_root
             .join(format!("job-{:04}", job.spec.id));
         let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).expect("create job checkpoint dir");
+        std::fs::create_dir_all(&dir).map_err(|e| ServeError::CheckpointIo {
+            job: job.spec.id,
+            detail: format!("create {}: {e}", dir.display()),
+        })?;
         job.ckpt = Some(StorageEndpoint::local_nvme(Some(dir.clone())));
         job.ckpt_dir = Some(dir);
+        Ok(())
     }
 
     /// Applies a planned corruption fault: flip one byte of the first
     /// committed slab file after the job's `slices_done`-th slice.
-    fn maybe_corrupt(&mut self, job: &mut JobState) {
+    fn maybe_corrupt(&mut self, job: &mut JobState) -> Result<(), ServeError> {
         if !self.cfg.faults.corrupts(job.spec.id, job.slices_done)
             || !self
                 .corruptions_applied
                 .insert((job.spec.id, job.slices_done))
         {
-            return;
+            return Ok(());
         }
-        let Some(dir) = &job.ckpt_dir else { return };
+        let Some(dir) = &job.ckpt_dir else {
+            return Ok(());
+        };
         let mut slabs: Vec<PathBuf> = Vec::new();
         collect_slab_files(dir, &mut slabs);
         slabs.sort();
-        let Some(path) = slabs.first() else { return };
-        let mut bytes = std::fs::read(path).expect("read slab file to corrupt");
+        let Some(path) = slabs.first() else {
+            return Ok(());
+        };
+        let mut bytes = std::fs::read(path).map_err(|e| ServeError::CheckpointIo {
+            job: job.spec.id,
+            detail: format!("read {}: {e}", path.display()),
+        })?;
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
-        std::fs::write(path, &bytes).expect("write corrupted slab file");
+        std::fs::write(path, &bytes).map_err(|e| ServeError::CheckpointIo {
+            job: job.spec.id,
+            detail: format!("write {}: {e}", path.display()),
+        })?;
         self.push_log(format!(
             "t={} job {} fault: slab file corrupted after slice {}",
             self.now, job.spec.id, job.slices_done
         ));
+        Ok(())
     }
 
     fn finish_job(
@@ -1188,7 +1547,9 @@ mod tests {
     fn small_workload_completes_with_bounded_utilisation() {
         let cfg = tiny_config("smoke");
         let jobs = generate(&WorkloadSpec::new(3, 2, 8, 500.0).small_only());
-        let report = Scheduler::new(cfg, MetricsRegistry::new()).run(jobs);
+        let report = Scheduler::new(cfg, MetricsRegistry::new())
+            .run(jobs)
+            .unwrap();
         assert_eq!(report.jobs.len(), 8);
         assert!(report.rejections.is_empty() && report.stranded.is_empty());
         for d in 0..2 {

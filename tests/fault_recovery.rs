@@ -9,8 +9,10 @@
 //! checked by running fault-injected reconstructions twice and comparing
 //! their canonical [`RecoveryLog`]s.
 //!
-//! Distinct seeds exercised here: 101, 202, 303, 404 (stragglers),
-//! 11, 12 (mixed rank failures / drops / delays), 7, 8 (device + IO).
+//! Distinct seeds exercised here: 101, 202, 303, 404 (message delays),
+//! 11, 12 (mixed rank failures / drops / delays), 7, 8 (device + IO),
+//! plus the first [`FaultPlan::stragglers`] seed that slows a worker
+//! rank (slow-device stragglers with speculative re-execution).
 
 use scalefbp::{
     fault_tolerant_reconstruct, FaultTolerantOutcome, FdkConfig, PipelinedReconstructor, ReduceMode,
@@ -83,6 +85,67 @@ fn straggler_delays_are_bitwise_and_logless() {
             "seed {seed}: unexpected recoveries {:?}",
             out.recovery
         );
+    }
+}
+
+#[test]
+fn seeded_slow_device_stragglers_speculate_and_stay_bitwise() {
+    let _s = SERIAL.lock().unwrap();
+    let g = geom();
+    let p = projections(&g);
+    // nr = 3: a straggling worker always has a healthy worker peer, so
+    // the leader's speculation runs remotely, not as a local fallback.
+    let layout = RankLayout::new(3, 2, 2);
+    // First seed whose plan slows a *worker* (rank % nr != 0): a slowed
+    // leader stalls its whole group instead, which the root absorbs via
+    // the slab deadline — no chunk-level speculation to observe there.
+    let seed = (0u64..)
+        .find(|&s| {
+            let plan = FaultPlan::stragglers(s, layout.num_ranks(), 1, 4);
+            !plan.events().is_empty() && plan.events().iter().all(|e| e.rank % layout.nr != 0)
+        })
+        .unwrap();
+    let plan = FaultPlan::stragglers(seed, layout.num_ranks(), 1, 4);
+    assert!(plan.stragglers_only());
+
+    for mode in ReduceMode::ALL {
+        let baseline = run_ft_mode(&g, &p, layout, &FaultPlan::none(), mode);
+        assert!(baseline.recovery.is_empty());
+        let out = run_ft_mode(&g, &p, layout, &plan, mode);
+        // A straggler only slows model+wall time; recovery must land on
+        // the unfaulted bits exactly (the speculative copy is a pure
+        // recompute, and late originals are deduplicated).
+        assert_recovered_bitwise(&out, &baseline);
+        assert!(
+            out.recovery
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::StragglerDetected { .. })),
+            "{mode:?} seed {seed}: no straggler detected: {:?}",
+            out.recovery
+        );
+        assert!(
+            out.recovery
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::SpeculativeWin { .. })),
+            "{mode:?} seed {seed}: speculation never won: {:?}",
+            out.recovery
+        );
+        // Slow is not dead: the late original is discarded as a
+        // duplicate, never escalated to a death declaration.
+        assert!(
+            !out.recovery
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::RankDeclaredDead { .. })),
+            "{mode:?} seed {seed}: straggler declared dead: {:?}",
+            out.recovery
+        );
+        // Same plan → same RecoveryLog and same bits.
+        let again = run_ft_mode(&g, &p, layout, &plan, mode);
+        assert_eq!(
+            again.recovery, out.recovery,
+            "{mode:?} seed {seed}: straggler recovery not deterministic"
+        );
+        assert_eq!(again.volume.data(), out.volume.data());
     }
 }
 

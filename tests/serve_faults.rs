@@ -49,7 +49,9 @@ fn seeded_device_kills_recover_deterministically() {
         .iter()
         .map(|tag| {
             let cfg = fleet(tag, 4).with_faults(faults.clone()).keeping_volumes();
-            let report = Scheduler::new(cfg.clone(), MetricsRegistry::new()).run(generate(&spec));
+            let report = Scheduler::new(cfg.clone(), MetricsRegistry::new())
+                .run(generate(&spec))
+                .expect("scheduler run");
             (cfg, report)
         })
         .collect();
@@ -87,6 +89,107 @@ fn seeded_device_kills_recover_deterministically() {
 }
 
 #[test]
+fn seeded_stragglers_hedge_and_stay_bitwise() {
+    // Slow two of four devices mid-run via a seeded plan. With hedging
+    // on, the scheduler must detect the stragglers, duplicate at least
+    // one stuck batch onto a healthy device, and dedup the late twin —
+    // with every volume still bitwise identical to the direct
+    // reconstruction. With hedging off (the wait-it-out baseline) the
+    // same plan must finish every job with zero hedges and a makespan
+    // no better than the hedged run. Both modes replay byte-for-byte.
+    let jobs = 16;
+    let rate = 800.0;
+    let horizon = (jobs as f64 / rate * 1e9) as u64;
+    let spec = WorkloadSpec::new(0x57A6, 3, jobs, rate);
+    let faults = FleetFaultPlan::generate_stragglers(0x57A6, 4, 2, 4, horizon);
+    assert!(
+        !faults.slowdowns.is_empty(),
+        "seeded plan produced no slowdowns"
+    );
+
+    let run_once = |tag: &str, hedging: bool| {
+        // Batches here live 5–20 ms of model time; a 2 ms aging limit
+        // makes a straggler's batch hedge-eligible once its overrun is
+        // confirmed (the 50 ms default would outlast every job).
+        let cfg = fleet(tag, 4)
+            .with_aging_nanos(2_000_000)
+            .with_faults(faults.clone())
+            .with_hedging(hedging)
+            .keeping_volumes();
+        let report = Scheduler::new(cfg.clone(), MetricsRegistry::new())
+            .run(generate(&spec))
+            .expect("scheduler run");
+        (cfg, report)
+    };
+
+    let (cfg, hedged) = run_once("serve-hedge-a", true);
+    let (_, hedged_replay) = run_once("serve-hedge-b", true);
+    let (_, waited) = run_once("serve-wait-a", false);
+    let (_, waited_replay) = run_once("serve-wait-b", false);
+
+    for (report, label) in [(&hedged, "hedged"), (&waited, "wait-it-out")] {
+        assert_eq!(
+            report.jobs.len(),
+            jobs,
+            "{label}: stragglers must not lose jobs"
+        );
+        assert!(report.stranded.is_empty(), "{label}: no job may strand");
+        assert!(
+            report
+                .metrics
+                .counter("serve.stragglers", None)
+                .unwrap_or(0)
+                >= 1,
+            "{label}: slow devices were never detected"
+        );
+    }
+
+    let hedges =
+        |r: &scalefbp_serve::ServeReport, name: &str| r.metrics.counter(name, None).unwrap_or(0);
+    assert!(
+        hedges(&hedged, "serve.hedges.issued") >= 1,
+        "hedging on but no hedges issued:\n{}",
+        hedged.log.join("\n")
+    );
+    assert!(
+        hedges(&hedged, "serve.hedges.won") >= 1,
+        "no hedge ever beat its straggling original"
+    );
+    assert!(
+        hedged.log.iter().any(|l| l.contains("hedge")),
+        "recovery log records no hedge events"
+    );
+    assert_eq!(hedges(&waited, "serve.hedges.issued"), 0);
+    assert!(
+        waited.log.iter().all(|l| !l.contains("hedge")),
+        "hedging off but the log mentions hedges"
+    );
+    assert!(
+        hedged.makespan_nanos <= waited.makespan_nanos,
+        "hedging worsened the makespan: {} vs {}",
+        hedged.makespan_nanos,
+        waited.makespan_nanos
+    );
+
+    // Deterministic: both modes replay byte-identically.
+    for (a, b) in [(&hedged, &hedged_replay), (&waited, &waited_replay)] {
+        assert_eq!(a.schedule_text(), b.schedule_text());
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    }
+
+    // Hedge dedup must never corrupt results: every volume of the
+    // hedged run is bitwise identical to the direct reconstruction.
+    let inputs = generate(&spec);
+    assert_eq!(hedged.volumes.len(), jobs);
+    for (id, volume) in &hedged.volumes {
+        let job = inputs.iter().find(|j| j.id == *id).unwrap();
+        let golden = fdk_reconstruct_configured(&job_config(&cfg, job), &job.projections).unwrap();
+        assert_bitwise(&golden, volume, &format!("job {id} after hedged recovery"));
+    }
+}
+
+#[test]
 fn corrupt_checkpoint_slab_restarts_job_from_scratch() {
     // Corrupt the first checkpoint slab of job 0 after its first slice
     // commits. The CRC seal must catch it on resume; the scheduler
@@ -96,7 +199,9 @@ fn corrupt_checkpoint_slab_restarts_job_from_scratch() {
 
     let run_once = |tag: &str| {
         let cfg = fleet(tag, 1).with_faults(faults.clone()).keeping_volumes();
-        let report = Scheduler::new(cfg.clone(), MetricsRegistry::new()).run(vec![job.clone()]);
+        let report = Scheduler::new(cfg.clone(), MetricsRegistry::new())
+            .run(vec![job.clone()])
+            .expect("scheduler run");
         (cfg, report)
     };
     let (cfg, report) = run_once("serve-corrupt-a");

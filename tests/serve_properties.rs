@@ -30,7 +30,9 @@ fn workload(seed: u64, tenants: usize, jobs: usize, rate: f64) -> WorkloadSpec {
 }
 
 fn run(cfg: ServeConfig, spec: &WorkloadSpec) -> ServeReport {
-    Scheduler::new(cfg, MetricsRegistry::new()).run(generate(spec))
+    Scheduler::new(cfg, MetricsRegistry::new())
+        .run(generate(spec))
+        .expect("scheduler run")
 }
 
 proptest! {

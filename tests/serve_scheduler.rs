@@ -25,7 +25,9 @@ fn fleet(tag: &str, devices: usize) -> ServeConfig {
 }
 
 fn run(cfg: ServeConfig, spec: &WorkloadSpec) -> ServeReport {
-    Scheduler::new(cfg, MetricsRegistry::new()).run(generate(spec))
+    Scheduler::new(cfg, MetricsRegistry::new())
+        .run(generate(spec))
+        .expect("scheduler run")
 }
 
 /// The canonical export of one run: schedule text plus the metrics
@@ -65,7 +67,9 @@ fn every_job_is_bitwise_identical_to_a_standalone_run() {
     let spec = WorkloadSpec::new(5, 2, 10, 300.0);
     let cfg = fleet("serve-bitwise", 2).keeping_volumes();
     let jobs = generate(&spec);
-    let report = Scheduler::new(cfg.clone(), MetricsRegistry::new()).run(jobs.clone());
+    let report = Scheduler::new(cfg.clone(), MetricsRegistry::new())
+        .run(jobs.clone())
+        .expect("scheduler run");
     assert_eq!(report.jobs.len(), 10, "all jobs must complete");
     assert_eq!(report.volumes.len(), 10);
     assert!(
@@ -153,12 +157,14 @@ fn preempted_long_job_migrates_across_devices_bitwise() {
             device: 0,
             at_nanos: 1,
         }],
-        corruptions: Vec::new(),
+        ..Default::default()
     };
     let cfg = fleet("serve-migrate", 2)
         .with_faults(faults)
         .keeping_volumes();
-    let report = Scheduler::new(cfg.clone(), MetricsRegistry::new()).run(vec![job.clone()]);
+    let report = Scheduler::new(cfg.clone(), MetricsRegistry::new())
+        .run(vec![job.clone()])
+        .expect("scheduler run");
 
     assert_eq!(report.jobs.len(), 1);
     let rec = &report.jobs[0];

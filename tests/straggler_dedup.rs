@@ -1,0 +1,156 @@
+//! Property tests for speculative-duplicate handling.
+//!
+//! When the fault-tolerant leader speculates against a straggler, two
+//! copies of the same chunk may eventually arrive — the slow original
+//! and the speculative recompute. Both are pure recomputes of the same
+//! work, so they carry identical bits; the [`ChunkLedger`] keeps the
+//! first and discards the rest. These properties pin down the contract
+//! the driver relies on: **no arrival order, duplication pattern, or
+//! interleaving across batches can change a single bit of the fold**,
+//! and every extra copy is counted exactly once.
+
+use proptest::prelude::*;
+
+use scalefbp::ChunkLedger;
+
+const NX: usize = 3;
+const NY: usize = 2;
+const NZ: usize = 2;
+
+/// Deterministic stand-in for the recomputed chunk `(b, j)`: every copy
+/// of a chunk in the real driver is bitwise identical, so duplicates
+/// here are literal clones.
+fn chunk_data(seed: u64, b: usize, j: usize) -> Vec<f32> {
+    (0..NX * NY * NZ)
+        .map(|i| {
+            let mut x = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(((b * 131 + j) * 1_000_003 + i) as u64);
+            x ^= x >> 31;
+            (x % 1_000) as f32 / 64.0 - 7.5
+        })
+        .collect()
+}
+
+/// The bit pattern of every batch's fold — the canonical signature the
+/// properties compare across arrival orders.
+fn fold_signature(ledger: &ChunkLedger, batches: usize, scale: f32) -> Vec<u32> {
+    (0..batches)
+        .flat_map(|b| {
+            ledger
+                .fold_batch(b, NX, NY, NZ, b * NZ, scale)
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// One offer schedule: every slot once, plus `dups` extra copies of
+/// seed-chosen slots, Fisher–Yates-shuffled by `shuffle_seed` — a
+/// deterministic stand-in for arbitrary network arrival orders.
+fn offer_schedule(
+    batches: usize,
+    nr: usize,
+    dups: usize,
+    shuffle_seed: u64,
+) -> Vec<(usize, usize)> {
+    let mut offers: Vec<(usize, usize)> = (0..batches)
+        .flat_map(|b| (0..nr).map(move |j| (b, j)))
+        .collect();
+    let slots = offers.clone();
+    let mut state = shuffle_seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for k in 0..dups {
+        let pick = (next() as usize + k * 7) % slots.len();
+        offers.push(slots[pick]);
+    }
+    for i in (1..offers.len()).rev() {
+        offers.swap(i, next() as usize % (i + 1));
+    }
+    offers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Late duplicates are deduplicated idempotently: whatever order the
+    /// copies arrive in, the fold is bitwise identical to the canonical
+    /// no-duplicate fill, and the discard count equals the number of
+    /// extra copies.
+    #[test]
+    fn arrival_order_and_duplicates_never_change_the_fold(
+        batches in 1usize..4,
+        nr in 1usize..5,
+        dups in 0usize..8,
+        seed in 0u64..10_000,
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Canonical fill: each slot exactly once, rank-major order.
+        let mut reference = ChunkLedger::new(batches, nr);
+        for b in 0..batches {
+            for j in 0..nr {
+                prop_assert!(reference.offer(b, j, chunk_data(seed, b, j)));
+            }
+        }
+        prop_assert_eq!(reference.duplicates(), 0);
+        let golden = fold_signature(&reference, batches, 0.125);
+
+        // Shuffled fill with duplicates interleaved across batches.
+        let schedule = offer_schedule(batches, nr, dups, seed ^ shuffle_seed);
+        let mut ledger = ChunkLedger::new(batches, nr);
+        let mut accepted = 0usize;
+        for &(b, j) in &schedule {
+            if ledger.offer(b, j, chunk_data(seed, b, j)) {
+                accepted += 1;
+                prop_assert!(ledger.has(b, j));
+            }
+        }
+        prop_assert_eq!(accepted, batches * nr, "every slot filled exactly once");
+        prop_assert_eq!(ledger.duplicates(), dups as u64, "every extra copy counted");
+        prop_assert_eq!(fold_signature(&ledger, batches, 0.125), golden.clone());
+
+        // Idempotent: a second late twin of every chunk changes nothing.
+        for b in 0..batches {
+            for j in 0..nr {
+                prop_assert!(!ledger.offer(b, j, chunk_data(seed, b, j)));
+            }
+        }
+        prop_assert_eq!(fold_signature(&ledger, batches, 0.125), golden);
+    }
+
+    /// The fold scale is applied after the sum, so it commutes with
+    /// deduplication: scaling a deduplicated fold matches scaling the
+    /// canonical fold bit for bit.
+    #[test]
+    fn scale_commutes_with_dedup(
+        seed in 0u64..10_000,
+        scale_bits in 1u8..200,
+    ) {
+        let scale = scale_bits as f32 / 16.0;
+        let (batches, nr) = (2, 3);
+        let mut a = ChunkLedger::new(batches, nr);
+        let mut b_ledger = ChunkLedger::new(batches, nr);
+        for b in 0..batches {
+            for j in 0..nr {
+                a.offer(b, j, chunk_data(seed, b, j));
+                // Reverse rank order + a duplicate per slot on the other.
+                let jr = nr - 1 - j;
+                b_ledger.offer(b, jr, chunk_data(seed, b, jr));
+                b_ledger.offer(b, jr, chunk_data(seed, b, jr));
+            }
+        }
+        prop_assert_eq!(b_ledger.duplicates(), (batches * nr) as u64);
+        prop_assert_eq!(
+            fold_signature(&a, batches, scale),
+            fold_signature(&b_ledger, batches, scale)
+        );
+    }
+}
